@@ -1,0 +1,40 @@
+//! Whole-cluster benchmark: wall-clock cost of simulating a short run,
+//! one sample per paper-experiment family.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dclue_cluster::{ClusterConfig, QosPolicy, World};
+use dclue_sim::Duration;
+
+fn short_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = 2;
+    cfg.warehouses_per_node = 10;
+    cfg.clients_per_node = 16;
+    cfg.warmup = Duration::from_secs(3);
+    cfg.measure = Duration::from_secs(5);
+    cfg.data_spindles = 16;
+    cfg
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    g.bench_function("two_node_8s", |b| {
+        b.iter(|| World::new(short_cfg()).run())
+    });
+    g.bench_function("two_node_8s_qos", |b| {
+        b.iter(|| {
+            let mut cfg = short_cfg();
+            cfg.latas = 2;
+            cfg.qos = QosPolicy::FtpPriority;
+            cfg.ftp_offered_bps = 1e6;
+            World::new(cfg).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

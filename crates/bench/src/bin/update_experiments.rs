@@ -1,0 +1,122 @@
+//! Refresh the data tables in EXPERIMENTS.md from a `figures all` output
+//! capture (default `figures_output.txt`), so the recorded document
+//! always matches the canonical run.
+//!
+//! Usage: `update_experiments [figures_output.txt] [EXPERIMENTS.md]`
+//!
+//! Only the two fully tabular sections (Fig 6 and Fig 11) are rewritten;
+//! prose comparisons are maintained by hand against the same capture.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fig_path = args.first().map(String::as_str).unwrap_or("figures_output.txt");
+    let exp_path = args.get(1).map(String::as_str).unwrap_or("EXPERIMENTS.md");
+    let figures = std::fs::read_to_string(fig_path).expect("figures output");
+    let mut exp = std::fs::read_to_string(exp_path).expect("EXPERIMENTS.md");
+
+    // ---- Fig 6: nodes x affinity -> tpmC ----
+    let mut fig6: BTreeMap<u32, BTreeMap<String, f64>> = BTreeMap::new();
+    if let Some(sec) = section(&figures, "# Throughput scaling vs cluster size") {
+        for line in sec.lines().skip(2) {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() >= 3 {
+                if let (Ok(n), Ok(tpmc)) = (f[0].parse::<u32>(), f[2].parse::<f64>()) {
+                    fig6.entry(n).or_default().insert(f[1].to_string(), tpmc);
+                }
+            }
+        }
+    }
+    if !fig6.is_empty() {
+        let mut table = String::from("| nodes | α=1.0 | α=0.8 | α=0.5 | α=0.0 |\n|---|---|---|---|---|\n");
+        for (&n, row) in &fig6 {
+            if ![1, 4, 8, 12, 16, 24].contains(&n) {
+                continue;
+            }
+            let _ = writeln!(
+                table,
+                "| {} | {} | {} | {} | {} |",
+                n,
+                cell(row, "1.00"),
+                cell(row, "0.80"),
+                cell(row, "0.50"),
+                cell(row, "0.00"),
+            );
+        }
+        exp = replace_table(&exp, "| nodes | α=1.0 |", &table);
+    }
+
+    // ---- Fig 11: offload case x affinity ----
+    if let Some(sec) = section(&figures, "# TCP / iSCSI offload cases") {
+        let mut rows: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        for line in sec.lines().skip(2) {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() >= 7 && f[0] != "case" {
+                // "HW TCP + HW iSCSI  1.00  1416"
+                let case = f[..5].join(" ");
+                if let (Ok(tpmc), Ok(_a)) =
+                    (f[6].parse::<f64>(), f[5].parse::<f64>())
+                {
+                    rows.entry(case).or_default().insert(f[5].to_string(), tpmc);
+                }
+            }
+        }
+        if !rows.is_empty() {
+            let order = [
+                "HW TCP + HW iSCSI",
+                "HW TCP + SW iSCSI",
+                "SW TCP + SW iSCSI",
+            ];
+            let mut table =
+                String::from("| case | α=1.0 | α=0.8 | α=0.5 |\n|---|---|---|---|\n");
+            for case in order {
+                if let Some(row) = rows.get(case) {
+                    let _ = writeln!(
+                        table,
+                        "| {} | {} | {} | {} |",
+                        case,
+                        cell(row, "1.00"),
+                        cell(row, "0.80"),
+                        cell(row, "0.50"),
+                    );
+                }
+            }
+            exp = replace_table(&exp, "| case | α=1.0 |", &table);
+        }
+    }
+
+    std::fs::write(exp_path, exp).expect("write EXPERIMENTS.md");
+    println!("EXPERIMENTS.md tables refreshed from {fig_path}");
+}
+
+fn cell(row: &BTreeMap<String, f64>, a: &str) -> String {
+    row.get(a).map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into())
+}
+
+/// Extract one `# ...` section of the figures output.
+fn section<'a>(s: &'a str, header: &str) -> Option<&'a str> {
+    let start = s.find(header)?;
+    let rest = &s[start..];
+    let end = rest[1..].find("\n# ").map(|i| i + 1).unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// Replace the markdown table that starts with `head` (up to the first
+/// non-table line) with `table`.
+fn replace_table(doc: &str, head: &str, table: &str) -> String {
+    let Some(start) = doc.find(head) else {
+        return doc.to_string();
+    };
+    let tail = &doc[start..];
+    let mut end = 0;
+    for line in tail.lines() {
+        if line.starts_with('|') {
+            end += line.len() + 1;
+        } else {
+            break;
+        }
+    }
+    format!("{}{}{}", &doc[..start], table, &doc[start + end..])
+}

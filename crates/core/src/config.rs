@@ -1,0 +1,317 @@
+//! Experiment configuration: one struct that can express every run in
+//! the paper's evaluation section.
+
+use dclue_db::TpccScale;
+use dclue_platform::PlatformConfig;
+use dclue_sim::Duration;
+use dclue_storage::{DiskConfig, IscsiMode};
+
+/// Where the TCP fast path runs (Fig 11).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TcpOffload {
+    /// Fast path in hardware (the paper's default for most experiments).
+    #[default]
+    Hardware,
+    /// Traditional OS-kernel software TCP (1 copy send, 2 copies recv).
+    Software,
+}
+
+/// Diff-serv arrangement for the cross-traffic study (Figs 14-16).
+/// `FtpWfq` explores the WFQ mechanism the paper lists but does not
+/// evaluate: FTP still rides AF21, but routers schedule it with a
+/// bounded weight instead of strict priority.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum QosPolicy {
+    /// Everything best effort ("the lazy approach").
+    #[default]
+    AllBestEffort,
+    /// DBMS best effort; FTP promoted to AF21 (priority + deeper queue).
+    FtpPriority,
+    /// DBMS best effort; FTP in AF21 served by WFQ with this weight.
+    FtpWfq { af_weight: f64 },
+    /// The paper's stated future work: QoS "done almost autonomically
+    /// without the data center administrator doing manual setups". A
+    /// feedback controller watches DBMS transaction latency and adapts
+    /// the WFQ weight of the FTP class: latency above
+    /// `1 + tolerance` x the warm-up baseline shrinks the weight,
+    /// latency back in budget lets it recover.
+    Autonomic { tolerance: f64 },
+}
+
+/// How the database grows with cluster size (Fig 10).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum DbGrowth {
+    /// TPC-C rule: warehouses scale linearly with target throughput.
+    #[default]
+    Linear,
+    /// Linear up to the given scaled tpm-C, square-root beyond it —
+    /// contention rises with cluster size past the knee.
+    SqrtBeyond(f64),
+}
+
+/// Token-bucket policer/shaper for the FTP edge (§3.4 lists "traffic
+/// policing/shaping (e.g., leaky bucket)" among the diff-serv
+/// mechanisms; the paper leaves it unevaluated).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Policer {
+    /// Sustained rate in bit/s (scaled).
+    pub rate_bps: f64,
+    /// Burst allowance in bytes.
+    pub burst_bytes: f64,
+}
+
+/// Storage architecture (§2.1 of the paper): distributed per-node
+/// iSCSI storage (the paper's main configuration) or a centralized
+/// SAN — "the set of all IO subsystems forms a virtual SAN which is
+/// accessed via some unmodeled SAN fabric" — modelled as one shared
+/// disk array behind a fixed fabric latency.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum StorageMode {
+    #[default]
+    Distributed,
+    San {
+        /// One-way SAN fabric latency (scaled time).
+        fabric_latency: Duration,
+    },
+}
+
+/// Log placement (Fig 9).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LogPlacement {
+    /// Every node logs to its own log disks.
+    #[default]
+    Local,
+    /// One node (node 0) performs all logging; others ship log data
+    /// over the fabric via iSCSI.
+    Central,
+}
+
+/// Full experiment configuration. Defaults reproduce the paper's
+/// baseline: P4 DP nodes, 1 Gb/s links (100x-scaled to 10 Mb/s),
+/// hardware TCP + iSCSI, distributed storage, local logging, α = 0.8.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Server nodes in the cluster.
+    pub nodes: u32,
+    /// Subclusters. 0 = automatic: 1 lata up to 12 nodes, 2 beyond
+    /// (14-port routers, as in the paper).
+    pub latas: u32,
+    /// Query affinity α (§2.2).
+    pub affinity: f64,
+    /// Warehouses per node at the scaled baseline (paper: ~40 for the
+    /// 100x-scaled 500 tpm-C node).
+    pub warehouses_per_node: u32,
+    pub db_growth: DbGrowth,
+    /// Closed-loop client terminals per node. Deep pool: the paper does
+    /// not bound worker threads, so terminals must outnumber the active
+    /// threads by far — concurrency then self-adjusts to hide latency.
+    pub clients_per_node: u32,
+    /// Terminal think time between business transactions (scaled).
+    pub think_time: Duration,
+    /// Measured simulation time after warm-up (scaled seconds).
+    pub measure: Duration,
+    pub warmup: Duration,
+    pub seed: u64,
+    // ---- fabric ----
+    /// Host and intra-lata link bandwidth, bit/s (10 Mb/s = scaled 1 Gb/s).
+    pub link_bw: f64,
+    /// Inter-lata trunk bandwidth (the paper sometimes needs 10x here).
+    pub trunk_bw: f64,
+    /// Router forwarding rate, packets/s (Fig 8 drops this to 4000).
+    pub router_rate: f64,
+    /// Extra one-way latency added to EACH inter-lata link (Figs 12-13
+    /// add half the quoted RTT per link). Scaled time.
+    pub extra_trunk_latency: Duration,
+    pub qos: QosPolicy,
+    /// Use RED instead of tail drop at router output ports (a diff-serv
+    /// mechanism the paper lists but does not evaluate).
+    pub red: bool,
+    /// FTP cross-traffic offered load in bit/s (scaled).
+    pub ftp_offered_bps: f64,
+    /// Shape the FTP source with a token bucket (start of each transfer
+    /// waits for credit). `None` = unpoliced, as in the paper's runs.
+    pub ftp_policer: Option<Policer>,
+    /// Connection admission control: maximum concurrent FTP transfers.
+    /// The paper: "clearly, some admission control scheme needs to be in
+    /// place to ensure that unlimited amounts of traffic don't get in".
+    pub ftp_max_concurrent: Option<u32>,
+    // ---- protocol processing ----
+    pub tcp_offload: TcpOffload,
+    pub iscsi_mode: IscsiMode,
+    /// Computation scale: 1.0 = TPC-C; 0.25 = the paper's "low
+    /// computation" variant (all computational path-lengths / 4).
+    pub computation_factor: f64,
+    // ---- storage & logging ----
+    pub storage: StorageMode,
+    pub log_placement: LogPlacement,
+    /// Group commit: batch concurrent commit log records into one log
+    /// write (size- or timer-triggered). An extension ablation; the
+    /// paper logs per transaction.
+    pub group_commit: bool,
+    /// Data spindles per node (TPC-C class systems are spindle-rich).
+    pub data_spindles: u32,
+    pub log_spindles: u32,
+    pub disk: DiskConfig,
+    /// Elevator scheduling on data disks (ablation).
+    pub elevator: bool,
+    /// Buffer cache capacity as a fraction of the node's share of the
+    /// database (hit ratios emerge from this, per the paper).
+    pub buffer_fraction: f64,
+    // ---- platform ----
+    pub platform: PlatformConfig,
+    /// Disable the cache-thrash model (ablation; the paper's latency
+    /// discussion hinges on it).
+    pub thrash_model: bool,
+    /// Disable MVCC versioning costs (ablation): no version walks, no
+    /// overflow pressure.
+    pub mvcc: bool,
+    /// Page-grain instead of subpage-grain locking (ablation for the
+    /// paper's "we had to tune the subpage size per table" remark).
+    pub coarse_locks: bool,
+    /// Fault injection: abort one IPC connection at this time after
+    /// start (testing; the cluster must reopen it and keep committing).
+    pub chaos_ipc_reset_at: Option<Duration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            latas: 0,
+            affinity: 0.8,
+            warehouses_per_node: 40,
+            db_growth: DbGrowth::Linear,
+            clients_per_node: 200,
+            think_time: Duration::from_secs(30),
+            measure: Duration::from_secs(30),
+            warmup: Duration::from_secs(15),
+            seed: 42,
+            link_bw: 10e6,
+            trunk_bw: 10e6,
+            router_rate: 10_000.0,
+            extra_trunk_latency: Duration::ZERO,
+            qos: QosPolicy::AllBestEffort,
+            red: false,
+            ftp_offered_bps: 0.0,
+            ftp_policer: None,
+            ftp_max_concurrent: None,
+            tcp_offload: TcpOffload::Hardware,
+            iscsi_mode: IscsiMode::Hardware,
+            computation_factor: 1.0,
+            storage: StorageMode::Distributed,
+            log_placement: LogPlacement::Local,
+            group_commit: false,
+            data_spindles: 48,
+            log_spindles: 4,
+            disk: DiskConfig::default(),
+            elevator: true,
+            buffer_fraction: 0.75,
+            platform: PlatformConfig::default(),
+            thrash_model: true,
+            mvcc: true,
+            coarse_locks: false,
+            chaos_ipc_reset_at: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Effective lata count.
+    pub fn effective_latas(&self) -> u32 {
+        if self.latas > 0 {
+            return self.latas;
+        }
+        if self.nodes > 12 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Total warehouses for this cluster size under the growth law.
+    pub fn total_warehouses(&self) -> u32 {
+        let linear = self.nodes * self.warehouses_per_node;
+        match self.db_growth {
+            DbGrowth::Linear => linear,
+            DbGrowth::SqrtBeyond(knee_tpmc) => {
+                // Paper Fig 10: warehouses = tpmC/12.5 up to the knee,
+                // then grow with the square root of the excess.
+                let per_node_tpmc = self.warehouses_per_node as f64 * 12.5;
+                let tpmc = self.nodes as f64 * per_node_tpmc;
+                if tpmc <= knee_tpmc {
+                    linear
+                } else {
+                    let at_knee = knee_tpmc / 12.5;
+                    let excess = tpmc - knee_tpmc;
+                    let extra = (excess / 12.5).sqrt() * (knee_tpmc / 12.5).sqrt();
+                    ((at_knee + extra) as u32).max(self.warehouses_per_node)
+                }
+            }
+        }
+    }
+
+    /// The TPC-C scale object for this configuration.
+    pub fn tpcc_scale(&self) -> TpccScale {
+        TpccScale::scaled(self.total_warehouses())
+    }
+
+    /// Nodes per lata (block partition).
+    pub fn nodes_per_lata(&self) -> u32 {
+        self.nodes.div_ceil(self.effective_latas())
+    }
+
+    /// Which lata a node lives in.
+    pub fn lata_of(&self, node: u32) -> u32 {
+        node / self.nodes_per_lata()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latas_auto_split_beyond_twelve() {
+        let mut c = ClusterConfig::default();
+        c.nodes = 8;
+        assert_eq!(c.effective_latas(), 1);
+        c.nodes = 16;
+        assert_eq!(c.effective_latas(), 2);
+        c.latas = 1;
+        assert_eq!(c.effective_latas(), 1);
+    }
+
+    #[test]
+    fn linear_growth_is_linear() {
+        let mut c = ClusterConfig::default();
+        c.nodes = 6;
+        assert_eq!(c.total_warehouses(), 240);
+    }
+
+    #[test]
+    fn sqrt_growth_bends_past_knee() {
+        let mut c = ClusterConfig::default();
+        c.warehouses_per_node = 40; // 500 scaled tpm-C per node
+        c.db_growth = DbGrowth::SqrtBeyond(900.0); // knee at ~1.8 nodes
+        c.nodes = 2;
+        let at2 = c.total_warehouses();
+        c.nodes = 8;
+        let at8 = c.total_warehouses();
+        let mut lin = c.clone();
+        lin.db_growth = DbGrowth::Linear;
+        assert!(at8 < lin.total_warehouses(), "sqrt growth smaller: {at8}");
+        assert!(at8 > at2);
+    }
+
+    #[test]
+    fn lata_partition_is_block() {
+        let mut c = ClusterConfig::default();
+        c.nodes = 16;
+        assert_eq!(c.nodes_per_lata(), 8);
+        assert_eq!(c.lata_of(0), 0);
+        assert_eq!(c.lata_of(7), 0);
+        assert_eq!(c.lata_of(8), 1);
+        assert_eq!(c.lata_of(15), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! The IPC vocabulary: every message type the cluster exchanges over its
+//! static node-to-node TCP connections, with wire sizes.
+//!
+//! Per the paper, each node pair keeps **two** connections — one for IPC
+//! (control + cache-fusion data) and one for iSCSI storage traffic — so
+//! QoS studies can treat them separately. Control messages are ~250 B;
+//! data messages carry an 8 KB block plus versioning overhead.
+
+use dclue_db::lock::ResourceId;
+use dclue_db::PageKey;
+use dclue_storage::iscsi;
+
+/// Wire size of a control message.
+pub const CTL_BYTES: u64 = 250;
+/// Wire size of a block-transfer data message (8 KB block + headers +
+/// versioning metadata, "the larger part comes because of additional
+/// versioning data").
+pub const BLOCK_BYTES: u64 = 8192 + 320;
+/// Client request / response sizes.
+pub const CLIENT_REQ_BYTES: u64 = 300;
+pub const CLIENT_RESP_BYTES: u64 = 800;
+
+/// Traffic class of a node-pair connection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConnClass {
+    /// Cache-fusion control + data.
+    Ipc,
+    /// iSCSI command/data/status.
+    Storage,
+}
+
+/// One cluster IPC message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IpcMsg {
+    // ---- cache fusion (§2.1's four-step protocol) ----
+    /// A -> B (directory): who has `page`?
+    BlockReq { page: PageKey, requester: u32, txn: u64 },
+    /// B -> A: nobody has it; go to disk.
+    BlockNeg { page: PageKey, txn: u64 },
+    /// B -> C: send `page` to `requester`.
+    SupplyReq { page: PageKey, requester: u32, txn: u64 },
+    /// C -> A: the block itself (data message).
+    BlockData { page: PageKey, txn: u64 },
+    /// C -> A: supplier no longer holds the block.
+    SupplyNeg { page: PageKey, txn: u64 },
+    /// A -> B: A now holds the block (directory update).
+    AckHolding { page: PageKey, holder: u32 },
+    /// A -> B: A evicted the block.
+    EvictNotify { page: PageKey, holder: u32 },
+    // ---- distributed lock management ----
+    /// A -> M(aster).
+    LockReq { txn: u64, res: ResourceId, queue_if_busy: bool },
+    /// M -> A: immediate outcome.
+    LockResp { txn: u64, res: ResourceId, outcome: LockWire },
+    /// M -> A: a queued request was granted.
+    LockGrant { txn: u64, res: ResourceId },
+    /// A -> M: release one lock (commit-time; one message per held
+    /// resource, as the paper's per-lock "release" messages).
+    Release { txn: u64, res: ResourceId },
+    /// A -> M: drop everything txn holds or waits on here (abort/retry).
+    ReleaseAll { txn: u64 },
+    // ---- iSCSI ----
+    /// Initiator -> target: read `page` from your disk.
+    IscsiRead { page: PageKey, req: u64, requester: u32 },
+    /// Target -> initiator: the data.
+    IscsiData { page: PageKey, req: u64 },
+    /// Initiator -> target: write. `page` names a write-back target;
+    /// `None` means a shipped log record (centralized logging, Fig 9).
+    IscsiWrite { page: Option<PageKey>, bytes: u64, req: u64, requester: u32 },
+    /// Target -> initiator: write complete.
+    IscsiWriteAck { req: u64 },
+}
+
+/// Wire encoding of a lock outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockWire {
+    Granted,
+    Queued,
+    Busy,
+}
+
+impl IpcMsg {
+    /// Bytes this message occupies on the wire (TCP payload).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            IpcMsg::BlockData { .. } => BLOCK_BYTES,
+            IpcMsg::IscsiData { .. } => 8192 + iscsi::PDU_HEADER_BYTES + iscsi::STATUS_PDU_BYTES,
+            IpcMsg::IscsiRead { .. } => iscsi::CMD_PDU_BYTES,
+            IpcMsg::IscsiWrite { bytes, .. } => bytes + iscsi::wire_overhead(*bytes, 8192),
+            IpcMsg::IscsiWriteAck { .. } => iscsi::STATUS_PDU_BYTES,
+            _ => CTL_BYTES,
+        }
+    }
+
+    /// Control messages are the small protocol messages; data messages
+    /// carry blocks (the paper plots the two separately, Figs 2-3).
+    pub fn is_data(&self) -> bool {
+        self.wire_bytes() >= 4096
+    }
+
+    /// True for fusion/lock traffic (rides the IPC connection); false
+    /// for iSCSI (rides the storage connection).
+    pub fn class(&self) -> ConnClass {
+        match self {
+            IpcMsg::IscsiRead { .. }
+            | IpcMsg::IscsiData { .. }
+            | IpcMsg::IscsiWrite { .. }
+            | IpcMsg::IscsiWriteAck { .. } => ConnClass::Storage,
+            _ => ConnClass::Ipc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dclue_db::Table;
+
+    fn page() -> PageKey {
+        PageKey::data(Table::Stock, 7)
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let m = IpcMsg::BlockReq {
+            page: page(),
+            requester: 1,
+            txn: 9,
+        };
+        assert_eq!(m.wire_bytes(), 250);
+        assert!(!m.is_data());
+        assert_eq!(m.class(), ConnClass::Ipc);
+    }
+
+    #[test]
+    fn block_data_is_a_data_message() {
+        let m = IpcMsg::BlockData { page: page(), txn: 9 };
+        assert!(m.wire_bytes() > 8192);
+        assert!(m.is_data());
+    }
+
+    #[test]
+    fn iscsi_rides_storage_connection() {
+        let r = IpcMsg::IscsiRead {
+            page: page(),
+            req: 1,
+            requester: 0,
+        };
+        let d = IpcMsg::IscsiData { page: page(), req: 1 };
+        let w = IpcMsg::IscsiWrite {
+            page: None,
+            bytes: 2048,
+            req: 2,
+            requester: 0,
+        };
+        assert_eq!(r.class(), ConnClass::Storage);
+        assert_eq!(d.class(), ConnClass::Storage);
+        assert_eq!(w.class(), ConnClass::Storage);
+        assert!(d.is_data());
+        assert!(!r.is_data());
+        assert!(w.wire_bytes() > 2048);
+    }
+
+    #[test]
+    fn lock_messages_are_control() {
+        let m = IpcMsg::ReleaseAll { txn: 3 };
+        assert_eq!(m.wire_bytes(), CTL_BYTES);
+        assert_eq!(m.class(), ConnClass::Ipc);
+    }
+}

@@ -1,0 +1,117 @@
+//! Measurement collection and the end-of-run report.
+
+use dclue_sim::stats::Tally;
+use dclue_sim::SimTime;
+
+/// Counters accumulated during the measurement window.
+#[derive(Debug, Default)]
+pub struct Collector {
+    pub committed: u64,
+    pub committed_new_orders: u64,
+    pub aborted: u64,
+    /// IPC control messages (fusion + lock protocol).
+    pub ctl_msgs: u64,
+    /// IPC data messages (block transfers).
+    pub data_msgs: u64,
+    /// iSCSI messages (commands + data + status + acks).
+    pub storage_msgs: u64,
+    pub lock_waits: u64,
+    pub lock_busies: u64,
+    pub lock_wait: Tally,
+    pub txn_latency: Tally,
+    pub fusion_transfers: u64,
+    pub disk_reads: u64,
+    pub remote_disk_reads: u64,
+    pub log_writes: u64,
+    pub version_walks: u64,
+    /// FTP transfers refused by admission control / policing.
+    pub ftp_denied: u64,
+    pub ipc_resets: u64,
+    pub ftp_bytes_delivered: f64,
+    pub ftp_transfers: u64,
+    pub window_start: SimTime,
+}
+
+impl Collector {
+    /// Restart the window (called at end of warm-up).
+    pub fn reset(&mut self, now: SimTime) {
+        *self = Collector {
+            window_start: now,
+            ..Default::default()
+        }
+    }
+}
+
+/// The end-of-run report: everything the paper's figures plot.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Cluster size, echoed for table printing.
+    pub nodes: u32,
+    pub affinity: f64,
+    /// Measurement window in scaled seconds.
+    pub window_s: f64,
+    /// New-orders per minute in the scaled system.
+    pub tpmc_scaled: f64,
+    /// Scaled back by 100x: the real-system equivalent the paper quotes.
+    pub tpmc_equivalent: f64,
+    /// All committed transactions per second (scaled).
+    pub tps_scaled: f64,
+    pub committed: u64,
+    pub aborted: u64,
+    pub ctl_msgs_per_txn: f64,
+    pub data_msgs_per_txn: f64,
+    pub storage_msgs_per_txn: f64,
+    pub lock_waits_per_txn: f64,
+    pub lock_busies_per_txn: f64,
+    /// Mean lock wait in scaled milliseconds.
+    pub lock_wait_ms: f64,
+    /// Mean transaction residence time, scaled milliseconds.
+    pub txn_latency_ms: f64,
+    pub avg_cpi: f64,
+    pub avg_cs_cycles: f64,
+    pub avg_live_threads: f64,
+    pub cpu_util: f64,
+    pub buffer_hit_ratio: f64,
+    pub fusion_transfers_per_txn: f64,
+    pub disk_reads_per_txn: f64,
+    pub version_walks_per_txn: f64,
+    pub versions_created_per_txn: f64,
+    /// 95th percentile transaction residence time, scaled milliseconds.
+    pub txn_latency_p95_ms: f64,
+    /// DBMS traffic crossing the inter-lata trunks, scaled Mb/s.
+    pub trunk_mbps: f64,
+    pub trunk_utilization: f64,
+    /// FTP goodput delivered during the window, scaled Mb/s.
+    pub ftp_mbps: f64,
+    /// FTP transfers refused by admission control / policing.
+    pub ftp_denied: u64,
+    pub ipc_resets: u64,
+    /// Packet drops across all router/output ports in the window.
+    pub drops: u64,
+    /// Half-second samples of `(time_s, committed so far, mean live
+    /// threads per node)` across the whole run (including warm-up) —
+    /// lets callers study transients like thrash onset.
+    pub timeline: Vec<(f64, u64, f64)>,
+}
+
+impl Report {
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={:<2} α={:.2} tpmC={:>7.0} (≡{:>9.0}) ctl/txn={:>5.1} data/txn={:>4.2} lockwait/txn={:>5.2} wait={:>6.1}ms cpi={:>4.2} cs={:>6.0} thr={:>5.1} util={:>4.2} hit={:>4.2}",
+            self.nodes,
+            self.affinity,
+            self.tpmc_scaled,
+            self.tpmc_equivalent,
+            self.ctl_msgs_per_txn,
+            self.data_msgs_per_txn,
+            self.lock_waits_per_txn,
+            self.lock_wait_ms,
+            self.avg_cpi,
+            self.avg_cs_cycles,
+            self.avg_live_threads,
+            self.cpu_util,
+            self.buffer_hit_ratio,
+        )
+    }
+}

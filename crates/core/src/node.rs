@@ -1,0 +1,62 @@
+//! One server node: CPU complex, buffer cache, lock-master shard,
+//! directory shard, and disk subsystems.
+
+use crate::fusion::Directory;
+use dclue_db::{BufferCache, LockTable, PageKey};
+use dclue_net::HostId;
+use dclue_platform::Cpu;
+use dclue_sim::SimTime;
+use dclue_storage::Disk;
+use std::collections::HashMap;
+
+/// A page miss in flight: when it started and who waits on it.
+#[derive(Debug)]
+pub struct PendingPage {
+    pub since: SimTime,
+    pub waiters: Vec<u64>,
+}
+
+/// Disk subsystem selector for disk events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskKind {
+    Data,
+    Log,
+}
+
+/// Per-node simulation state.
+pub struct Node {
+    pub id: u32,
+    pub host: HostId,
+    pub cpu: Cpu,
+    pub buffer: BufferCache,
+    /// Lock-master shard for resources this node masters.
+    pub locks: LockTable,
+    /// Cache-fusion directory shard for pages this node masters.
+    pub directory: Directory,
+    pub data_disks: Vec<Disk>,
+    pub log_disks: Vec<Disk>,
+    /// Sequential log positions, one per log spindle.
+    pub log_lba: Vec<u64>,
+    pub log_rr: usize,
+    /// Page misses in flight: waiting transactions per page.
+    pub pending_pages: HashMap<PageKey, PendingPage>,
+    /// Transactions currently executing here.
+    pub resident_txns: u64,
+}
+
+impl Node {
+    /// Pick a data spindle for an LBA (chunked striping preserves
+    /// elevator locality within 64-block runs).
+    pub fn data_spindle(&self, lba: u64) -> usize {
+        ((lba / 64) % self.data_disks.len() as u64) as usize
+    }
+
+    /// Next log spindle (round robin) and its sequential LBA.
+    pub fn next_log_slot(&mut self) -> (usize, u64) {
+        let d = self.log_rr % self.log_disks.len();
+        self.log_rr = self.log_rr.wrapping_add(1);
+        let lba = self.log_lba[d];
+        self.log_lba[d] = lba + 1;
+        (d, lba)
+    }
+}

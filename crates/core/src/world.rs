@@ -1,0 +1,1396 @@
+//! The assembled simulation: topology, global event loop, client
+//! sessions and cross traffic. Transaction execution lives in
+//! [`crate::engine`] (also `impl World` blocks).
+
+use crate::config::{ClusterConfig, QosPolicy, StorageMode};
+use crate::fusion::Directory;
+use crate::ipc::{ConnClass, IpcMsg, CLIENT_REQ_BYTES, CLIENT_RESP_BYTES};
+use crate::metrics::{Collector, Report};
+use crate::node::{DiskKind, Node};
+use crate::pathlen::PathLengths;
+use dclue_db::tpcc::TxnInput;
+use dclue_db::{BufferCache, Database, LockTable, PageKey, Table};
+use dclue_net::packet::Dscp;
+use dclue_net::tcp::TcpConfig;
+use dclue_net::types::Side;
+use dclue_net::{ConnId, HostId, LinkId, MsgId, NetEvent, NetNote, Network, NetworkBuilder};
+use dclue_platform::{Cpu, CpuEvent, CpuNote};
+use dclue_sim::{Duration, EventHeap, Outbox, SimRng, SimTime};
+use dclue_storage::{Disk, DiskEvent, DiskNote};
+use dclue_workload::{route_node, FtpGenerator, FtpTransfer, TpccGenerator};
+use std::collections::{HashMap, VecDeque};
+
+/// Global event type.
+#[derive(Debug)]
+pub enum Ev {
+    Net(NetEvent),
+    Cpu { node: u32, ev: CpuEvent },
+    Disk { node: u32, kind: DiskKind, disk: u32, ev: DiskEvent },
+    /// Centralized-SAN array events (SAN storage mode).
+    San { disk: u32, ev: DiskEvent },
+    /// A SAN IO crossing the (unmodeled) SAN fabric: submit on arrival.
+    SanSubmit { disk: u32, req: dclue_storage::DiskRequest },
+    /// An action deferred by the SAN fabric's return latency.
+    DelayedAction { id: u64 },
+    /// Group-commit flush timer for a node's pending log batch.
+    LogFlush { node: u32, gen: u64 },
+    /// Fault injection: abort one cluster connection.
+    Chaos,
+    ClientThink { session: u32 },
+    FtpNext { pair: u32 },
+    TxnRetry { txn: u64 },
+    LockWaitTimeout { txn: u64, gen: u32 },
+    Sample,
+    EndWarmup,
+    EndRun,
+}
+
+/// What a TCP connection is used for.
+#[derive(Debug, Clone)]
+pub(crate) enum ConnKind {
+    /// Node pair connection; `a` is the opener node, `b` the acceptor.
+    Cluster { a: u32, b: u32, class: ConnClass },
+    Client { session: u32 },
+    Ftp { #[allow(dead_code)] pair: u32 },
+}
+
+/// Meaning of an in-flight framed message.
+#[derive(Debug)]
+pub(crate) enum MsgTag {
+    Ipc(IpcMsg),
+    ClientReq { session: u32 },
+    ClientResp { session: u32 },
+    FtpFile { pair: u32 },
+}
+
+/// Deferred work waiting on a CPU interrupt or a disk completion.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Nop,
+    /// Run the IPC handler after the receive-processing charge.
+    HandleIpc { node: u32, msg: IpcMsg },
+    /// Parse done: start the transaction carried by a client request.
+    StartTxn { node: u32, session: u32 },
+    /// Local disk read completed (raw); charge completion then install.
+    PageRead { node: u32, page: PageKey },
+    /// Completion handling done: install the page and resume waiters.
+    PageReady { node: u32, page: PageKey },
+    /// iSCSI target finished the disk read; ship the data.
+    TargetRead { node: u32, page: PageKey, requester: u32 },
+    SendIscsiData { node: u32, page: PageKey, requester: u32 },
+    /// iSCSI target finished a write; acknowledge.
+    TargetWrite { node: u32, requester: u32, req: u64 },
+    /// Log write landed; finish the commit.
+    LogWritten { txn: u64 },
+    /// A batched (group-commit) log write landed.
+    LogBatchWritten { txns: Vec<u64> },
+    CommitFinished { txn: u64 },
+}
+
+/// A closed-loop client terminal session.
+pub(crate) struct ClientSession {
+    pub home_w: u32,
+    pub client_host: HostId,
+    pub node: u32,
+    pub conn: Option<ConnId>,
+    pub queue: VecDeque<TxnInput>,
+    pub inflight: Option<TxnInput>,
+}
+
+/// Pending group-commit batch on one node.
+#[derive(Debug, Default)]
+pub(crate) struct LogBatch {
+    pub txns: Vec<u64>,
+    pub bytes: u64,
+    pub gen: u64,
+    pub armed: bool,
+}
+
+/// An FTP cross-traffic endpoint pair.
+pub(crate) struct FtpPair {
+    pub client: HostId,
+    pub server: HostId,
+    pub generator: FtpGenerator,
+    /// Token-bucket state (tokens in bytes) for the optional policer.
+    pub tokens: f64,
+    pub tokens_at: SimTime,
+    /// Live transfers (for connection admission control).
+    pub active: u32,
+    /// Transfers denied by CAC / policing.
+    pub denied: u64,
+}
+
+// ---------------------------------------------------------------------
+// Transaction state (driven by engine.rs)
+// ---------------------------------------------------------------------
+
+/// Where a transaction is, between CPU bursts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Phase {
+    /// An accumulated CPU burst is running; `block` says what happens
+    /// when it completes.
+    Running,
+    WaitPage,
+    WaitLockRemote,
+    WaitLockQueued,
+    WaitLog,
+    Retrying,
+}
+
+/// Resume point inside the transaction program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Cursor {
+    NeedPlan,
+    Pages,
+    Locks,
+}
+
+/// The blocking action performed once the accumulated burst retires.
+/// Transactions compute *until they genuinely block* — the burst models
+/// that continuous run, and the block that follows is a real context
+/// switch (the only kind the platform charges for).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Block {
+    PageFault(PageKey),
+    SendLockReq {
+        res: dclue_db::lock::ResourceId,
+        master: u32,
+        queue: bool,
+    },
+    WaitQueuedLock {
+        res: dclue_db::lock::ResourceId,
+        master: u32,
+    },
+    FailRetry,
+    WriteLog,
+    Finish {
+        aborted: bool,
+    },
+}
+
+pub(crate) struct Txn {
+    #[allow(dead_code)]
+    pub id: u64,
+    pub node: u32,
+    pub session: Option<u32>,
+    pub thread: dclue_platform::ThreadId,
+    pub prog: dclue_db::tpcc::TxnProgram,
+    pub read_ts: u64,
+    pub phase: Phase,
+    pub cursor: Cursor,
+    /// Instructions accumulated since the last block.
+    pub acc: u64,
+    /// Action to take when the running burst completes.
+    pub block: Option<Block>,
+    /// A queued local lock granted before its wait burst retired.
+    pub early_grant: Option<dclue_db::lock::ResourceId>,
+    pub op: Option<dclue_db::tpcc::PlannedOp>,
+    /// `(page, needs-exclusive)` access list of the current op.
+    pub pages: Vec<(PageKey, bool)>,
+    pub page_idx: usize,
+    pub lock_idx: usize,
+    pub locks_held: Vec<(u32, dclue_db::lock::ResourceId)>,
+    /// Every lock master this txn contacted (release targets).
+    pub masters: Vec<u32>,
+    pub wait_gen: u32,
+    pub wait_started: Option<SimTime>,
+    pub retries: u32,
+    pub log_bytes: u64,
+    pub started: SimTime,
+}
+
+// ---------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------
+
+/// The entire simulated cluster.
+pub struct World {
+    pub cfg: ClusterConfig,
+    pub(crate) paths: PathLengths,
+    pub(crate) heap: EventHeap<Ev>,
+    pub(crate) now: SimTime,
+    pub(crate) rng: SimRng,
+    pub(crate) net: Network,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) db: Database,
+    pub(crate) warehouses: u32,
+    /// `(min node, max node, class) -> conn`; opener is always min.
+    pub(crate) cluster_conns: HashMap<(u32, u32, ConnClass), ConnId>,
+    pub(crate) conn_info: HashMap<ConnId, ConnKind>,
+    /// In-flight framed messages: `(owning connection, meaning)`. The
+    /// connection id lets reset handling reap entries whose messages
+    /// died with the connection.
+    pub(crate) msg_tags: HashMap<MsgId, (ConnId, MsgTag)>,
+    pub(crate) next_msg: u64,
+    pub(crate) actions: HashMap<u64, Action>,
+    pub(crate) next_action: u64,
+    pub(crate) txns: HashMap<u64, Txn>,
+    pub(crate) next_txn: u64,
+    pub(crate) sessions: Vec<ClientSession>,
+    pub(crate) gen: TpccGenerator,
+    pub(crate) ftp_pairs: Vec<FtpPair>,
+    /// iSCSI write request -> committing txn (for shipped logs).
+    pub(crate) log_reqs: HashMap<u64, u64>,
+    pub(crate) next_req: u64,
+    pub(crate) collect: Collector,
+    pub(crate) measuring: bool,
+    pub(crate) trunks: Vec<LinkId>,
+    pub(crate) trunk_bytes_at_warmup: u64,
+    /// Shared disk array for the SAN storage mode (empty otherwise).
+    pub(crate) san_disks: Vec<Disk>,
+    #[allow(dead_code)]
+    pub(crate) san_rr: usize,
+    versions_at_warmup: u64,
+    pub(crate) log_batches: Vec<LogBatch>,
+    pub(crate) latency_hist: dclue_sim::stats::Histogram,
+    /// Autonomic QoS controller state: (baseline latency EWMA,
+    /// recent latency EWMA, current AF weight).
+    pub(crate) qos_ctl: (f64, f64, f64),
+    /// Sampled (time_s, committed-so-far, mean live threads) triples.
+    pub(crate) timeline: Vec<(f64, u64, f64)>,
+    done: bool,
+}
+
+impl World {
+    /// Build the whole cluster per the configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let rng = SimRng::new(cfg.seed);
+        let scale = cfg.tpcc_scale();
+        let warehouses = scale.warehouses;
+        let mut db = Database::build(scale.clone());
+        db.coarse_locks = cfg.coarse_locks;
+        let paths = PathLengths::for_config(&cfg);
+
+        // ---- topology ----
+        let latas = cfg.effective_latas();
+        let npl = cfg.nodes_per_lata();
+        let mut b = NetworkBuilder::new();
+        let discipline = match cfg.qos {
+            QosPolicy::AllBestEffort => dclue_net::device::Discipline::Fifo,
+            QosPolicy::FtpPriority => dclue_net::device::Discipline::Priority,
+            QosPolicy::FtpWfq { af_weight } => dclue_net::device::Discipline::Wfq { af_weight },
+            // The controller starts generous and earns its keep.
+            QosPolicy::Autonomic { .. } => dclue_net::device::Discipline::Wfq { af_weight: 0.6 },
+        };
+        let drop = if cfg.red {
+            dclue_net::device::DropPolicy::Red {
+                min_th: 24,
+                max_th: 72,
+                max_p: 0.1,
+            }
+        } else {
+            dclue_net::device::DropPolicy::TailDrop
+        };
+        let policy = dclue_net::device::PortPolicy { discipline, drop };
+        let prop = Duration::from_micros(5);
+        let mut trunks_pending = Vec::new();
+        let (lata_routers, client_router) = if latas == 1 {
+            let r = b.router_with_policy(cfg.router_rate, policy);
+            (vec![r], r)
+        } else {
+            let outer = b.router_with_policy(cfg.router_rate, policy);
+            let mut rs = Vec::new();
+            for _ in 0..latas {
+                let r = b.router_with_policy(cfg.router_rate, policy);
+                trunks_pending.push((outer, r));
+                rs.push(r);
+            }
+            (rs, outer)
+        };
+        for (outer, r) in &trunks_pending {
+            b.trunk(
+                *outer,
+                *r,
+                cfg.trunk_bw,
+                prop + cfg.extra_trunk_latency,
+            );
+        }
+        // Server hosts.
+        let mut node_hosts = Vec::new();
+        for n in 0..cfg.nodes {
+            let lata = (n / npl) as usize;
+            node_hosts.push(b.host(lata_routers[lata], cfg.link_bw, prop));
+        }
+        // Client hosts (4 per lata, at the clients' homing router).
+        let mut client_hosts = Vec::new();
+        for _ in 0..(4 * latas) {
+            client_hosts.push(b.host(client_router, cfg.link_bw, prop));
+        }
+        // FTP extra client/server (cross the trunks when there are two
+        // latas, as in the paper's Fig 1).
+        let ftp_client = b.host(lata_routers[0], cfg.link_bw, prop);
+        let ftp_server = b.host(*lata_routers.last().unwrap(), cfg.link_bw, prop);
+        let net = b.build();
+        let trunks: Vec<LinkId> = net
+            .links()
+            .iter()
+            .filter(|l| {
+                matches!(
+                    (l.a, l.b),
+                    (dclue_net::DeviceId::Router(_), dclue_net::DeviceId::Router(_))
+                )
+            })
+            .map(|l| l.id)
+            .collect();
+
+        // ---- nodes ----
+        let total_pages = db.total_pages();
+        let per_node_share = (total_pages / cfg.nodes as u64).max(64);
+        let buf_capacity = ((per_node_share as f64 * cfg.buffer_fraction) as usize).max(256);
+        let mut nodes = Vec::new();
+        for n in 0..cfg.nodes {
+            let mut cpu = Cpu::new(cfg.platform.clone());
+            let mut platform = cfg.platform.clone();
+            if !cfg.thrash_model {
+                platform.thrash_slope = 0.0;
+                platform.cs_slope_cycles = 0.0;
+                cpu = Cpu::new(platform);
+            }
+            cpu.set_mpi_scale(1.0 + 0.3 * (1.0 - cfg.affinity));
+            let mut disk_cfg = cfg.disk.clone();
+            disk_cfg.elevator = cfg.elevator;
+            let data_disks = (0..cfg.data_spindles)
+                .map(|_| Disk::new(disk_cfg.clone()))
+                .collect();
+            let log_disks: Vec<Disk> = (0..cfg.log_spindles)
+                .map(|_| Disk::new(disk_cfg.clone()))
+                .collect();
+            let log_lba = vec![0; log_disks.len()];
+            nodes.push(Node {
+                id: n,
+                host: node_hosts[n as usize],
+                cpu,
+                buffer: BufferCache::new(buf_capacity),
+                locks: LockTable::new(),
+                directory: Directory::new(),
+                data_disks,
+                log_disks,
+                log_lba,
+                log_rr: 0,
+                pending_pages: HashMap::new(),
+                resident_txns: 0,
+            });
+        }
+
+        let san_disks = match cfg.storage {
+            StorageMode::San { .. } => {
+                let mut disk_cfg = cfg.disk.clone();
+                disk_cfg.elevator = cfg.elevator;
+                (0..cfg.data_spindles * cfg.nodes)
+                    .map(|_| Disk::new(disk_cfg.clone()))
+                    .collect()
+            }
+            StorageMode::Distributed => Vec::new(),
+        };
+        let gen = TpccGenerator::new(scale, rng.derive(1));
+        let ftp_pairs = vec![FtpPair {
+            client: ftp_client,
+            server: ftp_server,
+            generator: FtpGenerator::new(cfg.ftp_offered_bps, rng.derive(2)),
+            tokens: cfg.ftp_policer.map(|p| p.burst_bytes).unwrap_or(0.0),
+            tokens_at: SimTime::ZERO,
+            active: 0,
+            denied: 0,
+        }];
+
+        // ---- sessions ----
+        let n_sessions = cfg.nodes * cfg.clients_per_node;
+        let sessions = (0..n_sessions)
+            .map(|i| ClientSession {
+                home_w: (i as u64 * warehouses as u64 / n_sessions as u64) as u32 + 1,
+                client_host: client_hosts[(i as usize) % client_hosts.len()],
+                node: 0,
+                conn: None,
+                queue: VecDeque::new(),
+                inflight: None,
+            })
+            .collect();
+
+        let mut world = World {
+            paths,
+            heap: EventHeap::new(),
+            now: SimTime::ZERO,
+            rng,
+            net,
+            nodes,
+            db,
+            warehouses,
+            cluster_conns: HashMap::new(),
+            conn_info: HashMap::new(),
+            msg_tags: HashMap::new(),
+            next_msg: 0,
+            actions: HashMap::new(),
+            next_action: 0,
+            txns: HashMap::new(),
+            next_txn: 0,
+            sessions,
+            gen,
+            ftp_pairs,
+            log_reqs: HashMap::new(),
+            next_req: 0,
+            collect: Collector::default(),
+            measuring: false,
+            trunks,
+            trunk_bytes_at_warmup: 0,
+            san_disks,
+            san_rr: 0,
+            versions_at_warmup: 0,
+            log_batches: (0..cfg.nodes).map(|_| LogBatch::default()).collect(),
+            latency_hist: dclue_sim::stats::Histogram::new(0.0, 30.0, 600),
+            qos_ctl: (0.0, 0.0, 0.6),
+            timeline: Vec::new(),
+            done: false,
+            cfg,
+        };
+        world.prewarm();
+        world.init_schedule();
+        world
+    }
+
+    /// Pre-warm every node's buffer cache with its partition's pages
+    /// (coldest installed first so LRU keeps the hottest) and seed the
+    /// fusion directory with the resulting residency. The paper measures
+    /// steady state; starting stone-cold at 100x-scaled disk speeds
+    /// would spend the whole run faulting the working set in.
+    fn prewarm(&mut self) {
+        use dclue_db::schema as sch;
+        let n = self.cfg.nodes;
+        let scale = self.db.scale.clone();
+        let per = self.warehouses.div_ceil(n);
+        for node in 0..n {
+            let w_lo = node * per + 1;
+            let w_hi = ((node + 1) * per).min(self.warehouses);
+            if w_lo > w_hi {
+                continue;
+            }
+            let mut keys: Vec<PageKey> = Vec::new();
+            // --- cold bulk data: customer, stock ---
+            for table in [Table::Customer, Table::Stock] {
+                let rows_per_wh: u64 = match table {
+                    Table::Customer => {
+                        scale.districts_per_wh as u64 * scale.customers_per_district as u64
+                    }
+                    _ => scale.items as u64,
+                };
+                let rpp = table.rows_per_page();
+                let lo = (w_lo as u64 - 1) * rows_per_wh / rpp;
+                let hi = (w_hi as u64) * rows_per_wh / rpp;
+                for p in lo..=hi {
+                    keys.push(PageKey::data(table, p));
+                }
+            }
+            // --- growing tables: pages in use per warehouse ---
+            for table in [Table::Order, Table::OrderLine, Table::NewOrder] {
+                let rows_per_wh: u64 = scale.initial_orders_per_district as u64
+                    * scale.districts_per_wh as u64
+                    * if table == Table::OrderLine { 10 } else { 1 };
+                let rpp = table.rows_per_page();
+                for w in w_lo..=w_hi {
+                    let pages = rows_per_wh.div_ceil(rpp) + 1;
+                    for p in 0..pages {
+                        keys.push(PageKey::data(
+                            table,
+                            (w as u64 - 1) * dclue_db::database::WH_PAGE_SPAN + p,
+                        ));
+                    }
+                }
+            }
+            // --- index paths (sampled traces seed the hot levels) ---
+            let mut trace = Vec::new();
+            let push_trace = |keys: &mut Vec<PageKey>, table: Table, trace: &Vec<u32>| {
+                for &id in trace {
+                    keys.push(PageKey::index(table, id));
+                }
+            };
+            for w in w_lo..=w_hi {
+                for d in 1..=scale.districts_per_wh {
+                    trace.clear();
+                    self.db.index(Table::District).get(sch::district_key(w, d), &mut trace);
+                    push_trace(&mut keys, Table::District, &trace);
+                    let (olo, ohi) = sch::order_key_range(w, d);
+                    trace.clear();
+                    self.db.index(Table::Order).last_in_range(olo, ohi, &mut trace);
+                    push_trace(&mut keys, Table::Order, &trace);
+                    trace.clear();
+                    self.db.index(Table::NewOrder).first_in_range(olo, ohi, &mut trace);
+                    push_trace(&mut keys, Table::NewOrder, &trace);
+                    trace.clear();
+                    let l0 = sch::order_line_key(w, d, 1, 0);
+                    let l1 = sch::order_line_key(w, d, scale.initial_orders_per_district, 15);
+                    let mut out = Vec::new();
+                    self.db.index(Table::OrderLine).range(l0, l1, 64, &mut out, &mut trace);
+                    push_trace(&mut keys, Table::OrderLine, &trace);
+                    let cstep = (scale.customers_per_district / 16).max(1);
+                    let mut c = 1;
+                    while c <= scale.customers_per_district {
+                        trace.clear();
+                        self.db.index(Table::Customer).get(sch::customer_key(w, d, c), &mut trace);
+                        push_trace(&mut keys, Table::Customer, &trace);
+                        c += cstep;
+                    }
+                }
+                let istep = (scale.items / 32).max(1);
+                let mut i = 1;
+                while i <= scale.items {
+                    trace.clear();
+                    self.db.index(Table::Stock).get(sch::stock_key(w, i), &mut trace);
+                    push_trace(&mut keys, Table::Stock, &trace);
+                    i += istep;
+                }
+                trace.clear();
+                self.db.index(Table::Warehouse).get(sch::wh_key(w), &mut trace);
+                push_trace(&mut keys, Table::Warehouse, &trace);
+            }
+            // --- hottest last: item (all nodes), district, warehouse ---
+            let istep = (scale.items as u64 / 64).max(1);
+            let mut i = 1;
+            while i <= scale.items as u64 {
+                trace.clear();
+                self.db.index(Table::Item).get(i, &mut trace);
+                push_trace(&mut keys, Table::Item, &trace);
+                i += istep;
+            }
+            let item_pages = (scale.items as u64).div_ceil(Table::Item.rows_per_page());
+            for p in 0..item_pages {
+                keys.push(PageKey::data(Table::Item, p));
+            }
+            {
+                let rpp = Table::District.rows_per_page();
+                let lo = (w_lo as u64 - 1) * scale.districts_per_wh as u64 / rpp;
+                let hi = (w_hi as u64) * scale.districts_per_wh as u64 / rpp;
+                for p in lo..=hi {
+                    keys.push(PageKey::data(Table::District, p));
+                }
+            }
+            {
+                let rpp = Table::Warehouse.rows_per_page();
+                for p in (w_lo as u64 - 1) / rpp..=(w_hi as u64 - 1) / rpp {
+                    keys.push(PageKey::data(Table::Warehouse, p));
+                }
+            }
+            let buf = &mut self.nodes[node as usize].buffer;
+            for key in keys {
+                if !buf.contains(key) {
+                    buf.install(key, false);
+                }
+            }
+        }
+        // Seed the directory from the final residency, then zero the
+        // warm-up accounting noise.
+        for node in 0..n {
+            let resident: Vec<PageKey> =
+                self.nodes[node as usize].buffer.resident_keys().collect();
+            for key in resident {
+                let home = self.page_home(key);
+                self.nodes[home as usize].directory.add_holder(key, node);
+            }
+        }
+        for node in &mut self.nodes {
+            node.buffer.stats = Default::default();
+        }
+    }
+
+    /// TCP parameters, paper-style: standard timers / 100 for the data
+    /// center, times the 100x scale = standard values in scaled time.
+    /// IPC connections get a very high retransmission cap so stress
+    /// never resets them (the paper does exactly this).
+    pub(crate) fn tcp_config(&self, long_lived: bool) -> TcpConfig {
+        TcpConfig {
+            mss: 1460,
+            rwnd: 64 * 1024,
+            init_cwnd_segs: 2,
+            init_ssthresh: 64 * 1024,
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(60),
+            delack: Duration::from_millis(40),
+            max_retrans: if long_lived { 100 } else { 8 },
+            max_syn_retrans: if long_lived { 30 } else { 6 },
+            ecn: true,
+            sack: true,
+        }
+    }
+
+    fn init_schedule(&mut self) {
+        // Open the two per-pair connections (IPC + storage).
+        for a in 0..self.cfg.nodes {
+            for bn in (a + 1)..self.cfg.nodes {
+                for class in [ConnClass::Ipc, ConnClass::Storage] {
+                    let (ha, hb) = (self.nodes[a as usize].host, self.nodes[bn as usize].host);
+                    let cfg = self.tcp_config(true);
+                    let conn = self.with_net(|net, ob| {
+                        net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob)
+                    });
+                    self.cluster_conns.insert((a, bn, class), conn);
+                    self.conn_info
+                        .insert(conn, ConnKind::Cluster { a, b: bn, class });
+                }
+            }
+        }
+        // Stagger client session starts across warm-up plus a think
+        // time, so the cluster ramps up rather than being hit by a
+        // thundering herd that tips it into thrash before measurement.
+        let span = (self.cfg.warmup.nanos()).max(1);
+        for s in 0..self.sessions.len() {
+            let jitter = Duration::from_nanos(self.rng.uniform(1_000_000, span))
+                + self.rng.exponential(self.cfg.think_time);
+            self.heap
+                .push(SimTime::ZERO + jitter, Ev::ClientThink { session: s as u32 });
+        }
+        // FTP starts halfway through warm-up.
+        if self.cfg.ftp_offered_bps > 0.0 {
+            self.heap.push(
+                SimTime::ZERO + Duration::from_nanos(span),
+                Ev::FtpNext { pair: 0 },
+            );
+        }
+        // Fault injection, if configured.
+        if let Some(at) = self.cfg.chaos_ipc_reset_at {
+            self.heap.push(SimTime::ZERO + at, Ev::Chaos);
+        }
+        // Housekeeping.
+        self.heap
+            .push(SimTime::ZERO + Duration::from_millis(500), Ev::Sample);
+        self.heap
+            .push(SimTime::ZERO + self.cfg.warmup, Ev::EndWarmup);
+        self.heap.push(
+            SimTime::ZERO + self.cfg.warmup + self.cfg.measure,
+            Ev::EndRun,
+        );
+    }
+
+    /// Run to completion and report.
+    pub fn run(&mut self) -> Report {
+        while let Some((t, ev)) = self.heap.pop() {
+            self.now = t;
+            if matches!(ev, Ev::EndRun) {
+                self.done = true;
+                break;
+            }
+            self.dispatch(ev);
+        }
+        debug_assert!(self.done, "event queue drained before EndRun");
+        self.build_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch and outbox plumbing
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Net(e) => {
+                self.with_net(|net, ob| net.handle(e, ob));
+            }
+            Ev::Cpu { node, ev } => {
+                let mut ob = Outbox::new(self.now);
+                self.nodes[node as usize].cpu.handle(ev, &mut ob);
+                self.absorb_cpu(node, ob);
+            }
+            Ev::Disk {
+                node,
+                kind,
+                disk,
+                ev,
+            } => {
+                let mut ob = Outbox::new(self.now);
+                let n = &mut self.nodes[node as usize];
+                match kind {
+                    DiskKind::Data => n.data_disks[disk as usize].handle(ev, &mut ob),
+                    DiskKind::Log => n.log_disks[disk as usize].handle(ev, &mut ob),
+                }
+                self.absorb_disk(node, kind, disk, ob);
+            }
+            Ev::San { disk, ev } => {
+                let mut ob = Outbox::new(self.now);
+                self.san_disks[disk as usize].handle(ev, &mut ob);
+                self.absorb_san(disk, ob);
+            }
+            Ev::SanSubmit { disk, req } => {
+                let mut ob = Outbox::new(self.now);
+                self.san_disks[disk as usize].submit(req, &mut ob);
+                self.absorb_san(disk, ob);
+            }
+            Ev::DelayedAction { id } => self.run_action_direct(id),
+            Ev::LogFlush { node, gen } => self.log_flush(node, gen),
+            Ev::Chaos => self.chaos_reset_one_ipc(),
+            Ev::ClientThink { session } => self.client_begin(session),
+            Ev::FtpNext { pair } => self.ftp_next(pair),
+            Ev::TxnRetry { txn } => self.txn_retry(txn),
+            Ev::LockWaitTimeout { txn, gen } => self.lock_wait_timeout(txn, gen),
+            Ev::Sample => {
+                self.sample();
+                self.heap
+                    .push(self.now + Duration::from_millis(500), Ev::Sample);
+            }
+            Ev::EndWarmup => self.end_warmup(),
+            Ev::EndRun => unreachable!("handled in run()"),
+        }
+    }
+
+    pub(crate) fn with_net<R>(
+        &mut self,
+        f: impl FnOnce(&mut Network, &mut Outbox<NetEvent, NetNote>) -> R,
+    ) -> R {
+        let mut ob = Outbox::new(self.now);
+        let r = f(&mut self.net, &mut ob);
+        for (t, e) in ob.events {
+            self.heap.push(t, Ev::Net(e));
+        }
+        let notes = std::mem::take(&mut ob.notes);
+        for n in notes {
+            self.handle_net_note(n);
+        }
+        r
+    }
+
+    pub(crate) fn with_cpu<R>(
+        &mut self,
+        node: u32,
+        f: impl FnOnce(&mut Cpu, &mut Outbox<CpuEvent, CpuNote>) -> R,
+    ) -> R {
+        let mut ob = Outbox::new(self.now);
+        let r = f(&mut self.nodes[node as usize].cpu, &mut ob);
+        self.absorb_cpu(node, ob);
+        r
+    }
+
+    fn absorb_cpu(&mut self, node: u32, ob: Outbox<CpuEvent, CpuNote>) {
+        for (t, e) in ob.events {
+            self.heap.push(t, Ev::Cpu { node, ev: e });
+        }
+        for n in ob.notes {
+            match n {
+                CpuNote::BurstDone { thread: _, tag } => self.on_burst_done(tag),
+                CpuNote::InterruptDone { tag } => self.run_action(tag),
+            }
+        }
+    }
+
+    fn absorb_disk(
+        &mut self,
+        node: u32,
+        kind: DiskKind,
+        disk: u32,
+        ob: Outbox<DiskEvent, DiskNote>,
+    ) {
+        for (t, e) in ob.events {
+            self.heap.push(
+                t,
+                Ev::Disk {
+                    node,
+                    kind,
+                    disk,
+                    ev: e,
+                },
+            );
+        }
+        for n in ob.notes {
+            let DiskNote::Complete { tag, .. } = n;
+            self.on_disk_complete(tag);
+        }
+    }
+
+    pub(crate) fn absorb_san(&mut self, disk: u32, ob: Outbox<DiskEvent, DiskNote>) {
+        for (t, e) in ob.events {
+            self.heap.push(t, Ev::San { disk, ev: e });
+        }
+        for n in ob.notes {
+            let DiskNote::Complete { tag, .. } = n;
+            // The completion crosses the SAN fabric back to the host.
+            let lat = match self.cfg.storage {
+                StorageMode::San { fabric_latency } => fabric_latency,
+                StorageMode::Distributed => Duration::ZERO,
+            };
+            self.heap.push(self.now + lat, Ev::DelayedAction { id: tag });
+        }
+    }
+
+    /// Run a deferred action by id without an interrupt charge (the
+    /// disk-completion path charges separately).
+    pub(crate) fn run_action_direct(&mut self, id: u64) {
+        self.on_disk_complete_pub(id);
+    }
+
+    /// Allocate an action id.
+    pub(crate) fn action(&mut self, a: Action) -> u64 {
+        let id = self.next_action;
+        self.next_action += 1;
+        self.actions.insert(id, a);
+        id
+    }
+
+    /// Charge `instr` of interrupt work on `node`, then run `a`.
+    pub(crate) fn charge_then(&mut self, node: u32, instr: u64, a: Action) {
+        let id = self.action(a);
+        self.with_cpu(node, |cpu, ob| cpu.interrupt(instr, id, ob));
+    }
+
+    pub(crate) fn run_action(&mut self, id: u64) {
+        let Some(a) = self.actions.remove(&id) else {
+            return;
+        };
+        self.perform_action(a);
+    }
+
+    fn on_disk_complete(&mut self, tag: u64) {
+        self.on_disk_complete_pub(tag);
+    }
+
+    // ------------------------------------------------------------------
+    // Network notes
+    // ------------------------------------------------------------------
+
+    fn handle_net_note(&mut self, note: NetNote) {
+        match note {
+            NetNote::Established { conn } => self.on_established(conn),
+            NetNote::MessageDelivered {
+                conn,
+                side,
+                msg,
+                bytes,
+                ..
+            } => self.on_message(conn, side, msg, bytes),
+            NetNote::Reset { conn } => self.on_reset(conn),
+            NetNote::Closed { conn } => {
+                // Client/FTP connection ids are transient; reap them.
+                if let Some(ConnKind::Client { .. } | ConnKind::Ftp { .. }) =
+                    self.conn_info.get(&conn)
+                {
+                    self.conn_info.remove(&conn);
+                }
+            }
+            NetNote::SegmentsReceived { .. } => {
+                // Folded into per-message processing costs.
+            }
+        }
+    }
+
+    fn on_established(&mut self, conn: ConnId) {
+        match self.conn_info.get(&conn) {
+            Some(ConnKind::Client { session }) => {
+                let s = *session;
+                self.client_send_next(s);
+            }
+            Some(ConnKind::Ftp { pair: _ }) => {
+                // The transfer payload was queued at open time; nothing
+                // further needed here.
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, conn: ConnId, side: Side, msg: MsgId, bytes: u64) {
+        let Some((_, tag)) = self.msg_tags.remove(&msg) else {
+            return;
+        };
+        match tag {
+            MsgTag::Ipc(m) => {
+                let Some(ConnKind::Cluster { a, b, .. }) = self.conn_info.get(&conn) else {
+                    return;
+                };
+                let node = if side == Side::Opener { *a } else { *b };
+                let mut instr = self.paths.recv_instr(bytes);
+                // iSCSI adds protocol processing on the receiving host.
+                match &m {
+                    IpcMsg::IscsiData { .. } => {
+                        instr += self.paths.iscsi_initiator_per_io
+                            + self.paths.iscsi_initiator_per_kb * bytes.div_ceil(1024);
+                    }
+                    IpcMsg::IscsiRead { .. } | IpcMsg::IscsiWrite { .. } => {
+                        instr += self.paths.iscsi_target_per_io
+                            + self.paths.iscsi_target_per_kb * bytes.div_ceil(1024);
+                    }
+                    _ => {}
+                }
+                let bus = self.paths.recv_bus_bytes(bytes);
+                self.nodes[node as usize].cpu.account_bus(self.now, bus);
+                self.charge_then(node, instr, Action::HandleIpc { node, msg: m });
+            }
+            MsgTag::ClientReq { session } => {
+                let node = self.sessions[session as usize].node;
+                let instr = self.paths.recv_instr(bytes) + self.paths.client_req_parse;
+                self.charge_then(node, instr, Action::StartTxn { node, session });
+            }
+            MsgTag::ClientResp { session } => {
+                // Arrives at the (un-modelled) client host.
+                self.client_got_response(session);
+            }
+            MsgTag::FtpFile { pair } => {
+                if self.measuring {
+                    self.collect.ftp_bytes_delivered += bytes as f64;
+                    self.collect.ftp_transfers += 1;
+                }
+                let p = &mut self.ftp_pairs[pair as usize];
+                p.active = p.active.saturating_sub(1);
+                // Tear the per-transfer connection down from both ends.
+                self.with_net(|net, ob| {
+                    net.close_connection(conn, Side::Opener, ob);
+                    net.close_connection(conn, Side::Acceptor, ob);
+                });
+            }
+        }
+    }
+
+    fn on_reset(&mut self, conn: ConnId) {
+        // Reap framing entries for messages that died with the
+        // connection (their delivery will never come).
+        self.msg_tags.retain(|_, (c, _)| *c != conn);
+        match self.conn_info.remove(&conn) {
+            Some(ConnKind::Cluster { a, b, class }) => {
+                // Should essentially never happen (high retrans cap);
+                // reopen to keep the cluster alive, as operators would.
+                self.collect.ipc_resets += 1;
+                let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
+                let cfg = self.tcp_config(true);
+                let newc = self
+                    .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
+                self.cluster_conns.insert((a, b, class), newc);
+                self.conn_info.insert(newc, ConnKind::Cluster { a, b, class });
+            }
+            Some(ConnKind::Ftp { pair }) => {
+                let p = &mut self.ftp_pairs[pair as usize];
+                p.active = p.active.saturating_sub(1);
+            }
+            Some(ConnKind::Client { session }) => {
+                // The business transaction is abandoned; think and retry.
+                let think = self.cfg.think_time;
+                let s = &mut self.sessions[session as usize];
+                s.conn = None;
+                s.queue.clear();
+                s.inflight = None;
+                let delay = self.rng.exponential(think);
+                self.heap
+                    .push(self.now + delay, Ev::ClientThink { session });
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message sending
+    // ------------------------------------------------------------------
+
+    /// Send an IPC message between nodes (or handle locally if same).
+    pub(crate) fn send_ipc(&mut self, from: u32, to: u32, msg: IpcMsg) {
+        if from == to {
+            // Local shortcut (the paper's A=B / B=C cases): no fabric,
+            // no extra processing charge beyond what the op itself pays.
+            self.handle_ipc(to, msg);
+            return;
+        }
+        let class = msg.class();
+        let bytes = msg.wire_bytes();
+        if self.measuring {
+            match class {
+                ConnClass::Ipc => {
+                    if msg.is_data() {
+                        self.collect.data_msgs += 1;
+                    } else {
+                        self.collect.ctl_msgs += 1;
+                    }
+                }
+                ConnClass::Storage => self.collect.storage_msgs += 1,
+            }
+        }
+        let key = (from.min(to), from.max(to), class);
+        let Some(&conn) = self.cluster_conns.get(&key) else {
+            return;
+        };
+        let side = if from < to { Side::Opener } else { Side::Acceptor };
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        self.msg_tags.insert(id, (conn, MsgTag::Ipc(msg)));
+        // Send-side processing + copy traffic.
+        let instr = self.paths.send_instr(bytes);
+        let bus = self.paths.send_bus_bytes(bytes);
+        self.nodes[from as usize].cpu.account_bus(self.now, bus);
+        self.charge_then(from, instr, Action::Nop);
+        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
+    }
+
+    /// Send a client-bound or server-bound message on a client conn.
+    pub(crate) fn send_client_msg(
+        &mut self,
+        conn: ConnId,
+        side: Side,
+        tag: MsgTag,
+        bytes: u64,
+    ) {
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        self.msg_tags.insert(id, (conn, tag));
+        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
+    }
+
+    // ------------------------------------------------------------------
+    // Client sessions
+    // ------------------------------------------------------------------
+
+    fn client_begin(&mut self, session: u32) {
+        let (home_w, client_host) = {
+            let s = &self.sessions[session as usize];
+            (s.home_w, s.client_host)
+        };
+        let business = self.gen.business_txn(home_w);
+        let node = route_node(
+            home_w,
+            self.warehouses,
+            self.cfg.nodes,
+            self.cfg.affinity,
+            &mut self.rng,
+        );
+        let cfg = self.tcp_config(false);
+        let server_host = self.nodes[node as usize].host;
+        let conn = self.with_net(|net, ob| {
+            net.open_connection(client_host, server_host, Dscp::BestEffort, cfg, ob)
+        });
+        self.conn_info.insert(conn, ConnKind::Client { session });
+        let s = &mut self.sessions[session as usize];
+        s.node = node;
+        s.conn = Some(conn);
+        s.queue = business.txns.into();
+        s.inflight = None;
+    }
+
+    fn client_send_next(&mut self, session: u32) {
+        let s = &mut self.sessions[session as usize];
+        let Some(conn) = s.conn else { return };
+        let Some(input) = s.queue.pop_front() else {
+            // Business transaction complete: close and think.
+            self.with_net(|net, ob| {
+                net.close_connection(conn, Side::Opener, ob);
+                net.close_connection(conn, Side::Acceptor, ob);
+            });
+            let s = &mut self.sessions[session as usize];
+            s.conn = None;
+            let delay = self.rng.exponential(self.cfg.think_time);
+            self.heap
+                .push(self.now + delay, Ev::ClientThink { session });
+            return;
+        };
+        s.inflight = Some(input);
+        self.send_client_msg(
+            conn,
+            Side::Opener,
+            MsgTag::ClientReq { session },
+            CLIENT_REQ_BYTES,
+        );
+    }
+
+    fn client_got_response(&mut self, session: u32) {
+        self.client_send_next(session);
+    }
+
+    /// Called by the engine when a transaction finished: respond to the
+    /// waiting client.
+    pub(crate) fn reply_to_client(&mut self, node: u32, session: u32) {
+        let Some(conn) = self.sessions[session as usize].conn else {
+            return;
+        };
+        let bytes = CLIENT_RESP_BYTES;
+        let instr = self.paths.client_resp_build + self.paths.send_instr(bytes);
+        self.charge_then(node, instr, Action::Nop);
+        self.send_client_msg(conn, Side::Acceptor, MsgTag::ClientResp { session }, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // FTP cross traffic
+    // ------------------------------------------------------------------
+
+    fn ftp_next(&mut self, pair: u32) {
+        let (gap, transfer) = self.ftp_pairs[pair as usize].generator.next_transfer();
+        self.heap.push(self.now + gap, Ev::FtpNext { pair });
+        // Connection admission control: refuse the transfer outright
+        // when the concurrent-transfer budget is exhausted.
+        if let Some(cap) = self.cfg.ftp_max_concurrent {
+            let p = &mut self.ftp_pairs[pair as usize];
+            if p.active >= cap {
+                p.denied += 1;
+                return;
+            }
+        }
+        // Token-bucket shaping: push the transfer's start back until the
+        // bucket holds its bytes.
+        if let Some(pol) = self.cfg.ftp_policer {
+            let now = self.now;
+            let p = &mut self.ftp_pairs[pair as usize];
+            let dt = now.since(p.tokens_at).as_secs_f64();
+            p.tokens = (p.tokens + dt * pol.rate_bps / 8.0).min(pol.burst_bytes);
+            p.tokens_at = now;
+            let need = transfer.bytes() as f64;
+            if p.tokens < need {
+                // Not enough credit: drop this transfer (a shaper would
+                // queue it; at sustained overload that queue is
+                // unbounded, so policing = drop is the stable choice).
+                p.denied += 1;
+                return;
+            }
+            p.tokens -= need;
+        }
+        self.ftp_pairs[pair as usize].active += 1;
+        let (client, server) = {
+            let p = &self.ftp_pairs[pair as usize];
+            (p.client, p.server)
+        };
+        let dscp = match self.cfg.qos {
+            QosPolicy::FtpPriority | QosPolicy::FtpWfq { .. } | QosPolicy::Autonomic { .. } => {
+                Dscp::Af21
+            }
+            QosPolicy::AllBestEffort => Dscp::BestEffort,
+        };
+        let cfg = self.tcp_config(false);
+        let conn =
+            self.with_net(|net, ob| net.open_connection(client, server, dscp, cfg, ob));
+        self.conn_info.insert(conn, ConnKind::Ftp { pair });
+        // Queue the payload immediately; TCP sends it once established.
+        let (side, bytes) = match transfer {
+            FtpTransfer::Put { bytes } => (Side::Opener, bytes),
+            FtpTransfer::Get { bytes } => (Side::Acceptor, bytes),
+        };
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        self.msg_tags.insert(id, (conn, MsgTag::FtpFile { pair }));
+        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping
+    // ------------------------------------------------------------------
+
+    fn sample(&mut self) {
+        // Time series for transient analysis (e.g. thrash onset).
+        let threads = self
+            .nodes
+            .iter()
+            .map(|n| n.cpu.live_threads() as f64)
+            .sum::<f64>()
+            / self.nodes.len() as f64;
+        self.timeline
+            .push((self.now.as_secs_f64(), self.collect.committed, threads));
+        self.autonomic_qos_step();
+        self.redrive_stale_page_waits();
+        // MVCC pruning: nothing older than the oldest active snapshot is
+        // reachable.
+        let watermark = self
+            .txns
+            .values()
+            .map(|t| t.read_ts)
+            .min()
+            .unwrap_or_else(|| self.db.current_ts());
+        self.db.versions.prune(watermark.saturating_sub(1));
+        // Version-area pressure: steal unpinned buffer pages.
+        if self.cfg.mvcc && self.db.versions.pressure() {
+            for n in 0..self.nodes.len() {
+                let stolen = self.nodes[n].buffer.steal(16);
+                let bytes = stolen.len() as u64 * dclue_db::schema::PAGE_BYTES;
+                for ev in stolen {
+                    self.page_evicted(n as u32, ev);
+                }
+                self.db.versions.add_capacity(bytes);
+            }
+        }
+    }
+
+    /// Re-drive fusion protocols whose responses were lost (only
+    /// possible when an IPC connection was reset mid-flight).
+    fn redrive_stale_page_waits(&mut self) {
+        let stale_after = Duration::from_secs(5);
+        let now = self.now;
+        for node in 0..self.nodes.len() {
+            let stale: Vec<PageKey> = self.nodes[node]
+                .pending_pages
+                .iter()
+                .filter(|(_, p)| now.since(p.since) > stale_after)
+                .map(|(&k, _)| k)
+                .collect();
+            for key in stale {
+                if let Some(p) = self.nodes[node].pending_pages.get_mut(&key) {
+                    p.since = now;
+                    let txn = p.waiters.first().copied().unwrap_or(0);
+                    self.redrive_page(node as u32, key, txn);
+                }
+            }
+        }
+    }
+
+    /// One step of the autonomic QoS controller (runs every sample
+    /// tick when `QosPolicy::Autonomic` is configured).
+    fn autonomic_qos_step(&mut self) {
+        let QosPolicy::Autonomic { tolerance } = self.cfg.qos else {
+            return;
+        };
+        let (baseline, recent, weight) = &mut self.qos_ctl;
+        if *recent <= 0.0 || *baseline <= 0.0 {
+            return; // no latency samples yet
+        }
+        let budget = *baseline * (1.0 + tolerance);
+        if *recent > budget {
+            *weight = (*weight * 0.8).max(0.05);
+        } else if *recent < *baseline * (1.0 + tolerance * 0.5) {
+            *weight = (*weight + 0.02).min(0.9);
+        }
+        let wv = *weight;
+        self.net.set_af_weight(wv);
+    }
+
+    /// Feed the autonomic controller one commit-latency observation
+    /// (always on, independent of the measurement window).
+    pub(crate) fn qos_latency_sample(&mut self, lat_s: f64) {
+        if !matches!(self.cfg.qos, QosPolicy::Autonomic { .. }) {
+            return;
+        }
+        let (baseline, recent, _) = &mut self.qos_ctl;
+        if *baseline == 0.0 {
+            *baseline = lat_s;
+            *recent = lat_s;
+        } else {
+            // The slow EWMA locks in the uncontended early behaviour;
+            // the fast one tracks current conditions.
+            if !self.measuring {
+                *baseline += 0.02 * (lat_s - *baseline);
+            }
+            *recent += 0.1 * (lat_s - *recent);
+        }
+    }
+
+    /// Test accessor: the controller's current AF weight (autonomic QoS).
+    pub fn af_weight_for_test(&self) -> f64 {
+        self.qos_ctl.2
+    }
+
+    /// Test accessor: placement function (stable public surface for
+    /// white-box tests without exposing internals).
+    pub fn page_home_for_test(&self, key: PageKey) -> u32 {
+        self.page_home(key)
+    }
+
+    /// Test accessor: logical block address mapping.
+    pub fn lba_for_test(&self, key: PageKey) -> u64 {
+        self.lba_of(key)
+    }
+
+    /// Test accessor: the logical database.
+    pub fn database_for_test(&self) -> &Database {
+        &self.db
+    }
+
+    /// Abort the first live IPC connection (fault injection): the reset
+    /// handler must reopen it and the cluster must keep committing.
+    fn chaos_reset_one_ipc(&mut self) {
+        let conn = self
+            .conn_info
+            .iter()
+            .find(|(_, k)| matches!(k, ConnKind::Cluster { .. }))
+            .map(|(&c, _)| c);
+        if let Some(c) = conn {
+            self.with_net(|net, ob| net.abort_connection(c, ob));
+        }
+    }
+
+    fn end_warmup(&mut self) {
+        self.measuring = true;
+        self.collect.reset(self.now);
+        self.latency_hist.reset();
+        let now = self.now;
+        for n in &mut self.nodes {
+            n.cpu.stats.context_switches.reset();
+            n.cpu.stats.cs_cycles.reset();
+            n.cpu.stats.cpi.reset();
+            n.cpu.stats.instructions = 0.0;
+            n.cpu.stats.busy = Duration::ZERO;
+            n.cpu.stats.live_threads.reset(now);
+            n.cpu.stats.interrupts.reset();
+            n.buffer.stats = Default::default();
+        }
+        self.trunk_bytes_at_warmup = self.trunk_bytes();
+        self.versions_at_warmup = self.db.versions.stats.versions_created;
+    }
+
+    fn trunk_bytes(&self) -> u64 {
+        self.trunks
+            .iter()
+            .map(|&l| {
+                let link = self.net.link(l);
+                link.ports[0].stats.bytes_tx + link.ports[1].stats.bytes_tx
+            })
+            .sum()
+    }
+
+    fn build_report(&mut self) -> Report {
+        let window = self.now.since(self.collect.window_start);
+        let wsecs = window.as_secs_f64().max(1e-9);
+        let c = &self.collect;
+        let committed = c.committed.max(1);
+        let tpmc_scaled = c.committed_new_orders as f64 / wsecs * 60.0;
+        let n_nodes = self.nodes.len() as f64;
+        let avg_cpi = self.nodes.iter().map(|n| n.cpu.stats.cpi.mean()).sum::<f64>() / n_nodes;
+        let avg_cs =
+            self.nodes.iter().map(|n| n.cpu.stats.cs_cycles.mean()).sum::<f64>() / n_nodes;
+        let threads = self
+            .nodes
+            .iter()
+            .map(|n| n.cpu.stats.live_threads.mean(self.now))
+            .sum::<f64>()
+            / n_nodes;
+        let util = self
+            .nodes
+            .iter()
+            .map(|n| n.cpu.utilization(window))
+            .sum::<f64>()
+            / n_nodes;
+        let (hits, misses) = self.nodes.iter().fold((0u64, 0u64), |(h, m), n| {
+            (h + n.buffer.stats.hits, m + n.buffer.stats.misses)
+        });
+        let hit_ratio = if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let trunk_delta = self.trunk_bytes().saturating_sub(self.trunk_bytes_at_warmup);
+        let trunk_mbps = trunk_delta as f64 * 8.0 / wsecs / 1e6;
+        let trunk_capacity = (self.trunks.len() as f64).max(1.0) * self.cfg.trunk_bw;
+        let drops: u64 = self
+            .net
+            .links()
+            .iter()
+            .map(|l| l.ports[0].stats.dropped + l.ports[1].stats.dropped)
+            .sum::<u64>()
+            + self.net.routers().iter().map(|r| r.stats.input_dropped).sum::<u64>();
+        Report {
+            nodes: self.cfg.nodes,
+            affinity: self.cfg.affinity,
+            window_s: wsecs,
+            tpmc_scaled,
+            tpmc_equivalent: tpmc_scaled * 100.0,
+            tps_scaled: c.committed as f64 / wsecs,
+            committed: c.committed,
+            aborted: c.aborted,
+            ctl_msgs_per_txn: c.ctl_msgs as f64 / committed as f64,
+            data_msgs_per_txn: c.data_msgs as f64 / committed as f64,
+            storage_msgs_per_txn: c.storage_msgs as f64 / committed as f64,
+            lock_waits_per_txn: c.lock_waits as f64 / committed as f64,
+            lock_busies_per_txn: c.lock_busies as f64 / committed as f64,
+            lock_wait_ms: c.lock_wait.mean() * 1e3,
+            txn_latency_ms: c.txn_latency.mean() * 1e3,
+            avg_cpi,
+            avg_cs_cycles: avg_cs,
+            avg_live_threads: threads,
+            cpu_util: util,
+            buffer_hit_ratio: hit_ratio,
+            fusion_transfers_per_txn: c.fusion_transfers as f64 / committed as f64,
+            disk_reads_per_txn: c.disk_reads as f64 / committed as f64,
+            version_walks_per_txn: c.version_walks as f64 / committed as f64,
+            txn_latency_p95_ms: self.latency_hist.quantile(0.95) * 1e3,
+            versions_created_per_txn: (self.db.versions.stats.versions_created
+                - self.versions_at_warmup) as f64
+                / committed as f64,
+            trunk_mbps,
+            trunk_utilization: (trunk_mbps * 1e6 / trunk_capacity).min(1.0),
+            ftp_mbps: c.ftp_bytes_delivered * 8.0 / wsecs / 1e6,
+            ftp_denied: self.ftp_pairs.iter().map(|p| p.denied).sum(),
+            timeline: std::mem::take(&mut self.timeline),
+            ipc_resets: c.ipc_resets,
+            drops,
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Smoke tests: a small cluster must run end to end and produce sane
+//! numbers. Heavier trend tests live in the workspace-level `tests/`.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, World};
+use dclue_sim::Duration;
+
+fn small_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = 2;
+    cfg.warehouses_per_node = 8;
+    cfg.clients_per_node = 10;
+    cfg.think_time = Duration::from_secs(2);
+    cfg.warmup = Duration::from_secs(6);
+    cfg.measure = Duration::from_secs(10);
+    cfg.data_spindles = 16;
+    cfg
+}
+
+#[test]
+fn two_node_cluster_commits_transactions() {
+    let mut world = World::new(small_cfg());
+    let report = world.run();
+    assert!(
+        report.committed > 50,
+        "committed {} transactions: {report:?}",
+        report.committed
+    );
+    assert!(report.tpmc_scaled > 0.0);
+    assert!(report.cpu_util > 0.01 && report.cpu_util <= 1.0);
+    assert!(report.buffer_hit_ratio > 0.2, "{report:?}");
+    assert_eq!(report.ipc_resets, 0, "IPC connections must not reset");
+}
+
+#[test]
+fn single_node_runs_without_ipc() {
+    let mut cfg = small_cfg();
+    cfg.nodes = 1;
+    cfg.affinity = 1.0;
+    let mut world = World::new(cfg);
+    let report = world.run();
+    assert!(report.committed > 30, "{report:?}");
+    assert_eq!(report.ctl_msgs_per_txn, 0.0, "no peers, no IPC");
+    assert_eq!(report.data_msgs_per_txn, 0.0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let r1 = World::new(small_cfg()).run();
+    let r2 = World::new(small_cfg()).run();
+    assert_eq!(r1.committed, r2.committed);
+    assert_eq!(r1.ctl_msgs_per_txn, r2.ctl_msgs_per_txn);
+    assert_eq!(r1.tpmc_scaled, r2.tpmc_scaled);
+}
+
+#[test]
+fn different_seed_differs() {
+    let mut cfg = small_cfg();
+    cfg.seed = 1234;
+    let r1 = World::new(cfg).run();
+    let r2 = World::new(small_cfg()).run();
+    // Same config, different seed: almost surely different counts.
+    assert_ne!(r1.committed, r2.committed);
+}

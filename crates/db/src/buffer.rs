@@ -1,0 +1,500 @@
+//! Per-node buffer cache.
+//!
+//! Since the logical database lives in memory once (as in DCLUE, where
+//! "buffer cache operations merely change status of the pages in
+//! question"), a node's buffer cache tracks *residency status* of global
+//! pages: which pages this node holds, in what mode, pinned or not, and
+//! the LRU order. Hits, misses, evictions and version-area page steals
+//! all emerge from real capacity pressure.
+
+use crate::schema::Table;
+use std::collections::HashMap;
+
+/// Globally unique page identity. Data pages and index pages of the same
+/// table live in different namespaces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageKey {
+    /// Table id; index pages have bit 8 set.
+    pub space: u32,
+    pub page: u64,
+}
+
+impl PageKey {
+    const INDEX_BIT: u32 = 0x100;
+
+    pub fn data(table: Table, page: u64) -> Self {
+        PageKey {
+            space: table.id(),
+            page,
+        }
+    }
+
+    pub fn index(table: Table, node: u32) -> Self {
+        PageKey {
+            space: table.id() | Self::INDEX_BIT,
+            page: node as u64,
+        }
+    }
+
+    pub fn table(&self) -> Table {
+        Table::from_id(self.space & !Self::INDEX_BIT)
+    }
+
+    pub fn is_index(&self) -> bool {
+        self.space & Self::INDEX_BIT != 0
+    }
+}
+
+/// Residency mode of a cached page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageState {
+    Shared,
+    /// Held exclusively (dirty until written back).
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: PageKey,
+    state: PageState,
+    pins: u32,
+    dirty: bool,
+    prev: u32,
+    next: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A page evicted to make room.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Evicted {
+    pub key: PageKey,
+    pub dirty: bool,
+}
+
+/// Cache statistics.
+#[derive(Debug, Default, Clone)]
+pub struct BufferStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub steals: u64,
+}
+
+impl BufferStats {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU buffer cache with pinning.
+///
+/// ```
+/// use dclue_db::{BufferCache, PageKey, Table};
+///
+/// let mut cache = BufferCache::new(64);
+/// let page = PageKey::data(Table::Stock, 9);
+/// assert!(!cache.access(page, false)); // miss: resolve it...
+/// cache.install(page, false);          // ...then install
+/// assert!(cache.access(page, false));  // hit
+/// ```
+pub struct BufferCache {
+    capacity: usize,
+    frames: Vec<Frame>,
+    free: Vec<u32>,
+    map: HashMap<PageKey, u32>,
+    /// LRU list: head = most recent, tail = eviction candidate.
+    head: u32,
+    tail: u32,
+    pub stats: BufferStats,
+}
+
+impl BufferCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        BufferCache {
+            capacity,
+            frames: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            stats: BufferStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Touch `key`: on a hit, refresh LRU (and upgrade to exclusive/dirty
+    /// if requested) and return true; on a miss return false — the caller
+    /// resolves the miss (fusion transfer or disk read) then calls
+    /// [`BufferCache::install`].
+    pub fn access(&mut self, key: PageKey, exclusive: bool) -> bool {
+        match self.map.get(&key).copied() {
+            Some(f) => {
+                self.stats.hits += 1;
+                self.unlink(f);
+                self.push_front(f);
+                let fr = &mut self.frames[f as usize];
+                if exclusive {
+                    fr.state = PageState::Exclusive;
+                    fr.dirty = true;
+                }
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert a page after a miss was resolved; evicts unpinned LRU pages
+    /// as needed and returns them (the engine notifies the directory and
+    /// schedules write-back of dirty ones).
+    pub fn install(&mut self, key: PageKey, exclusive: bool) -> Vec<Evicted> {
+        let mut evicted = Vec::new();
+        if self.map.contains_key(&key) {
+            // Raced install (e.g. two threads missed on the same page).
+            self.access(key, exclusive);
+            self.stats.hits -= 1; // not a real application access
+            return evicted;
+        }
+        while self.map.len() >= self.capacity {
+            match self.evict_one() {
+                Some(e) => evicted.push(e),
+                None => break, // everything pinned; allow temporary overflow
+            }
+        }
+        let f = self.alloc_frame(Frame {
+            key,
+            state: if exclusive {
+                PageState::Exclusive
+            } else {
+                PageState::Shared
+            },
+            pins: 0,
+            dirty: exclusive,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, f);
+        self.push_front(f);
+        evicted
+    }
+
+    /// Pin a resident page (it becomes unevictable).
+    pub fn pin(&mut self, key: PageKey) {
+        if let Some(&f) = self.map.get(&key) {
+            self.frames[f as usize].pins += 1;
+        }
+    }
+
+    pub fn unpin(&mut self, key: PageKey) {
+        if let Some(&f) = self.map.get(&key) {
+            let fr = &mut self.frames[f as usize];
+            fr.pins = fr.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drop a page (remote node took exclusive ownership, or directory
+    /// asked for invalidation). Returns whether it was dirty.
+    pub fn discard(&mut self, key: PageKey) -> Option<bool> {
+        let f = self.map.remove(&key)?;
+        self.unlink(f);
+        let dirty = self.frames[f as usize].dirty;
+        self.free_frame(f);
+        Some(dirty)
+    }
+
+    /// Downgrade to shared (another node read the page).
+    pub fn downgrade(&mut self, key: PageKey) {
+        if let Some(&f) = self.map.get(&key) {
+            let fr = &mut self.frames[f as usize];
+            fr.state = PageState::Shared;
+            fr.dirty = false;
+        }
+    }
+
+    pub fn state(&self, key: PageKey) -> Option<PageState> {
+        self.map.get(&key).map(|&f| self.frames[f as usize].state)
+    }
+
+    /// Iterate over currently resident pages (used by the cluster to
+    /// seed the fusion directory after pre-warming).
+    pub fn resident_keys(&self) -> impl Iterator<Item = PageKey> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Steal up to `n` unpinned pages for the MVCC overflow area.
+    pub fn steal(&mut self, n: usize) -> Vec<Evicted> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match self.evict_one() {
+                Some(e) => {
+                    self.stats.steals += 1;
+                    out.push(e);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn evict_one(&mut self) -> Option<Evicted> {
+        // Walk from the LRU tail to the first unpinned frame.
+        let mut f = self.tail;
+        while f != NIL {
+            let fr = &self.frames[f as usize];
+            if fr.pins == 0 {
+                let key = fr.key;
+                let dirty = fr.dirty;
+                self.map.remove(&key);
+                self.unlink(f);
+                self.free_frame(f);
+                self.stats.evictions += 1;
+                return Some(Evicted { key, dirty });
+            }
+            f = fr.prev;
+        }
+        None
+    }
+
+    // ---- intrusive LRU list ----
+
+    fn alloc_frame(&mut self, fr: Frame) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.frames[i as usize] = fr;
+            i
+        } else {
+            self.frames.push(fr);
+            (self.frames.len() - 1) as u32
+        }
+    }
+
+    fn free_frame(&mut self, f: u32) {
+        self.free.push(f);
+    }
+
+    fn push_front(&mut self, f: u32) {
+        let old_head = self.head;
+        {
+            let fr = &mut self.frames[f as usize];
+            fr.prev = NIL;
+            fr.next = old_head;
+        }
+        if old_head != NIL {
+            self.frames[old_head as usize].prev = f;
+        }
+        self.head = f;
+        if self.tail == NIL {
+            self.tail = f;
+        }
+    }
+
+    fn unlink(&mut self, f: u32) {
+        let (prev, next) = {
+            let fr = &self.frames[f as usize];
+            (fr.prev, fr.next)
+        };
+        if prev != NIL {
+            self.frames[prev as usize].next = next;
+        } else if self.head == f {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next as usize].prev = prev;
+        } else if self.tail == f {
+            self.tail = prev;
+        }
+        let fr = &mut self.frames[f as usize];
+        fr.prev = NIL;
+        fr.next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u64) -> PageKey {
+        PageKey::data(Table::Stock, p)
+    }
+
+    #[test]
+    fn page_key_namespaces_disjoint() {
+        let d = PageKey::data(Table::Stock, 5);
+        let i = PageKey::index(Table::Stock, 5);
+        assert_ne!(d, i);
+        assert!(!d.is_index());
+        assert!(i.is_index());
+        assert_eq!(d.table(), Table::Stock);
+        assert_eq!(i.table(), Table::Stock);
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut b = BufferCache::new(4);
+        assert!(!b.access(key(1), false));
+        assert!(b.install(key(1), false).is_empty());
+        assert!(b.access(key(1), false));
+        assert_eq!(b.stats.hits, 1);
+        assert_eq!(b.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut b = BufferCache::new(3);
+        for p in 0..3 {
+            b.access(key(p), false);
+            b.install(key(p), false);
+        }
+        // Touch 0 so 1 becomes LRU.
+        b.access(key(0), false);
+        let ev = b.install(key(3), false);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, key(1));
+        assert!(b.contains(key(0)));
+        assert!(!b.contains(key(1)));
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let mut b = BufferCache::new(2);
+        b.install(key(1), false);
+        b.pin(key(1));
+        b.install(key(2), false);
+        let ev = b.install(key(3), false);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, key(2), "pinned page must not be evicted");
+        b.unpin(key(1));
+        let ev = b.install(key(4), false);
+        assert!(ev.iter().any(|e| e.key == key(1)));
+    }
+
+    #[test]
+    fn exclusive_install_marks_dirty() {
+        let mut b = BufferCache::new(2);
+        b.install(key(1), true);
+        assert_eq!(b.state(key(1)), Some(PageState::Exclusive));
+        b.install(key(2), false);
+        let ev = b.install(key(3), false);
+        let e1 = ev.iter().find(|e| e.key == key(1)).unwrap();
+        assert!(e1.dirty);
+    }
+
+    #[test]
+    fn access_exclusive_upgrades() {
+        let mut b = BufferCache::new(2);
+        b.install(key(1), false);
+        assert_eq!(b.state(key(1)), Some(PageState::Shared));
+        assert!(b.access(key(1), true));
+        assert_eq!(b.state(key(1)), Some(PageState::Exclusive));
+    }
+
+    #[test]
+    fn downgrade_cleans() {
+        let mut b = BufferCache::new(2);
+        b.install(key(1), true);
+        b.downgrade(key(1));
+        assert_eq!(b.state(key(1)), Some(PageState::Shared));
+    }
+
+    #[test]
+    fn discard_removes() {
+        let mut b = BufferCache::new(2);
+        b.install(key(1), true);
+        assert_eq!(b.discard(key(1)), Some(true));
+        assert!(!b.contains(key(1)));
+        assert_eq!(b.discard(key(1)), None);
+    }
+
+    #[test]
+    fn steal_takes_lru_pages() {
+        let mut b = BufferCache::new(8);
+        for p in 0..8 {
+            b.install(key(p), false);
+        }
+        let stolen = b.steal(3);
+        assert_eq!(stolen.len(), 3);
+        assert_eq!(stolen[0].key, key(0));
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.stats.steals, 3);
+    }
+
+    #[test]
+    fn all_pinned_overflows_gracefully() {
+        let mut b = BufferCache::new(2);
+        b.install(key(1), false);
+        b.install(key(2), false);
+        b.pin(key(1));
+        b.pin(key(2));
+        let ev = b.install(key(3), false);
+        assert!(ev.is_empty());
+        assert_eq!(b.len(), 3, "temporary overflow rather than deadlock");
+    }
+
+    #[test]
+    fn hit_ratio_reporting() {
+        let mut b = BufferCache::new(4);
+        b.install(key(1), false);
+        for _ in 0..9 {
+            b.access(key(1), false);
+        }
+        b.access(key(2), false);
+        assert!((b.stats.hit_ratio() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinstall_does_not_duplicate() {
+        let mut b = BufferCache::new(4);
+        b.install(key(1), false);
+        b.install(key(1), true);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.state(key(1)), Some(PageState::Exclusive));
+    }
+
+    #[test]
+    fn resident_keys_lists_contents() {
+        let mut b = BufferCache::new(4);
+        b.install(key(1), false);
+        b.install(key(2), false);
+        let mut got: Vec<u64> = b.resident_keys().map(|k| k.page).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut b = BufferCache::new(50);
+        for round in 0..10u64 {
+            for p in 0..200u64 {
+                let k = key((p * 7 + round) % 300);
+                if !b.access(k, p % 3 == 0) {
+                    b.install(k, p % 3 == 0);
+                }
+            }
+        }
+        assert!(b.len() <= 50);
+        assert!(b.stats.evictions > 0);
+    }
+}

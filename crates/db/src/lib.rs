@@ -1,0 +1,34 @@
+//! The TPC-C database engine underneath DCLUE.
+//!
+//! Following the original model (§2.3 of the paper), the *entire* TPC-C
+//! database is built in memory and initialised per TPC-C rules, keeping
+//! only the fields needed to interpret and execute queries while
+//! retaining precise row sizes and rows-per-block. Explicit B+-tree
+//! indices are maintained per table. Buffer-cache hit ratios, locks
+//! acquired, versions created, log bytes written — none of these are
+//! input parameters; they fall out of running real data structures.
+//!
+//! Split of responsibilities with `dclue-cluster`:
+//!
+//! * this crate owns the **logical database** (one per cluster): tables,
+//!   indices, the MVCC version store, and the *transaction programs*
+//!   that turn TPC-C inputs into page/lock/row operation sequences;
+//! * this crate also provides the **per-node** structures: the buffer
+//!   cache (page residency + LRU + pinning) and the lock-table shard a
+//!   node masters;
+//! * `dclue-cluster` interleaves those with the platform, storage and
+//!   fabric models to give every operation a *time*.
+
+pub mod btree;
+pub mod buffer;
+pub mod database;
+pub mod lock;
+pub mod mvcc;
+pub mod schema;
+pub mod tpcc;
+
+pub use buffer::{BufferCache, PageKey, PageState};
+pub use database::Database;
+pub use lock::{LockMode, LockOutcome, LockTable, ResourceId};
+pub use schema::{Table, TpccScale};
+pub use tpcc::{OpKind, TableOp, TxnInput, TxnKind};

@@ -1,0 +1,388 @@
+//! Subpage-granular lock table (one shard per master node).
+//!
+//! DCLUE "implements fine-grain locking by dividing pages into subpages"
+//! with a per-table subpage size, and acquires locks in two phases:
+//! phase 1 latches (intention locks) and pulls missing pages into the
+//! buffer cache; phase 2 converts latches to real locks *in sequence*.
+//! If the first lock of the sequence conflicts, the transaction queues
+//! on it; a conflict later in the sequence releases everything and
+//! retries after a delay — a deadlock-free discipline the engine drives
+//! through [`LockTable::try_lock`]'s `queue_if_busy` flag.
+//!
+//! Lock *mastering* is distributed: each resource hashes to a master
+//! node, and this table is one node's shard. Remote acquisition costs a
+//! control-message round trip — that's the cluster layer's job.
+
+use crate::schema::Table;
+use std::collections::{HashMap, VecDeque};
+
+/// A lockable resource: a subpage of a table page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResourceId {
+    pub table: u32,
+    pub page: u64,
+    pub sub: u32,
+}
+
+impl ResourceId {
+    /// Resource for `row` of `table` living on `page`, using the table's
+    /// tuned subpage granularity.
+    pub fn for_row(table: Table, page: u64, slot: u64) -> Self {
+        let per_page = table.rows_per_page();
+        let subs = table.subpages_per_page().min(per_page).max(1);
+        let rows_per_sub = per_page.div_ceil(subs);
+        ResourceId {
+            table: table.id(),
+            page,
+            sub: (slot / rows_per_sub) as u32,
+        }
+    }
+}
+
+/// Lock mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// Result of a lock attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockOutcome {
+    Granted,
+    /// Conflicting; the request was queued and will be granted later.
+    Queued,
+    /// Conflicting; not queued (caller releases everything and retries).
+    Busy,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    holders: Vec<(u64, LockMode)>,
+    waiters: VecDeque<(u64, LockMode)>,
+}
+
+/// Aggregate counters for one shard.
+#[derive(Debug, Default, Clone)]
+pub struct LockStats {
+    pub acquisitions: u64,
+    pub waits: u64,
+    pub busies: u64,
+    pub upgrades: u64,
+}
+
+/// One node's lock-master shard.
+///
+/// ```
+/// use dclue_db::{LockMode, LockOutcome, LockTable, ResourceId};
+///
+/// let mut locks = LockTable::new();
+/// let res = ResourceId { table: 1, page: 3, sub: 0 };
+/// assert_eq!(locks.try_lock(1, res, LockMode::Exclusive, true), LockOutcome::Granted);
+/// // A second writer queues on the first conflicting lock...
+/// assert_eq!(locks.try_lock(2, res, LockMode::Exclusive, true), LockOutcome::Queued);
+/// // ...and is granted when the holder releases.
+/// assert_eq!(locks.release(1, res), vec![(2, res)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: HashMap<ResourceId, Entry>,
+    /// Resources held (or waited on) per transaction, for release_all.
+    by_txn: HashMap<u64, Vec<ResourceId>>,
+    pub stats: LockStats,
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempt to lock `res` in `mode` for `txn`.
+    pub fn try_lock(
+        &mut self,
+        txn: u64,
+        res: ResourceId,
+        mode: LockMode,
+        queue_if_busy: bool,
+    ) -> LockOutcome {
+        let e = self.entries.entry(res).or_default();
+        // Re-entrant / upgrade handling.
+        if let Some(pos) = e.holders.iter().position(|&(t, _)| t == txn) {
+            let held = e.holders[pos].1;
+            if held == mode || held == LockMode::Exclusive {
+                return LockOutcome::Granted;
+            }
+            // Upgrade S -> X: allowed only as sole holder.
+            if e.holders.len() == 1 {
+                e.holders[pos].1 = LockMode::Exclusive;
+                self.stats.upgrades += 1;
+                return LockOutcome::Granted;
+            }
+            if queue_if_busy {
+                e.waiters.push_back((txn, mode));
+                self.stats.waits += 1;
+                return LockOutcome::Queued;
+            }
+            self.stats.busies += 1;
+            return LockOutcome::Busy;
+        }
+        let compatible = e.waiters.is_empty()
+            && e.holders.iter().all(|&(_, m)| m.compatible(mode) && mode.compatible(m));
+        if compatible {
+            e.holders.push((txn, mode));
+            self.by_txn.entry(txn).or_default().push(res);
+            self.stats.acquisitions += 1;
+            LockOutcome::Granted
+        } else if queue_if_busy {
+            e.waiters.push_back((txn, mode));
+            self.by_txn.entry(txn).or_default().push(res);
+            self.stats.waits += 1;
+            LockOutcome::Queued
+        } else {
+            self.stats.busies += 1;
+            LockOutcome::Busy
+        }
+    }
+
+    /// Release `res` for `txn`. Returns the transactions granted by this
+    /// release (the cluster layer notifies them with control messages).
+    pub fn release(&mut self, txn: u64, res: ResourceId) -> Vec<(u64, ResourceId)> {
+        let mut granted = Vec::new();
+        let Some(e) = self.entries.get_mut(&res) else {
+            return granted;
+        };
+        e.holders.retain(|&(t, _)| t != txn);
+        e.waiters.retain(|&(t, _)| t != txn);
+        Self::promote(e, res, &mut granted, &mut self.by_txn, &mut self.stats);
+        if e.holders.is_empty() && e.waiters.is_empty() {
+            self.entries.remove(&res);
+        }
+        if let Some(v) = self.by_txn.get_mut(&txn) {
+            v.retain(|&r| r != res);
+            if v.is_empty() {
+                self.by_txn.remove(&txn);
+            }
+        }
+        granted
+    }
+
+    /// Release everything `txn` holds or waits on in this shard.
+    pub fn release_all(&mut self, txn: u64) -> Vec<(u64, ResourceId)> {
+        let mut granted = Vec::new();
+        let resources = self.by_txn.remove(&txn).unwrap_or_default();
+        for res in resources {
+            if let Some(e) = self.entries.get_mut(&res) {
+                e.holders.retain(|&(t, _)| t != txn);
+                e.waiters.retain(|&(t, _)| t != txn);
+                Self::promote(e, res, &mut granted, &mut self.by_txn, &mut self.stats);
+                if e.holders.is_empty() && e.waiters.is_empty() {
+                    self.entries.remove(&res);
+                }
+            }
+        }
+        granted
+    }
+
+    /// Promote compatible waiters (FIFO).
+    fn promote(
+        e: &mut Entry,
+        res: ResourceId,
+        granted: &mut Vec<(u64, ResourceId)>,
+        by_txn: &mut HashMap<u64, Vec<ResourceId>>,
+        stats: &mut LockStats,
+    ) {
+        while let Some(&(t, m)) = e.waiters.front() {
+            let ok = e
+                .holders
+                .iter()
+                .all(|&(_, hm)| hm.compatible(m) && m.compatible(hm));
+            if !ok {
+                break;
+            }
+            e.waiters.pop_front();
+            e.holders.push((t, m));
+            // A queued waiter was already registered in by_txn at queue
+            // time; avoid double registration.
+            let held = by_txn.entry(t).or_default();
+            if !held.contains(&res) {
+                held.push(res);
+            }
+            stats.acquisitions += 1;
+            granted.push((t, res));
+        }
+    }
+
+    /// Does `txn` currently hold `res`?
+    pub fn holds(&self, txn: u64, res: ResourceId) -> bool {
+        self.entries
+            .get(&res)
+            .map(|e| e.holders.iter().any(|&(t, _)| t == txn))
+            .unwrap_or(false)
+    }
+
+    /// Number of waiters on `res` (diagnostics).
+    pub fn waiters(&self, res: ResourceId) -> usize {
+        self.entries.get(&res).map(|e| e.waiters.len()).unwrap_or(0)
+    }
+
+    /// Live entries (diagnostics; should trend to zero when idle).
+    pub fn live_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(page: u64, sub: u32) -> ResourceId {
+        ResourceId {
+            table: 3,
+            page,
+            sub,
+        }
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut l = LockTable::new();
+        assert_eq!(l.try_lock(1, res(1, 0), LockMode::Shared, true), LockOutcome::Granted);
+        assert_eq!(l.try_lock(2, res(1, 0), LockMode::Shared, true), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn exclusive_conflicts_queue() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Exclusive, true);
+        assert_eq!(
+            l.try_lock(2, res(1, 0), LockMode::Exclusive, true),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            l.try_lock(3, res(1, 0), LockMode::Shared, false),
+            LockOutcome::Busy
+        );
+    }
+
+    #[test]
+    fn release_grants_fifo() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(2, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(3, res(1, 0), LockMode::Shared, true);
+        let granted = l.release(1, res(1, 0));
+        assert_eq!(granted, vec![(2, res(1, 0))]);
+        assert!(l.holds(2, res(1, 0)));
+        let granted = l.release(2, res(1, 0));
+        assert_eq!(granted, vec![(3, res(1, 0))]);
+    }
+
+    #[test]
+    fn multiple_shared_waiters_granted_together() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(2, res(1, 0), LockMode::Shared, true);
+        l.try_lock(3, res(1, 0), LockMode::Shared, true);
+        let granted = l.release(1, res(1, 0));
+        assert_eq!(granted.len(), 2);
+    }
+
+    #[test]
+    fn reentrant_lock_is_granted() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Shared, true);
+        assert_eq!(l.try_lock(1, res(1, 0), LockMode::Shared, true), LockOutcome::Granted);
+        // X implied by held X.
+        l.try_lock(1, res(2, 0), LockMode::Exclusive, true);
+        assert_eq!(l.try_lock(1, res(2, 0), LockMode::Shared, true), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn sole_holder_upgrade_succeeds() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Shared, true);
+        assert_eq!(
+            l.try_lock(1, res(1, 0), LockMode::Exclusive, true),
+            LockOutcome::Granted
+        );
+        assert_eq!(l.stats.upgrades, 1);
+        // Now a second shared request must queue.
+        assert_eq!(l.try_lock(2, res(1, 0), LockMode::Shared, false), LockOutcome::Busy);
+    }
+
+    #[test]
+    fn contested_upgrade_fails_without_queue() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Shared, true);
+        l.try_lock(2, res(1, 0), LockMode::Shared, true);
+        assert_eq!(
+            l.try_lock(1, res(1, 0), LockMode::Exclusive, false),
+            LockOutcome::Busy
+        );
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(1, res(2, 0), LockMode::Shared, true);
+        l.try_lock(2, res(1, 0), LockMode::Shared, true); // queued
+        let granted = l.release_all(1);
+        assert_eq!(granted, vec![(2, res(1, 0))]);
+        assert!(!l.holds(1, res(2, 0)));
+        assert_eq!(l.live_entries(), 1);
+    }
+
+    #[test]
+    fn release_all_of_waiter_cleans_queue() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(2, res(1, 0), LockMode::Exclusive, true); // queued
+        l.release_all(2);
+        assert_eq!(l.waiters(res(1, 0)), 0);
+        let granted = l.release_all(1);
+        assert!(granted.is_empty());
+        assert_eq!(l.live_entries(), 0);
+    }
+
+    #[test]
+    fn new_requests_behind_waiters_queue() {
+        // Fairness: an S request must not jump over a queued X waiter.
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Shared, true);
+        l.try_lock(2, res(1, 0), LockMode::Exclusive, true); // queued
+        assert_eq!(
+            l.try_lock(3, res(1, 0), LockMode::Shared, true),
+            LockOutcome::Queued
+        );
+    }
+
+    #[test]
+    fn resource_for_row_uses_table_granularity() {
+        // District: subpages finer than rows => each row its own subpage.
+        let a = ResourceId::for_row(Table::District, 0, 0);
+        let b = ResourceId::for_row(Table::District, 0, 1);
+        assert_ne!(a, b);
+        // History: one subpage per page.
+        let c = ResourceId::for_row(Table::History, 0, 0);
+        let d = ResourceId::for_row(Table::History, 0, 100);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut l = LockTable::new();
+        l.try_lock(1, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(2, res(1, 0), LockMode::Exclusive, true);
+        l.try_lock(3, res(1, 0), LockMode::Exclusive, false);
+        assert_eq!(l.stats.acquisitions, 1);
+        assert_eq!(l.stats.waits, 1);
+        assert_eq!(l.stats.busies, 1);
+    }
+}

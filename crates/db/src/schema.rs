@@ -1,0 +1,269 @@
+//! TPC-C schema constants: the nine tables, their row sizes (per the
+//! TPC-C specification's storage clauses), rows per 8 KB block, composite
+//! key encodings, and the database scaling rules.
+
+/// Database page/block size — also the basic IPC transfer unit (§2.1).
+pub const PAGE_BYTES: u64 = 8192;
+
+/// The nine TPC-C tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Table {
+    Warehouse = 0,
+    District = 1,
+    Customer = 2,
+    Stock = 3,
+    Item = 4,
+    NewOrder = 5,
+    Order = 6,
+    OrderLine = 7,
+    History = 8,
+}
+
+impl Table {
+    pub const ALL: [Table; 9] = [
+        Table::Warehouse,
+        Table::District,
+        Table::Customer,
+        Table::Stock,
+        Table::Item,
+        Table::NewOrder,
+        Table::Order,
+        Table::OrderLine,
+        Table::History,
+    ];
+
+    #[inline]
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    pub fn from_id(id: u32) -> Table {
+        Table::ALL[id as usize]
+    }
+
+    /// Nominal row size in bytes (TPC-C spec, clause 1.2/4.2 sizing).
+    pub fn row_bytes(self) -> u64 {
+        match self {
+            Table::Warehouse => 89,
+            Table::District => 95,
+            Table::Customer => 655,
+            Table::Stock => 306,
+            Table::Item => 82,
+            Table::NewOrder => 8,
+            Table::Order => 24,
+            Table::OrderLine => 54,
+            Table::History => 46,
+        }
+    }
+
+    /// Rows that fit in one 8 KB block.
+    pub fn rows_per_page(self) -> u64 {
+        (PAGE_BYTES / self.row_bytes()).max(1)
+    }
+
+    /// Whether the table is fixed-size (first five) or grows with the run.
+    pub fn is_fixed(self) -> bool {
+        matches!(
+            self,
+            Table::Warehouse | Table::District | Table::Customer | Table::Stock | Table::Item
+        )
+    }
+
+    /// Subpages per page for fine-grain locking. The paper had to tune
+    /// this per table — the very hot district table needs near-row
+    /// granularity, big cold tables are fine with coarse subpages.
+    pub fn subpages_per_page(self) -> u64 {
+        match self {
+            Table::District => 128, // effectively row-granular (10 rows/wh)
+            Table::Warehouse => 64,
+            Table::Customer => 12,
+            Table::Stock => 16,
+            Table::Item => 4,
+            Table::NewOrder => 32,
+            Table::Order => 16,
+            Table::OrderLine => 8,
+            Table::History => 1,
+        }
+    }
+}
+
+/// Scaling parameters for building a database instance.
+#[derive(Clone, Debug)]
+pub struct TpccScale {
+    /// Number of warehouses (paper: ~tpmC / 12.5, then /100 for the
+    /// scaled model).
+    pub warehouses: u32,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_wh: u32,
+    /// Customers per district (spec: 3000; the scaled model may reduce
+    /// this — contention lives on warehouse/district/stock rows, and a
+    /// smaller customer file preserves it while fitting in memory).
+    pub customers_per_district: u32,
+    /// Items in the item table (spec: 100K; the paper's 100x-scaled model
+    /// reduces exactly this one to 1000 since it does not scale with
+    /// warehouses).
+    pub items: u32,
+    /// Initial orders per district (spec: 3000, of which the last 900
+    /// are open new-orders).
+    pub initial_orders_per_district: u32,
+}
+
+impl TpccScale {
+    /// The paper's 100x-scaled per-node sizing: one node's ~500 tpm-C
+    /// worth is 40 warehouses with a 1000-row item table.
+    pub fn scaled(warehouses: u32) -> Self {
+        TpccScale {
+            warehouses,
+            districts_per_wh: 10,
+            customers_per_district: 300,
+            items: 1000,
+            initial_orders_per_district: 100,
+        }
+    }
+
+    /// Full-specification sizing (unscaled; memory heavy).
+    pub fn full(warehouses: u32) -> Self {
+        TpccScale {
+            warehouses,
+            districts_per_wh: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+            initial_orders_per_district: 3000,
+        }
+    }
+
+    pub fn districts(&self) -> u64 {
+        self.warehouses as u64 * self.districts_per_wh as u64
+    }
+
+    pub fn customers(&self) -> u64 {
+        self.districts() * self.customers_per_district as u64
+    }
+
+    pub fn stock_rows(&self) -> u64 {
+        self.warehouses as u64 * self.items as u64
+    }
+}
+
+// ----------------------------------------------------------------------
+// Composite key encodings (dense, collision-free within a table).
+// ----------------------------------------------------------------------
+
+/// Bits reserved for order ids within a district key.
+const OID_BITS: u32 = 24;
+/// Order-line number bits (spec max 15 lines/order).
+const OL_BITS: u32 = 4;
+
+#[inline]
+pub fn wh_key(w: u32) -> u64 {
+    w as u64
+}
+
+#[inline]
+pub fn district_key(w: u32, d: u32) -> u64 {
+    w as u64 * 10 + d as u64
+}
+
+#[inline]
+pub fn customer_key(w: u32, d: u32, c: u32) -> u64 {
+    district_key(w, d) * 100_000 + c as u64
+}
+
+#[inline]
+pub fn stock_key(w: u32, i: u32) -> u64 {
+    w as u64 * 200_000 + i as u64
+}
+
+#[inline]
+pub fn item_key(i: u32) -> u64 {
+    i as u64
+}
+
+#[inline]
+pub fn order_key(w: u32, d: u32, o_id: u32) -> u64 {
+    (district_key(w, d) << OID_BITS) | o_id as u64
+}
+
+#[inline]
+pub fn order_line_key(w: u32, d: u32, o_id: u32, ol: u32) -> u64 {
+    (order_key(w, d, o_id) << OL_BITS) | ol as u64
+}
+
+/// Range of order keys for one district: `[lo, hi)`.
+#[inline]
+pub fn order_key_range(w: u32, d: u32) -> (u64, u64) {
+    let base = district_key(w, d) << OID_BITS;
+    (base, base + (1 << OID_BITS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_sizes_give_sane_rows_per_page() {
+        assert_eq!(Table::Customer.rows_per_page(), 12);
+        assert_eq!(Table::Stock.rows_per_page(), 26);
+        assert_eq!(Table::NewOrder.rows_per_page(), 1024);
+        for t in Table::ALL {
+            assert!(t.rows_per_page() >= 1);
+            assert!(t.row_bytes() * t.rows_per_page() <= PAGE_BYTES);
+        }
+    }
+
+    #[test]
+    fn district_subpages_are_fine_grained() {
+        // District pages hold 86 rows; 128 subpages make locks row-level.
+        assert!(Table::District.subpages_per_page() > Table::District.rows_per_page());
+    }
+
+    #[test]
+    fn keys_are_unique_within_tables() {
+        // Customer keys for distinct (w,d,c) are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for w in 1..4 {
+            for d in 1..11 {
+                for c in 1..50 {
+                    assert!(seen.insert(customer_key(w, d, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_line_keys_nest_inside_order_keys() {
+        let o = order_key(3, 5, 77);
+        let ol0 = order_line_key(3, 5, 77, 0);
+        let ol15 = order_line_key(3, 5, 77, 15);
+        assert_eq!(ol0 >> OL_BITS, o);
+        assert_eq!(ol15 >> OL_BITS, o);
+        assert!(ol15 > ol0);
+    }
+
+    #[test]
+    fn order_range_covers_all_orders_of_district() {
+        let (lo, hi) = order_key_range(2, 3);
+        for o in [0u32, 1, 1000, (1 << OID_BITS) - 1] {
+            let k = order_key(2, 3, o);
+            assert!(k >= lo && k < hi);
+        }
+        // And excludes the neighbour district.
+        assert!(order_key(2, 4, 0) >= hi);
+    }
+
+    #[test]
+    fn scaled_sizing_matches_paper() {
+        let s = TpccScale::scaled(40);
+        assert_eq!(s.items, 1000);
+        assert_eq!(s.districts(), 400);
+        assert_eq!(s.stock_rows(), 40_000);
+    }
+
+    #[test]
+    fn table_ids_roundtrip() {
+        for t in Table::ALL {
+            assert_eq!(Table::from_id(t.id()), t);
+        }
+    }
+}

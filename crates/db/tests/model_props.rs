@@ -1,0 +1,233 @@
+//! Property tests of the database-engine building blocks against
+//! reference models: buffer cache vs an ordered-map LRU, lock table
+//! invariants, MVCC visibility vs a naive version list.
+
+use dclue_db::buffer::BufferCache;
+use dclue_db::lock::{LockMode, LockOutcome, LockTable, ResourceId};
+use dclue_db::mvcc::{VersionRead, VersionStore};
+use dclue_db::{PageKey, Table};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+// ----------------------------------------------------------------------
+// Buffer cache vs reference LRU
+// ----------------------------------------------------------------------
+
+/// Straightforward reference LRU (no pinning in this model).
+struct RefLru {
+    cap: usize,
+    order: VecDeque<u64>, // front = most recent
+}
+
+impl RefLru {
+    fn touch(&mut self, p: u64) -> bool {
+        if let Some(i) = self.order.iter().position(|&x| x == p) {
+            self.order.remove(i);
+            self.order.push_front(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn install(&mut self, p: u64) -> Option<u64> {
+        let evicted = if self.order.len() >= self.cap {
+            self.order.pop_back()
+        } else {
+            None
+        };
+        self.order.push_front(p);
+        evicted
+    }
+}
+
+proptest! {
+    #[test]
+    fn buffer_matches_reference_lru(
+        cap in 2usize..20,
+        ops in proptest::collection::vec(0u64..40, 1..300),
+    ) {
+        let mut buf = BufferCache::new(cap);
+        let mut reference = RefLru { cap, order: VecDeque::new() };
+        for p in ops {
+            let key = PageKey::data(Table::Stock, p);
+            let hit = buf.access(key, false);
+            let ref_hit = reference.touch(p);
+            prop_assert_eq!(hit, ref_hit, "hit status diverged on page {}", p);
+            if !hit {
+                let ev = buf.install(key, false);
+                let ref_ev = reference.install(p);
+                prop_assert_eq!(
+                    ev.first().map(|e| e.key.page),
+                    ref_ev,
+                    "eviction diverged on page {:?}",
+                    p
+                );
+            }
+            prop_assert!(buf.len() <= cap);
+            prop_assert_eq!(buf.len(), reference.order.len());
+        }
+    }
+
+    #[test]
+    fn buffer_discard_keeps_len_consistent(
+        ops in proptest::collection::vec((0u8..3, 0u64..30), 1..200),
+    ) {
+        let mut buf = BufferCache::new(8);
+        for (kind, p) in ops {
+            let key = PageKey::data(Table::Customer, p);
+            match kind {
+                0 => {
+                    if !buf.access(key, false) {
+                        buf.install(key, false);
+                    }
+                }
+                1 => {
+                    buf.discard(key);
+                }
+                _ => {
+                    buf.steal(1);
+                }
+            }
+            prop_assert!(buf.len() <= 8 + 1);
+            // contains() agrees with a re-access probe.
+            let c = buf.contains(key);
+            let before_hits = buf.stats.hits;
+            let hit = buf.access(key, false);
+            prop_assert_eq!(c, hit);
+            if hit {
+                prop_assert_eq!(buf.stats.hits, before_hits + 1);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lock table invariants
+// ----------------------------------------------------------------------
+
+fn res(r: u8) -> ResourceId {
+    ResourceId {
+        table: 1,
+        page: (r / 4) as u64,
+        sub: (r % 4) as u32,
+    }
+}
+
+proptest! {
+    /// Never two exclusive holders on the same resource; shared and
+    /// exclusive never coexist (across distinct transactions).
+    #[test]
+    fn no_conflicting_holders(
+        ops in proptest::collection::vec((0u64..6, 0u8..8, proptest::bool::ANY, proptest::bool::ANY), 1..400),
+    ) {
+        let mut lt = LockTable::new();
+        // Shadow: resource -> (exclusive holder count, shared holders).
+        let all_res: Vec<ResourceId> = (0..8).map(res).collect();
+        let all_txn: Vec<u64> = (0..6).collect();
+        for (txn, r, exclusive, release) in ops {
+            let resource = res(r);
+            if release {
+                lt.release_all(txn);
+            } else {
+                let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                let _ = lt.try_lock(txn, resource, mode, txn % 2 == 0);
+            }
+            // Invariant check via the public holds() probe: at most one
+            // exclusive holder per resource; if any holder exists with
+            // exclusive semantics no other txn may hold it.
+            for &rr in &all_res {
+                let holders: Vec<u64> = all_txn
+                    .iter()
+                    .copied()
+                    .filter(|&t| lt.holds(t, rr))
+                    .collect();
+                if holders.len() > 1 {
+                    // Multiple holders: must be the shared-compatible
+                    // case — verify an exclusive request by any of them
+                    // is refused (unless it is a sole-holder upgrade,
+                    // excluded here since holders.len() > 1).
+                    let t0 = holders[0];
+                    let out = lt.try_lock(t0, rr, LockMode::Exclusive, false);
+                    prop_assert_eq!(out, LockOutcome::Busy);
+                }
+            }
+        }
+        // Releasing everything leaves the table empty.
+        for t in all_txn {
+            lt.release_all(t);
+        }
+        prop_assert_eq!(lt.live_entries(), 0);
+    }
+
+    /// FIFO fairness: with a queue of exclusive waiters, releases grant
+    /// in arrival order.
+    #[test]
+    fn exclusive_waiters_granted_in_order(n_waiters in 2usize..6) {
+        let mut lt = LockTable::new();
+        let r = res(0);
+        assert_eq!(lt.try_lock(100, r, LockMode::Exclusive, true), LockOutcome::Granted);
+        for t in 0..n_waiters as u64 {
+            assert_eq!(lt.try_lock(t, r, LockMode::Exclusive, true), LockOutcome::Queued);
+        }
+        let mut granted_order = Vec::new();
+        let mut current = 100u64;
+        for _ in 0..n_waiters {
+            let grants = lt.release(current, r);
+            prop_assert_eq!(grants.len(), 1);
+            current = grants[0].0;
+            granted_order.push(current);
+        }
+        prop_assert_eq!(granted_order, (0..n_waiters as u64).collect::<Vec<_>>());
+    }
+}
+
+// ----------------------------------------------------------------------
+// MVCC vs reference visibility
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mvcc_visibility_matches_reference(
+        writes in proptest::collection::vec(1u64..100, 1..40),
+        read_ts in 0u64..120,
+    ) {
+        // Build a monotone timestamp sequence.
+        let mut ts_list: Vec<u64> = writes.clone();
+        ts_list.sort_unstable();
+        ts_list.dedup();
+
+        let mut store = VersionStore::new(1 << 20);
+        for &ts in &ts_list {
+            store.write(0, 7, 95, ts);
+        }
+        let result = store.read(0, 7, read_ts);
+
+        // Reference: versions newer than read_ts require walking back.
+        let newer = ts_list.iter().filter(|&&t| t > read_ts).count() as u32;
+        if newer == 0 {
+            prop_assert_eq!(result, VersionRead::Current);
+        } else {
+            prop_assert_eq!(result, VersionRead::Old { steps: newer });
+        }
+    }
+
+    #[test]
+    fn prune_never_breaks_reads_at_or_above_watermark(
+        n_versions in 2u64..30,
+        watermark in 1u64..40,
+    ) {
+        let mut store = VersionStore::new(1 << 20);
+        for ts in 1..=n_versions {
+            store.write(0, 1, 50, ts);
+        }
+        store.prune(watermark);
+        // Reads at the newest timestamp must resolve Current.
+        prop_assert_eq!(store.read(0, 1, n_versions), VersionRead::Current);
+        // Reads at the watermark (if versions remain) must not panic and
+        // must resolve to something sensible.
+        let r = store.read(0, 1, watermark.min(n_versions));
+        let ok = matches!(r, VersionRead::Current | VersionRead::Old { .. });
+        prop_assert!(ok);
+    }
+}

@@ -1,0 +1,562 @@
+//! Links, output ports with QoS disciplines, and routers.
+//!
+//! A full-duplex link has one *transmit port* per direction. The port
+//! owns the output queue of the upstream device: a plain deep FIFO for
+//! host NICs, or DSCP-classified queues with strict-priority scheduling,
+//! tail drop and an ECN marking threshold for router ports (the OPNET
+//! default behaviour for AF classes that the paper relies on).
+//!
+//! A router is a finite-rate forwarding engine (a single server with
+//! deterministic service time `1/forwarding_rate`) in front of its output
+//! ports — this is what saturates in the paper's Fig 8.
+
+use crate::packet::Packet;
+use crate::types::{DeviceId, HostId, LinkId};
+use dclue_sim::Duration;
+use std::collections::{HashMap, VecDeque};
+
+/// Queueing discipline of a transmit port. The paper's experiments use
+/// `Fifo` and `Priority` (OPNET's default AF treatment); `Wfq` is one of
+/// the diff-serv mechanisms the paper enumerates (§3.4) but leaves
+/// unexplored — provided here for the QoS design-space ablations.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Discipline {
+    /// Single FIFO, all classes share (host NICs, non-QoS routers).
+    Fifo,
+    /// Strict priority across DSCP classes (QoS-enabled router ports).
+    Priority,
+    /// Weighted fair queueing: byte-credit deficit round robin with the
+    /// given weight for class 0 (AF21); class 1 (best effort) gets the
+    /// complement. Approximates WFQ at packet granularity.
+    Wfq { af_weight: f64 },
+}
+
+/// Packet drop policy at a transmit port. The paper's routers "use
+/// simple tail-drop (instead of RED, WRED, etc.)"; RED is implemented
+/// for the design-space ablations.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum DropPolicy {
+    #[default]
+    TailDrop,
+    /// Random early detection: drop probability rises linearly from 0 at
+    /// `min_th` to `max_p` at `max_th` (queue length in packets),
+    /// dropping everything beyond `max_th`.
+    Red {
+        min_th: usize,
+        max_th: usize,
+        max_p: f64,
+    },
+}
+
+/// Per-port, per-class counters.
+#[derive(Debug, Default, Clone)]
+pub struct PortStats {
+    pub enqueued: u64,
+    pub dropped: u64,
+    pub ecn_marked: u64,
+    pub bytes_tx: u64,
+    pub pkts_tx: u64,
+    /// Accumulated transmitter busy time.
+    pub busy: Duration,
+}
+
+/// A transmit port: queue(s) + transmitter state for one link direction.
+#[derive(Debug)]
+pub struct TxPort {
+    pub discipline: Discipline,
+    pub drop_policy: DropPolicy,
+    queues: Vec<VecDeque<Packet>>,
+    /// Per-class capacity in packets (AF21 deeper than best effort).
+    caps: Vec<usize>,
+    /// Mark ECN-capable packets when the class queue is at/above this.
+    ecn_thresh: usize,
+    /// WFQ deficit counters in bytes, one per class.
+    credits: [f64; 2],
+    /// Class served last by WFQ (for round-robin restarts).
+    wfq_turn: usize,
+    /// Deterministic counter used by RED's drop decision.
+    red_seq: u64,
+    pub busy: bool,
+    pub stats: PortStats,
+}
+
+impl TxPort {
+    pub fn new(discipline: Discipline, cap: usize, ecn_thresh: usize) -> Self {
+        Self::with_drop_policy(discipline, cap, ecn_thresh, DropPolicy::TailDrop)
+    }
+
+    pub fn with_drop_policy(
+        discipline: Discipline,
+        cap: usize,
+        ecn_thresh: usize,
+        drop_policy: DropPolicy,
+    ) -> Self {
+        let (queues, caps) = match discipline {
+            Discipline::Fifo => (vec![VecDeque::new()], vec![cap]),
+            Discipline::Priority | Discipline::Wfq { .. } => (
+                vec![VecDeque::new(), VecDeque::new()],
+                // Higher AF class gets the deeper queue, per the paper.
+                vec![cap * 2, cap],
+            ),
+        };
+        TxPort {
+            discipline,
+            drop_policy,
+            queues,
+            caps,
+            ecn_thresh,
+            credits: [0.0; 2],
+            wfq_turn: 0,
+            red_seq: 0,
+            busy: false,
+            stats: PortStats::default(),
+        }
+    }
+
+    fn class_of(&self, p: &Packet) -> usize {
+        match self.discipline {
+            Discipline::Fifo => 0,
+            _ => p.dscp.priority_class(),
+        }
+    }
+
+    /// RED drop decision: deterministic low-discrepancy sampling (golden
+    /// ratio sequence) keeps whole-simulation runs reproducible.
+    fn red_drops(&mut self, qlen: usize) -> bool {
+        let DropPolicy::Red { min_th, max_th, max_p } = self.drop_policy else {
+            return false;
+        };
+        if qlen < min_th {
+            return false;
+        }
+        if qlen >= max_th {
+            return true;
+        }
+        let p = max_p * (qlen - min_th) as f64 / (max_th - min_th).max(1) as f64;
+        self.red_seq = self.red_seq.wrapping_add(1);
+        let u = (self.red_seq as f64 * 0.618_033_988_749_895).fract();
+        u < p
+    }
+
+    /// Enqueue with the configured drop policy and ECN marking. Returns
+    /// false if dropped.
+    pub fn enqueue(&mut self, mut p: Packet) -> bool {
+        let c = self.class_of(&p);
+        let qlen = self.queues[c].len();
+        if qlen >= self.caps[c] || self.red_drops(qlen) {
+            self.stats.dropped += 1;
+            return false;
+        }
+        if p.ect && self.queues[c].len() >= self.ecn_thresh {
+            p.ce = true;
+            self.stats.ecn_marked += 1;
+        }
+        self.queues[c].push_back(p);
+        self.stats.enqueued += 1;
+        true
+    }
+
+    /// Dequeue the next packet respecting the discipline.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        match self.discipline {
+            Discipline::Fifo | Discipline::Priority => {
+                for q in &mut self.queues {
+                    if let Some(p) = q.pop_front() {
+                        return Some(p);
+                    }
+                }
+                None
+            }
+            Discipline::Wfq { af_weight } => {
+                let w = [af_weight.clamp(0.01, 0.99), 1.0 - af_weight.clamp(0.01, 0.99)];
+                if self.queues.iter().all(|q| q.is_empty()) {
+                    self.credits = [0.0; 2];
+                    return None;
+                }
+                // Deficit round robin over non-empty classes: top up
+                // credits proportionally until one class can send.
+                const QUANTUM: f64 = 1600.0;
+                loop {
+                    for step in 0..2 {
+                        let c = (self.wfq_turn + step) % 2;
+                        if let Some(front) = self.queues[c].front() {
+                            if self.credits[c] >= front.wire_bytes() as f64 {
+                                let p = self.queues[c].pop_front().unwrap();
+                                self.credits[c] -= p.wire_bytes() as f64;
+                                self.wfq_turn = (c + 1) % 2;
+                                // Drain credit of empty queues so idle
+                                // classes don't hoard bandwidth.
+                                for cc in 0..2 {
+                                    if self.queues[cc].is_empty() {
+                                        self.credits[cc] = 0.0;
+                                    }
+                                }
+                                return Some(p);
+                            }
+                        }
+                    }
+                    for (c, weight) in w.iter().enumerate() {
+                        if !self.queues[c].is_empty() {
+                            self.credits[c] += QUANTUM * weight;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Update the WFQ weight at runtime (autonomic QoS controllers).
+    /// No-op for other disciplines.
+    pub fn set_af_weight(&mut self, w: f64) {
+        if let Discipline::Wfq { af_weight } = &mut self.discipline {
+            *af_weight = w.clamp(0.01, 0.99);
+        }
+    }
+}
+
+/// A full-duplex point-to-point link.
+#[derive(Debug)]
+pub struct Link {
+    pub id: LinkId,
+    pub a: DeviceId,
+    pub b: DeviceId,
+    pub bandwidth_bps: f64,
+    pub propagation: Duration,
+    /// Transmit ports: `[a->b, b->a]`.
+    pub ports: [TxPort; 2],
+}
+
+impl Link {
+    /// Transmission time of `bytes` on this link.
+    pub fn tx_time(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// The device at the far end of the given direction.
+    pub fn far(&self, forward: bool) -> DeviceId {
+        if forward {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    #[inline]
+    pub fn port(&mut self, forward: bool) -> &mut TxPort {
+        &mut self.ports[if forward { 0 } else { 1 }]
+    }
+}
+
+/// Router counters.
+#[derive(Debug, Default, Clone)]
+pub struct RouterStats {
+    pub forwarded: u64,
+    pub input_dropped: u64,
+    /// Time-integral of the input queue (for mean queue length).
+    pub busy: Duration,
+}
+
+/// A store-and-forward router with a finite forwarding rate.
+#[derive(Debug)]
+pub struct Router {
+    pub id: u32,
+    /// Deterministic per-packet forwarding service time.
+    pub service: Duration,
+    /// Output-port queueing/drop policy of this router.
+    pub policy: PortPolicy,
+    /// Input queue in front of the forwarding engine.
+    pub input: VecDeque<Packet>,
+    pub input_cap: usize,
+    /// Packet currently in the forwarding engine, if any.
+    pub in_service: Option<Packet>,
+    /// Static routes: destination host -> (link, direction).
+    pub routes: HashMap<HostId, (LinkId, bool)>,
+    pub stats: RouterStats,
+}
+
+impl Router {
+    pub fn new(id: u32, forwarding_rate_pps: f64, policy: PortPolicy) -> Self {
+        Router {
+            id,
+            service: Duration::from_secs_f64(1.0 / forwarding_rate_pps),
+            policy,
+            input: VecDeque::new(),
+            input_cap: 512,
+            in_service: None,
+            routes: HashMap::new(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Offer a packet to the forwarding engine. Returns `true` if the
+    /// engine was idle and service should be scheduled by the caller.
+    pub fn offer(&mut self, p: Packet) -> bool {
+        if self.in_service.is_none() {
+            self.in_service = Some(p);
+            true
+        } else if self.input.len() < self.input_cap {
+            self.input.push_back(p);
+            false
+        } else {
+            self.stats.input_dropped += 1;
+            false
+        }
+    }
+
+    /// Complete service of the current packet; returns it plus whether a
+    /// follow-up service completion should be scheduled.
+    pub fn complete(&mut self) -> (Option<Packet>, bool) {
+        let done = self.in_service.take();
+        if done.is_some() {
+            self.stats.forwarded += 1;
+        }
+        if let Some(next) = self.input.pop_front() {
+            self.in_service = Some(next);
+            (done, true)
+        } else {
+            (done, false)
+        }
+    }
+}
+
+/// Combined queueing + drop configuration for a router's output ports.
+#[derive(Clone, Copy, Debug)]
+pub struct PortPolicy {
+    pub discipline: Discipline,
+    pub drop: DropPolicy,
+}
+
+impl Default for PortPolicy {
+    fn default() -> Self {
+        PortPolicy {
+            discipline: Discipline::Fifo,
+            drop: DropPolicy::TailDrop,
+        }
+    }
+}
+
+/// A host's attachment point.
+#[derive(Debug, Clone, Copy)]
+pub struct HostPort {
+    pub link: LinkId,
+    /// True if the host is endpoint `a` of the link.
+    pub forward: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Dscp;
+    use crate::tcp::{Flags, Segment};
+    use crate::types::{ConnId, Side};
+
+    fn pkt(dscp: Dscp, ect: bool) -> Packet {
+        Packet {
+            src: HostId(0),
+            dst: HostId(1),
+            dscp,
+            ect,
+            ce: false,
+            seg: Segment {
+                conn: ConnId(0),
+                from: Side::Opener,
+                seq: 0,
+                ack: 0,
+                len: 100,
+                flags: Flags::ACK,
+                ece: false,
+                cwr: false,
+                sack: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_port_is_fifo() {
+        let mut p = TxPort::new(Discipline::Fifo, 10, 8);
+        for i in 0..3 {
+            let mut k = pkt(Dscp::BestEffort, false);
+            k.seg.seq = i;
+            assert!(p.enqueue(k));
+        }
+        assert_eq!(p.dequeue().unwrap().seg.seq, 0);
+        assert_eq!(p.dequeue().unwrap().seg.seq, 1);
+        assert_eq!(p.dequeue().unwrap().seg.seq, 2);
+        assert!(p.dequeue().is_none());
+    }
+
+    #[test]
+    fn priority_port_serves_af21_first() {
+        let mut p = TxPort::new(Discipline::Priority, 10, 8);
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert!(p.enqueue(pkt(Dscp::Af21, false)));
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert_eq!(p.dequeue().unwrap().dscp, Dscp::Af21);
+        assert_eq!(p.dequeue().unwrap().dscp, Dscp::BestEffort);
+    }
+
+    #[test]
+    fn tail_drop_at_capacity() {
+        let mut p = TxPort::new(Discipline::Fifo, 2, 100);
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert!(!p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert_eq!(p.stats.dropped, 1);
+    }
+
+    #[test]
+    fn af21_queue_is_deeper_under_priority() {
+        let mut p = TxPort::new(Discipline::Priority, 2, 100);
+        // Best effort cap = 2, AF21 cap = 4.
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert!(!p.enqueue(pkt(Dscp::BestEffort, false)));
+        for _ in 0..4 {
+            assert!(p.enqueue(pkt(Dscp::Af21, false)));
+        }
+        assert!(!p.enqueue(pkt(Dscp::Af21, false)));
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut p = TxPort::new(Discipline::Fifo, 10, 2);
+        assert!(p.enqueue(pkt(Dscp::BestEffort, true)));
+        assert!(p.enqueue(pkt(Dscp::BestEffort, true)));
+        assert!(p.enqueue(pkt(Dscp::BestEffort, true))); // queue len 2 >= 2
+        let a = p.dequeue().unwrap();
+        let b = p.dequeue().unwrap();
+        let c = p.dequeue().unwrap();
+        assert!(!a.ce && !b.ce && c.ce);
+        assert_eq!(p.stats.ecn_marked, 1);
+    }
+
+    #[test]
+    fn non_ect_packets_never_marked() {
+        let mut p = TxPort::new(Discipline::Fifo, 10, 0);
+        assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        assert!(!p.dequeue().unwrap().ce);
+    }
+
+    #[test]
+    fn link_tx_time() {
+        let l = Link {
+            id: LinkId(0),
+            a: DeviceId::Host(HostId(0)),
+            b: DeviceId::Router(0),
+            bandwidth_bps: 1e7,
+            propagation: Duration::from_micros(5),
+            ports: [
+                TxPort::new(Discipline::Fifo, 10, 8),
+                TxPort::new(Discipline::Fifo, 10, 8),
+            ],
+        };
+        // 1250 bytes at 10 Mb/s = 1 ms.
+        assert_eq!(l.tx_time(1250), Duration::from_millis(1));
+        assert_eq!(l.far(true), DeviceId::Router(0));
+        assert_eq!(l.far(false), DeviceId::Host(HostId(0)));
+    }
+
+    #[test]
+    fn router_engine_single_server() {
+        let mut r = Router::new(0, 10_000.0, PortPolicy::default());
+        assert!(r.offer(pkt(Dscp::BestEffort, false))); // engine idle
+        assert!(!r.offer(pkt(Dscp::BestEffort, false))); // queued
+        let (done, more) = r.complete();
+        assert!(done.is_some());
+        assert!(more); // second packet entered service
+        let (done2, more2) = r.complete();
+        assert!(done2.is_some());
+        assert!(!more2);
+        assert_eq!(r.stats.forwarded, 2);
+    }
+
+    #[test]
+    fn wfq_shares_bandwidth_by_weight() {
+        // 30 packets each class, AF weight 0.25: in any dequeue prefix
+        // the AF share should track ~25% (packet-size equal here).
+        let mut p = TxPort::new(Discipline::Wfq { af_weight: 0.25 }, 100, 1000);
+        for _ in 0..30 {
+            assert!(p.enqueue(pkt(Dscp::Af21, false)));
+            assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        }
+        let mut af = 0;
+        for i in 1..=20 {
+            if p.dequeue().unwrap().dscp == Dscp::Af21 {
+                af += 1;
+            }
+            let share = af as f64 / i as f64;
+            if i >= 8 {
+                assert!(share > 0.05 && share < 0.5, "share={share} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wfq_work_conserving_when_one_class_idle() {
+        let mut p = TxPort::new(Discipline::Wfq { af_weight: 0.9 }, 100, 1000);
+        for _ in 0..5 {
+            assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        }
+        // Only best effort queued: all five come out despite weight 0.1.
+        for _ in 0..5 {
+            assert_eq!(p.dequeue().unwrap().dscp, Dscp::BestEffort);
+        }
+        assert!(p.dequeue().is_none());
+    }
+
+    #[test]
+    fn red_drops_probabilistically_between_thresholds() {
+        let mut p = TxPort::with_drop_policy(
+            Discipline::Fifo,
+            1000,
+            10_000,
+            DropPolicy::Red {
+                min_th: 5,
+                max_th: 20,
+                max_p: 0.5,
+            },
+        );
+        let mut accepted = 0;
+        for _ in 0..40 {
+            if p.enqueue(pkt(Dscp::BestEffort, false)) {
+                accepted += 1;
+            }
+        }
+        // Everything below min_th accepted; everything at/after max_th
+        // dropped; in between some but not all dropped.
+        assert!(accepted >= 5, "{accepted}");
+        assert!(accepted <= 20, "{accepted}");
+        assert!(p.stats.dropped > 0);
+    }
+
+    #[test]
+    fn red_below_min_threshold_never_drops() {
+        let mut p = TxPort::with_drop_policy(
+            Discipline::Fifo,
+            1000,
+            10_000,
+            DropPolicy::Red {
+                min_th: 8,
+                max_th: 16,
+                max_p: 1.0,
+            },
+        );
+        for _ in 0..8 {
+            assert!(p.enqueue(pkt(Dscp::BestEffort, false)));
+        }
+    }
+
+    #[test]
+    fn router_input_overflow_drops() {
+        let mut r = Router::new(0, 10_000.0, PortPolicy::default());
+        r.input_cap = 1;
+        r.offer(pkt(Dscp::BestEffort, false)); // in service
+        r.offer(pkt(Dscp::BestEffort, false)); // queued
+        r.offer(pkt(Dscp::BestEffort, false)); // dropped
+        assert_eq!(r.stats.input_dropped, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! The unified Ethernet fabric model.
+//!
+//! This crate replaces the OPNET network infrastructure used by the
+//! original DCLUE study: full-duplex Ethernet links, store-and-forward
+//! routers with a finite forwarding rate and DSCP-aware output queues
+//! (strict priority + tail drop + optional ECN marking), and a
+//! segment-level TCP Reno implementation with slow start, congestion
+//! avoidance, fast retransmit/recovery, an RFC 2018 SACK scoreboard
+//! with hole-directed retransmission, RTO backoff and connection reset.
+//!
+//! The whole crate is a *pure state machine*: it never schedules into a
+//! global event queue. [`Network::handle`] consumes one [`NetEvent`] and
+//! appends follow-up events and app-level notifications to an
+//! [`dclue_sim::Outbox`]. The integration layer (`dclue-cluster`) wraps
+//! `NetEvent` into its global event enum.
+//!
+//! All traffic classes of the paper share this one fabric: IPC (cache
+//! fusion), iSCSI storage, client/server requests and FTP cross traffic —
+//! that is exactly the "unified fabric" hypothesis under study.
+
+pub mod device;
+pub mod network;
+pub mod packet;
+pub mod tcp;
+pub mod types;
+
+pub use network::{Network, NetworkBuilder};
+pub use packet::{Dscp, Packet};
+pub use types::{ConnId, DeviceId, HostId, LinkId, MsgId, NetEvent, NetNote};

@@ -1,0 +1,553 @@
+//! The assembled network: topology, routing and the event loop glue.
+//!
+//! [`NetworkBuilder`] constructs the lata/outer-router topology of the
+//! paper (or any point-to-point graph), computes static shortest-path
+//! routes, and yields a [`Network`]. The network is a pure state machine:
+//! [`Network::handle`] processes one [`NetEvent`] and emits follow-ups and
+//! [`NetNote`]s through the caller's outbox. Applications inject traffic
+//! with [`Network::open_connection`] / [`Network::send_message`] /
+//! [`Network::close_connection`].
+
+use crate::device::{Discipline, HostPort, Link, PortPolicy, Router, TxPort};
+use crate::packet::{Dscp, Packet};
+use crate::tcp::{Connection, TcpAppNote, TcpConfig, TcpOut, TimerKind};
+use crate::types::{ConnId, DeviceId, HostId, LinkId, MsgId, NetEvent, NetNote, Side};
+use dclue_sim::Outbox;
+use std::collections::HashMap;
+
+type NetOutbox = Outbox<NetEvent, NetNote>;
+
+/// Default queue capacity (packets) for host NIC ports.
+const HOST_QUEUE_CAP: usize = 1024;
+/// Default per-class queue capacity (packets) for router output ports.
+const ROUTER_QUEUE_CAP: usize = 96;
+/// ECN marking threshold (packets in the class queue).
+const ECN_THRESH: usize = 48;
+
+struct ConnEntry {
+    conn: Connection,
+    /// `[opener, acceptor]` hosts.
+    hosts: [HostId; 2],
+    dscp: Dscp,
+    ecn: bool,
+}
+
+/// The assembled fabric.
+pub struct Network {
+    links: Vec<Link>,
+    routers: Vec<Router>,
+    host_ports: Vec<HostPort>,
+    conns: HashMap<ConnId, ConnEntry>,
+    next_conn: u32,
+    /// Dead connections to reap after the current dispatch.
+    graveyard: Vec<ConnId>,
+    /// Aggregate count of packets that arrived at a host that was not the
+    /// destination (indicates a routing bug; must stay zero).
+    pub misrouted: u64,
+}
+
+impl Network {
+    // ------------------------------------------------------------------
+    // Application-facing API
+    // ------------------------------------------------------------------
+
+    /// Open a TCP connection from `opener` to `acceptor`. The SYN goes out
+    /// immediately; an [`NetNote::Established`] follows when the handshake
+    /// completes.
+    pub fn open_connection(
+        &mut self,
+        opener: HostId,
+        acceptor: HostId,
+        dscp: Dscp,
+        cfg: TcpConfig,
+        ob: &mut NetOutbox,
+    ) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let ecn = cfg.ecn;
+        let mut conn = Connection::new(id, cfg);
+        let mut out = TcpOut::new();
+        conn.open(ob.now(), &mut out);
+        self.conns.insert(
+            id,
+            ConnEntry {
+                conn,
+                hosts: [opener, acceptor],
+                dscp,
+                ecn,
+            },
+        );
+        self.absorb_tcp(id, out, ob);
+        id
+    }
+
+    /// Queue a framed message on an open connection.
+    pub fn send_message(
+        &mut self,
+        conn: ConnId,
+        side: Side,
+        msg: MsgId,
+        bytes: u64,
+        ob: &mut NetOutbox,
+    ) {
+        let Some(entry) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let mut out = TcpOut::new();
+        entry.conn.send_msg(side, msg, bytes, ob.now(), &mut out);
+        self.absorb_tcp(conn, out, ob);
+    }
+
+    /// Begin a graceful close from `side`.
+    pub fn close_connection(&mut self, conn: ConnId, side: Side, ob: &mut NetOutbox) {
+        let Some(entry) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let mut out = TcpOut::new();
+        entry.conn.close(side, ob.now(), &mut out);
+        self.absorb_tcp(conn, out, ob);
+        self.reap();
+    }
+
+    /// Abort a connection (RST).
+    pub fn abort_connection(&mut self, conn: ConnId, ob: &mut NetOutbox) {
+        let Some(entry) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let mut out = TcpOut::new();
+        entry.conn.abort(&mut out);
+        self.absorb_tcp(conn, out, ob);
+        self.reap();
+    }
+
+    /// Bytes queued by `side` but not yet transmitted (diagnostics).
+    pub fn backlog(&self, conn: ConnId, side: Side) -> u64 {
+        self.conns
+            .get(&conn)
+            .map(|e| e.conn.backlog(side))
+            .unwrap_or(0)
+    }
+
+    pub fn active_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    /// Process one network event.
+    pub fn handle(&mut self, ev: NetEvent, ob: &mut NetOutbox) {
+        match ev {
+            NetEvent::Arrive { device, packet } => match device {
+                DeviceId::Host(h) => self.host_receive(h, packet, ob),
+                DeviceId::Router(r) => self.router_receive(r, packet, ob),
+            },
+            NetEvent::TxDone { link, forward } => self.tx_done(link, forward, ob),
+            NetEvent::ForwardDone { router } => self.forward_done(router, ob),
+            NetEvent::RtxTimer { conn, side, gen } => {
+                if let Some(entry) = self.conns.get_mut(&conn) {
+                    let mut out = TcpOut::new();
+                    entry.conn.on_rtx_timer(side, gen, ob.now(), &mut out);
+                    self.absorb_tcp(conn, out, ob);
+                }
+            }
+            NetEvent::AckTimer { conn, side, gen } => {
+                if let Some(entry) = self.conns.get_mut(&conn) {
+                    let mut out = TcpOut::new();
+                    entry.conn.on_ack_timer(side, gen, ob.now(), &mut out);
+                    self.absorb_tcp(conn, out, ob);
+                }
+            }
+            NetEvent::ConnTimer { conn, gen } => {
+                if let Some(entry) = self.conns.get_mut(&conn) {
+                    let mut out = TcpOut::new();
+                    entry.conn.on_conn_timer(gen, ob.now(), &mut out);
+                    self.absorb_tcp(conn, out, ob);
+                }
+            }
+        }
+        self.reap();
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn host_receive(&mut self, host: HostId, packet: Packet, ob: &mut NetOutbox) {
+        if packet.dst != host {
+            self.misrouted += 1;
+            return;
+        }
+        let conn_id = packet.seg.conn;
+        let Some(entry) = self.conns.get_mut(&conn_id) else {
+            return; // stale segment for a reaped connection
+        };
+        // Which side of the connection is this host?
+        let side = if entry.hosts[Side::Acceptor.index()] == host
+            && packet.seg.from == Side::Opener
+        {
+            Side::Acceptor
+        } else {
+            Side::Opener
+        };
+        if packet.seg.len > 0 {
+            ob.notify(NetNote::SegmentsReceived {
+                host,
+                segments: 1,
+                bytes: packet.seg.len,
+            });
+        }
+        let mut out = TcpOut::new();
+        entry
+            .conn
+            .on_segment(side, &packet.seg, packet.ce, ob.now(), &mut out);
+        self.absorb_tcp(conn_id, out, ob);
+    }
+
+    fn router_receive(&mut self, router: u32, packet: Packet, ob: &mut NetOutbox) {
+        let r = &mut self.routers[router as usize];
+        if r.offer(packet) {
+            ob.schedule(r.service, NetEvent::ForwardDone { router });
+        }
+    }
+
+    fn forward_done(&mut self, router: u32, ob: &mut NetOutbox) {
+        let r = &mut self.routers[router as usize];
+        let (done, more) = r.complete();
+        if more {
+            ob.schedule(r.service, NetEvent::ForwardDone { router });
+        }
+        if let Some(p) = done {
+            let route = self.routers[router as usize].routes.get(&p.dst).copied();
+            match route {
+                Some((link, forward)) => self.transmit(link, forward, p, ob),
+                None => self.misrouted += 1,
+            }
+        }
+    }
+
+    /// Enqueue a packet on a link's transmit port, starting the
+    /// transmitter if idle.
+    fn transmit(&mut self, link: LinkId, forward: bool, p: Packet, ob: &mut NetOutbox) {
+        let l = &mut self.links[link.0 as usize];
+        let port = l.port(forward);
+        if !port.enqueue(p) {
+            return; // tail-dropped
+        }
+        if !port.busy {
+            port.busy = true;
+            Self::start_tx(l, link, forward, ob);
+        }
+    }
+
+    /// Pop the next packet and put it on the wire.
+    fn start_tx(l: &mut Link, link: LinkId, forward: bool, ob: &mut NetOutbox) {
+        let Some(p) = l.port(forward).dequeue() else {
+            l.port(forward).busy = false;
+            return;
+        };
+        let tx = l.tx_time(p.wire_bytes());
+        let far = l.far(forward);
+        {
+            let port = l.port(forward);
+            port.stats.bytes_tx += p.wire_bytes();
+            port.stats.pkts_tx += 1;
+            port.stats.busy += tx;
+        }
+        ob.schedule(tx + l.propagation, NetEvent::Arrive { device: far, packet: p });
+        ob.schedule(tx, NetEvent::TxDone { link, forward });
+    }
+
+    fn tx_done(&mut self, link: LinkId, forward: bool, ob: &mut NetOutbox) {
+        let l = &mut self.links[link.0 as usize];
+        Self::start_tx(l, link, forward, ob);
+    }
+
+    /// Convert TCP outputs into packets, timers and app notes.
+    fn absorb_tcp(&mut self, conn_id: ConnId, out: TcpOut, ob: &mut NetOutbox) {
+        let Some(entry) = self.conns.get(&conn_id) else {
+            return;
+        };
+        let hosts = entry.hosts;
+        let dscp = entry.dscp;
+        let ect = entry.ecn;
+        let dead = entry.conn.is_dead();
+
+        for seg in out.segs {
+            let src = hosts[seg.from.index()];
+            let dst = hosts[seg.from.other().index()];
+            let packet = Packet {
+                src,
+                dst,
+                dscp,
+                ect,
+                ce: false,
+                seg,
+            };
+            let hp = self.host_ports[src.0 as usize];
+            self.transmit(hp.link, hp.forward, packet, ob);
+        }
+        for t in out.timers {
+            let ev = match t.kind {
+                TimerKind::Rtx(side) => NetEvent::RtxTimer {
+                    conn: conn_id,
+                    side,
+                    gen: t.gen,
+                },
+                TimerKind::DelAck(side) => NetEvent::AckTimer {
+                    conn: conn_id,
+                    side,
+                    gen: t.gen,
+                },
+                TimerKind::Conn => NetEvent::ConnTimer {
+                    conn: conn_id,
+                    gen: t.gen,
+                },
+            };
+            ob.schedule(t.delay, ev);
+        }
+        for note in out.notes {
+            let n = match note {
+                TcpAppNote::Established => NetNote::Established { conn: conn_id },
+                TcpAppNote::MessageDelivered {
+                    side,
+                    msg,
+                    bytes,
+                    sent_at,
+                } => NetNote::MessageDelivered {
+                    conn: conn_id,
+                    side,
+                    msg,
+                    bytes,
+                    sent_at,
+                },
+                TcpAppNote::Reset => NetNote::Reset { conn: conn_id },
+                TcpAppNote::Closed => NetNote::Closed { conn: conn_id },
+            };
+            ob.notify(n);
+        }
+        if dead {
+            self.graveyard.push(conn_id);
+        }
+    }
+
+    fn reap(&mut self) {
+        for id in self.graveyard.drain(..) {
+            self.conns.remove(&id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for experiment harnesses
+    // ------------------------------------------------------------------
+
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    pub fn router(&self, id: u32) -> &Router {
+        &self.routers[id as usize]
+    }
+
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// The link a host hangs off.
+    pub fn host_uplink(&self, host: HostId) -> LinkId {
+        self.host_ports[host.0 as usize].link
+    }
+
+    /// Update the AF-class weight of every WFQ port in the fabric
+    /// (autonomic QoS control). Ports with other disciplines ignore it.
+    pub fn set_af_weight(&mut self, w: f64) {
+        for l in &mut self.links {
+            l.ports[0].set_af_weight(w);
+            l.ports[1].set_af_weight(w);
+        }
+    }
+}
+
+/// Incrementally describes a topology, then computes routes.
+pub struct NetworkBuilder {
+    hosts: Vec<Option<(u32, f64, dclue_sim::Duration)>>, // (router, bw, prop)
+    routers: Vec<(f64, PortPolicy)>,                     // (fwd rate pps, policy)
+    router_links: Vec<(u32, u32, f64, dclue_sim::Duration)>,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkBuilder {
+    pub fn new() -> Self {
+        NetworkBuilder {
+            hosts: Vec::new(),
+            routers: Vec::new(),
+            router_links: Vec::new(),
+        }
+    }
+
+    /// Add a router with the given forwarding rate (packets/second) and
+    /// the default FIFO/tail-drop port policy.
+    pub fn router(&mut self, forwarding_rate_pps: f64, qos: bool) -> u32 {
+        let policy = PortPolicy {
+            discipline: if qos {
+                Discipline::Priority
+            } else {
+                Discipline::Fifo
+            },
+            drop: Default::default(),
+        };
+        self.router_with_policy(forwarding_rate_pps, policy)
+    }
+
+    /// Add a router with an explicit output-port policy (WFQ, RED, ...).
+    pub fn router_with_policy(&mut self, forwarding_rate_pps: f64, policy: PortPolicy) -> u32 {
+        self.routers.push((forwarding_rate_pps, policy));
+        (self.routers.len() - 1) as u32
+    }
+
+    /// Add a host attached to `router` over a link with the given
+    /// bandwidth (bit/s) and propagation delay.
+    pub fn host(
+        &mut self,
+        router: u32,
+        bandwidth_bps: f64,
+        propagation: dclue_sim::Duration,
+    ) -> HostId {
+        self.hosts.push(Some((router, bandwidth_bps, propagation)));
+        HostId((self.hosts.len() - 1) as u32)
+    }
+
+    /// Connect two routers.
+    pub fn trunk(
+        &mut self,
+        a: u32,
+        b: u32,
+        bandwidth_bps: f64,
+        propagation: dclue_sim::Duration,
+    ) {
+        self.router_links.push((a, b, bandwidth_bps, propagation));
+    }
+
+    /// Freeze the topology: create links, run BFS per router to build
+    /// next-hop tables, and return the network.
+    pub fn build(self) -> Network {
+        let nr = self.routers.len();
+        let mut links: Vec<Link> = Vec::new();
+        let mut host_ports: Vec<HostPort> = Vec::new();
+        let mut routers: Vec<Router> = self
+            .routers
+            .iter()
+            .enumerate()
+            .map(|(i, &(rate, policy))| Router::new(i as u32, rate, policy))
+            .collect();
+
+        // Adjacency among routers: (neighbor, link, forward-from-self).
+        let mut adj: Vec<Vec<(u32, LinkId, bool)>> = vec![Vec::new(); nr];
+        // Hosts directly attached to each router.
+        let mut attached: Vec<Vec<(HostId, LinkId, bool)>> = vec![Vec::new(); nr];
+
+        for (hi, spec) in self.hosts.iter().enumerate() {
+            let (r, bw, prop) = spec.expect("host spec");
+            let host = HostId(hi as u32);
+            let id = LinkId(links.len() as u32);
+            let policy = routers[r as usize].policy;
+            links.push(Link {
+                id,
+                a: DeviceId::Host(host),
+                b: DeviceId::Router(r),
+                bandwidth_bps: bw,
+                propagation: prop,
+                ports: [
+                    // host -> router: host NIC FIFO
+                    TxPort::new(Discipline::Fifo, HOST_QUEUE_CAP, ECN_THRESH),
+                    // router -> host: router output port
+                    TxPort::with_drop_policy(
+                        policy.discipline,
+                        ROUTER_QUEUE_CAP,
+                        ECN_THRESH,
+                        policy.drop,
+                    ),
+                ],
+            });
+            host_ports.push(HostPort { link: id, forward: true });
+            attached[r as usize].push((host, id, false)); // router sends "backward"
+        }
+
+        for &(a, b, bw, prop) in &self.router_links {
+            let id = LinkId(links.len() as u32);
+            let pa = routers[a as usize].policy;
+            let pb = routers[b as usize].policy;
+            links.push(Link {
+                id,
+                a: DeviceId::Router(a),
+                b: DeviceId::Router(b),
+                bandwidth_bps: bw,
+                propagation: prop,
+                ports: [
+                    TxPort::with_drop_policy(pa.discipline, ROUTER_QUEUE_CAP, ECN_THRESH, pa.drop),
+                    TxPort::with_drop_policy(pb.discipline, ROUTER_QUEUE_CAP, ECN_THRESH, pb.drop),
+                ],
+            });
+            adj[a as usize].push((b, id, true));
+            adj[b as usize].push((a, id, false));
+        }
+
+        // Routes: for each router, BFS over the router graph to find the
+        // first hop towards every other router; hosts map to the route of
+        // their attachment router (or the direct link).
+        for r in 0..nr {
+            // Direct hosts.
+            for &(host, link, forward) in &attached[r] {
+                routers[r].routes.insert(host, (link, forward));
+            }
+            // BFS.
+            let mut first_hop: Vec<Option<(LinkId, bool)>> = vec![None; nr];
+            let mut visited = vec![false; nr];
+            let mut queue = std::collections::VecDeque::new();
+            visited[r] = true;
+            for &(n, link, fwd) in &adj[r] {
+                if !visited[n as usize] {
+                    visited[n as usize] = true;
+                    first_hop[n as usize] = Some((link, fwd));
+                    queue.push_back(n as usize);
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                for &(n, _link, _fwd) in &adj[u] {
+                    if !visited[n as usize] {
+                        visited[n as usize] = true;
+                        first_hop[n as usize] = first_hop[u];
+                        queue.push_back(n as usize);
+                    }
+                }
+            }
+            for (other, hop) in first_hop.iter().enumerate() {
+                if let Some(hop) = hop {
+                    for &(host, _, _) in &attached[other] {
+                        routers[r].routes.insert(host, *hop);
+                    }
+                }
+            }
+        }
+
+        Network {
+            links,
+            routers,
+            host_ports,
+            conns: HashMap::new(),
+            next_conn: 0,
+            graveyard: Vec::new(),
+            misrouted: 0,
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Packets and DSCP traffic classes.
+
+use crate::tcp::Segment;
+use crate::types::HostId;
+
+/// Differentiated-services code points used in the study.
+///
+/// The paper's QoS experiments use two arrangements: everything
+/// best-effort, or FTP cross traffic promoted to AF21 (which, in the
+/// OPNET default the paper relies on, means priority treatment and a
+/// deeper queue at the routers). We model exactly that.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Dscp {
+    /// Default forwarding.
+    #[default]
+    BestEffort,
+    /// Assured forwarding 2x — treated as strictly higher priority with a
+    /// deeper router queue, matching the OPNET default the paper cites.
+    Af21,
+}
+
+impl Dscp {
+    /// Queue index at a QoS-enabled output port (0 = highest priority).
+    #[inline]
+    pub fn priority_class(self) -> usize {
+        match self {
+            Dscp::Af21 => 0,
+            Dscp::BestEffort => 1,
+        }
+    }
+
+    pub const CLASSES: usize = 2;
+}
+
+/// Per-packet protocol overhead in bytes: Ethernet (14 + 4 FCS + 8
+/// preamble + 12 IFG equivalent) + IP (20) + TCP (20).
+pub const HEADER_BYTES: u64 = 78;
+
+/// A TCP/IP packet in flight. Payload content is never materialised —
+/// only lengths and sequence ranges matter to the model.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    pub src: HostId,
+    pub dst: HostId,
+    pub dscp: Dscp,
+    /// ECN-capable transport (set for all TCP traffic when ECN enabled).
+    pub ect: bool,
+    /// Congestion-experienced mark set by a router.
+    pub ce: bool,
+    pub seg: Segment,
+}
+
+impl Packet {
+    /// Total wire size including all protocol overhead.
+    #[inline]
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + self.seg.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{Flags, Segment};
+    use crate::types::{ConnId, Side};
+
+    fn seg(len: u64) -> Segment {
+        Segment {
+            conn: ConnId(0),
+            from: Side::Opener,
+            seq: 0,
+            ack: 0,
+            len,
+            flags: Flags::ACK,
+            ece: false,
+            cwr: false,
+            sack: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn wire_size_includes_headers() {
+        let p = Packet {
+            src: HostId(0),
+            dst: HostId(1),
+            dscp: Dscp::BestEffort,
+            ect: false,
+            ce: false,
+            seg: seg(1460),
+        };
+        assert_eq!(p.wire_bytes(), 1460 + HEADER_BYTES);
+    }
+
+    #[test]
+    fn af21_outranks_best_effort() {
+        assert!(Dscp::Af21.priority_class() < Dscp::BestEffort.priority_class());
+    }
+}

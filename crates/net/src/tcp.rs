@@ -1,0 +1,1587 @@
+//! Segment-level TCP, Reno/NewReno flavour, as used by DCLUE.
+//!
+//! The paper configures OPNET's TCP as "Reno, SACK enabled, ECN enabled,
+//! timer values reduced by 100x for the data center". We implement:
+//!
+//! * three-way handshake with SYN retransmission,
+//! * slow start / congestion avoidance (byte-counted cwnd),
+//! * fast retransmit on 3 dup-ACKs and NewReno partial-ACK recovery
+//!   (hole-by-hole retransmission, which is the behavioural effect of
+//!   SACK for the message sizes in this study),
+//! * Jacobson/Karn RTT estimation with exponential RTO backoff,
+//! * delayed ACKs (every 2nd segment or a timer),
+//! * ECN: CE-marked packets echo ECE until the sender responds with CWR,
+//!   halving cwnd at most once per round trip,
+//! * connection reset after a configurable number of retransmissions
+//!   (the paper bumps this very high for IPC connections),
+//! * graceful FIN close.
+//!
+//! Payload bytes are never materialised; the connection carries *framed
+//! messages* — `(MsgId, length)` pairs — and the receiver reports a
+//! message as delivered when its last byte is acknowledged in order.
+//! This is how IPC control/data messages, iSCSI PDUs and client/server
+//! requests all ride the same stream.
+//!
+//! The module is pure: every entry point appends outgoing segments, timer
+//! requests and app notes to a [`TcpOut`] provided by the caller.
+
+use crate::types::{ConnId, MsgId, Side};
+use dclue_sim::{Duration, SimTime};
+use std::collections::VecDeque;
+
+/// TCP header flags (only the ones the model uses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Flags(pub u8);
+
+impl Flags {
+    pub const SYN: Flags = Flags(0b0001);
+    pub const ACK: Flags = Flags(0b0010);
+    pub const FIN: Flags = Flags(0b0100);
+    pub const RST: Flags = Flags(0b1000);
+
+    #[inline]
+    pub fn has(self, f: Flags) -> bool {
+        self.0 & f.0 != 0
+    }
+
+    #[inline]
+    pub fn with(self, f: Flags) -> Flags {
+        Flags(self.0 | f.0)
+    }
+}
+
+/// One TCP segment. Sequence numbers are abstract u64 (no wraparound).
+#[derive(Clone, Debug)]
+pub struct Segment {
+    pub conn: ConnId,
+    /// Which endpoint sent this segment.
+    pub from: Side,
+    pub seq: u64,
+    pub ack: u64,
+    /// Payload length in bytes (0 for pure ACKs; SYN/FIN occupy one
+    /// sequence number but carry `len == 0`).
+    pub len: u64,
+    pub flags: Flags,
+    /// ECN-echo: receiver saw a CE mark.
+    pub ece: bool,
+    /// Congestion-window-reduced: sender response to ECE.
+    pub cwr: bool,
+    /// SACK blocks: out-of-order `[start, end)` ranges held by the
+    /// receiver (up to 3, most recent first), RFC 2018 style.
+    pub sack: Vec<(u64, u64)>,
+}
+
+/// Timer kinds a connection can request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// Retransmission timeout for `side`.
+    Rtx(Side),
+    /// Delayed-ACK timer for `side`.
+    DelAck(Side),
+    /// Connection-establishment (SYN) retransmission timer.
+    Conn,
+}
+
+/// A timer request: arm `kind` (with generation `gen`) after `delay`.
+#[derive(Clone, Copy, Debug)]
+pub struct TimerReq {
+    pub kind: TimerKind,
+    pub gen: u64,
+    pub delay: Duration,
+}
+
+/// App-level notes produced by the connection state machine.
+#[derive(Debug, PartialEq)]
+pub enum TcpAppNote {
+    Established,
+    /// `msg` fully arrived in order at `side`.
+    MessageDelivered {
+        side: Side,
+        msg: MsgId,
+        bytes: u64,
+        sent_at: SimTime,
+    },
+    Reset,
+    Closed,
+}
+
+/// Output sink for one TCP entry point invocation.
+#[derive(Debug, Default)]
+pub struct TcpOut {
+    pub segs: Vec<Segment>,
+    pub timers: Vec<TimerReq>,
+    pub notes: Vec<TcpAppNote>,
+}
+
+impl TcpOut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Connection tuning parameters.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u64,
+    /// Peer receive window (fixed; apps drain instantly in the model).
+    pub rwnd: u64,
+    /// Initial congestion window in segments.
+    pub init_cwnd_segs: u64,
+    /// Initial slow-start threshold in bytes.
+    pub init_ssthresh: u64,
+    /// Minimum retransmission timeout.
+    pub min_rto: Duration,
+    /// Maximum retransmission timeout.
+    pub max_rto: Duration,
+    /// Delayed-ACK timer.
+    pub delack: Duration,
+    /// Abort the connection after this many consecutive retransmissions
+    /// of the same data. The paper sets this very high for IPC
+    /// connections to avoid resets under stress.
+    pub max_retrans: u32,
+    /// Maximum SYN retransmissions before giving up.
+    pub max_syn_retrans: u32,
+    /// ECN enabled for this connection.
+    pub ecn: bool,
+    /// Selective acknowledgements (RFC 2018): the sender repairs exact
+    /// holes instead of NewReno's one-hole-per-RTT. The paper runs with
+    /// SACK enabled.
+    pub sack: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            rwnd: 64 * 1024,
+            init_cwnd_segs: 2,
+            init_ssthresh: 64 * 1024,
+            // Standard values / 100, per the paper's data-center scaling.
+            // (The cluster config multiplies them back up by the global
+            // scale factor.)
+            min_rto: Duration::from_millis(2),
+            max_rto: Duration::from_secs(1),
+            delack: Duration::from_micros(400),
+            max_retrans: 8,
+            max_syn_retrans: 5,
+            ecn: true,
+            sack: true,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConnState {
+    /// Opener: SYN sent, waiting for SYN-ACK. Acceptor: nothing yet.
+    Opening,
+    Established,
+    /// FIN sent locally (may still receive).
+    Closing,
+    /// Fully closed or aborted.
+    Dead,
+}
+
+/// A framed message in the send stream: delivered when `end_seq` is
+/// acknowledged contiguously at the receiver.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    msg: MsgId,
+    end_seq: u64,
+    len: u64,
+    sent_at: SimTime,
+}
+
+/// Per-endpoint state (each connection has two).
+#[derive(Debug)]
+struct Endpoint {
+    state: ConnState,
+    // ---- send side ----
+    snd_una: u64,
+    snd_nxt: u64,
+    /// End of application data queued for sending (stream offset).
+    snd_end: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    in_recovery: bool,
+    /// NewReno: snd_nxt at loss detection; recovery ends when acked past.
+    recover: u64,
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: Duration,
+    rtx_gen: u64,
+    rtx_armed: bool,
+    retrans_count: u32,
+    /// Outstanding RTT probe: (sequence that must be acked, send time).
+    rtt_probe: Option<(u64, SimTime)>,
+    /// Framing of messages this endpoint is sending.
+    frames: VecDeque<Frame>,
+    /// FIN: sequence number the FIN occupies once data is flushed.
+    fin_queued: bool,
+    fin_seq: Option<u64>,
+    fin_acked: bool,
+    // ---- receive side ----
+    rcv_nxt: u64,
+    /// Out-of-order received intervals `[start, end)`, disjoint, sorted.
+    ooo: Vec<(u64, u64)>,
+    /// Sender-side SACK scoreboard: peer-held intervals above snd_una.
+    sacked: Vec<(u64, u64)>,
+    delack_count: u32,
+    delack_gen: u64,
+    delack_armed: bool,
+    peer_fin: Option<u64>,
+    // ---- ECN ----
+    /// Must echo ECE in outgoing ACKs until peer sends CWR.
+    ece_pending: bool,
+    /// Ignore further ECE until snd_una passes this point (once per RTT).
+    ecn_recover: u64,
+    /// Send CWR on the next data segment.
+    cwr_pending: bool,
+}
+
+impl Endpoint {
+    fn new(cfg: &TcpConfig) -> Self {
+        Endpoint {
+            state: ConnState::Opening,
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_end: 1, // data starts after the SYN sequence slot
+            cwnd: (cfg.init_cwnd_segs * cfg.mss) as f64,
+            ssthresh: cfg.init_ssthresh as f64,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: Duration::from_millis(10),
+            rtx_gen: 0,
+            rtx_armed: false,
+            retrans_count: 0,
+            rtt_probe: None,
+            frames: VecDeque::new(),
+            fin_queued: false,
+            fin_seq: None,
+            fin_acked: false,
+            rcv_nxt: 0,
+            ooo: Vec::new(),
+            sacked: Vec::new(),
+            delack_count: 0,
+            delack_gen: 0,
+            delack_armed: false,
+            peer_fin: None,
+            ece_pending: false,
+            ecn_recover: 0,
+            cwr_pending: false,
+        }
+    }
+
+    #[inline]
+    fn flight(&self) -> u64 {
+        self.snd_nxt.saturating_sub(self.snd_una)
+    }
+}
+
+/// Counters a connection accumulates over its lifetime.
+#[derive(Debug, Default, Clone)]
+pub struct TcpStats {
+    pub segs_sent: u64,
+    pub segs_retransmitted: u64,
+    pub timeouts: u64,
+    pub fast_retransmits: u64,
+    pub ecn_reductions: u64,
+    pub bytes_sent: u64,
+}
+
+/// A bidirectional TCP connection between two endpoints.
+#[derive(Debug)]
+pub struct Connection {
+    pub id: ConnId,
+    cfg: TcpConfig,
+    ends: [Endpoint; 2],
+    syn_retrans: u32,
+    conn_gen: u64,
+    established: bool,
+    pub stats: TcpStats,
+}
+
+impl Connection {
+    pub fn new(id: ConnId, cfg: TcpConfig) -> Self {
+        let ends = [Endpoint::new(&cfg), Endpoint::new(&cfg)];
+        Connection {
+            id,
+            cfg,
+            ends,
+            syn_retrans: 0,
+            conn_gen: 0,
+            established: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    #[inline]
+    fn ep(&mut self, side: Side) -> &mut Endpoint {
+        &mut self.ends[side.index()]
+    }
+
+    /// True once the connection may be reaped by the owner.
+    pub fn is_dead(&self) -> bool {
+        self.ends[0].state == ConnState::Dead && self.ends[1].state == ConnState::Dead
+    }
+
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+
+    /// Bytes queued but not yet sent by `side` (diagnostics).
+    pub fn backlog(&self, side: Side) -> u64 {
+        let e = &self.ends[side.index()];
+        e.snd_end.saturating_sub(e.snd_nxt)
+    }
+
+    // ---------------------------------------------------------------
+    // Entry points
+    // ---------------------------------------------------------------
+
+    /// Opener kicks off the three-way handshake.
+    pub fn open(&mut self, now: SimTime, out: &mut TcpOut) {
+        let _ = now;
+        self.send_syn(out);
+        self.conn_gen += 1;
+        let gen = self.conn_gen;
+        out.timers.push(TimerReq {
+            kind: TimerKind::Conn,
+            gen,
+            delay: Duration::from_millis(10).max(self.cfg.min_rto * 4),
+        });
+    }
+
+    fn send_syn(&mut self, out: &mut TcpOut) {
+        let id = self.id;
+        out.segs.push(Segment {
+            conn: id,
+            from: Side::Opener,
+            seq: 0,
+            ack: 0,
+            len: 0,
+            flags: Flags::SYN,
+            ece: false,
+            cwr: false,
+            sack: Vec::new(),
+        });
+        self.stats.segs_sent += 1;
+    }
+
+    /// Queue a framed application message for transmission by `side`.
+    pub fn send_msg(
+        &mut self,
+        side: Side,
+        msg: MsgId,
+        bytes: u64,
+        now: SimTime,
+        out: &mut TcpOut,
+    ) {
+        assert!(bytes > 0, "empty messages are not framable");
+        let established = self.established;
+        let e = self.ep(side);
+        if e.state == ConnState::Dead {
+            return;
+        }
+        e.snd_end += bytes;
+        let end_seq = e.snd_end;
+        e.frames.push_back(Frame {
+            msg,
+            end_seq,
+            len: bytes,
+            sent_at: now,
+        });
+        if established {
+            self.pump(side, now, out);
+        }
+    }
+
+    /// Graceful close from `side`: flush pending data then FIN.
+    pub fn close(&mut self, side: Side, now: SimTime, out: &mut TcpOut) {
+        let e = self.ep(side);
+        if e.state == ConnState::Dead || e.fin_queued {
+            return;
+        }
+        e.fin_queued = true;
+        if e.state == ConnState::Established {
+            e.state = ConnState::Closing;
+        }
+        self.pump(side, now, out);
+    }
+
+    /// Abort immediately (sends RST; both directions die).
+    pub fn abort(&mut self, out: &mut TcpOut) {
+        if self.is_dead() {
+            return;
+        }
+        let id = self.id;
+        out.segs.push(Segment {
+            conn: id,
+            from: Side::Opener,
+            seq: self.ends[0].snd_nxt,
+            ack: 0,
+            len: 0,
+            flags: Flags::RST,
+            ece: false,
+            cwr: false,
+            sack: Vec::new(),
+        });
+        self.ends[0].state = ConnState::Dead;
+        self.ends[1].state = ConnState::Dead;
+        out.notes.push(TcpAppNote::Reset);
+    }
+
+    /// Handle the connection-establishment timer (SYN retransmit).
+    pub fn on_conn_timer(&mut self, gen: u64, now: SimTime, out: &mut TcpOut) {
+        let _ = now;
+        if gen != self.conn_gen || self.established || self.is_dead() {
+            return;
+        }
+        self.syn_retrans += 1;
+        if self.syn_retrans > self.cfg.max_syn_retrans {
+            self.ends[0].state = ConnState::Dead;
+            self.ends[1].state = ConnState::Dead;
+            out.notes.push(TcpAppNote::Reset);
+            return;
+        }
+        self.send_syn(out);
+        self.stats.segs_retransmitted += 1;
+        self.conn_gen += 1;
+        let gen = self.conn_gen;
+        let backoff = Duration::from_millis(10).max(self.cfg.min_rto * 4) * (1 << self.syn_retrans.min(6)) as u64;
+        out.timers.push(TimerReq {
+            kind: TimerKind::Conn,
+            gen,
+            delay: backoff.min(self.cfg.max_rto),
+        });
+    }
+
+    /// Handle an arriving segment at `side` (i.e. `seg.from == side.other()`).
+    /// `ce` is true if the packet carried an ECN congestion mark.
+    pub fn on_segment(&mut self, side: Side, seg: &Segment, ce: bool, now: SimTime, out: &mut TcpOut) {
+        debug_assert_eq!(seg.from, side.other());
+        if self.ends[side.index()].state == ConnState::Dead {
+            return;
+        }
+        if seg.flags.has(Flags::RST) {
+            self.ends[0].state = ConnState::Dead;
+            self.ends[1].state = ConnState::Dead;
+            out.notes.push(TcpAppNote::Reset);
+            return;
+        }
+
+        // --- handshake ---
+        if seg.flags.has(Flags::SYN) {
+            self.handle_syn(side, seg, now, out);
+            return;
+        }
+
+        if ce && self.cfg.ecn {
+            self.ep(side).ece_pending = true;
+        }
+        if seg.cwr {
+            self.ep(side).ece_pending = false;
+        }
+
+        let mut need_ack = false;
+
+        // --- receive path: new data / FIN ---
+        if seg.len > 0 || seg.flags.has(Flags::FIN) {
+            need_ack = self.receive_data(side, seg, now, out);
+        }
+
+        // --- send path: process the ACK field ---
+        if seg.flags.has(Flags::ACK) {
+            self.process_ack(side, seg, now, out);
+        }
+
+        if need_ack {
+            self.maybe_ack(side, out);
+        }
+
+        self.check_closed(out);
+    }
+
+    /// Handle the retransmission timer for `side`.
+    pub fn on_rtx_timer(&mut self, side: Side, gen: u64, now: SimTime, out: &mut TcpOut) {
+        {
+            let e = self.ep(side);
+            if gen != e.rtx_gen || !e.rtx_armed || e.state == ConnState::Dead {
+                return;
+            }
+            e.rtx_armed = false;
+            if e.flight() == 0 {
+                return;
+            }
+        }
+        let mss = self.cfg.mss;
+        let max_retrans = self.cfg.max_retrans;
+        let max_rto = self.cfg.max_rto;
+        let e = self.ep(side);
+        e.retrans_count += 1;
+        let exhausted = e.retrans_count > max_retrans;
+        if exhausted {
+            self.abort(out);
+            return;
+        }
+        // Classic timeout response: collapse to one segment, go-back-N.
+        let e = self.ep(side);
+        e.ssthresh = (e.flight() as f64 / 2.0).max(2.0 * mss as f64);
+        e.cwnd = mss as f64;
+        e.snd_nxt = e.snd_una;
+        e.in_recovery = false;
+        e.dup_acks = 0;
+        e.sacked.clear();
+        e.rtt_probe = None; // Karn: no sampling over retransmits
+        e.rto = (e.rto * 2).min(max_rto);
+        self.stats.timeouts += 1;
+        self.stats.segs_retransmitted += 1;
+        self.pump(side, now, out);
+    }
+
+    /// Handle the delayed-ACK timer for `side`.
+    pub fn on_ack_timer(&mut self, side: Side, gen: u64, now: SimTime, out: &mut TcpOut) {
+        let _ = now;
+        let e = self.ep(side);
+        if gen != e.delack_gen || !e.delack_armed || e.state == ConnState::Dead {
+            return;
+        }
+        e.delack_armed = false;
+        if e.delack_count > 0 {
+            self.emit_ack(side, out);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Internals
+    // ---------------------------------------------------------------
+
+    fn handle_syn(&mut self, side: Side, _seg: &Segment, now: SimTime, out: &mut TcpOut) {
+        let id = self.id;
+        match side {
+            Side::Acceptor => {
+                // SYN from opener: reply SYN-ACK (idempotent on dup SYN).
+                let e = self.ep(Side::Acceptor);
+                e.rcv_nxt = e.rcv_nxt.max(1);
+                out.segs.push(Segment {
+                    conn: id,
+                    from: Side::Acceptor,
+                    seq: 0,
+                    ack: 1,
+                    len: 0,
+                    flags: Flags::SYN.with(Flags::ACK),
+                    ece: false,
+                    cwr: false,
+                    sack: Vec::new(),
+                });
+                self.stats.segs_sent += 1;
+            }
+            Side::Opener => {
+                // SYN-ACK: handshake complete from our perspective.
+                let was_established = self.established;
+                self.established = true;
+                let e = self.ep(Side::Opener);
+                e.rcv_nxt = e.rcv_nxt.max(1);
+                if e.state == ConnState::Opening {
+                    e.state = ConnState::Established;
+                }
+                e.snd_una = e.snd_una.max(1);
+                e.snd_nxt = e.snd_nxt.max(1);
+                // Also treat the acceptor as live (simulation shortcut:
+                // its state flips when our ACK/data arrives, but marking
+                // here avoids a stuck acceptor if that segment is lost —
+                // the opener's retransmissions cover it).
+                if self.ends[Side::Acceptor.index()].state == ConnState::Opening {
+                    self.ends[Side::Acceptor.index()].state = ConnState::Established;
+                    self.ends[Side::Acceptor.index()].snd_una = 1;
+                    self.ends[Side::Acceptor.index()].snd_nxt = 1;
+                }
+                if !was_established {
+                    out.notes.push(TcpAppNote::Established);
+                }
+                // ACK the SYN-ACK and start pushing any queued data.
+                self.emit_ack(Side::Opener, out);
+                self.pump(Side::Opener, now, out);
+                self.pump(Side::Acceptor, now, out);
+            }
+        }
+    }
+
+    /// Returns true if an ACK should be generated.
+    fn receive_data(&mut self, side: Side, seg: &Segment, now: SimTime, out: &mut TcpOut) -> bool {
+        let e = self.ep(side);
+        let start = seg.seq;
+        let mut end = seg.seq + seg.len;
+        if seg.flags.has(Flags::FIN) {
+            e.peer_fin = Some(end);
+            end += 1; // FIN occupies one sequence slot
+        }
+        if end <= e.rcv_nxt {
+            // Pure duplicate — ACK immediately so the sender sees progress.
+            self.emit_ack(side, out);
+            return false;
+        }
+        if start > e.rcv_nxt {
+            // Out of order: remember the interval, send immediate dup ACK.
+            insert_interval(&mut e.ooo, (start, end));
+            self.emit_ack(side, out);
+            return false;
+        }
+        // In-order (possibly overlapping) data: advance rcv_nxt.
+        e.rcv_nxt = end;
+        // Pull any now-contiguous out-of-order intervals.
+        loop {
+            let mut advanced = false;
+            e.ooo.retain(|&(s, en)| {
+                if s <= e.rcv_nxt {
+                    if en > e.rcv_nxt {
+                        e.rcv_nxt = en;
+                    }
+                    advanced = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !advanced {
+                break;
+            }
+        }
+        let rcv_nxt = e.rcv_nxt;
+        e.delack_count += 1;
+        // Message framing: deliver every message from the *peer* whose end
+        // sequence is now contiguous.
+        let peer = side.other();
+        let pe = self.ep(peer);
+        while let Some(f) = pe.frames.front() {
+            if f.end_seq <= rcv_nxt {
+                let f = *f;
+                pe.frames.pop_front();
+                out.notes.push(TcpAppNote::MessageDelivered {
+                    side,
+                    msg: f.msg,
+                    bytes: f.len,
+                    sent_at: f.sent_at,
+                });
+            } else {
+                break;
+            }
+        }
+        let _ = now;
+        true
+    }
+
+    fn process_ack(&mut self, side: Side, seg: &Segment, now: SimTime, out: &mut TcpOut) {
+        let mss = self.cfg.mss as f64;
+        let min_rto = self.cfg.min_rto;
+        let max_rto = self.cfg.max_rto;
+        let ack = seg.ack;
+        let ece = seg.ece && self.cfg.ecn;
+        let sack_on = self.cfg.sack;
+
+        let e = self.ep(side);
+        // Ingest SACK blocks into the scoreboard.
+        if sack_on {
+            for &(a, b) in &seg.sack {
+                insert_interval(&mut e.sacked, (a, b));
+            }
+            // Anything at/below the cumulative ACK is implicitly covered.
+            e.sacked.retain(|&(_, b)| b > ack);
+            for iv in e.sacked.iter_mut() {
+                iv.0 = iv.0.max(ack);
+            }
+        }
+        if e.state == ConnState::Opening {
+            // First ACK reaching the acceptor completes its handshake.
+            e.state = ConnState::Established;
+            e.snd_una = e.snd_una.max(1);
+            e.snd_nxt = e.snd_nxt.max(1);
+        }
+
+        if ack > e.snd_una {
+            // --- new data acknowledged ---
+            let acked = ack - e.snd_una;
+            e.snd_una = ack;
+            e.retrans_count = 0;
+            // RTT sample (Karn-compliant: probe cleared on retransmit).
+            if let Some((pseq, t0)) = e.rtt_probe {
+                if ack >= pseq {
+                    let sample = now.since(t0).as_secs_f64();
+                    match e.srtt {
+                        None => {
+                            e.srtt = Some(sample);
+                            e.rttvar = sample / 2.0;
+                        }
+                        Some(srtt) => {
+                            let err = sample - srtt;
+                            e.srtt = Some(srtt + 0.125 * err);
+                            e.rttvar = 0.75 * e.rttvar + 0.25 * err.abs();
+                        }
+                    }
+                    let rto = Duration::from_secs_f64(
+                        e.srtt.unwrap_or(sample) + 4.0 * e.rttvar.max(1e-6),
+                    );
+                    e.rto = rto.max(min_rto).min(max_rto);
+                    e.rtt_probe = None;
+                }
+            }
+            if e.in_recovery {
+                if ack >= e.recover {
+                    // Full recovery.
+                    e.in_recovery = false;
+                    e.cwnd = e.ssthresh;
+                    e.dup_acks = 0;
+                    e.sacked.clear();
+                } else {
+                    // NewReno partial ACK: retransmit the next hole.
+                    e.cwnd = (e.cwnd - acked as f64 + mss).max(mss);
+                    let id = self.id;
+                    let mss = self.cfg.mss;
+                    let (rseq, rlen, ack_field, ece_echo) = {
+                        let e = self.ep(side);
+                        let hole = if sack_on {
+                            first_hole(&e.sacked, e.snd_una, e.snd_nxt, mss)
+                        } else {
+                            None
+                        };
+                        let (rseq, rlen) = hole.unwrap_or((
+                            e.snd_una,
+                            mss.min(e.snd_end.saturating_sub(e.snd_una)),
+                        ));
+                        (rseq, rlen, e.rcv_nxt, e.ece_pending)
+                    };
+                    if rlen > 0 {
+                        out.segs.push(Segment {
+                            conn: id,
+                            from: side,
+                            seq: rseq,
+                            ack: ack_field,
+                            len: rlen,
+                            flags: Flags::ACK,
+                            ece: ece_echo,
+                            cwr: false,
+                            sack: Vec::new(),
+                        });
+                        self.stats.segs_retransmitted += 1;
+                        self.stats.segs_sent += 1;
+                    }
+                    self.rearm_rtx(side, out);
+                    self.pump(side, now, out);
+                    return;
+                }
+            } else {
+                // Normal cwnd growth.
+                if e.cwnd < e.ssthresh {
+                    e.cwnd += (acked as f64).min(mss);
+                } else {
+                    e.cwnd += mss * mss / e.cwnd;
+                }
+                e.dup_acks = 0;
+            }
+            // FIN acked?
+            if let Some(fs) = e.fin_seq {
+                if ack > fs {
+                    e.fin_acked = true;
+                }
+            }
+            // ECN response to ECE on a fresh ACK.
+            if ece && ack > e.ecn_recover {
+                e.ssthresh = (e.cwnd / 2.0).max(2.0 * mss);
+                e.cwnd = e.ssthresh;
+                e.ecn_recover = e.snd_nxt;
+                e.cwr_pending = true;
+                self.stats.ecn_reductions += 1;
+            }
+            self.rearm_or_cancel_rtx(side, out);
+            self.pump(side, now, out);
+        } else if ack == e.snd_una && e.flight() > 0 && seg.len == 0 && !seg.flags.has(Flags::FIN) {
+            // --- duplicate ACK ---
+            e.dup_acks += 1;
+            if e.in_recovery {
+                // cwnd inflation keeps the pipe full during recovery;
+                // with SACK, also repair the next hole immediately.
+                e.cwnd += mss;
+                if sack_on {
+                    let id = self.id;
+                    let mss_b = self.cfg.mss;
+                    let (hole, ack_field, ece_echo) = {
+                        let e = self.ep(side);
+                        (
+                            first_hole(&e.sacked, e.snd_una, e.snd_nxt, mss_b),
+                            e.rcv_nxt,
+                            e.ece_pending,
+                        )
+                    };
+                    if let Some((rseq, rlen)) = hole {
+                        if rlen > 0 {
+                            out.segs.push(Segment {
+                                conn: id,
+                                from: side,
+                                seq: rseq,
+                                ack: ack_field,
+                                len: rlen,
+                                flags: Flags::ACK,
+                                ece: ece_echo,
+                                cwr: false,
+                                sack: Vec::new(),
+                            });
+                            self.stats.segs_retransmitted += 1;
+                            self.stats.segs_sent += 1;
+                        }
+                    }
+                }
+                self.pump(side, now, out);
+            } else if e.dup_acks == 3 {
+                // Fast retransmit.
+                e.ssthresh = (e.flight() as f64 / 2.0).max(2.0 * mss);
+                e.cwnd = e.ssthresh + 3.0 * mss;
+                e.in_recovery = true;
+                e.recover = e.snd_nxt;
+                e.rtt_probe = None;
+                let id = self.id;
+                let mss_b = self.cfg.mss;
+                let (rseq, rlen, ack_field, ece_echo) = {
+                    let e = self.ep(side);
+                    let hole = if sack_on {
+                        first_hole(&e.sacked, e.snd_una, e.snd_nxt, mss_b)
+                    } else {
+                        None
+                    };
+                    let (rseq, rlen) = hole.unwrap_or((
+                        e.snd_una,
+                        mss_b.min(e.snd_end.saturating_sub(e.snd_una)),
+                    ));
+                    (rseq, rlen, e.rcv_nxt, e.ece_pending)
+                };
+                if rlen > 0 {
+                    out.segs.push(Segment {
+                        conn: id,
+                        from: side,
+                        seq: rseq,
+                        ack: ack_field,
+                        len: rlen,
+                        flags: Flags::ACK,
+                        ece: ece_echo,
+                        cwr: false,
+                        sack: Vec::new(),
+                    });
+                    self.stats.fast_retransmits += 1;
+                    self.stats.segs_retransmitted += 1;
+                    self.stats.segs_sent += 1;
+                }
+                self.rearm_rtx(side, out);
+            }
+        }
+    }
+
+    /// Push as much queued data as the congestion and receive windows allow.
+    fn pump(&mut self, side: Side, now: SimTime, out: &mut TcpOut) {
+        if !self.established {
+            return;
+        }
+        let mss = self.cfg.mss;
+        let rwnd = self.cfg.rwnd;
+        let id = self.id;
+        let mut sent_any = false;
+        loop {
+            let e = self.ep(side);
+            if e.state == ConnState::Dead {
+                return;
+            }
+            let window = (e.cwnd as u64).min(rwnd);
+            let usable = (e.snd_una + window).saturating_sub(e.snd_nxt);
+            let avail = e.snd_end.saturating_sub(e.snd_nxt);
+            let len = mss.min(usable).min(avail);
+            if len == 0 {
+                // Maybe just a FIN to send (first time, or a go-back-N
+                // retransmission after a timeout rewound snd_nxt onto it).
+                let fin_due = e.fin_queued
+                    && !e.fin_acked
+                    && (e.fin_seq.is_none() || e.fin_seq == Some(e.snd_nxt));
+                if avail == 0 && fin_due && usable > 0 {
+                    let seq = e.snd_nxt;
+                    e.fin_seq = Some(seq);
+                    e.snd_nxt += 1;
+                    let ack_field = e.rcv_nxt;
+                    let ece = e.ece_pending;
+                    out.segs.push(Segment {
+                        conn: id,
+                        from: side,
+                        seq,
+                        ack: ack_field,
+                        len: 0,
+                        flags: Flags::FIN.with(Flags::ACK),
+                        ece,
+                        cwr: false,
+                        sack: Vec::new(),
+                    });
+                    self.stats.segs_sent += 1;
+                    sent_any = true;
+                    self.rearm_rtx(side, out);
+                }
+                break;
+            }
+            let seq = e.snd_nxt;
+            e.snd_nxt += len;
+            if e.rtt_probe.is_none() {
+                e.rtt_probe = Some((e.snd_nxt, now));
+            }
+            let ack_field = e.rcv_nxt;
+            let ece = e.ece_pending;
+            let cwr = std::mem::take(&mut e.cwr_pending);
+            // Data carries a piggybacked ACK.
+            e.delack_count = 0;
+            out.segs.push(Segment {
+                conn: id,
+                from: side,
+                seq,
+                ack: ack_field,
+                len,
+                flags: Flags::ACK,
+                ece,
+                cwr,
+                sack: Vec::new(),
+            });
+            self.stats.segs_sent += 1;
+            self.stats.bytes_sent += len;
+            sent_any = true;
+        }
+        if sent_any {
+            self.rearm_rtx(side, out);
+        }
+    }
+
+    fn rearm_rtx(&mut self, side: Side, out: &mut TcpOut) {
+        let e = self.ep(side);
+        e.rtx_gen += 1;
+        e.rtx_armed = true;
+        out.timers.push(TimerReq {
+            kind: TimerKind::Rtx(side),
+            gen: e.rtx_gen,
+            delay: e.rto,
+        });
+    }
+
+    fn rearm_or_cancel_rtx(&mut self, side: Side, out: &mut TcpOut) {
+        let flight = self.ep(side).flight();
+        if flight > 0 {
+            self.rearm_rtx(side, out);
+        } else {
+            let e = self.ep(side);
+            e.rtx_armed = false;
+            e.rtx_gen += 1;
+        }
+    }
+
+    /// Delayed-ACK policy: ACK every second in-order segment immediately,
+    /// otherwise arm the delayed-ACK timer.
+    fn maybe_ack(&mut self, side: Side, out: &mut TcpOut) {
+        let delack = self.cfg.delack;
+        let e = self.ep(side);
+        if e.delack_count >= 2 || e.peer_fin.is_some() {
+            self.emit_ack(side, out);
+        } else if !e.delack_armed {
+            e.delack_armed = true;
+            e.delack_gen += 1;
+            out.timers.push(TimerReq {
+                kind: TimerKind::DelAck(side),
+                gen: e.delack_gen,
+                delay: delack,
+            });
+        }
+    }
+
+    fn emit_ack(&mut self, side: Side, out: &mut TcpOut) {
+        let id = self.id;
+        let sack_on = self.cfg.sack;
+        let e = self.ep(side);
+        e.delack_count = 0;
+        e.delack_armed = false;
+        // Up to 3 SACK blocks, most recently received ranges first
+        // (approximated by taking the highest ranges).
+        let sack = if sack_on {
+            e.ooo.iter().rev().take(3).copied().collect()
+        } else {
+            Vec::new()
+        };
+        let seg = Segment {
+            conn: id,
+            from: side,
+            seq: e.snd_nxt,
+            ack: e.rcv_nxt,
+            len: 0,
+            flags: Flags::ACK,
+            ece: e.ece_pending,
+            cwr: false,
+            sack,
+        };
+        out.segs.push(seg);
+        self.stats.segs_sent += 1;
+    }
+
+    fn check_closed(&mut self, out: &mut TcpOut) {
+        // Both FINs sent & acked, and both sides saw the peer FIN.
+        let done = |e: &Endpoint| e.fin_acked && e.peer_fin.is_some();
+        if self.ends.iter().all(done) && self.ends[0].state != ConnState::Dead {
+            self.ends[0].state = ConnState::Dead;
+            self.ends[1].state = ConnState::Dead;
+            out.notes.push(TcpAppNote::Closed);
+        }
+    }
+
+    /// Current congestion window of `side` in bytes (diagnostics).
+    pub fn cwnd(&self, side: Side) -> u64 {
+        self.ends[side.index()].cwnd as u64
+    }
+
+    /// Current smoothed RTT estimate of `side`, if any (diagnostics).
+    pub fn srtt(&self, side: Side) -> Option<Duration> {
+        self.ends[side.index()].srtt.map(Duration::from_secs_f64)
+    }
+}
+
+/// First hole `[start, len)` at/above `from` not covered by `sacked`
+/// and below `limit`, clipped to `mss`.
+fn first_hole(sacked: &[(u64, u64)], from: u64, limit: u64, mss: u64) -> Option<(u64, u64)> {
+    let mut pos = from;
+    for &(a, b) in sacked {
+        if pos < a {
+            break;
+        }
+        if pos < b {
+            pos = b;
+        }
+    }
+    if pos >= limit {
+        return None;
+    }
+    // Hole extends to the next sacked block or the limit.
+    let end = sacked
+        .iter()
+        .map(|&(a, _)| a)
+        .filter(|&a| a > pos)
+        .min()
+        .unwrap_or(limit)
+        .min(limit);
+    Some((pos, (end - pos).min(mss)))
+}
+
+/// Insert `(start, end)` into a sorted disjoint interval set, coalescing.
+fn insert_interval(set: &mut Vec<(u64, u64)>, iv: (u64, u64)) {
+    let (mut s, mut e) = iv;
+    let mut out = Vec::with_capacity(set.len() + 1);
+    let mut placed = false;
+    for &(a, b) in set.iter() {
+        if b < s {
+            out.push((a, b));
+        } else if a > e {
+            if !placed {
+                out.push((s, e));
+                placed = true;
+            }
+            out.push((a, b));
+        } else {
+            s = s.min(a);
+            e = e.max(b);
+        }
+    }
+    if !placed {
+        out.push((s, e));
+    }
+    *set = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    /// Test harness: shuttles segments between the two endpoints of one
+    /// connection with a fixed one-way delay, optionally dropping chosen
+    /// segments. Runs timers through a tiny local event queue.
+    struct Pipe {
+        conn: Connection,
+        now: SimTime,
+        queue: Vec<(SimTime, PipeEv)>,
+        delivered: Vec<(Side, MsgId)>,
+        established: bool,
+        reset: bool,
+        closed: bool,
+        /// Drop the nth data segment sent (counting payload segments only).
+        drop_data_nth: Vec<u64>,
+        /// Deliver the nth data segment with an ECN CE mark.
+        mark_ce_nth: Vec<u64>,
+        data_seen: u64,
+        one_way: Duration,
+    }
+
+    enum PipeEv {
+        Deliver(Side, Segment),
+        DeliverCe(Side, Segment),
+        Timer(TimerKind, u64),
+    }
+
+    impl Pipe {
+        fn new(cfg: TcpConfig) -> Self {
+            Pipe {
+                conn: Connection::new(ConnId(1), cfg),
+                now: SimTime::ZERO,
+                queue: Vec::new(),
+                delivered: Vec::new(),
+                established: false,
+                reset: false,
+                closed: false,
+                drop_data_nth: Vec::new(),
+                mark_ce_nth: Vec::new(),
+                data_seen: 0,
+                one_way: Duration::from_micros(50),
+            }
+        }
+
+        fn absorb(&mut self, out: TcpOut) {
+            for seg in out.segs {
+                let to = seg.from.other();
+                let mut drop_it = false;
+                let mut mark_ce = false;
+                if seg.len > 0 {
+                    self.data_seen += 1;
+                    if self.drop_data_nth.contains(&self.data_seen) {
+                        drop_it = true;
+                    }
+                    if self.mark_ce_nth.contains(&self.data_seen) {
+                        mark_ce = true;
+                    }
+                }
+                if !drop_it {
+                    let ev = if mark_ce {
+                        PipeEv::DeliverCe(to, seg)
+                    } else {
+                        PipeEv::Deliver(to, seg)
+                    };
+                    self.queue.push((self.now + self.one_way, ev));
+                }
+            }
+            for t in out.timers {
+                self.queue
+                    .push((self.now + t.delay, PipeEv::Timer(t.kind, t.gen)));
+            }
+            for n in out.notes {
+                match n {
+                    TcpAppNote::Established => self.established = true,
+                    TcpAppNote::MessageDelivered { side, msg, .. } => {
+                        self.delivered.push((side, msg))
+                    }
+                    TcpAppNote::Reset => self.reset = true,
+                    TcpAppNote::Closed => self.closed = true,
+                }
+            }
+        }
+
+        fn step(&mut self) -> bool {
+            if self.queue.is_empty() {
+                return false;
+            }
+            // Pop earliest (stable for ties by index order).
+            let idx = self
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (t, _))| (*t, *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let (t, ev) = self.queue.remove(idx);
+            self.now = t;
+            let mut out = TcpOut::new();
+            match ev {
+                PipeEv::Deliver(side, seg) => {
+                    self.conn.on_segment(side, &seg, false, self.now, &mut out)
+                }
+                PipeEv::DeliverCe(side, seg) => {
+                    self.conn.on_segment(side, &seg, true, self.now, &mut out)
+                }
+                PipeEv::Timer(kind, gen) => match kind {
+                    TimerKind::Rtx(s) => self.conn.on_rtx_timer(s, gen, self.now, &mut out),
+                    TimerKind::DelAck(s) => self.conn.on_ack_timer(s, gen, self.now, &mut out),
+                    TimerKind::Conn => self.conn.on_conn_timer(gen, self.now, &mut out),
+                },
+            }
+            self.absorb(out);
+            true
+        }
+
+        fn run(&mut self, max_steps: usize) {
+            for _ in 0..max_steps {
+                if !self.step() {
+                    break;
+                }
+            }
+        }
+
+        fn open(&mut self) {
+            let mut out = TcpOut::new();
+            self.conn.open(self.now, &mut out);
+            self.absorb(out);
+        }
+
+        fn send(&mut self, side: Side, msg: u64, bytes: u64) {
+            let mut out = TcpOut::new();
+            self.conn
+                .send_msg(side, MsgId(msg), bytes, self.now, &mut out);
+            self.absorb(out);
+        }
+
+        fn close(&mut self, side: Side) {
+            let mut out = TcpOut::new();
+            self.conn.close(side, self.now, &mut out);
+            self.absorb(out);
+        }
+    }
+
+    #[test]
+    fn handshake_establishes() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.run(50);
+        assert!(p.established);
+        assert!(p.conn.is_established());
+    }
+
+    #[test]
+    fn small_message_delivered() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 7, 250);
+        p.run(200);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(7))]);
+    }
+
+    #[test]
+    fn large_message_segments_and_delivers() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 64 * 1024); // 45 segments
+        p.run(5_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+        assert!(p.conn.stats.segs_sent > 45);
+    }
+
+    #[test]
+    fn bidirectional_messages() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 8192);
+        p.send(Side::Acceptor, 2, 8192);
+        p.run(2_000);
+        assert!(p.delivered.contains(&(Side::Acceptor, MsgId(1))));
+        assert!(p.delivered.contains(&(Side::Opener, MsgId(2))));
+    }
+
+    #[test]
+    fn many_messages_in_order() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        for i in 0..20 {
+            p.send(Side::Opener, i, 250 + i * 10);
+        }
+        p.run(5_000);
+        let got: Vec<u64> = p.delivered.iter().map(|&(_, m)| m.0).collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lost_data_segment_recovers_by_fast_retransmit() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        // One big message; drop the 2nd data segment. Later segments
+        // trigger dup ACKs and fast retransmit fills the hole.
+        p.send(Side::Opener, 1, 32 * 1024);
+        p.drop_data_nth = vec![2];
+        p.run(10_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+        assert!(
+            p.conn.stats.fast_retransmits >= 1 || p.conn.stats.timeouts >= 1,
+            "loss must be repaired: {:?}",
+            p.conn.stats
+        );
+    }
+
+    #[test]
+    fn lost_tail_segment_recovers_by_timeout() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 2920); // exactly 2 segments
+        p.drop_data_nth = vec![2]; // tail loss: no dup ACKs possible
+        p.run(10_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+        assert!(p.conn.stats.timeouts >= 1);
+    }
+
+    #[test]
+    fn multiple_losses_still_deliver() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 64 * 1024);
+        p.drop_data_nth = vec![3, 5, 9];
+        p.run(50_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+    }
+
+    #[test]
+    fn slow_start_grows_cwnd() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 64 * 1024);
+        p.run(5_000);
+        assert!(p.conn.cwnd(Side::Opener) > 2 * 1460);
+        assert_eq!(p.conn.stats.timeouts, 0, "no spurious RTO: {:?}", p.conn.stats);
+    }
+
+    #[test]
+    fn rtt_estimate_converges() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        for i in 0..10 {
+            p.send(Side::Opener, i, 1000);
+        }
+        p.run(5_000);
+        let srtt = p.conn.srtt(Side::Opener).expect("srtt measured");
+        // One-way delay is 50us, so RTT ~100us.
+        assert!(
+            srtt.as_micros_f64() > 50.0 && srtt.as_micros_f64() < 400.0,
+            "srtt={srtt:?}"
+        );
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 500);
+        p.run(500);
+        p.close(Side::Opener);
+        p.run(200);
+        p.close(Side::Acceptor);
+        p.run(500);
+        assert!(p.closed, "connection should close gracefully");
+        assert!(p.conn.is_dead());
+    }
+
+    #[test]
+    fn close_flushes_pending_data_first() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 20_000);
+        p.close(Side::Opener);
+        p.close(Side::Acceptor);
+        p.run(20_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+        assert!(p.closed);
+    }
+
+    #[test]
+    fn abort_resets_both() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.run(50);
+        let mut out = TcpOut::new();
+        p.conn.abort(&mut out);
+        p.absorb(out);
+        assert!(p.reset);
+        assert!(p.conn.is_dead());
+    }
+
+    #[test]
+    fn total_loss_eventually_resets() {
+        let mut c = cfg();
+        c.max_retrans = 3;
+        let mut p = Pipe::new(c);
+        p.open();
+        p.run(20);
+        // Drop all data segments from now on.
+        p.drop_data_nth = (1..=1000).collect();
+        p.send(Side::Opener, 1, 1000);
+        p.run(100_000);
+        assert!(p.reset, "must reset after exhausting retransmissions");
+    }
+
+    #[test]
+    fn sack_repairs_multiple_holes_without_timeout() {
+        // Several scattered losses inside one large window: the SACK
+        // scoreboard should repair them all via fast recovery.
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.run(50);
+        p.send(Side::Opener, 1, 60 * 1024);
+        // Past slow start: enough trailing segments for 3 dupacks each.
+        p.drop_data_nth = vec![10, 14, 18];
+        p.run(50_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+        assert_eq!(
+            p.conn.stats.timeouts, 0,
+            "SACK must avoid RTOs for scattered loss: {:?}",
+            p.conn.stats
+        );
+        assert!(p.conn.stats.fast_retransmits >= 1);
+    }
+
+    #[test]
+    fn sack_off_falls_back_to_newreno() {
+        let mut c = cfg();
+        c.sack = false;
+        let mut p = Pipe::new(c);
+        p.open();
+        p.run(50);
+        p.send(Side::Opener, 1, 60 * 1024);
+        p.drop_data_nth = vec![4, 7, 11];
+        p.run(100_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+    }
+
+    #[test]
+    fn sack_beats_newreno_on_scattered_loss() {
+        let run = |sack: bool| -> (SimTime, u64) {
+            let mut c = cfg();
+            c.sack = sack;
+            let mut p = Pipe::new(c);
+            p.open();
+            p.run(50);
+            p.send(Side::Opener, 1, 60 * 1024);
+            p.drop_data_nth = vec![4, 7, 11, 15];
+            p.run(100_000);
+            assert_eq!(p.delivered.len(), 1, "sack={sack}");
+            (p.now, p.conn.stats.timeouts)
+        };
+        let (t_sack, to_sack) = run(true);
+        let (t_reno, to_reno) = run(false);
+        assert!(
+            t_sack <= t_reno && to_sack <= to_reno,
+            "sack {t_sack:?}/{to_sack} vs newreno {t_reno:?}/{to_reno}"
+        );
+    }
+
+    #[test]
+    fn first_hole_finds_gaps() {
+        let sacked = vec![(10u64, 20u64), (30, 40)];
+        // Hole at the front.
+        assert_eq!(first_hole(&sacked, 0, 50, 1460), Some((0, 10)));
+        // Hole between the blocks.
+        assert_eq!(first_hole(&sacked, 10, 50, 1460), Some((20, 10)));
+        assert_eq!(first_hole(&sacked, 20, 50, 1460), Some((20, 10)));
+        // Hole after the last block.
+        assert_eq!(first_hole(&sacked, 30, 50, 1460), Some((40, 10)));
+        // Fully covered up to the limit.
+        assert_eq!(first_hole(&sacked, 30, 40, 1460), None);
+        // Clipped to mss.
+        assert_eq!(first_hole(&[], 0, 10_000, 1460), Some((0, 1460)));
+    }
+
+    #[test]
+    fn interval_insert_coalesces() {
+        let mut set = vec![];
+        insert_interval(&mut set, (10, 20));
+        insert_interval(&mut set, (30, 40));
+        insert_interval(&mut set, (15, 35));
+        assert_eq!(set, vec![(10, 40)]);
+        insert_interval(&mut set, (0, 5));
+        assert_eq!(set, vec![(0, 5), (10, 40)]);
+        insert_interval(&mut set, (5, 10));
+        assert_eq!(set, vec![(0, 40)]);
+    }
+
+    #[test]
+    fn ecn_mark_halves_cwnd_once_per_rtt() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        // Mark two mid-transfer data segments CE; the receiver echoes
+        // ECE and the sender must reduce cwnd exactly once per window.
+        p.mark_ce_nth = vec![8, 9];
+        p.send(Side::Opener, 1, 64 * 1024);
+        p.run(10_000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))]);
+        assert_eq!(
+            p.conn.stats.ecn_reductions, 1,
+            "two CE marks in one window reduce once: {:?}",
+            p.conn.stats
+        );
+        assert_eq!(p.conn.stats.timeouts, 0, "ECN avoids loss entirely");
+    }
+
+    #[test]
+    fn ecn_disabled_ignores_marks() {
+        let mut c = cfg();
+        c.ecn = false;
+        let mut p = Pipe::new(c);
+        p.open();
+        p.send(Side::Opener, 1, 32 * 1024);
+        p.run(2000);
+        assert_eq!(p.conn.stats.ecn_reductions, 0);
+    }
+
+    #[test]
+    fn delayed_ack_covers_odd_tail_segment() {
+        // A single small message produces one data segment; the delack
+        // timer must acknowledge it without any retransmission timeout.
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.run(50);
+        p.send(Side::Opener, 9, 700);
+        p.run(500);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(9))]);
+        assert_eq!(p.conn.stats.timeouts, 0);
+        assert_eq!(p.conn.stats.segs_retransmitted, 0);
+    }
+
+    #[test]
+    fn stale_timers_are_ignored() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 5000);
+        p.run(5000);
+        let sent = p.conn.stats.segs_sent;
+        // Fire ancient timer generations: nothing may happen.
+        let mut out = TcpOut::new();
+        p.conn.on_rtx_timer(Side::Opener, 0, p.now, &mut out);
+        p.conn.on_ack_timer(Side::Acceptor, 0, p.now, &mut out);
+        p.conn.on_conn_timer(0, p.now, &mut out);
+        assert!(out.segs.is_empty(), "stale timers must be inert");
+        p.absorb(out);
+        assert_eq!(p.conn.stats.segs_sent, sent);
+    }
+
+    #[test]
+    fn duplicate_delivery_of_segment_is_harmless() {
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.run(50);
+        p.send(Side::Opener, 1, 1000);
+        // Duplicate every queued deliver event once.
+        let dups: Vec<(SimTime, PipeEv)> = p
+            .queue
+            .iter()
+            .filter_map(|(t, ev)| match ev {
+                PipeEv::Deliver(s, seg) => Some((*t, PipeEv::Deliver(*s, seg.clone()))),
+                _ => None,
+            })
+            .collect();
+        p.queue.extend(dups);
+        p.run(5000);
+        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))], "exactly once");
+    }
+
+    #[test]
+    fn syn_loss_retries_until_established() {
+        let mut p = Pipe::new(cfg());
+        // Drop the first SYN by clearing the queue after open.
+        p.open();
+        p.queue.retain(|(_, ev)| matches!(ev, PipeEv::Timer(..)));
+        p.run(5_000);
+        assert!(p.established, "SYN retransmission must establish");
+    }
+}

@@ -1,0 +1,93 @@
+//! Identifiers and the crate-level event/notification types.
+
+use crate::packet::Packet;
+use dclue_sim::SimTime;
+
+/// A host endpoint (server node, client terminal pool, FTP box).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// Any attached device: host or router.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DeviceId {
+    Host(HostId),
+    Router(u32),
+}
+
+/// A full-duplex link, identified by index into the network's link table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// A TCP connection.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConnId(pub u32);
+
+/// Application message identifier carried through TCP framing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+/// Which endpoint of a connection: the opener (client) or the acceptor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Side {
+    /// The endpoint that initiated the connection.
+    Opener,
+    /// The passive endpoint.
+    Acceptor,
+}
+
+impl Side {
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::Opener => Side::Acceptor,
+            Side::Acceptor => Side::Opener,
+        }
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Side::Opener => 0,
+            Side::Acceptor => 1,
+        }
+    }
+}
+
+/// Internal events of the network subsystem.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A packet finished its flight over a link and arrives at a device.
+    Arrive { device: DeviceId, packet: Packet },
+    /// The transmitter of `link` in direction `forward` finished a packet.
+    TxDone { link: LinkId, forward: bool },
+    /// The forwarding engine of a router completed one lookup.
+    ForwardDone { router: u32 },
+    /// TCP retransmission timer.
+    RtxTimer { conn: ConnId, side: Side, gen: u64 },
+    /// TCP delayed-ACK timer.
+    AckTimer { conn: ConnId, side: Side, gen: u64 },
+    /// Deferred connection-attempt start (used for SYN retransmits too).
+    ConnTimer { conn: ConnId, gen: u64 },
+}
+
+/// App-level notifications emitted towards the integration layer.
+#[derive(Debug, PartialEq)]
+pub enum NetNote {
+    /// Three-way handshake complete; both sides may send.
+    Established { conn: ConnId },
+    /// A framed application message fully arrived, in order, at `side`.
+    MessageDelivered {
+        conn: ConnId,
+        side: Side,
+        msg: MsgId,
+        bytes: u64,
+        sent_at: SimTime,
+    },
+    /// Connection aborted after exhausting retransmissions.
+    Reset { conn: ConnId },
+    /// Graceful close completed on both sides; the id may be recycled.
+    Closed { conn: ConnId },
+    /// A segment with payload was received by a host NIC (used by the
+    /// platform layer to charge per-packet interrupt/processing cost).
+    SegmentsReceived { host: HostId, segments: u32, bytes: u64 },
+}

@@ -1,0 +1,376 @@
+//! End-to-end tests of the assembled fabric: hosts, links, routers with
+//! QoS, and TCP connections, driven through a real event loop.
+
+use dclue_net::packet::Dscp;
+use dclue_net::tcp::TcpConfig;
+use dclue_net::types::{NetEvent, NetNote, Side};
+use dclue_net::{Network, NetworkBuilder};
+use dclue_sim::{Duration, EventHeap, Outbox, SimTime};
+
+/// Minimal simulation driver for network-only scenarios.
+struct Driver {
+    net: Network,
+    heap: EventHeap<NetEvent>,
+    now: SimTime,
+    notes: Vec<(SimTime, NetNote)>,
+}
+
+impl Driver {
+    fn new(net: Network) -> Self {
+        Driver {
+            net,
+            heap: EventHeap::new(),
+            now: SimTime::ZERO,
+            notes: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, ob: Outbox<NetEvent, NetNote>) {
+        let now = self.now;
+        for (t, e) in ob.events {
+            self.heap.push(t, e);
+        }
+        for n in ob.notes {
+            self.notes.push((now, n));
+        }
+    }
+
+    fn with_net<R>(&mut self, f: impl FnOnce(&mut Network, &mut Outbox<NetEvent, NetNote>) -> R) -> R {
+        let mut ob = Outbox::new(self.now);
+        let r = f(&mut self.net, &mut ob);
+        self.absorb(ob);
+        r
+    }
+
+    /// Run until the queue drains or `until` is reached.
+    fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.heap.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.heap.pop().unwrap();
+            self.now = t;
+            let mut ob = Outbox::new(t);
+            self.net.handle(ev, &mut ob);
+            self.absorb(ob);
+        }
+        self.now = self.now.max(until);
+    }
+
+    fn delivered_msgs(&self) -> Vec<u64> {
+        self.notes
+            .iter()
+            .filter_map(|(_, n)| match n {
+                NetNote::MessageDelivered { msg, .. } => Some(msg.0),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One lata: a router with `n` hosts at 10 Mb/s (the paper's 100x-scaled
+/// gigabit links).
+fn single_lata(n: usize) -> (Network, Vec<dclue_net::HostId>) {
+    let mut b = NetworkBuilder::new();
+    let r = b.router(10_000.0, false);
+    let hosts = (0..n)
+        .map(|_| b.host(r, 10e6, Duration::from_micros(5)))
+        .collect();
+    (b.build(), hosts)
+}
+
+/// Two latas joined by an outer router, as in the paper's Fig 1.
+fn two_latas(per_lata: usize, qos: bool) -> (Network, Vec<dclue_net::HostId>) {
+    let mut b = NetworkBuilder::new();
+    let outer = b.router(10_000.0, qos);
+    let r1 = b.router(10_000.0, qos);
+    let r2 = b.router(10_000.0, qos);
+    b.trunk(outer, r1, 10e6, Duration::from_micros(5));
+    b.trunk(outer, r2, 10e6, Duration::from_micros(5));
+    let mut hosts = Vec::new();
+    for i in 0..2 * per_lata {
+        let r = if i < per_lata { r1 } else { r2 };
+        hosts.push(b.host(r, 10e6, Duration::from_micros(5)));
+    }
+    (b.build(), hosts)
+}
+
+#[test]
+fn message_crosses_one_router() {
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 8192, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(2));
+    assert_eq!(d.delivered_msgs(), vec![1]);
+    assert_eq!(d.net.misrouted, 0);
+}
+
+#[test]
+fn message_crosses_latas() {
+    let (net, hosts) = two_latas(2, false);
+    let mut d = Driver::new(net);
+    // host 0 (lata 1) to host 3 (lata 2): 3 routers on the path.
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(hosts[0], hosts[3], Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(42), 65536, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(5));
+    assert_eq!(d.delivered_msgs(), vec![42]);
+    assert_eq!(d.net.misrouted, 0);
+    // All three routers forwarded packets.
+    for r in d.net.routers() {
+        assert!(r.stats.forwarded > 0, "router {} idle", r.id);
+    }
+}
+
+#[test]
+fn bidirectional_request_response() {
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 250, ob));
+    d.run_until(SimTime::ZERO + Duration::from_millis(500));
+    d.with_net(|n, ob| n.send_message(conn, Side::Acceptor, dclue_net::MsgId(2), 8192, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(2));
+    let got = d.delivered_msgs();
+    assert!(got.contains(&1) && got.contains(&2), "{got:?}");
+}
+
+#[test]
+fn many_connections_share_fabric() {
+    let (net, hosts) = single_lata(8);
+    let mut d = Driver::new(net);
+    let mut conns = Vec::new();
+    for i in 0..8usize {
+        let a = hosts[i];
+        let b = hosts[(i + 1) % 8];
+        let c = d.with_net(|n, ob| {
+            n.open_connection(a, b, Dscp::BestEffort, TcpConfig::default(), ob)
+        });
+        conns.push(c);
+    }
+    d.run_until(SimTime::ZERO + Duration::from_millis(100));
+    for (i, &c) in conns.iter().enumerate() {
+        d.with_net(|n, ob| {
+            n.send_message(c, Side::Opener, dclue_net::MsgId(i as u64), 16384, ob)
+        });
+    }
+    d.run_until(SimTime::ZERO + Duration::from_secs(10));
+    let mut got = d.delivered_msgs();
+    got.sort_unstable();
+    assert_eq!(got, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn congestion_delays_but_delivers() {
+    // 6 senders all blast the same receiver: its downlink congests, some
+    // packets drop, TCP recovers, everything still arrives.
+    let (net, hosts) = single_lata(7);
+    let mut d = Driver::new(net);
+    let mut conns = Vec::new();
+    for i in 1..7 {
+        let c = d.with_net(|n, ob| {
+            n.open_connection(hosts[i], hosts[0], Dscp::BestEffort, TcpConfig::default(), ob)
+        });
+        conns.push(c);
+    }
+    d.run_until(SimTime::ZERO + Duration::from_millis(100));
+    for (i, &c) in conns.iter().enumerate() {
+        d.with_net(|n, ob| {
+            n.send_message(c, Side::Opener, dclue_net::MsgId(i as u64), 256 * 1024, ob)
+        });
+    }
+    d.run_until(SimTime::ZERO + Duration::from_secs(60));
+    let mut got = d.delivered_msgs();
+    got.sort_unstable();
+    assert_eq!(got, (0..6).collect::<Vec<_>>(), "all bulk transfers complete");
+}
+
+#[test]
+fn priority_traffic_wins_under_contention() {
+    // Two flows cross the inter-lata trunk; one is AF21. Under a congested
+    // trunk the AF21 flow must finish significantly earlier.
+    let (net, hosts) = two_latas(2, true);
+    let mut d = Driver::new(net);
+    let be = d.with_net(|n, ob| {
+        n.open_connection(hosts[0], hosts[2], Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    let af = d.with_net(|n, ob| {
+        n.open_connection(hosts[1], hosts[3], Dscp::Af21, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(100));
+    let bytes = 512 * 1024;
+    d.with_net(|n, ob| n.send_message(be, Side::Opener, dclue_net::MsgId(100), bytes, ob));
+    d.with_net(|n, ob| n.send_message(af, Side::Opener, dclue_net::MsgId(200), bytes, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(120));
+    let t_of = |msg: u64| {
+        d.notes
+            .iter()
+            .find_map(|(t, n)| match n {
+                NetNote::MessageDelivered { msg: m, .. } if m.0 == msg => Some(*t),
+                _ => None,
+            })
+            .unwrap_or(SimTime::MAX)
+    };
+    let t_be = t_of(100);
+    let t_af = t_of(200);
+    assert!(t_af < SimTime::MAX, "AF21 transfer must complete");
+    assert!(t_be < SimTime::MAX, "BE transfer must complete");
+    assert!(
+        t_af < t_be,
+        "priority flow should finish first: af={t_af:?} be={t_be:?}"
+    );
+}
+
+#[test]
+fn router_forwarding_rate_limits_throughput() {
+    // A slow router (500 pps) in front of fast links caps goodput: an
+    // 8 KB message is 6 data packets + ACKs; sending 100 messages takes
+    // at least ~(600 pkts + overhead) / 500 pps.
+    let mut b = NetworkBuilder::new();
+    let r = b.router(500.0, false);
+    let h0 = b.host(r, 100e6, Duration::from_micros(1));
+    let h1 = b.host(r, 100e6, Duration::from_micros(1));
+    let net = b.build();
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(h0, h1, Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(100));
+    for i in 0..100u64 {
+        d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(i), 8192, ob));
+    }
+    d.run_until(SimTime::ZERO + Duration::from_secs(300));
+    assert_eq!(d.delivered_msgs().len(), 100);
+    let last = d
+        .notes
+        .iter()
+        .filter_map(|(t, n)| matches!(n, NetNote::MessageDelivered { .. }).then_some(*t))
+        .max()
+        .unwrap();
+    // 600 data pkts + >=300 acks at 500 pps >= 1.8 s.
+    assert!(
+        last.as_secs_f64() > 1.5,
+        "forwarding rate must gate completion: {last}"
+    );
+}
+
+#[test]
+fn connection_close_reaps_state() {
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 1000, ob));
+    d.run_until(SimTime::ZERO + Duration::from_millis(500));
+    d.with_net(|n, ob| n.close_connection(conn, Side::Opener, ob));
+    d.run_until(SimTime::ZERO + Duration::from_millis(600));
+    d.with_net(|n, ob| n.close_connection(conn, Side::Acceptor, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(5));
+    assert!(d
+        .notes
+        .iter()
+        .any(|(_, n)| matches!(n, NetNote::Closed { .. })));
+    assert_eq!(d.net.active_connections(), 0);
+}
+
+#[test]
+fn ecn_reduces_instead_of_dropping() {
+    // Single bottleneck shared by 4 ECN flows: with ECN on, cwnd
+    // reductions should occur; the transfers must all complete.
+    let (net, hosts) = single_lata(5);
+    let mut d = Driver::new(net);
+    let mut conns = Vec::new();
+    for i in 1..5 {
+        let c = d.with_net(|n, ob| {
+            n.open_connection(hosts[i], hosts[0], Dscp::BestEffort, TcpConfig::default(), ob)
+        });
+        conns.push(c);
+    }
+    d.run_until(SimTime::ZERO + Duration::from_millis(100));
+    for (i, &c) in conns.iter().enumerate() {
+        d.with_net(|n, ob| {
+            n.send_message(c, Side::Opener, dclue_net::MsgId(i as u64), 128 * 1024, ob)
+        });
+    }
+    d.run_until(SimTime::ZERO + Duration::from_secs(60));
+    assert_eq!(d.delivered_msgs().len(), 4);
+    // The receiver's downlink port should have marked something.
+    let marked: u64 = d
+        .net
+        .links()
+        .iter()
+        .map(|l| l.ports[0].stats.ecn_marked + l.ports[1].stats.ecn_marked)
+        .sum();
+    assert!(marked > 0, "expected ECN marks under congestion");
+}
+
+#[test]
+fn wfq_splits_trunk_bandwidth() {
+    // Two bulk flows share one trunk under WFQ with a 0.25 AF weight:
+    // the best-effort flow should finish first despite equal demand.
+    let mut b = NetworkBuilder::new();
+    let policy = dclue_net::device::PortPolicy {
+        discipline: dclue_net::device::Discipline::Wfq { af_weight: 0.25 },
+        drop: Default::default(),
+    };
+    let outer = b.router_with_policy(10_000.0, policy);
+    let r1 = b.router_with_policy(10_000.0, policy);
+    let r2 = b.router_with_policy(10_000.0, policy);
+    b.trunk(outer, r1, 10e6, Duration::from_micros(5));
+    b.trunk(outer, r2, 10e6, Duration::from_micros(5));
+    let a1 = b.host(r1, 100e6, Duration::from_micros(5));
+    let a2 = b.host(r1, 100e6, Duration::from_micros(5));
+    let z1 = b.host(r2, 100e6, Duration::from_micros(5));
+    let z2 = b.host(r2, 100e6, Duration::from_micros(5));
+    let mut d = Driver::new(b.build());
+    let af = d.with_net(|n, ob| n.open_connection(a1, z1, Dscp::Af21, TcpConfig::default(), ob));
+    let be = d.with_net(|n, ob| n.open_connection(a2, z2, Dscp::BestEffort, TcpConfig::default(), ob));
+    d.run_until(SimTime::ZERO + Duration::from_millis(100));
+    let bytes = 512 * 1024;
+    d.with_net(|n, ob| n.send_message(af, Side::Opener, dclue_net::MsgId(1), bytes, ob));
+    d.with_net(|n, ob| n.send_message(be, Side::Opener, dclue_net::MsgId(2), bytes, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(120));
+    let t_of = |msg: u64| {
+        d.notes
+            .iter()
+            .find_map(|(t, n)| match n {
+                NetNote::MessageDelivered { msg: m, .. } if m.0 == msg => Some(*t),
+                _ => None,
+            })
+            .unwrap_or(SimTime::MAX)
+    };
+    let t_af = t_of(1);
+    let t_be = t_of(2);
+    assert!(t_af < SimTime::MAX && t_be < SimTime::MAX, "both must finish");
+    assert!(
+        t_be < t_af,
+        "0.75-weight best effort should finish first: be={t_be:?} af={t_af:?}"
+    );
+}
+
+#[test]
+fn link_utilization_accounting() {
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 100_000, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(10));
+    let up = d.net.host_uplink(hosts[0]);
+    let sent = d.net.link(up).ports[0].stats.bytes_tx;
+    assert!(sent >= 100_000, "uplink carried the payload: {sent}");
+    assert!(d.net.link(up).ports[0].stats.busy.nanos() > 0);
+}

@@ -1,0 +1,596 @@
+//! CPU cores, worker threads and interrupt work.
+//!
+//! Execution model: the DB engine submits *bursts* of instructions on
+//! behalf of a thread (`submit`), or anonymous high-priority *interrupt
+//! work* (`interrupt`) for message receives and IO completions. Cores run
+//! bursts in slices of `quantum_instr`; at every slice boundary pending
+//! interrupt work preempts the application thread (the paper:
+//! "application processing is interrupted to handle message receives").
+//!
+//! Dispatching a thread from the ready queue charges a context switch
+//! whose cost grows with the number of live threads (cache working-set
+//! pressure); continuing the same thread does not. A burst's wall time is
+//! `instructions x CPI / f`, with CPI recomputed at each slice start from
+//! the memory model and current thread pressure — so piling on threads
+//! makes *everyone* slower, which is the feedback loop behind the paper's
+//! QoS cliff (Figs 14-16).
+
+use crate::config::PlatformConfig;
+use crate::memory::MemorySystem;
+use dclue_sim::stats::{Counter, Tally, TimeWeighted};
+use dclue_sim::{Duration, Outbox, SimTime};
+use std::collections::VecDeque;
+
+/// Identifies a worker thread on one node's CPU complex.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadId(pub u32);
+
+/// Events internal to the CPU subsystem.
+#[derive(Debug, Clone, Copy)]
+pub enum CpuEvent {
+    SliceDone { core: u32, gen: u64 },
+}
+
+/// Completions reported to the engine.
+#[derive(Debug, PartialEq)]
+pub enum CpuNote {
+    /// The burst submitted for `thread` ran to completion; the thread is
+    /// idle again and awaits its next step.
+    BurstDone { thread: ThreadId, tag: u64 },
+    /// An interrupt work item completed.
+    InterruptDone { tag: u64 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// No work outstanding; the engine owns the thread.
+    Idle,
+    /// In the ready queue.
+    Ready,
+    /// Assigned to a core (running or preempted between slices).
+    OnCore,
+    /// Slot free for reuse.
+    Dead,
+}
+
+#[derive(Debug)]
+struct Thread {
+    tag: u64,
+    state: TState,
+    remaining: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum RunKind {
+    Thread(ThreadId),
+    Interrupt(u64),
+}
+
+#[derive(Debug)]
+struct Run {
+    kind: RunKind,
+    /// Instructions this slice executes.
+    slice: u64,
+    /// Miss rate used for bus accounting of this slice.
+    mpi_eff: f64,
+    gen: u64,
+}
+
+#[derive(Debug, Default)]
+struct Core {
+    run: Option<Run>,
+    /// Thread pinned to this core mid-burst (it resumes without a
+    /// context switch after interrupt service).
+    pinned: Option<ThreadId>,
+    /// Last thread that executed here: re-dispatching it back-to-back
+    /// is not a context switch (its cache state is still warm).
+    last_thread: Option<ThreadId>,
+    gen: u64,
+}
+
+/// Aggregate CPU statistics for one node.
+#[derive(Debug)]
+pub struct CpuStats {
+    pub context_switches: Counter,
+    pub cs_cycles: Tally,
+    pub cpi: Tally,
+    pub instructions: f64,
+    pub busy: Duration,
+    pub live_threads: TimeWeighted,
+    pub interrupts: Counter,
+}
+
+/// The CPU complex of one server node.
+pub struct Cpu {
+    cfg: PlatformConfig,
+    pub mem: MemorySystem,
+    threads: Vec<Thread>,
+    free: Vec<u32>,
+    ready: VecDeque<ThreadId>,
+    intq: VecDeque<(u64, u64)>, // (instructions, tag)
+    cores: Vec<Core>,
+    live: usize,
+    /// Scales the base miss rate (the cluster layer sets this from its
+    /// affinity heuristic: more remote traffic, more misses).
+    mpi_scale: f64,
+    pub stats: CpuStats,
+}
+
+type CpuOutbox = Outbox<CpuEvent, CpuNote>;
+
+impl Cpu {
+    pub fn new(cfg: PlatformConfig) -> Self {
+        let cores = (0..cfg.cores).map(|_| Core::default()).collect();
+        let mem = MemorySystem::new(&cfg);
+        Cpu {
+            mem,
+            threads: Vec::new(),
+            free: Vec::new(),
+            ready: VecDeque::new(),
+            intq: VecDeque::new(),
+            cores,
+            live: 0,
+            mpi_scale: 1.0,
+            stats: CpuStats {
+                context_switches: Counter::new(),
+                cs_cycles: Tally::new(),
+                cpi: Tally::new(),
+                instructions: 0.0,
+                busy: Duration::ZERO,
+                live_threads: TimeWeighted::new(SimTime::ZERO, 0.0),
+                interrupts: Counter::new(),
+            },
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// Number of live (spawned, not exited) threads.
+    pub fn live_threads(&self) -> usize {
+        self.live
+    }
+
+    /// Set the affinity-dependent miss-rate scale (>= 1.0).
+    pub fn set_mpi_scale(&mut self, scale: f64) {
+        self.mpi_scale = scale.max(0.1);
+    }
+
+    /// Create a thread; it starts idle.
+    pub fn spawn(&mut self, tag: u64, now: SimTime) -> ThreadId {
+        self.live += 1;
+        self.stats.live_threads.set(now, self.live as f64);
+        if let Some(i) = self.free.pop() {
+            self.threads[i as usize] = Thread {
+                tag,
+                state: TState::Idle,
+                remaining: 0,
+            };
+            ThreadId(i)
+        } else {
+            self.threads.push(Thread {
+                tag,
+                state: TState::Idle,
+                remaining: 0,
+            });
+            ThreadId((self.threads.len() - 1) as u32)
+        }
+    }
+
+    /// Destroy an idle thread.
+    pub fn exit(&mut self, tid: ThreadId, now: SimTime) {
+        let t = &mut self.threads[tid.0 as usize];
+        debug_assert_eq!(t.state, TState::Idle, "exit of a non-idle thread");
+        t.state = TState::Dead;
+        self.free.push(tid.0);
+        self.live -= 1;
+        self.stats.live_threads.set(now, self.live as f64);
+    }
+
+    /// Submit a burst of `instructions` for an idle thread.
+    pub fn submit(&mut self, tid: ThreadId, instructions: u64, ob: &mut CpuOutbox) {
+        let t = &mut self.threads[tid.0 as usize];
+        debug_assert_eq!(t.state, TState::Idle, "submit to a busy thread");
+        t.remaining = instructions.max(1);
+        t.state = TState::Ready;
+        self.ready.push_back(tid);
+        self.dispatch_idle_cores(ob);
+    }
+
+    /// Queue high-priority interrupt work (runs before any thread).
+    pub fn interrupt(&mut self, instructions: u64, tag: u64, ob: &mut CpuOutbox) {
+        self.intq.push_back((instructions.max(1), tag));
+        self.dispatch_idle_cores(ob);
+    }
+
+    /// Account extra bus traffic (message copies, DMA) at `now`.
+    pub fn account_bus(&mut self, now: SimTime, bytes: u64) {
+        self.mem.account(now, bytes as f64);
+    }
+
+    /// Effective CPI right now, given thread pressure and bus load.
+    pub fn current_cpi(&mut self, now: SimTime) -> f64 {
+        let mult = self.cfg.thrash_mult(self.live);
+        let mpi = self.cfg.mpi_base * self.mpi_scale * mult;
+        let lat = self.mem.latency_cycles(now, &self.cfg);
+        self.cfg.base_cpi + mpi * lat * self.cfg.blocking_factor
+    }
+
+    fn mpi_eff(&self) -> f64 {
+        self.cfg.mpi_base * self.mpi_scale * self.cfg.thrash_mult(self.live)
+    }
+
+    /// Handle a CPU event.
+    pub fn handle(&mut self, ev: CpuEvent, ob: &mut CpuOutbox) {
+        match ev {
+            CpuEvent::SliceDone { core, gen } => self.slice_done(core as usize, gen, ob),
+        }
+    }
+
+    fn dispatch_idle_cores(&mut self, ob: &mut CpuOutbox) {
+        for c in 0..self.cores.len() {
+            if self.cores[c].run.is_none() {
+                self.dispatch(c, ob);
+            }
+        }
+    }
+
+    /// Pick the next work item for a free core and schedule its slice.
+    fn dispatch(&mut self, core: usize, ob: &mut CpuOutbox) {
+        debug_assert!(self.cores[core].run.is_none());
+        let now = ob.now();
+        let cpi = self.current_cpi(now);
+        let mpi_eff = self.mpi_eff();
+
+        // 1. Interrupt work preempts everything.
+        if let Some((instr, tag)) = self.intq.pop_front() {
+            self.stats.interrupts.inc();
+            self.start_slice(core, RunKind::Interrupt(tag), instr, cpi, mpi_eff, 0.0, ob);
+            return;
+        }
+        // 2. Continue the pinned thread (no context switch).
+        if let Some(tid) = self.cores[core].pinned {
+            let rem = self.threads[tid.0 as usize].remaining;
+            debug_assert!(rem > 0);
+            let slice = rem.min(self.cfg.quantum_instr);
+            self.start_slice(core, RunKind::Thread(tid), slice, cpi, mpi_eff, 0.0, ob);
+            return;
+        }
+        // 3. Dispatch from the ready queue; switching to a different
+        // thread than the core last ran charges a context switch.
+        if let Some(tid) = self.ready.pop_front() {
+            let t = &mut self.threads[tid.0 as usize];
+            debug_assert_eq!(t.state, TState::Ready);
+            t.state = TState::OnCore;
+            let rem = t.remaining;
+            self.cores[core].pinned = Some(tid);
+            let cs = if self.cores[core].last_thread == Some(tid) {
+                0.0
+            } else {
+                let c = self.cfg.cs_cycles(self.live);
+                self.stats.context_switches.inc();
+                self.stats.cs_cycles.record(c);
+                c
+            };
+            self.cores[core].last_thread = Some(tid);
+            let slice = rem.min(self.cfg.quantum_instr);
+            self.start_slice(core, RunKind::Thread(tid), slice, cpi, mpi_eff, cs, ob);
+        }
+        // else: core stays idle.
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_slice(
+        &mut self,
+        core: usize,
+        kind: RunKind,
+        slice: u64,
+        cpi: f64,
+        mpi_eff: f64,
+        cs_cycles: f64,
+        ob: &mut CpuOutbox,
+    ) {
+        let c = &mut self.cores[core];
+        c.gen += 1;
+        let gen = c.gen;
+        c.run = Some(Run {
+            kind,
+            slice,
+            mpi_eff,
+            gen,
+        });
+        let cycles = slice as f64 * cpi + cs_cycles;
+        let dur = Duration::from_secs_f64(cycles / self.cfg.freq_hz);
+        self.stats.busy += dur;
+        self.stats.cpi.record(cpi);
+        ob.schedule(
+            dur,
+            CpuEvent::SliceDone {
+                core: core as u32,
+                gen,
+            },
+        );
+    }
+
+    fn slice_done(&mut self, core: usize, gen: u64, ob: &mut CpuOutbox) {
+        let now = ob.now();
+        let Some(run) = self.cores[core].run.take() else {
+            return;
+        };
+        if run.gen != gen {
+            self.cores[core].run = Some(run);
+            return;
+        }
+        // Miss-traffic accounting for the executed instructions.
+        self.stats.instructions += run.slice as f64;
+        self.mem
+            .account(now, run.slice as f64 * run.mpi_eff * self.cfg.line_bytes as f64);
+
+        match run.kind {
+            RunKind::Interrupt(tag) => {
+                ob.notify(CpuNote::InterruptDone { tag });
+            }
+            RunKind::Thread(tid) => {
+                let t = &mut self.threads[tid.0 as usize];
+                t.remaining -= run.slice;
+                if t.remaining == 0 {
+                    t.state = TState::Idle;
+                    let tag = t.tag;
+                    self.cores[core].pinned = None;
+                    ob.notify(CpuNote::BurstDone { thread: tid, tag });
+                }
+                // else: stays pinned; dispatch() will resume it unless an
+                // interrupt jumped the queue.
+            }
+        }
+        self.dispatch(core, ob);
+    }
+
+    /// CPU utilization over `elapsed` (both cores pooled).
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.stats.busy.as_secs_f64() / (elapsed.as_secs_f64() * self.cfg.cores as f64)
+    }
+
+    /// Threads waiting or executing (diagnostic).
+    pub fn runnable(&self) -> usize {
+        self.ready.len()
+            + self
+                .cores
+                .iter()
+                .filter(|c| c.run.is_some() || c.pinned.is_some())
+                .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rig {
+        cpu: Cpu,
+        now: SimTime,
+        q: Vec<(SimTime, CpuEvent)>,
+        notes: Vec<(SimTime, CpuNote)>,
+    }
+
+    impl Rig {
+        fn new(cfg: PlatformConfig) -> Self {
+            Rig {
+                cpu: Cpu::new(cfg),
+                now: SimTime::ZERO,
+                q: Vec::new(),
+                notes: Vec::new(),
+            }
+        }
+
+        fn with<R>(&mut self, f: impl FnOnce(&mut Cpu, &mut CpuOutbox) -> R) -> R {
+            let mut ob = Outbox::new(self.now);
+            let r = f(&mut self.cpu, &mut ob);
+            self.absorb(ob);
+            r
+        }
+
+        fn absorb(&mut self, ob: CpuOutbox) {
+            for (t, e) in ob.events {
+                self.q.push((t, e));
+            }
+            for n in ob.notes {
+                self.notes.push((self.now, n));
+            }
+        }
+
+        fn run(&mut self) {
+            while !self.q.is_empty() {
+                let idx = self
+                    .q
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, (t, _))| (*t, *i))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let (t, ev) = self.q.remove(idx);
+                self.now = t;
+                let mut ob = Outbox::new(t);
+                self.cpu.handle(ev, &mut ob);
+                self.absorb(ob);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_completes_with_expected_duration() {
+        let cfg = PlatformConfig::default();
+        let freq = cfg.freq_hz;
+        let mut r = Rig::new(cfg);
+        let tid = r.cpu.spawn(7, r.now);
+        r.with(|c, ob| c.submit(tid, 32_000, ob));
+        r.run();
+        assert_eq!(r.notes.len(), 1);
+        let (t, n) = &r.notes[0];
+        assert_eq!(*n, CpuNote::BurstDone { thread: tid, tag: 7 });
+        // Duration should be at least instr * base_cpi / freq.
+        let min_t = 32_000.0 * 1.0 / freq;
+        assert!(t.as_secs_f64() >= min_t, "{} >= {min_t}", t.as_secs_f64());
+    }
+
+    #[test]
+    fn two_cores_run_in_parallel() {
+        let mut r = Rig::new(PlatformConfig::default());
+        let a = r.cpu.spawn(1, r.now);
+        let b = r.cpu.spawn(2, r.now);
+        r.with(|c, ob| c.submit(a, 100_000, ob));
+        r.with(|c, ob| c.submit(b, 100_000, ob));
+        r.run();
+        assert_eq!(r.notes.len(), 2);
+        let t0 = r.notes[0].0.as_secs_f64();
+        let t1 = r.notes[1].0.as_secs_f64();
+        // Ran concurrently: completion times within 25% of each other.
+        assert!((t0 - t1).abs() / t0.max(t1) < 0.25, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn three_threads_on_two_cores_share() {
+        let mut r = Rig::new(PlatformConfig::default());
+        let ths: Vec<_> = (0..3).map(|i| r.cpu.spawn(i, r.now)).collect();
+        for &t in &ths {
+            r.with(|c, ob| c.submit(t, 50_000, ob));
+        }
+        r.run();
+        assert_eq!(r.notes.len(), 3);
+        // The third thread finishes strictly later.
+        assert!(r.notes[2].0 > r.notes[0].0);
+    }
+
+    #[test]
+    fn interrupt_preempts_thread_work() {
+        let cfg = PlatformConfig::default();
+        let mut r = Rig::new(cfg);
+        let a = r.cpu.spawn(1, r.now);
+        let b = r.cpu.spawn(2, r.now);
+        // Saturate both cores with long bursts.
+        r.with(|c, ob| c.submit(a, 10_000_000, ob));
+        r.with(|c, ob| c.submit(b, 10_000_000, ob));
+        r.with(|c, ob| c.interrupt(1_000, 99, ob));
+        r.run();
+        let int_done = r
+            .notes
+            .iter()
+            .find(|(_, n)| matches!(n, CpuNote::InterruptDone { tag: 99 }))
+            .expect("interrupt completed");
+        let first_burst = r
+            .notes
+            .iter()
+            .find(|(_, n)| matches!(n, CpuNote::BurstDone { .. }))
+            .unwrap();
+        assert!(
+            int_done.0 < first_burst.0,
+            "interrupt must finish before the long bursts"
+        );
+    }
+
+    #[test]
+    fn context_switch_counted_per_dispatch() {
+        let mut r = Rig::new(PlatformConfig::default());
+        let a = r.cpu.spawn(1, r.now);
+        r.with(|c, ob| c.submit(a, 1_000, ob));
+        r.run();
+        assert_eq!(r.cpu.stats.context_switches.count(), 1);
+        // Resubmit on an otherwise idle CPU: the core just ran this
+        // thread, so its state is warm — no context switch.
+        r.with(|c, ob| c.submit(a, 1_000, ob));
+        r.run();
+        assert_eq!(r.cpu.stats.context_switches.count(), 1);
+        // But after another thread runs on both cores, resuming charges.
+        let b = r.cpu.spawn(2, r.now);
+        let c2 = r.cpu.spawn(3, r.now);
+        r.with(|c, ob| c.submit(b, 1_000, ob));
+        r.with(|c, ob| c.submit(c2, 1_000, ob));
+        r.run();
+        r.with(|c, ob| c.submit(a, 1_000, ob));
+        r.run();
+        assert!(r.cpu.stats.context_switches.count() >= 3);
+    }
+
+    #[test]
+    fn no_context_switch_between_slices_of_same_thread() {
+        let cfg = PlatformConfig::default();
+        let q = cfg.quantum_instr;
+        let mut r = Rig::new(cfg);
+        let a = r.cpu.spawn(1, r.now);
+        // 10 slices worth of work, sole thread.
+        r.with(|c, ob| c.submit(a, q * 10, ob));
+        r.run();
+        assert_eq!(r.cpu.stats.context_switches.count(), 1);
+    }
+
+    #[test]
+    fn cs_cost_rises_with_thread_count() {
+        let mut r = Rig::new(PlatformConfig::default());
+        // Spawn 80 threads: context switch cost should be near the high
+        // anchor when they all get dispatched.
+        let ths: Vec<_> = (0..80).map(|i| r.cpu.spawn(i, r.now)).collect();
+        for &t in &ths {
+            r.with(|c, ob| c.submit(t, 1_000, ob));
+        }
+        r.run();
+        let mean_cs = r.cpu.stats.cs_cycles.mean();
+        assert!(
+            mean_cs > 40_000.0,
+            "80 live threads should thrash: mean cs = {mean_cs}"
+        );
+    }
+
+    #[test]
+    fn cpi_rises_with_thread_pressure() {
+        let mut idle = Cpu::new(PlatformConfig::default());
+        let lo = idle.current_cpi(SimTime::ZERO);
+        let mut busy = Cpu::new(PlatformConfig::default());
+        for i in 0..75 {
+            busy.spawn(i, SimTime::ZERO);
+        }
+        let hi = busy.current_cpi(SimTime::ZERO);
+        assert!(hi / lo > 1.3, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn exit_releases_slot_for_reuse() {
+        let mut r = Rig::new(PlatformConfig::default());
+        let a = r.cpu.spawn(1, r.now);
+        r.cpu.exit(a, r.now);
+        let b = r.cpu.spawn(2, r.now);
+        assert_eq!(a.0, b.0, "slot reused");
+        assert_eq!(r.cpu.live_threads(), 1);
+    }
+
+    #[test]
+    fn bus_load_inflates_cpi() {
+        let cfg = PlatformConfig::default();
+        let bw = cfg.bus_bw_bytes;
+        let mut c = Cpu::new(cfg);
+        let mut t = SimTime::ZERO;
+        let lo = c.current_cpi(t);
+        for _ in 0..1000 {
+            t += Duration::from_millis(1);
+            c.account_bus(t, (bw * 0.9 / 1000.0) as u64);
+        }
+        let hi = c.current_cpi(t);
+        assert!(hi > lo * 1.5, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut r = Rig::new(PlatformConfig::default());
+        let a = r.cpu.spawn(1, r.now);
+        r.with(|c, ob| c.submit(a, 320_000, ob)); // ~10ms+ on one core
+        r.run();
+        let elapsed = r.now.since(SimTime::ZERO);
+        let u = r.cpu.utilization(elapsed);
+        // One of two cores busy the whole time: utilization ~0.5.
+        assert!((u - 0.5).abs() < 0.05, "u={u}");
+    }
+}

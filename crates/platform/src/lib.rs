@@ -1,0 +1,30 @@
+//! Server platform model for DCLUE: CPU cores, worker threads, interrupt
+//! work, and the memory/cache behaviour that couples them.
+//!
+//! The paper (§2.3) calls the thread model "the most crucial aspect" of
+//! DCLUE: in a transactional workload, network latency is hidden by
+//! running more concurrent threads — until the processor cache can no
+//! longer hold all their working sets. Past that point the context-switch
+//! cost rises sharply (17.7K → 69.7K cycles in the paper's cross-traffic
+//! experiment) and the CPI climbs as the cache thrashes (11.5 → 16.9).
+//! This crate reproduces exactly that mechanism:
+//!
+//! * a fixed pool of cores running *bursts* of instructions,
+//! * a ready queue of threads; a thread-to-thread switch charges a
+//!   context-switch cost that grows with the number of live threads
+//!   beyond the cache-fit point,
+//! * an effective CPI = core CPI + (L2 misses/instr × memory latency ×
+//!   blocking factor), where the miss rate is inflated by thread pressure
+//!   and the memory latency by bus/memory-channel utilization (modelled
+//!   as a single-server queue, per §2.3's "address bus, data bus and
+//!   memory channels are modelled as queuing systems"),
+//! * interrupt work (message receives, disk completions) that preempts
+//!   application bursts at slice boundaries.
+
+pub mod config;
+pub mod cpu;
+pub mod memory;
+
+pub use config::PlatformConfig;
+pub use cpu::{Cpu, CpuEvent, CpuNote, ThreadId};
+pub use memory::MemorySystem;

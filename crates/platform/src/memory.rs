@@ -1,0 +1,151 @@
+//! Bus / memory-channel queueing model.
+//!
+//! The paper models the address bus, data bus and memory channels as
+//! queueing systems whose delay feeds CPU stalls through the blocking
+//! factor. We aggregate them into one shared service centre: demand is
+//! accumulated in bytes (cache-miss line fills, IPC copies, DMA), a
+//! windowed EWMA turns it into a utilization estimate, and an M/D/1-style
+//! factor inflates the unloaded memory latency.
+
+use crate::config::PlatformConfig;
+use dclue_sim::SimTime;
+
+/// Aggregated bus + memory-channel model for one node.
+#[derive(Debug)]
+pub struct MemorySystem {
+    bw_bytes: f64,
+    window_s: f64,
+    /// EWMA of demand rate in bytes/s.
+    rate: f64,
+    last: SimTime,
+    /// Bytes accumulated since `last` (folded into the EWMA lazily).
+    pending: f64,
+    /// Lifetime totals for reporting.
+    pub total_bytes: f64,
+}
+
+impl MemorySystem {
+    pub fn new(cfg: &PlatformConfig) -> Self {
+        MemorySystem {
+            bw_bytes: cfg.bus_bw_bytes,
+            window_s: cfg.bus_window.as_secs_f64().max(1e-6),
+            rate: 0.0,
+            last: SimTime::ZERO,
+            pending: 0.0,
+            total_bytes: 0.0,
+        }
+    }
+
+    /// Account `bytes` of bus/memory traffic at time `now`.
+    pub fn account(&mut self, now: SimTime, bytes: f64) {
+        self.fold(now);
+        self.pending += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Fold pending bytes into the EWMA rate.
+    fn fold(&mut self, now: SimTime) {
+        let dt = now.since(self.last).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        let inst_rate = self.pending / dt;
+        // EWMA with time constant = window.
+        let alpha = 1.0 - (-dt / self.window_s).exp();
+        self.rate += alpha * (inst_rate - self.rate);
+        self.pending = 0.0;
+        self.last = now;
+    }
+
+    /// Current utilization estimate in [0, 0.97].
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        self.fold(now);
+        (self.rate / self.bw_bytes).min(0.97)
+    }
+
+    /// Loaded memory latency in core cycles: unloaded latency times an
+    /// M/D/1 waiting-time inflation `1 + rho / (2 (1 - rho))`.
+    pub fn latency_cycles(&mut self, now: SimTime, cfg: &PlatformConfig) -> f64 {
+        let rho = self.utilization(now);
+        cfg.mem_latency_cycles * (1.0 + rho / (2.0 * (1.0 - rho)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dclue_sim::Duration;
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig::default()
+    }
+
+    #[test]
+    fn idle_bus_has_unloaded_latency() {
+        let c = cfg();
+        let mut m = MemorySystem::new(&c);
+        let lat = m.latency_cycles(SimTime::ZERO + Duration::from_secs(1), &c);
+        assert!((lat - c.mem_latency_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_tracks_demand() {
+        let c = cfg();
+        let mut m = MemorySystem::new(&c);
+        // Push ~half the bus bandwidth for a full second.
+        let step = Duration::from_millis(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t += step;
+            m.account(t, c.bus_bw_bytes * 0.5 / 1000.0);
+        }
+        let rho = m.utilization(t);
+        assert!((rho - 0.5).abs() < 0.1, "rho={rho}");
+    }
+
+    #[test]
+    fn saturation_is_clamped() {
+        let c = cfg();
+        let mut m = MemorySystem::new(&c);
+        let step = Duration::from_millis(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..2000 {
+            t += step;
+            m.account(t, c.bus_bw_bytes * 5.0 / 1000.0);
+        }
+        assert!(m.utilization(t) <= 0.97);
+        let lat = m.latency_cycles(t, &c);
+        assert!(lat.is_finite() && lat > c.mem_latency_cycles * 5.0);
+    }
+
+    #[test]
+    fn latency_monotone_in_load() {
+        let c = cfg();
+        let mut lo = MemorySystem::new(&c);
+        let mut hi = MemorySystem::new(&c);
+        let step = Duration::from_millis(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t += step;
+            lo.account(t, c.bus_bw_bytes * 0.2 / 1000.0);
+            hi.account(t, c.bus_bw_bytes * 0.8 / 1000.0);
+        }
+        assert!(hi.latency_cycles(t, &c) > lo.latency_cycles(t, &c));
+    }
+
+    #[test]
+    fn idle_decay_brings_rate_down() {
+        let c = cfg();
+        let mut m = MemorySystem::new(&c);
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            t += Duration::from_millis(1);
+            m.account(t, c.bus_bw_bytes * 0.9 / 1000.0);
+        }
+        let busy = m.utilization(t);
+        // A long idle gap decays the EWMA.
+        t += Duration::from_secs(2);
+        let idle = m.utilization(t);
+        assert!(idle < busy * 0.2, "busy={busy} idle={idle}");
+    }
+}

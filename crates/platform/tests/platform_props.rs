@@ -1,0 +1,120 @@
+//! Property tests for the platform model: work conservation, monotone
+//! cost curves, and scheduler accounting invariants.
+
+use dclue_platform::{Cpu, CpuEvent, CpuNote, PlatformConfig};
+use dclue_sim::{Outbox, SimTime};
+use proptest::prelude::*;
+
+struct Rig {
+    cpu: Cpu,
+    now: SimTime,
+    q: Vec<(SimTime, CpuEvent)>,
+    bursts_done: usize,
+    interrupts_done: usize,
+}
+
+impl Rig {
+    fn new() -> Self {
+        Rig {
+            cpu: Cpu::new(PlatformConfig::default()),
+            now: SimTime::ZERO,
+            q: Vec::new(),
+            bursts_done: 0,
+            interrupts_done: 0,
+        }
+    }
+
+    fn absorb(&mut self, ob: Outbox<CpuEvent, CpuNote>) {
+        for (t, e) in ob.events {
+            self.q.push((t, e));
+        }
+        for n in ob.notes {
+            match n {
+                CpuNote::BurstDone { .. } => self.bursts_done += 1,
+                CpuNote::InterruptDone { .. } => self.interrupts_done += 1,
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        while !self.q.is_empty() {
+            let idx = self
+                .q
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (t, _))| (*t, *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let (t, ev) = self.q.remove(idx);
+            self.now = t;
+            let mut ob = Outbox::new(t);
+            self.cpu.handle(ev, &mut ob);
+            self.absorb(ob);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work conservation: every submitted burst and interrupt completes,
+    /// and the executed instruction count equals what was submitted.
+    #[test]
+    fn all_work_completes_exactly(
+        bursts in proptest::collection::vec(100u64..200_000, 1..20),
+        interrupts in proptest::collection::vec(100u64..20_000, 0..10),
+    ) {
+        let mut r = Rig::new();
+        let mut total: u64 = 0;
+        for (i, &b) in bursts.iter().enumerate() {
+            let tid = r.cpu.spawn(i as u64, r.now);
+            let mut ob = Outbox::new(r.now);
+            r.cpu.submit(tid, b, &mut ob);
+            r.absorb(ob);
+            total += b;
+        }
+        for &w in &interrupts {
+            let mut ob = Outbox::new(r.now);
+            r.cpu.interrupt(w, 0, &mut ob);
+            r.absorb(ob);
+            total += w;
+        }
+        r.run();
+        prop_assert_eq!(r.bursts_done, bursts.len());
+        prop_assert_eq!(r.interrupts_done, interrupts.len());
+        prop_assert_eq!(r.cpu.stats.instructions as u64, total);
+    }
+
+    /// Context-switch cost is monotone non-decreasing in live threads
+    /// and the thrash multiplier never dips below 1.
+    #[test]
+    fn cost_curves_are_monotone(a in 0usize..200, b in 0usize..200) {
+        let cfg = PlatformConfig::default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(cfg.cs_cycles(lo) <= cfg.cs_cycles(hi));
+        prop_assert!(cfg.thrash_mult(lo) <= cfg.thrash_mult(hi));
+        prop_assert!(cfg.thrash_mult(lo) >= 1.0);
+        prop_assert!(cfg.cs_cycles(hi) <= cfg.cs_max_cycles);
+    }
+
+    /// Wall-clock of a solo burst is exactly instr x CPI / f plus the
+    /// single context switch.
+    #[test]
+    fn solo_burst_timing_is_exact(instr in 1_000u64..1_000_000) {
+        let cfg = PlatformConfig::default();
+        let mut r = Rig::new();
+        let tid = r.cpu.spawn(1, r.now);
+        let cpi = r.cpu.current_cpi(r.now);
+        let cs = cfg.cs_cycles(1);
+        let mut ob = Outbox::new(r.now);
+        r.cpu.submit(tid, instr, &mut ob);
+        r.absorb(ob);
+        r.run();
+        let expect_s = (instr as f64 * cpi + cs) / cfg.freq_hz;
+        let got_s = r.now.as_secs_f64();
+        // CPI drifts upward as the burst's own miss traffic loads the
+        // memory model; allow 5%.
+        prop_assert!((got_s - expect_s).abs() / expect_s < 0.05,
+            "got {got_s} expected {expect_s}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`. The sequence number is a
+//! monotonically increasing insertion counter, which gives simultaneous
+//! events a stable FIFO order — the property that makes whole-cluster runs
+//! bit-reproducible for a fixed RNG seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+///
+/// ```
+/// use dclue_sim::{EventHeap, SimTime};
+///
+/// let mut q = EventHeap::new();
+/// q.push(SimTime(20), "later");
+/// q.push(SimTime(10), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime(10), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime(20), "later")));
+/// ```
+pub struct EventHeap<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    /// Total number of events ever pushed (for engine statistics).
+    pushed: u64,
+}
+
+impl<E> Default for EventHeap<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventHeap<E> {
+    pub fn new() -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events pushed over the queue's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventHeap::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventHeap::new();
+        let t = SimTime(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventHeap::new();
+        q.push(SimTime(10), 1);
+        q.push(SimTime(5), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(SimTime(7), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn peek_time_tracks_head() {
+        let mut q = EventHeap::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::ZERO + Duration::from_millis(2), ());
+        q.push(SimTime::ZERO + Duration::from_millis(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime(1_000_000)));
+    }
+
+    #[test]
+    fn counts_total_pushed() {
+        let mut q = EventHeap::new();
+        q.push(SimTime(1), ());
+        q.push(SimTime(2), ());
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

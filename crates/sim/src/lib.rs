@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation kernel for `dclue-rs`.
+//!
+//! This crate is the substrate replacement for the OPNET engine used by the
+//! original DCLUE model (Kant & Sahoo, ICPP 2005). It provides:
+//!
+//! * [`SimTime`] — a nanosecond-resolution simulation clock value,
+//! * [`EventHeap`] — a total-order event queue (ties broken by insertion
+//!   sequence, so runs are bit-reproducible for a fixed seed),
+//! * [`Outbox`] — the action list through which subsystem state machines
+//!   communicate without depending on each other's event types,
+//! * [`SimRng`] — a seedable RNG with the distributions the workload and
+//!   platform models need (exponential, NURand, discrete mixes),
+//! * [`stats`] — counters, tallies, time-weighted gauges and histograms
+//!   with warm-up support.
+//!
+//! The kernel is deliberately single-threaded: reproducibility of the
+//! *simulated* cluster matters far more than wall-clock parallelism, and a
+//! deterministic total order of events is what makes the paper's
+//! sensitivity studies trustworthy. Parallelism in this workspace lives at
+//! the experiment-sweep level (independent simulations on independent
+//! threads), not inside one simulation.
+
+pub mod event;
+pub mod outbox;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventHeap;
+pub use outbox::Outbox;
+pub use rng::SimRng;
+pub use time::{Duration, SimTime};

@@ -1,0 +1,97 @@
+//! Decoupled communication between subsystem state machines.
+//!
+//! The subsystem crates (`dclue-net`, `dclue-platform`, `dclue-storage`, …)
+//! must stay independently testable, so none of them schedules directly
+//! into the global event queue. Instead, every handler receives an
+//! [`Outbox`] and appends:
+//!
+//! * **timed events** (`schedule`) addressed back to itself, and
+//! * **notifications** (`notify`) addressed to whoever integrates it.
+//!
+//! The integration layer (`dclue-cluster`) drains the outbox, wraps the
+//! subsystem event type into the global event enum, and routes the
+//! notifications. This is the Rust equivalent of OPNET's
+//! interrupt/stream-boundary discipline.
+
+use crate::time::{Duration, SimTime};
+
+/// Action list filled by a subsystem handler during one event dispatch.
+#[derive(Debug)]
+pub struct Outbox<E, N> {
+    now: SimTime,
+    /// `(fire_at, event)` pairs to be scheduled back into this subsystem.
+    pub events: Vec<(SimTime, E)>,
+    /// Notifications for the integration layer.
+    pub notes: Vec<N>,
+}
+
+impl<E, N> Outbox<E, N> {
+    /// Create an empty outbox anchored at the current simulation time.
+    pub fn new(now: SimTime) -> Self {
+        Outbox {
+            now,
+            events: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The time at which the current handler is executing.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `delay` from now.
+    #[inline]
+    pub fn schedule(&mut self, delay: Duration, event: E) {
+        self.events.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` at an absolute time (clamped to be >= now so the
+    /// simulation clock never runs backwards).
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.events.push((at.max(self.now), event));
+    }
+
+    /// Emit a notification for the integration layer.
+    #[inline]
+    pub fn notify(&mut self, note: N) {
+        self.notes.push(note);
+    }
+
+    /// True if the handler produced no actions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.notes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_relative_to_now() {
+        let mut ob: Outbox<u32, ()> = Outbox::new(SimTime(100));
+        ob.schedule(Duration(5), 7);
+        assert_eq!(ob.events, vec![(SimTime(105), 7)]);
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let mut ob: Outbox<u32, ()> = Outbox::new(SimTime(100));
+        ob.schedule_at(SimTime(40), 1);
+        ob.schedule_at(SimTime(140), 2);
+        assert_eq!(ob.events, vec![(SimTime(100), 1), (SimTime(140), 2)]);
+    }
+
+    #[test]
+    fn notes_accumulate_in_order() {
+        let mut ob: Outbox<(), &str> = Outbox::new(SimTime::ZERO);
+        assert!(ob.is_empty());
+        ob.notify("a");
+        ob.notify("b");
+        assert_eq!(ob.notes, vec!["a", "b"]);
+        assert!(!ob.is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Measurement primitives with warm-up support.
+//!
+//! Every figure in the paper is an average over the post-warm-up window of
+//! a run, so all collectors support `reset()` — the experiment harness
+//! resets them once the cluster reaches steady state and reads them at the
+//! end of the run.
+
+use crate::time::{Duration, SimTime};
+
+/// A monotone event counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    n: u64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&mut self) {
+        self.n += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, k: u64) {
+        self.n += k;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn reset(&mut self) {
+        self.n = 0;
+    }
+}
+
+/// Sample tally: running mean/variance (Welford) plus min/max.
+#[derive(Debug, Default, Clone)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    pub fn new() -> Self {
+        Tally {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn reset(&mut self) {
+        *self = Tally::new();
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity (queue lengths,
+/// active thread counts, utilization levels).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    window_start: SimTime,
+    max: f64,
+}
+
+impl TimeWeighted {
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            value: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            window_start: start,
+            max: initial,
+        }
+    }
+
+    /// Record that the quantity changed to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        self.weighted_sum += self.value * dt;
+        self.value = value;
+        self.last_change = now;
+        self.max = self.max.max(value);
+    }
+
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[window_start, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.last_change).as_secs_f64();
+        let total = now.since(self.window_start).as_secs_f64();
+        if total <= 0.0 {
+            self.value
+        } else {
+            (self.weighted_sum + self.value * dt) / total
+        }
+    }
+
+    /// Restart the measurement window at `now`, keeping the current value.
+    pub fn reset(&mut self, now: SimTime) {
+        self.weighted_sum = 0.0;
+        self.last_change = now;
+        self.window_start = now;
+        self.max = self.value;
+    }
+}
+
+/// Fixed-bucket histogram over a linear range, with saturating edge buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    n: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Self {
+        assert!(hi > lo && nbuckets > 0);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; nbuckets],
+            n: 0,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        let k = self.buckets.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            k - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * k as f64) as usize
+        };
+        self.buckets[idx.min(k - 1)] += 1;
+        self.n += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate quantile (0..=1) using bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64;
+        let mut seen = 0;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.count(), 5);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn tally_mean_and_variance() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert_eq!(t.count(), 8);
+    }
+
+    #[test]
+    fn tally_empty_is_zero() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut g = TimeWeighted::new(SimTime(0), 0.0);
+        g.set(SimTime(1_000_000_000), 10.0); // 0 for 1s
+        g.set(SimTime(3_000_000_000), 0.0); // 10 for 2s
+        // mean over [0, 4s] = (0*1 + 10*2 + 0*1)/4 = 5
+        assert!((g.mean(SimTime(4_000_000_000)) - 5.0).abs() < 1e-9);
+        assert_eq!(g.max(), 10.0);
+    }
+
+    #[test]
+    fn time_weighted_reset_restarts_window() {
+        let mut g = TimeWeighted::new(SimTime(0), 4.0);
+        g.reset(SimTime(2_000_000_000));
+        assert!((g.mean(SimTime(3_000_000_000)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.1);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 2.0, "median={med}");
+        assert!(h.quantile(1.0) > 95.0);
+    }
+
+    #[test]
+    fn histogram_saturates_at_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.count(), 2);
+    }
+}

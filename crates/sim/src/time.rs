@@ -1,0 +1,257 @@
+//! Simulation time.
+//!
+//! Time is kept in integer nanoseconds. At the paper's 100x scale-down the
+//! slowest clock in the system is 1.33 MHz (memory channel) and the fastest
+//! is 32 MHz (CPU), i.e. one CPU cycle is ~31 ns — comfortably representable.
+//! A `u64` nanosecond clock overflows after ~584 simulated years.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute simulation timestamp in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// Build from integer nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Duration {
+        Duration(ns)
+    }
+
+    /// Build from integer microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Build from integer milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Build from integer seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Build from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative or non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Duration {
+        if s.is_finite() && s > 0.0 {
+            Duration((s * 1e9).round() as u64)
+        } else {
+            Duration(0)
+        }
+    }
+
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating multiply by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, k: u64) -> Duration {
+        Duration(self.0 / k.max(1))
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::ZERO + Duration::from_micros(3);
+        assert_eq!(t.nanos(), 3_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(100);
+        let b = SimTime(50);
+        assert_eq!(b.since(a), Duration::ZERO);
+        assert_eq!(a.since(b), Duration(50));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(Duration::from_secs_f64(1e-9).nanos(), 1);
+        assert_eq!(Duration::from_secs_f64(-4.0).nanos(), 0);
+        assert_eq!(Duration::from_secs_f64(f64::NAN).nanos(), 0);
+        assert_eq!(Duration::from_secs_f64(0.5).nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let d = Duration(u64::MAX);
+        assert_eq!((d + Duration(1)).nanos(), u64::MAX);
+        assert_eq!((Duration(3) - Duration(5)).nanos(), 0);
+        assert_eq!((d * 2).nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn div_by_zero_is_safe() {
+        assert_eq!((Duration(10) / 0).nanos(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime(1_500_000_000)), "1.500000s");
+        assert_eq!(format!("{:?}", Duration(2_000_000)), "2.000ms");
+        assert_eq!(format!("{:?}", Duration(999)), "999ns");
+    }
+}

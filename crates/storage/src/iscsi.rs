@@ -1,0 +1,115 @@
+//! iSCSI protocol parameters: PDU sizes and host processing path-lengths.
+//!
+//! The paper's distributed-storage configuration accesses remote disks
+//! with iSCSI over the same Ethernet fabric (and local disks via plain
+//! SCSI). It evaluates hardware- vs software-implemented iSCSI (Fig 11),
+//! noting that "iSCSI implementation path-lengths are small except for
+//! the rather large overhead of CRC calculations". Path-length constants
+//! below are calibrated to the iSCSI measurements the paper cites
+//! (Joglekar, Intel 2004): modest per-PDU costs, dominated in software
+//! mode by ~3K instructions per KB of CRC32C digest work.
+//!
+//! Path-lengths are scale-free (instructions), so the 100x slow-down of
+//! the CPU stretches them automatically.
+
+/// Basic header segment size of every iSCSI PDU, bytes.
+pub const PDU_HEADER_BYTES: u64 = 48;
+
+/// SCSI command PDU wire size (BHS + CDB room).
+pub const CMD_PDU_BYTES: u64 = PDU_HEADER_BYTES + 16;
+
+/// SCSI response/status PDU wire size.
+pub const STATUS_PDU_BYTES: u64 = PDU_HEADER_BYTES;
+
+/// Where the iSCSI (and its TCP digest) work executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IscsiMode {
+    /// Full HBA offload: host CPU sees only command submit/complete.
+    #[default]
+    Hardware,
+    /// Host-software initiator/target: per-PDU processing plus CRC per KB.
+    Software,
+}
+
+/// Host path-length costs of one iSCSI IO on one side (initiator or
+/// target), in instructions.
+#[derive(Clone, Copy, Debug)]
+pub struct IscsiCosts {
+    /// Fixed per-IO cost (command build/parse, task management).
+    pub per_io: u64,
+    /// Per-KB-of-data cost (data PDU handling + CRC in software mode).
+    pub per_kb: u64,
+}
+
+impl IscsiCosts {
+    pub fn for_mode(mode: IscsiMode) -> Self {
+        match mode {
+            IscsiMode::Hardware => IscsiCosts {
+                per_io: 2_000,
+                per_kb: 150,
+            },
+            IscsiMode::Software => IscsiCosts {
+                per_io: 7_000,
+                per_kb: 3_200, // dominated by CRC32C digests
+            },
+        }
+    }
+
+    /// Total host instructions for an IO moving `bytes` of data.
+    pub fn io_instructions(&self, bytes: u64) -> u64 {
+        self.per_io + self.per_kb * bytes.div_ceil(1024)
+    }
+}
+
+/// Wire bytes added by iSCSI framing for an IO carrying `bytes` of data
+/// in `data_pdu_bytes`-sized data PDUs (excludes TCP/IP overhead, which
+/// the network layer adds per segment).
+pub fn wire_overhead(bytes: u64, data_pdu_bytes: u64) -> u64 {
+    let data_pdus = bytes.div_ceil(data_pdu_bytes.max(1));
+    CMD_PDU_BYTES + STATUS_PDU_BYTES + data_pdus * PDU_HEADER_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_mode_is_much_costlier_per_kb() {
+        let hw = IscsiCosts::for_mode(IscsiMode::Hardware);
+        let sw = IscsiCosts::for_mode(IscsiMode::Software);
+        assert!(sw.per_kb > 10 * hw.per_kb);
+    }
+
+    #[test]
+    fn crc_dominates_software_8k_io() {
+        let sw = IscsiCosts::for_mode(IscsiMode::Software);
+        let total = sw.io_instructions(8192);
+        let crc_part = sw.per_kb * 8;
+        assert!(crc_part as f64 / total as f64 > 0.7);
+    }
+
+    #[test]
+    fn io_instructions_rounds_kb_up() {
+        let c = IscsiCosts {
+            per_io: 100,
+            per_kb: 10,
+        };
+        assert_eq!(c.io_instructions(1), 110);
+        assert_eq!(c.io_instructions(1024), 110);
+        assert_eq!(c.io_instructions(1025), 120);
+    }
+
+    #[test]
+    fn wire_overhead_counts_pdus() {
+        // 8 KB in 8 KB data PDUs: cmd + status + 1 data header.
+        assert_eq!(
+            wire_overhead(8192, 8192),
+            CMD_PDU_BYTES + STATUS_PDU_BYTES + PDU_HEADER_BYTES
+        );
+        // 16 KB in 8 KB PDUs: 2 data headers.
+        assert_eq!(
+            wire_overhead(16384, 8192),
+            CMD_PDU_BYTES + STATUS_PDU_BYTES + 2 * PDU_HEADER_BYTES
+        );
+    }
+}

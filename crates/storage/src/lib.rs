@@ -1,0 +1,17 @@
+//! Storage substrate for DCLUE: per-node disk subsystems with an elevator
+//! scheduler, logical block maps for the database tables, and the iSCSI
+//! protocol parameter layer (PDU sizes and processing path-lengths for
+//! hardware- and software-implemented initiators/targets).
+//!
+//! Orchestration of *remote* IO — shipping iSCSI PDUs over the unified
+//! fabric's TCP connections and running the disk on the target node —
+//! lives in `dclue-cluster`; this crate owns everything local: disk
+//! mechanics and protocol cost accounting.
+
+pub mod blockmap;
+pub mod disk;
+pub mod iscsi;
+
+pub use blockmap::BlockMap;
+pub use disk::{Disk, DiskConfig, DiskEvent, DiskNote, DiskRequest};
+pub use iscsi::{IscsiCosts, IscsiMode};

@@ -1,0 +1,138 @@
+//! Property tests for the disk model: completeness, elevator optimality
+//! on batches, and service-time sanity.
+
+use dclue_storage::{Disk, DiskConfig, DiskEvent, DiskNote, DiskRequest};
+use dclue_sim::{Outbox, SimTime};
+use proptest::prelude::*;
+
+struct Rig {
+    disk: Disk,
+    now: SimTime,
+    q: Vec<(SimTime, DiskEvent)>,
+    done: Vec<u64>,
+}
+
+impl Rig {
+    fn new(cfg: DiskConfig) -> Self {
+        Rig {
+            disk: Disk::new(cfg),
+            now: SimTime::ZERO,
+            q: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    fn submit(&mut self, lba: u64, tag: u64) {
+        let mut ob = Outbox::new(self.now);
+        self.disk.submit(
+            DiskRequest {
+                lba,
+                bytes: 8192,
+                write: false,
+                tag,
+            },
+            &mut ob,
+        );
+        self.absorb(ob);
+    }
+
+    fn absorb(&mut self, ob: Outbox<DiskEvent, DiskNote>) {
+        for (t, e) in ob.events {
+            self.q.push((t, e));
+        }
+        for n in ob.notes {
+            let DiskNote::Complete { tag, .. } = n;
+            self.done.push(tag);
+        }
+    }
+
+    fn run(&mut self) {
+        while !self.q.is_empty() {
+            let idx = self
+                .q
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (t, _))| (*t, *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let (t, ev) = self.q.remove(idx);
+            self.now = t;
+            let mut ob = Outbox::new(t);
+            self.disk.handle(ev, &mut ob);
+            self.absorb(ob);
+        }
+    }
+}
+
+proptest! {
+    /// Every submitted request completes exactly once, under either
+    /// scheduling discipline.
+    #[test]
+    fn all_requests_complete_once(
+        lbas in proptest::collection::vec(0u64..100_000, 1..60),
+        elevator in proptest::bool::ANY,
+    ) {
+        let mut r = Rig::new(DiskConfig {
+            elevator,
+            ..DiskConfig::default()
+        });
+        for (i, &l) in lbas.iter().enumerate() {
+            r.submit(l, i as u64);
+        }
+        r.run();
+        let mut done = r.done.clone();
+        done.sort_unstable();
+        prop_assert_eq!(done, (0..lbas.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// For an ascending batch the elevator and FIFO orders coincide, so
+    /// their completion times must match; for arbitrary batches C-SCAN
+    /// is bounded by a constant factor of FIFO (a single wrap can lose
+    /// to a lucky FIFO order, but never catastrophically).
+    #[test]
+    fn elevator_vs_fifo_bounds(
+        mut lbas in proptest::collection::vec(0u64..1_000_000, 3..40),
+        sorted in proptest::bool::ANY,
+    ) {
+        if sorted {
+            lbas.sort_unstable();
+        }
+        let run_with = |elevator: bool, lbas: &[u64]| -> f64 {
+            let mut r = Rig::new(DiskConfig {
+                elevator,
+                ..DiskConfig::default()
+            });
+            for (i, &l) in lbas.iter().enumerate() {
+                r.submit(l, i as u64);
+            }
+            r.run();
+            r.now.as_secs_f64()
+        };
+        let t_elev = run_with(true, &lbas);
+        let t_fifo = run_with(false, &lbas);
+        if sorted {
+            prop_assert!((t_elev - t_fifo).abs() < 1e-6,
+                "ascending batch must be identical: {t_elev} vs {t_fifo}");
+        } else {
+            prop_assert!(t_elev <= t_fifo * 2.0, "elevator {t_elev} vs fifo {t_fifo}");
+        }
+    }
+
+    /// Service time bounds: a random read takes at least the transfer
+    /// time and at most full-stroke seek + rotation + transfer.
+    #[test]
+    fn single_read_latency_bounds(lba in 1u64..4_000_000) {
+        let cfg = DiskConfig::default();
+        let mut r = Rig::new(cfg.clone());
+        r.submit(lba, 0);
+        r.run();
+        let t = r.now.as_secs_f64();
+        let transfer = 8192.0 / cfg.transfer_bytes;
+        let max = cfg.max_seek.as_secs_f64()
+            + cfg.rotation.as_secs_f64() / 2.0
+            + transfer
+            + 1e-9;
+        prop_assert!(t >= transfer, "{t} < transfer {transfer}");
+        prop_assert!(t <= max, "{t} > max {max}");
+    }
+}

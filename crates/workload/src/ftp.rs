@@ -1,0 +1,126 @@
+//! FTP cross-traffic generator (§3.4 of the paper).
+//!
+//! Extra clients/servers run FTP with 50% GETs and 50% PUTs, a new TCP
+//! connection per transfer, and file sizes deliberately similar to the
+//! DBMS transfer sizes (250 B-ish control range through 8 KB+ data
+//! range) — too-large files would punish FTP itself under congestion,
+//! too-small ones would spend everything on connection setup. The
+//! offered load is a target bit rate; inter-arrival times are
+//! exponential.
+
+use dclue_sim::{Duration, SimRng};
+
+/// Direction of a transfer, from the extra client's perspective.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FtpTransfer {
+    /// Server sends the file to the client.
+    Get { bytes: u64 },
+    /// Client sends the file to the server.
+    Put { bytes: u64 },
+}
+
+impl FtpTransfer {
+    pub fn bytes(self) -> u64 {
+        match self {
+            FtpTransfer::Get { bytes } | FtpTransfer::Put { bytes } => bytes,
+        }
+    }
+}
+
+/// Generates a stream of FTP transfers hitting a target offered load.
+pub struct FtpGenerator {
+    rng: SimRng,
+    /// Mean inter-arrival time for the target offered rate.
+    mean_gap: Duration,
+    mean_bytes: f64,
+}
+
+impl FtpGenerator {
+    /// `offered_bps`: target offered load in bits/s (0 disables: the
+    /// generator returns an infinite first gap).
+    pub fn new(offered_bps: f64, rng: SimRng) -> Self {
+        // Mix: 20% control-sized (250 B), 70% data-sized (8 KB), 10%
+        // larger (32 KB): mean = 0.2*250 + 0.7*8192 + 0.1*32768 = 9061 B.
+        let mean_bytes = 0.2 * 250.0 + 0.7 * 8192.0 + 0.1 * 32768.0;
+        let mean_gap = if offered_bps > 0.0 {
+            Duration::from_secs_f64(mean_bytes * 8.0 / offered_bps)
+        } else {
+            Duration::from_secs(u64::MAX / 2_000_000_000)
+        };
+        FtpGenerator {
+            rng,
+            mean_gap,
+            mean_bytes,
+        }
+    }
+
+    /// Next transfer and the gap to wait before starting it.
+    pub fn next_transfer(&mut self) -> (Duration, FtpTransfer) {
+        let gap = self.rng.exponential(self.mean_gap);
+        let bytes = match self.rng.unit() {
+            u if u < 0.2 => 250,
+            u if u < 0.9 => 8192,
+            _ => 32 * 1024,
+        };
+        let t = if self.rng.chance(0.5) {
+            FtpTransfer::Get { bytes }
+        } else {
+            FtpTransfer::Put { bytes }
+        };
+        (gap, t)
+    }
+
+    pub fn mean_transfer_bytes(&self) -> f64 {
+        self.mean_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_rate_is_respected() {
+        let mut g = FtpGenerator::new(100e6, SimRng::new(5));
+        let mut total_bytes = 0.0;
+        let mut total_time = 0.0;
+        for _ in 0..20_000 {
+            let (gap, t) = g.next_transfer();
+            total_time += gap.as_secs_f64();
+            total_bytes += t.bytes() as f64;
+        }
+        let rate = total_bytes * 8.0 / total_time;
+        assert!(
+            (rate - 100e6).abs() / 100e6 < 0.1,
+            "offered rate {rate:.3e} vs 100e6"
+        );
+    }
+
+    #[test]
+    fn gets_and_puts_balanced() {
+        let mut g = FtpGenerator::new(10e6, SimRng::new(6));
+        let gets = (0..4000)
+            .filter(|_| matches!(g.next_transfer().1, FtpTransfer::Get { .. }))
+            .count();
+        assert!((1700..2300).contains(&gets), "gets={gets}");
+    }
+
+    #[test]
+    fn file_sizes_match_dbms_transfers() {
+        let mut g = FtpGenerator::new(10e6, SimRng::new(7));
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            sizes.insert(g.next_transfer().1.bytes());
+        }
+        assert!(sizes.contains(&250));
+        assert!(sizes.contains(&8192));
+        assert!(sizes.contains(&32768));
+    }
+
+    #[test]
+    fn zero_offered_load_is_quiet() {
+        let mut g = FtpGenerator::new(0.0, SimRng::new(8));
+        let (gap, _) = g.next_transfer();
+        assert!(gap.as_secs_f64() > 1e6, "effectively never: {gap:?}");
+    }
+}

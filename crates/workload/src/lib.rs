@@ -1,0 +1,15 @@
+//! Workload generation: TPC-C terminals with the paper's *affinity*
+//! twist, business-transaction sessions, and FTP cross traffic.
+//!
+//! TPC-C is trivially partitionable (every transaction names a single
+//! home warehouse), which makes it a poor clustering workload; the paper
+//! fixes that with an affinity parameter α: a query goes to the server
+//! hosting its warehouse with probability α and to a random server with
+//! probability 1−α (§2.2). The generator here produces transaction
+//! inputs; `route_node` implements α.
+
+pub mod ftp;
+pub mod tpcc_gen;
+
+pub use ftp::{FtpGenerator, FtpTransfer};
+pub use tpcc_gen::{route_node, BusinessTxn, TpccGenerator};

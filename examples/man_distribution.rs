@@ -1,0 +1,54 @@
+//! MAN-scale geographic distribution: the paper's closing thought
+//! experiment — "if we have two subclusters with one of them located 50
+//! miles away, the additional 1 ms RTT increase will lower the
+//! performance by only a few percent".
+//!
+//! Run with:
+//! `cargo run --release -p dclue-cluster --example man_distribution`
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, World};
+use dclue_sim::Duration;
+
+fn main() {
+    // ~50 miles of fibre is ~0.4 ms one-way propagation; the paper
+    // rounds the added round trip to 1 ms. Each direction crosses the
+    // two inter-lata links, so half the one-way extra goes on each.
+    let scenarios = [
+        ("same machine room", 0u64),
+        ("across town (~10 mi)", 100),
+        ("50 miles away", 500),
+        ("metro region (~100 mi)", 1000),
+    ];
+    println!(
+        "{:<24} {:>14} {:>14} {:>8} {:>9}",
+        "placement", "one-way (real)", "tpmC(scaled)", "drop%", "threads"
+    );
+    let mut base = 0.0;
+    for (name, one_way_us_real) in scenarios {
+        let mut cfg = ClusterConfig::default();
+        cfg.nodes = 8;
+        cfg.latas = 2;
+        cfg.affinity = 0.8;
+        cfg.extra_trunk_latency = Duration::from_micros(one_way_us_real * 100 / 2);
+        cfg.warmup = Duration::from_secs(15);
+        cfg.measure = Duration::from_secs(30);
+        let r = World::new(cfg).run();
+        if one_way_us_real == 0 {
+            base = r.tpmc_scaled;
+        }
+        println!(
+            "{:<24} {:>11} us {:>14.0} {:>7.1}% {:>9.1}",
+            name,
+            one_way_us_real,
+            r.tpmc_scaled,
+            100.0 * (1.0 - r.tpmc_scaled / base.max(1.0)),
+            r.avg_live_threads
+        );
+    }
+    println!();
+    println!("The paper's conclusion: worker threads hide MAN-scale latency, so");
+    println!("subclusters can be separated by metro distances for only a few");
+    println!("percent of throughput — no exotic low-latency fabric required.");
+}

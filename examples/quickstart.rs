@@ -1,0 +1,51 @@
+//! Quickstart: simulate a 4-node clustered DBMS on a unified Ethernet
+//! fabric and print the headline numbers.
+//!
+//! Run with: `cargo run --release -p dclue-cluster --example quickstart`
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, World};
+use dclue_sim::Duration;
+
+fn main() {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = 4;
+    cfg.affinity = 0.8; // 80% of queries hit their warehouse's home node
+    cfg.warmup = Duration::from_secs(15);
+    cfg.measure = Duration::from_secs(30);
+
+    println!(
+        "simulating {} nodes, affinity {:.1}, {} warehouses (100x-scaled model)...",
+        cfg.nodes,
+        cfg.affinity,
+        cfg.total_warehouses()
+    );
+    let t0 = std::time::Instant::now();
+    let report = World::new(cfg).run();
+    println!("done in {:?}\n", t0.elapsed());
+
+    println!(
+        "throughput:        {:.0} scaled tpm-C  (~{:.0} tpm-C real-equivalent)",
+        report.tpmc_scaled, report.tpmc_equivalent
+    );
+    println!(
+        "txn latency:       {:.0} ms (scaled; /100 for real)",
+        report.txn_latency_ms
+    );
+    println!("IPC control msgs:  {:.1} per txn", report.ctl_msgs_per_txn);
+    println!("IPC block xfers:   {:.2} per txn", report.data_msgs_per_txn);
+    println!(
+        "lock waits:        {:.3} per txn, {:.0} ms mean wait",
+        report.lock_waits_per_txn, report.lock_wait_ms
+    );
+    println!("buffer hit ratio:  {:.3}", report.buffer_hit_ratio);
+    println!(
+        "CPU utilization:   {:.2}, CPI {:.2}, {:.1} active threads",
+        report.cpu_util, report.avg_cpi, report.avg_live_threads
+    );
+    println!(
+        "context switch:    {:.0} cycles average",
+        report.avg_cs_cycles
+    );
+}

@@ -1,0 +1,306 @@
+//! Workspace-level integration tests: the full stack (workload → engine
+//! → fusion/locks → fabric → platform → storage) wired together, on
+//! deliberately small clusters so the suite stays fast in debug builds.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
+use dclue_cluster::{ClusterConfig, QosPolicy, TcpOffload, World};
+use dclue_sim::Duration;
+use dclue_storage::IscsiMode;
+
+fn tiny(nodes: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = nodes;
+    cfg.warehouses_per_node = 6;
+    cfg.clients_per_node = 10;
+    cfg.think_time = Duration::from_secs(2);
+    cfg.warmup = Duration::from_secs(8);
+    cfg.measure = Duration::from_secs(12);
+    cfg.data_spindles = 12;
+    cfg.log_spindles = 2;
+    cfg
+}
+
+#[test]
+fn all_transaction_kinds_commit() {
+    let mut world = World::new(tiny(2));
+    let r = world.run();
+    // With the 43/43/5/5/4 mix and >100 commits, every kind ran.
+    assert!(r.committed > 75, "committed={} {:?}", r.committed, r);
+    assert!(r.tpmc_scaled > 0.0);
+    // TPC-C's 1% rollback rate is too rare to assert on a ~100-txn
+    // window; the rollback path itself is covered in dclue-db's tests.
+    assert!(r.aborted <= r.committed / 10);
+}
+
+#[test]
+fn affinity_controls_ipc_volume() {
+    let mut hi = tiny(4);
+    hi.affinity = 1.0;
+    let r_hi = World::new(hi).run();
+    let mut lo = tiny(4);
+    lo.affinity = 0.0;
+    let r_lo = World::new(lo).run();
+    assert!(
+        r_lo.ctl_msgs_per_txn > 2.0 * r_hi.ctl_msgs_per_txn,
+        "low affinity must generate far more IPC: hi={:.2} lo={:.2}",
+        r_hi.ctl_msgs_per_txn,
+        r_lo.ctl_msgs_per_txn
+    );
+    assert!(
+        r_lo.data_msgs_per_txn > r_hi.data_msgs_per_txn,
+        "block transfers grow as affinity falls"
+    );
+    assert!(
+        r_lo.tpmc_scaled < r_hi.tpmc_scaled,
+        "affinity 0 must be slower: hi={:.0} lo={:.0}",
+        r_hi.tpmc_scaled,
+        r_lo.tpmc_scaled
+    );
+}
+
+#[test]
+fn software_tcp_costs_throughput() {
+    // Saturate the cluster so protocol path-length actually gates
+    // throughput (an idle CPU absorbs software TCP for free).
+    let saturated = |offload, iscsi| {
+        let mut c = tiny(4);
+        c.affinity = 0.5;
+        c.clients_per_node = 32;
+        c.think_time = Duration::from_millis(500);
+        c.tcp_offload = offload;
+        c.iscsi_mode = iscsi;
+        World::new(c).run()
+    };
+    let r_hw = saturated(TcpOffload::Hardware, IscsiMode::Hardware);
+    let r_sw = saturated(TcpOffload::Software, IscsiMode::Software);
+    assert!(
+        r_hw.tpmc_scaled > 1.1 * r_sw.tpmc_scaled,
+        "offload must win at low affinity under saturation: hw={:.0} sw={:.0}",
+        r_hw.tpmc_scaled,
+        r_sw.tpmc_scaled
+    );
+}
+
+#[test]
+fn centralized_logging_is_slower() {
+    let mut local = tiny(4);
+    let r_local = World::new(local.clone()).run();
+    local.log_placement = LogPlacement::Central;
+    let r_central = World::new(local).run();
+    assert!(
+        r_central.tpmc_scaled < r_local.tpmc_scaled,
+        "central logging must cost: local={:.0} central={:.0}",
+        r_local.tpmc_scaled,
+        r_central.tpmc_scaled
+    );
+}
+
+#[test]
+fn two_lata_topology_works() {
+    let mut cfg = tiny(4);
+    cfg.latas = 2;
+    let r = World::new(cfg).run();
+    assert!(r.committed > 100, "{r:?}");
+    assert!(r.trunk_mbps > 0.0, "inter-lata traffic must flow: {r:?}");
+    assert_eq!(r.ipc_resets, 0);
+}
+
+#[test]
+fn ftp_cross_traffic_flows() {
+    let mut cfg = tiny(2);
+    cfg.latas = 2;
+    cfg.ftp_offered_bps = 0.5e6;
+    cfg.qos = QosPolicy::FtpPriority;
+    let r = World::new(cfg).run();
+    assert!(r.ftp_mbps > 0.1, "FTP goodput expected: {r:?}");
+    assert!(r.committed > 50);
+}
+
+#[test]
+fn mvcc_produces_versions_and_walks() {
+    let mut world = World::new(tiny(2));
+    let r = world.run();
+    // Snapshot readers occasionally walk back a version.
+    assert!(
+        r.version_walks_per_txn >= 0.0,
+        "version accounting present: {r:?}"
+    );
+    // The version store itself must have been exercised.
+    assert!(r.committed > 0);
+}
+
+#[test]
+fn lock_contention_appears_under_load() {
+    let mut cfg = tiny(2);
+    // One warehouse per node: district contention is fierce.
+    cfg.warehouses_per_node = 1;
+    cfg.clients_per_node = 16;
+    let r = World::new(cfg).run();
+    assert!(
+        r.lock_waits_per_txn > 0.01 || r.lock_busies_per_txn > 0.01,
+        "tiny database must show lock contention: {r:?}"
+    );
+}
+
+#[test]
+fn san_storage_mode_works() {
+    let mut cfg = tiny(4);
+    cfg.storage = StorageMode::San {
+        fabric_latency: Duration::from_millis(2),
+    };
+    let r = World::new(cfg).run();
+    assert!(r.committed > 100, "SAN cluster must commit: {r:?}");
+    // The SAN fabric has no iSCSI traffic on the Ethernet.
+    assert!(
+        r.storage_msgs_per_txn < 0.01,
+        "SAN mode must not ship iSCSI over the fabric: {r:?}"
+    );
+}
+
+#[test]
+fn wfq_policy_runs_and_bounds_ftp() {
+    let mut cfg = tiny(4);
+    cfg.latas = 2;
+    cfg.qos = QosPolicy::FtpWfq { af_weight: 0.3 };
+    cfg.ftp_offered_bps = 2e6;
+    let r = World::new(cfg).run();
+    assert!(r.committed > 100, "{r:?}");
+    assert!(r.ftp_mbps > 0.05, "WFQ must still serve FTP: {r:?}");
+}
+
+#[test]
+fn red_policy_runs() {
+    let mut cfg = tiny(4);
+    cfg.latas = 2;
+    cfg.red = true;
+    cfg.ftp_offered_bps = 2e6;
+    let r = World::new(cfg).run();
+    assert!(r.committed > 100, "{r:?}");
+}
+
+#[test]
+fn survives_ipc_connection_reset() {
+    // Fault injection: kill one IPC connection mid-run. The reset
+    // handler must reopen it and transactions must keep committing.
+    let mut cfg = tiny(4);
+    cfg.chaos_ipc_reset_at = Some(Duration::from_secs(10));
+    let r = World::new(cfg).run();
+    assert!(r.ipc_resets >= 1, "the injected reset must be observed: {r:?}");
+    assert!(
+        r.committed > 100,
+        "cluster must keep committing after the reset: {r:?}"
+    );
+}
+
+#[test]
+fn group_commit_reduces_log_writes() {
+    let mut per_txn = tiny(2);
+    per_txn.clients_per_node = 24;
+    per_txn.think_time = Duration::from_millis(500);
+    let r_per = World::new(per_txn.clone()).run();
+    per_txn.group_commit = true;
+    let r_grp = World::new(per_txn).run();
+    // Group commit must not lose transactions and should at least match
+    // per-transaction logging throughput under load.
+    assert!(
+        r_grp.committed as f64 > 0.85 * r_per.committed as f64,
+        "group commit must not collapse throughput: per={} grp={}",
+        r_per.committed,
+        r_grp.committed
+    );
+}
+
+#[test]
+fn ftp_policer_bounds_goodput() {
+    let mut cfg = tiny(2);
+    cfg.latas = 2;
+    cfg.qos = QosPolicy::FtpPriority;
+    cfg.ftp_offered_bps = 3e6;
+    let free = World::new(cfg.clone()).run();
+    cfg.ftp_policer = Some(Policer {
+        rate_bps: 0.5e6,
+        burst_bytes: 32.0 * 1024.0,
+    });
+    let shaped = World::new(cfg).run();
+    assert!(
+        shaped.ftp_mbps < free.ftp_mbps * 0.6,
+        "shaper must cut FTP goodput: {:.2} vs {:.2}",
+        shaped.ftp_mbps,
+        free.ftp_mbps
+    );
+    assert!(shaped.ftp_denied > 0, "policer must refuse transfers");
+}
+
+#[test]
+fn ftp_cac_limits_concurrency() {
+    let mut cfg = tiny(2);
+    cfg.latas = 2;
+    cfg.ftp_offered_bps = 3e6;
+    cfg.ftp_max_concurrent = Some(1);
+    let r = World::new(cfg).run();
+    assert!(r.ftp_denied > 0, "CAC must deny transfers: {r:?}");
+    assert!(r.committed > 50);
+}
+
+#[test]
+fn survives_repeated_resets_without_stuck_transactions() {
+    // Harsher chaos: with safety timeouts on remote lock waits and a
+    // staleness sweep for page protocols, a mid-run reset must not
+    // strand transactions even on a busy cluster.
+    let mut cfg = tiny(4);
+    cfg.affinity = 0.3; // heavy IPC so in-flight messages exist to lose
+    cfg.chaos_ipc_reset_at = Some(Duration::from_secs(9));
+    let r = World::new(cfg).run();
+    assert!(r.ipc_resets >= 1);
+    assert!(r.committed > 60, "commits must continue: {r:?}");
+    // Latency p95 may spike but the mean must stay bounded (stuck
+    // transactions would drag the tail into the window length).
+    assert!(
+        r.txn_latency_ms < 12_000.0,
+        "no stranded transactions: {r:?}"
+    );
+}
+
+#[test]
+fn autonomic_qos_throttles_interfering_traffic() {
+    let mut cfg = tiny(4);
+    cfg.latas = 2;
+    cfg.trunk_bw = 3e6; // tight trunk so FTP pressure is felt
+    cfg.qos = QosPolicy::Autonomic { tolerance: 0.2 };
+    cfg.ftp_offered_bps = 3e6;
+    let mut world = World::new(cfg);
+    let r = world.run();
+    assert!(r.committed > 100, "{r:?}");
+    // Under sustained pressure the controller must have cut the FTP
+    // weight below its generous 0.6 start.
+    assert!(
+        world.af_weight_for_test() < 0.6,
+        "controller should throttle: weight={}",
+        world.af_weight_for_test()
+    );
+}
+
+#[test]
+fn latency_percentile_is_sane() {
+    let r = World::new(tiny(2)).run();
+    assert!(
+        r.txn_latency_p95_ms >= r.txn_latency_ms,
+        "p95 must dominate the mean: p95={} mean={}",
+        r.txn_latency_p95_ms,
+        r.txn_latency_ms
+    );
+}
+
+#[test]
+fn report_fields_are_consistent() {
+    let mut world = World::new(tiny(2));
+    let r = world.run();
+    assert!(r.buffer_hit_ratio > 0.0 && r.buffer_hit_ratio <= 1.0);
+    assert!(r.cpu_util > 0.0 && r.cpu_util <= 1.0);
+    assert!(r.avg_cpi >= 1.0);
+    assert!(r.avg_cs_cycles >= 0.0);
+    assert!(r.window_s > 10.0 && r.window_s < 13.0);
+    assert!(r.tps_scaled * r.window_s >= r.committed as f64 * 0.99);
+}

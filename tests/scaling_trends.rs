@@ -1,0 +1,117 @@
+//! Trend tests: the qualitative claims of the paper's evaluation must
+//! hold on small instances. These are the repository's regression net
+//! for the figures — if one of these breaks, a figure's shape broke.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, World};
+use dclue_sim::Duration;
+
+fn cfg(nodes: u32, affinity: f64) -> ClusterConfig {
+    let mut c = ClusterConfig::default();
+    c.nodes = nodes;
+    c.affinity = affinity;
+    c.warehouses_per_node = 6;
+    c.clients_per_node = 10;
+    c.think_time = Duration::from_secs(2);
+    c.warmup = Duration::from_secs(8);
+    c.measure = Duration::from_secs(15);
+    c.data_spindles = 12;
+    c.log_spindles = 2;
+    c
+}
+
+#[test]
+fn clusters_scale_up_at_high_affinity() {
+    // Fig 6: near-linear scaling at affinity 1.0 on small clusters.
+    let r1 = World::new(cfg(1, 1.0)).run();
+    let r4 = World::new(cfg(4, 1.0)).run();
+    let speedup = r4.tpmc_scaled / r1.tpmc_scaled;
+    assert!(
+        speedup > 2.8,
+        "4 nodes at affinity 1.0 should scale well: {speedup:.2}x ({:.0} -> {:.0})",
+        r1.tpmc_scaled,
+        r4.tpmc_scaled
+    );
+}
+
+#[test]
+fn lower_affinity_scales_worse() {
+    // Fig 7: the scaling slope falls with affinity.
+    let hi = World::new(cfg(4, 1.0)).run();
+    let mid = World::new(cfg(4, 0.5)).run();
+    let lo = World::new(cfg(4, 0.0)).run();
+    assert!(
+        hi.tpmc_scaled > mid.tpmc_scaled && mid.tpmc_scaled >= lo.tpmc_scaled * 0.95,
+        "throughput must fall with affinity: {:.0} / {:.0} / {:.0}",
+        hi.tpmc_scaled,
+        mid.tpmc_scaled,
+        lo.tpmc_scaled
+    );
+}
+
+#[test]
+fn ipc_messages_grow_then_saturate() {
+    // Figs 2-3: ctl messages rise quickly with cluster size then level
+    // off — the increment from 4 to 6 nodes is much smaller than from
+    // 2 to 4.
+    let m2 = World::new(cfg(2, 0.0)).run().ctl_msgs_per_txn;
+    let m4 = World::new(cfg(4, 0.0)).run().ctl_msgs_per_txn;
+    let m6 = World::new(cfg(6, 0.0)).run().ctl_msgs_per_txn;
+    assert!(m4 > m2, "msgs grow with nodes: {m2:.1} {m4:.1} {m6:.1}");
+    let d1 = m4 - m2;
+    let d2 = (m6 - m4).abs();
+    assert!(
+        d2 < d1,
+        "growth must flatten (saturate): {m2:.1} -> {m4:.1} -> {m6:.1}"
+    );
+}
+
+#[test]
+fn lock_waits_rise_with_cluster_size() {
+    // Figs 4-5 trend: more nodes, more lock waits per txn (at fixed
+    // per-node database size the absolute contention per row is flat,
+    // but remote mastering stretches hold times).
+    let w2 = World::new(cfg(2, 0.5)).run();
+    let w6 = World::new(cfg(6, 0.5)).run();
+    assert!(
+        w6.lock_waits_per_txn + w6.lock_busies_per_txn
+            >= (w2.lock_waits_per_txn + w2.lock_busies_per_txn) * 0.8,
+        "lock pressure must not collapse with size: 2n={:.3}, 6n={:.3}",
+        w2.lock_waits_per_txn + w2.lock_busies_per_txn,
+        w6.lock_waits_per_txn + w6.lock_busies_per_txn
+    );
+}
+
+#[test]
+fn slow_router_caps_throughput() {
+    // Fig 8: cutting the forwarding rate saturates the inner router.
+    let mut fast = cfg(6, 0.5);
+    fast.router_rate = 10_000.0;
+    let mut slow = cfg(6, 0.5);
+    slow.router_rate = 700.0;
+    let rf = World::new(fast).run();
+    let rs = World::new(slow).run();
+    assert!(
+        rs.tpmc_scaled < rf.tpmc_scaled * 0.9,
+        "router saturation must bite: fast={:.0} slow={:.0}",
+        rf.tpmc_scaled,
+        rs.tpmc_scaled
+    );
+}
+
+#[test]
+fn smaller_database_more_contention() {
+    // Fig 10 mechanism: with fewer warehouses for the same load, lock
+    // contention rises.
+    let big = World::new(cfg(4, 0.8)).run();
+    let mut small_cfg = cfg(4, 0.8);
+    small_cfg.warehouses_per_node = 2;
+    let small = World::new(small_cfg).run();
+    let big_pressure = big.lock_waits_per_txn + big.lock_busies_per_txn;
+    let small_pressure = small.lock_waits_per_txn + small.lock_busies_per_txn;
+    assert!(
+        small_pressure > big_pressure,
+        "smaller DB must contend more: big={big_pressure:.3} small={small_pressure:.3}"
+    );
+}
