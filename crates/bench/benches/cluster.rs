@@ -3,9 +3,10 @@
 
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dclue_bench::Bench;
 use dclue_cluster::{ClusterConfig, QosPolicy, World};
 use dclue_sim::Duration;
+use std::time::Duration as WallDuration;
 
 fn short_cfg() -> ClusterConfig {
     let mut cfg = ClusterConfig::default();
@@ -18,23 +19,18 @@ fn short_cfg() -> ClusterConfig {
     cfg
 }
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster");
-    g.sample_size(10);
-    g.bench_function("two_node_8s", |b| {
-        b.iter(|| World::new(short_cfg()).run())
+fn main() {
+    let mut c = Bench::from_args();
+    // Whole-cluster runs take seconds each; one timed pass is plenty.
+    c.target = WallDuration::from_millis(1);
+    c.bench_function("cluster/two_node_8s", || {
+        World::new(short_cfg()).run();
     });
-    g.bench_function("two_node_8s_qos", |b| {
-        b.iter(|| {
-            let mut cfg = short_cfg();
-            cfg.latas = 2;
-            cfg.qos = QosPolicy::FtpPriority;
-            cfg.ftp_offered_bps = 1e6;
-            World::new(cfg).run()
-        })
+    c.bench_function("cluster/two_node_8s_qos", || {
+        let mut cfg = short_cfg();
+        cfg.latas = 2;
+        cfg.qos = QosPolicy::FtpPriority;
+        cfg.ftp_offered_bps = 1e6;
+        World::new(cfg).run();
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_cluster);
-criterion_main!(benches);

@@ -1,32 +1,29 @@
-//! Criterion micro-benchmarks of the performance-critical substrates.
+//! Micro-benchmarks of the performance-critical substrates, run on the
+//! dependency-free `dclue_bench::Bench` wall-clock harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dclue_bench::Bench;
 use dclue_db::btree::BTree;
 use dclue_db::{BufferCache, LockMode, LockTable, PageKey, Table};
 use dclue_sim::{EventHeap, SimTime};
 
-fn bench_event_heap(c: &mut Criterion) {
-    c.bench_function("event_heap_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut h = EventHeap::new();
-            for i in 0..10_000u64 {
-                h.push(SimTime(i * 7919 % 100_000), i);
-            }
-            while h.pop().is_some() {}
-        })
+fn bench_event_heap(c: &Bench) {
+    c.bench_function("event_heap_push_pop_10k", || {
+        let mut h = EventHeap::new();
+        for i in 0..10_000u64 {
+            h.push(SimTime(i * 7919 % 100_000), i);
+        }
+        while h.pop().is_some() {}
     });
 }
 
-fn bench_btree(c: &mut Criterion) {
-    c.bench_function("btree_insert_10k", |b| {
-        b.iter(|| {
-            let mut t = BTree::new();
-            let mut tr = Vec::new();
-            for i in 0..10_000u64 {
-                t.insert(i * 2654435761 % 1_000_000, i, &mut tr);
-                tr.clear();
-            }
-        })
+fn bench_btree(c: &Bench) {
+    c.bench_function("btree_insert_10k", || {
+        let mut t = BTree::new();
+        let mut tr = Vec::new();
+        for i in 0..10_000u64 {
+            t.insert(i * 2654435761 % 1_000_000, i, &mut tr);
+            tr.clear();
+        }
     });
     let mut t = BTree::new();
     let mut tr = Vec::new();
@@ -34,128 +31,116 @@ fn bench_btree(c: &mut Criterion) {
         t.insert(i, i, &mut tr);
         tr.clear();
     }
-    c.bench_function("btree_get_traced", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            tr.clear();
-            k = (k + 7919) % 100_000;
-            t.get(k, &mut tr)
-        })
+    let mut k = 0u64;
+    c.bench_function("btree_get_traced", || {
+        tr.clear();
+        k = (k + 7919) % 100_000;
+        t.get(k, &mut tr);
     });
 }
 
-fn bench_buffer(c: &mut Criterion) {
-    c.bench_function("buffer_access_install_churn", |b| {
-        let mut buf = BufferCache::new(1000);
-        let mut p = 0u64;
-        b.iter(|| {
-            p = (p + 127) % 3000;
-            let k = PageKey::data(Table::Stock, p);
-            if !buf.access(k, p % 5 == 0) {
-                buf.install(k, false);
-            }
-        })
+fn bench_buffer(c: &Bench) {
+    let mut buf = BufferCache::new(1000);
+    let mut p = 0u64;
+    c.bench_function("buffer_access_install_churn", || {
+        p = (p + 127) % 3000;
+        let k = PageKey::data(Table::Stock, p);
+        if !buf.access(k, p % 5 == 0) {
+            buf.install(k, false);
+        }
     });
 }
 
-fn bench_locks(c: &mut Criterion) {
-    c.bench_function("lock_acquire_release", |b| {
-        let mut lt = LockTable::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let res = dclue_db::lock::ResourceId {
-                table: 1,
-                page: i % 64,
-                sub: (i % 8) as u32,
-            };
-            lt.try_lock(i, res, LockMode::Exclusive, true);
-            lt.release_all(i);
-        })
+fn bench_locks(c: &Bench) {
+    let mut lt = LockTable::new();
+    let mut i = 0u64;
+    c.bench_function("lock_acquire_release", || {
+        i += 1;
+        let res = dclue_db::lock::ResourceId {
+            table: 1,
+            page: i % 64,
+            sub: (i % 8) as u32,
+        };
+        lt.try_lock(i, res, LockMode::Exclusive, true);
+        lt.release_all(i);
     });
 }
 
-fn bench_mvcc(c: &mut Criterion) {
+fn bench_mvcc(c: &Bench) {
     use dclue_db::mvcc::VersionStore;
-    c.bench_function("mvcc_write_read_prune", |b| {
-        let mut store = VersionStore::new(64 << 20);
-        let mut ts = 0u64;
-        b.iter(|| {
-            ts += 1;
-            store.write(0, ts % 512, 95, ts);
-            store.read(0, (ts * 7) % 512, ts.saturating_sub(3));
-            if ts % 1024 == 0 {
-                store.prune(ts - 512);
-            }
-        })
+    let mut store = VersionStore::new(64 << 20);
+    let mut ts = 0u64;
+    c.bench_function("mvcc_write_read_prune", || {
+        ts += 1;
+        store.write(0, ts % 512, 95, ts);
+        store.read(0, (ts * 7) % 512, ts.saturating_sub(3));
+        if ts % 1024 == 0 {
+            store.prune(ts - 512);
+        }
     });
 }
 
-fn bench_tpcc_programs(c: &mut Criterion) {
+fn bench_tpcc_programs(c: &Bench) {
     use dclue_db::tpcc::{TxnInput, TxnKind, TxnProgram};
     use dclue_db::{Database, TpccScale};
     let mut db = Database::build(TpccScale::scaled(8));
-    c.bench_function("tpcc_new_order_plan_apply", |b| {
-        let mut w = 0u32;
-        b.iter(|| {
-            w = w % 8 + 1;
-            let mut input = TxnInput::simple(TxnKind::NewOrder, w, 1 + w % 10, 1 + w % 100);
-            input.lines = (0..10)
-                .map(|k| dclue_db::tpcc::LineInput {
-                    item: 1 + (k * 97 + w) % 1000,
-                    supply_w: w,
-                    qty: 5,
-                })
-                .collect();
-            let mut prog = TxnProgram::new(input);
-            let ts = db.current_ts();
-            while prog.plan_next(&db).is_some() {
-                prog.apply_current(&mut db, ts);
-            }
-        })
+    let mut w = 0u32;
+    c.bench_function("tpcc_new_order_plan_apply", || {
+        w = w % 8 + 1;
+        let mut input = TxnInput::simple(TxnKind::NewOrder, w, 1 + w % 10, 1 + w % 100);
+        input.lines = (0..10)
+            .map(|k| dclue_db::tpcc::LineInput {
+                item: 1 + (k * 97 + w) % 1000,
+                supply_w: w,
+                qty: 5,
+            })
+            .collect();
+        let mut prog = TxnProgram::new(input);
+        let ts = db.current_ts();
+        while prog.plan_next(&db).is_some() {
+            prog.apply_current(&mut db, ts);
+        }
     });
-    c.bench_function("tpcc_payment_plan_apply", |b| {
-        let mut w = 0u32;
-        b.iter(|| {
-            w = w % 8 + 1;
-            let mut prog =
-                TxnProgram::new(TxnInput::simple(TxnKind::Payment, w, 1 + w % 10, 1 + w % 100));
-            let ts = db.current_ts();
-            while prog.plan_next(&db).is_some() {
-                prog.apply_current(&mut db, ts);
-            }
-        })
+    let mut w = 0u32;
+    c.bench_function("tpcc_payment_plan_apply", || {
+        w = w % 8 + 1;
+        let mut prog = TxnProgram::new(TxnInput::simple(
+            TxnKind::Payment,
+            w,
+            1 + w % 10,
+            1 + w % 100,
+        ));
+        let ts = db.current_ts();
+        while prog.plan_next(&db).is_some() {
+            prog.apply_current(&mut db, ts);
+        }
     });
 }
 
-fn bench_workload_gen(c: &mut Criterion) {
+fn bench_workload_gen(c: &Bench) {
     use dclue_sim::SimRng;
     use dclue_workload::TpccGenerator;
-    c.bench_function("workload_business_txn", |b| {
-        let mut g = TpccGenerator::new(dclue_db::TpccScale::scaled(40), SimRng::new(1));
-        b.iter(|| g.business_txn(3))
+    let mut g = TpccGenerator::new(dclue_db::TpccScale::scaled(40), SimRng::new(1));
+    c.bench_function("workload_business_txn", || {
+        g.business_txn(3);
     });
 }
 
-fn bench_database_build(c: &mut Criterion) {
+fn bench_database_build(c: &Bench) {
     use dclue_db::{Database, TpccScale};
-    let mut g = c.benchmark_group("db_build");
-    g.sample_size(10);
-    g.bench_function("build_40_warehouses", |b| {
-        b.iter(|| Database::build(TpccScale::scaled(40)))
+    c.bench_function("db_build/build_40_warehouses", || {
+        Database::build(TpccScale::scaled(40));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_heap,
-    bench_btree,
-    bench_buffer,
-    bench_locks,
-    bench_mvcc,
-    bench_tpcc_programs,
-    bench_workload_gen,
-    bench_database_build
-);
-criterion_main!(benches);
+fn main() {
+    let c = Bench::from_args();
+    bench_event_heap(&c);
+    bench_btree(&c);
+    bench_buffer(&c);
+    bench_locks(&c);
+    bench_mvcc(&c);
+    bench_tpcc_programs(&c);
+    bench_workload_gen(&c);
+    bench_database_build(&c);
+}

@@ -3,7 +3,8 @@
 //! Usage:
 //!   figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
-//!            ablate-elevator|ablate-mvcc|baseline|all> [--quick] [--seeds N]
+//!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
+//!            baseline|all> [--quick] [--seeds N]
 //!
 //! Absolute numbers come from the 100x-scaled model (multiply tpm-C by
 //! 100 for real-system equivalents); the paper's claims are about
@@ -82,7 +83,10 @@ const NODE_SWEEP: [u32; 7] = [1, 2, 4, 8, 12, 16, 24];
 
 fn fig2_3(affinity: f64, opts: &Opts) {
     println!("# IPC messages per transaction vs cluster size (affinity {affinity})");
-    println!("{:<6} {:>10} {:>10} {:>12}", "nodes", "ctl/txn", "data/txn", "storage/txn");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12}",
+        "nodes", "ctl/txn", "data/txn", "storage/txn"
+    );
     for n in NODE_SWEEP {
         if n == 1 {
             continue;
@@ -170,7 +174,10 @@ fn fig8(opts: &Opts) {
             cfg.latas = 1;
             cfg.router_rate = rate;
             let r = run_avg(&cfg, opts);
-            println!("{:<6} {:<10.0} {:>12.0} {:>8}", n, rate, r.tpmc_scaled, r.drops);
+            println!(
+                "{:<6} {:<10.0} {:>12.0} {:>8}",
+                n, rate, r.tpmc_scaled, r.drops
+            );
         }
         println!();
     }
@@ -202,7 +209,10 @@ fn fig9(opts: &Opts) {
 
 fn fig10(opts: &Opts) {
     println!("# Impact of sub-linear database growth (sqrt beyond ~2 nodes)");
-    println!("{:<6} {:<8} {:>12} {:>12} {:>12}", "nodes", "growth", "warehouses", "tpmC(scaled)", "waits/txn");
+    println!(
+        "{:<6} {:<8} {:>12} {:>12} {:>12}",
+        "nodes", "growth", "warehouses", "tpmC(scaled)", "waits/txn"
+    );
     for &sqrt in &[false, true] {
         for &n in &[1u32, 2, 4, 8, 12, 16] {
             let mut cfg = base_cfg(opts);
@@ -231,9 +241,21 @@ fn fig11(opts: &Opts) {
     println!("# TCP / iSCSI offload cases vs affinity (n = 4)");
     println!("{:<22} {:<5} {:>12}", "case", "α", "tpmC(scaled)");
     let cases: [(&str, TcpOffload, IscsiMode); 3] = [
-        ("HW TCP + HW iSCSI", TcpOffload::Hardware, IscsiMode::Hardware),
-        ("HW TCP + SW iSCSI", TcpOffload::Hardware, IscsiMode::Software),
-        ("SW TCP + SW iSCSI", TcpOffload::Software, IscsiMode::Software),
+        (
+            "HW TCP + HW iSCSI",
+            TcpOffload::Hardware,
+            IscsiMode::Hardware,
+        ),
+        (
+            "HW TCP + SW iSCSI",
+            TcpOffload::Hardware,
+            IscsiMode::Software,
+        ),
+        (
+            "SW TCP + SW iSCSI",
+            TcpOffload::Software,
+            IscsiMode::Software,
+        ),
     ];
     for (name, tcp, iscsi) in cases {
         for &a in &[1.0, 0.8, 0.5] {
@@ -250,7 +272,11 @@ fn fig11(opts: &Opts) {
 }
 
 fn fig12_13(comp: f64, opts: &Opts) {
-    let label = if comp < 1.0 { "low computation" } else { "normal computation" };
+    let label = if comp < 1.0 {
+        "low computation"
+    } else {
+        "normal computation"
+    };
     println!("# Added inter-lata latency ({label}), 2 latas x 4 nodes");
     println!(
         "{:<5} {:<12} {:>12} {:>8} {:>8} {:>8}",
@@ -287,7 +313,11 @@ fn fig12_13(comp: f64, opts: &Opts) {
 }
 
 fn fig14_15(comp: f64, opts: &Opts) {
-    let label = if comp < 1.0 { "low computation" } else { "normal computation" };
+    let label = if comp < 1.0 {
+        "low computation"
+    } else {
+        "normal computation"
+    };
     println!("# FTP cross traffic ({label}), 2 latas x 4 nodes, α = 0.8");
     println!(
         "{:<14} {:<12} {:>12} {:>8} {:>8} {:>9} {:>10} {:>8}",
@@ -370,14 +400,15 @@ fn baseline(opts: &Opts) {
     cfg.affinity = 1.0;
     let r = run_avg(&cfg, opts);
     println!("{}", r.summary());
-    println!(
-        "target: ~500 scaled tpm-C (50K real), ~20 threads, CPI ~2.5, high hit ratio"
-    );
+    println!("target: ~500 scaled tpm-C (50K real), ~20 threads, CPI ~2.5, high hit ratio");
 }
 
 fn ablate_subpage(opts: &Opts) {
     println!("# Ablation: subpage (fine-grain) locking vs page-grain locking");
-    println!("{:<8} {:<7} {:>12} {:>12} {:>12}", "locks", "nodes", "tpmC(scaled)", "waits/txn", "busies/txn");
+    println!(
+        "{:<8} {:<7} {:>12} {:>12} {:>12}",
+        "locks", "nodes", "tpmC(scaled)", "waits/txn", "busies/txn"
+    );
     for &coarse in &[false, true] {
         for &n in &[4u32, 8] {
             let mut cfg = base_cfg(opts);
@@ -435,12 +466,18 @@ fn ablate_autonomic(opts: &Opts) {
     println!("# Extension: autonomic QoS (the paper's stated future work)");
     println!("# FTP at the strict-priority starvation point; the controller");
     println!("# adapts the WFQ weight from observed DBMS latency.");
-    println!("{:<22} {:>12} {:>8} {:>9}", "policy", "tpmC(scaled)", "drop%", "ftpMb/s");
+    println!(
+        "{:<22} {:>12} {:>8} {:>9}",
+        "policy", "tpmC(scaled)", "drop%", "ftpMb/s"
+    );
     let mut base = 0.0;
     for (name, qos) in [
         ("no cross traffic", None),
         ("strict priority", Some(QosPolicy::FtpPriority)),
-        ("autonomic (tol 25%)", Some(QosPolicy::Autonomic { tolerance: 0.25 })),
+        (
+            "autonomic (tol 25%)",
+            Some(QosPolicy::Autonomic { tolerance: 0.25 }),
+        ),
     ] {
         let mut cfg = base_cfg(opts);
         cfg.nodes = 8;
@@ -513,7 +550,10 @@ fn ablate_cac(opts: &Opts) {
 
 fn ablate_group_commit(opts: &Opts) {
     println!("# Ablation: per-transaction logging vs group commit");
-    println!("{:<12} {:>12} {:>14} {:>12}", "logging", "tpmC(scaled)", "latency(ms)", "p95(ms)");
+    println!(
+        "{:<12} {:>12} {:>14} {:>12}",
+        "logging", "tpmC(scaled)", "latency(ms)", "p95(ms)"
+    );
     for &grp in &[false, true] {
         let mut cfg = base_cfg(opts);
         cfg.nodes = 4;
@@ -532,7 +572,10 @@ fn ablate_group_commit(opts: &Opts) {
 
 fn ablate_san(opts: &Opts) {
     println!("# Ablation: distributed iSCSI storage vs centralized SAN");
-    println!("{:<14} {:<7} {:>12} {:>10}", "storage", "nodes", "tpmC(scaled)", "disk/txn");
+    println!(
+        "{:<14} {:<7} {:>12} {:>10}",
+        "storage", "nodes", "tpmC(scaled)", "disk/txn"
+    );
     for &san in &[false, true] {
         for &n in &[2u32, 4, 8] {
             let mut cfg = base_cfg(opts);
@@ -558,7 +601,10 @@ fn ablate_san(opts: &Opts) {
 
 fn ablate_wfq(opts: &Opts) {
     println!("# Ablation: QoS mechanism for FTP cross traffic (priority vs WFQ vs BE)");
-    println!("{:<22} {:>12} {:>8} {:>9}", "policy", "tpmC(scaled)", "drop%", "ftpMb/s");
+    println!(
+        "{:<22} {:>12} {:>8} {:>9}",
+        "policy", "tpmC(scaled)", "drop%", "ftpMb/s"
+    );
     let ftp = 6e6; // 600 Mb/s real: the strict-priority starvation point
     let mut base = 0.0;
     for (name, qos) in [
@@ -592,7 +638,10 @@ fn ablate_wfq(opts: &Opts) {
 
 fn ablate_red(opts: &Opts) {
     println!("# Ablation: RED vs tail drop under FTP cross traffic");
-    println!("{:<10} {:>12} {:>9} {:>8}", "drop", "tpmC(scaled)", "ftpMb/s", "drops");
+    println!(
+        "{:<10} {:>12} {:>9} {:>8}",
+        "drop", "tpmC(scaled)", "ftpMb/s", "drops"
+    );
     for &red in &[false, true] {
         let mut cfg = base_cfg(opts);
         cfg.nodes = 8;
@@ -622,6 +671,52 @@ fn ablate_mvcc(opts: &Opts) {
         println!(
             "mvcc={:<5} tpmC={:>7.0} versions-created/txn={:.2} walks/txn={:.3}",
             mvcc, r.tpmc_scaled, r.versions_created_per_txn, r.version_walks_per_txn
+        );
+    }
+}
+
+/// Degraded-mode scenarios (EXPERIMENTS.md "Fault scenarios"): drive a
+/// 4-node cluster through a fault plan and print the availability
+/// analysis. Single-seeded — the point is the deterministic transient,
+/// not a cross-seed mean.
+fn fault(opts: &Opts, scenario: &str) {
+    use dclue_fault::{FaultPlan, LinkRef};
+    let s = Duration::from_secs;
+    let mut cfg = base_cfg(opts);
+    cfg.nodes = 4;
+    cfg.affinity = 0.8;
+    cfg.clients_per_node = 20;
+    cfg.think_time = s(1);
+    cfg.warmup = s(10);
+    cfg.measure = s(40);
+    let mid = 25;
+    cfg.fault_plan = match scenario {
+        "flap" => FaultPlan::none().link_flap(LinkRef::NodeUplink(0), s(mid), s(4)),
+        "crash" => FaultPlan::none().node_outage(1, s(mid), s(6)),
+        _ => unreachable!(),
+    };
+    println!("--- fault-{scenario} (n=4 α=0.8, fault at t={mid}s) ---");
+    let r = World::new(cfg).run();
+    println!(
+        "committed={} aborted_by_fault={} fault_events={} fault_drops={} iscsi_retries={}",
+        r.committed, r.aborted_by_fault, r.fault_events_applied, r.fault_drops, r.iscsi_retries
+    );
+    let a = r.availability.expect("fault plan is non-empty");
+    println!(
+        "baseline={:.1}/s min={:.1}/s downtime={:.1}s degraded={:.1}s recovery={}",
+        a.baseline_rate,
+        a.min_rate,
+        a.downtime_s,
+        a.degraded_s,
+        match a.recovery_s {
+            Some(v) => format!("{v:.1}s"),
+            None => "none".into(),
+        }
+    );
+    for p in &a.phases {
+        println!(
+            "  {:<9} [{:>5.1}s..{:>5.1}s] {:>6.1} txn/s",
+            p.name, p.start_s, p.end_s, p.mean_rate
         );
     }
 }
@@ -664,6 +759,8 @@ fn main() {
         "ablate-cac" => ablate_cac(&opts),
         "ablate-autonomic" => ablate_autonomic(&opts),
         "ablate-red" => ablate_red(&opts),
+        "fault-flap" => fault(&opts, "flap"),
+        "fault-crash" => fault(&opts, "crash"),
         "all" => {
             baseline(&opts);
             fig2_3(0.8, &opts);

@@ -12,7 +12,10 @@ use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fig_path = args.first().map(String::as_str).unwrap_or("figures_output.txt");
+    let fig_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("figures_output.txt");
     let exp_path = args.get(1).map(String::as_str).unwrap_or("EXPERIMENTS.md");
     let figures = std::fs::read_to_string(fig_path).expect("figures output");
     let mut exp = std::fs::read_to_string(exp_path).expect("EXPERIMENTS.md");
@@ -30,7 +33,8 @@ fn main() {
         }
     }
     if !fig6.is_empty() {
-        let mut table = String::from("| nodes | α=1.0 | α=0.8 | α=0.5 | α=0.0 |\n|---|---|---|---|---|\n");
+        let mut table =
+            String::from("| nodes | α=1.0 | α=0.8 | α=0.5 | α=0.0 |\n|---|---|---|---|---|\n");
         for (&n, row) in &fig6 {
             if ![1, 4, 8, 12, 16, 24].contains(&n) {
                 continue;
@@ -56,9 +60,7 @@ fn main() {
             if f.len() >= 7 && f[0] != "case" {
                 // "HW TCP + HW iSCSI  1.00  1416"
                 let case = f[..5].join(" ");
-                if let (Ok(tpmc), Ok(_a)) =
-                    (f[6].parse::<f64>(), f[5].parse::<f64>())
-                {
+                if let (Ok(tpmc), Ok(_a)) = (f[6].parse::<f64>(), f[5].parse::<f64>()) {
                     rows.entry(case).or_default().insert(f[5].to_string(), tpmc);
                 }
             }
@@ -69,8 +71,7 @@ fn main() {
                 "HW TCP + SW iSCSI",
                 "SW TCP + SW iSCSI",
             ];
-            let mut table =
-                String::from("| case | α=1.0 | α=0.8 | α=0.5 |\n|---|---|---|---|\n");
+            let mut table = String::from("| case | α=1.0 | α=0.8 | α=0.5 |\n|---|---|---|---|\n");
             for case in order {
                 if let Some(row) = rows.get(case) {
                     let _ = writeln!(
@@ -92,7 +93,9 @@ fn main() {
 }
 
 fn cell(row: &BTreeMap<String, f64>, a: &str) -> String {
-    row.get(a).map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into())
+    row.get(a)
+        .map(|v| format!("{v:.0}"))
+        .unwrap_or_else(|| "—".into())
 }
 
 /// Extract one `# ...` section of the figures output.

@@ -171,6 +171,10 @@ pub struct ClusterConfig {
     /// Fault injection: abort one IPC connection at this time after
     /// start (testing; the cluster must reopen it and keep committing).
     pub chaos_ipc_reset_at: Option<Duration>,
+    /// Declarative fault schedule (link flaps, loss bursts, node
+    /// crashes, iSCSI stalls). Times are offsets from simulation start.
+    /// An empty plan injects nothing and the run matches the baseline.
+    pub fault_plan: dclue_fault::FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -211,6 +215,7 @@ impl Default for ClusterConfig {
             mvcc: true,
             coarse_locks: false,
             chaos_ipc_reset_at: None,
+            fault_plan: dclue_fault::FaultPlan::none(),
         }
     }
 }

@@ -114,6 +114,9 @@ impl World {
 
     /// Begin executing the client request held by `session` on `node`.
     pub(crate) fn start_txn(&mut self, node: u32, session: u32) {
+        if !self.alive[node as usize] {
+            return; // crashed while the request parse was in flight
+        }
         let Some(input) = self.sessions[session as usize].inflight.clone() else {
             return;
         };
@@ -331,11 +334,15 @@ impl World {
                     self.now + LOCK_WAIT_TIMEOUT,
                     Ev::LockWaitTimeout { txn, gen },
                 );
-                self.send_ipc(node, master, IpcMsg::LockReq {
-                    txn,
-                    res,
-                    queue_if_busy: queue,
-                });
+                self.send_ipc(
+                    node,
+                    master,
+                    IpcMsg::LockReq {
+                        txn,
+                        res,
+                        queue_if_busy: queue,
+                    },
+                );
             }
             Block::WaitQueuedLock { res, master } => {
                 if t.early_grant.take() == Some(res) {
@@ -366,10 +373,13 @@ impl World {
             p.waiters.push(txn);
             return; // protocol already in flight
         }
-        pend.insert(key, PendingPage {
-            since: now,
-            waiters: vec![txn],
-        });
+        pend.insert(
+            key,
+            PendingPage {
+                since: now,
+                waiters: vec![txn],
+            },
+        );
         self.drive_page_protocol(node, key, txn);
     }
 
@@ -382,25 +392,39 @@ impl World {
     /// (Re)issue the fusion protocol for a registered pending page.
     fn drive_page_protocol(&mut self, node: u32, key: PageKey, txn: u64) {
         let dir = self.page_home(key);
+        if dir != node && !self.alive[dir as usize] {
+            // Directory (= disk home) node is down: go straight to the
+            // iSCSI read; its timeout/retry machinery bounds the wait
+            // and aborts the waiters if the node stays dark.
+            return self.disk_read(node, key);
+        }
         if dir == node {
             // A = B: local directory lookup (free, per the paper).
             match self.nodes[node as usize]
                 .directory
                 .lookup_supplier(key, node)
             {
-                Some(c) => self.send_ipc(node, c, IpcMsg::SupplyReq {
-                    page: key,
-                    requester: node,
-                    txn,
-                }),
+                Some(c) => self.send_ipc(
+                    node,
+                    c,
+                    IpcMsg::SupplyReq {
+                        page: key,
+                        requester: node,
+                        txn,
+                    },
+                ),
                 None => self.disk_read(node, key),
             }
         } else {
-            self.send_ipc(node, dir, IpcMsg::BlockReq {
-                page: key,
-                requester: node,
-                txn,
-            });
+            self.send_ipc(
+                node,
+                dir,
+                IpcMsg::BlockReq {
+                    page: key,
+                    requester: node,
+                    txn,
+                },
+            );
         }
     }
 
@@ -454,11 +478,32 @@ impl World {
             self.next_req += 1;
             let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
             self.charge_then(node, instr, Action::Nop);
-            self.send_ipc(node, home, IpcMsg::IscsiRead {
-                page: key,
-                req,
-                requester: node,
-            });
+            self.send_ipc(
+                node,
+                home,
+                IpcMsg::IscsiRead {
+                    page: key,
+                    req,
+                    requester: node,
+                },
+            );
+            // Arm the initiator's command timeout (one timer per
+            // outstanding page; re-entries ride the existing timer).
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.iscsi_inflight.entry((node, key))
+            {
+                e.insert(0);
+                if let Some(to) = self.iscsi_retry.timeout(0) {
+                    self.heap.push(
+                        self.now + to,
+                        Ev::IscsiTimeout {
+                            node,
+                            page: key,
+                            attempt: 0,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -511,6 +556,7 @@ impl World {
     /// A page arrived (fusion transfer, local read or iSCSI read):
     /// install it, update the directory, resume waiting transactions.
     pub(crate) fn page_ready(&mut self, node: u32, key: PageKey) {
+        self.iscsi_inflight.remove(&(node, key));
         let evicted = self.nodes[node as usize].buffer.install(key, false);
         for ev in evicted {
             self.page_evicted(node, ev);
@@ -519,10 +565,14 @@ impl World {
         if dir == node {
             self.nodes[node as usize].directory.add_holder(key, node);
         } else {
-            self.send_ipc(node, dir, IpcMsg::AckHolding {
-                page: key,
-                holder: node,
-            });
+            self.send_ipc(
+                node,
+                dir,
+                IpcMsg::AckHolding {
+                    page: key,
+                    holder: node,
+                },
+            );
         }
         let waiters = self.nodes[node as usize]
             .pending_pages
@@ -547,10 +597,14 @@ impl World {
         if dir == node {
             self.nodes[node as usize].directory.remove_holder(key, node);
         } else {
-            self.send_ipc(node, dir, IpcMsg::EvictNotify {
-                page: key,
-                holder: node,
-            });
+            self.send_ipc(
+                node,
+                dir,
+                IpcMsg::EvictNotify {
+                    page: key,
+                    holder: node,
+                },
+            );
         }
         if ev.dirty {
             if let StorageMode::San { fabric_latency } = self.cfg.storage {
@@ -590,12 +644,16 @@ impl World {
             } else {
                 let req = self.next_req;
                 self.next_req += 1;
-                self.send_ipc(node, home, IpcMsg::IscsiWrite {
-                    page: Some(key),
-                    bytes: dclue_db::schema::PAGE_BYTES,
-                    req,
-                    requester: node,
-                });
+                self.send_ipc(
+                    node,
+                    home,
+                    IpcMsg::IscsiWrite {
+                        page: Some(key),
+                        bytes: dclue_db::schema::PAGE_BYTES,
+                        req,
+                        requester: node,
+                    },
+                );
             }
         }
     }
@@ -630,8 +688,10 @@ impl World {
                 if self.measuring {
                     self.collect.lock_waits += 1;
                 }
-                self.heap
-                    .push(self.now + LOCK_WAIT_TIMEOUT, Ev::LockWaitTimeout { txn, gen });
+                self.heap.push(
+                    self.now + LOCK_WAIT_TIMEOUT,
+                    Ev::LockWaitTimeout { txn, gen },
+                );
             }
             LockWire::Busy => {
                 t.wait_gen += 1; // cancel the in-flight safety timeout
@@ -669,7 +729,9 @@ impl World {
                     t.early_grant = Some(res);
                     if let Some(start) = t.wait_started.take() {
                         if self.measuring {
-                            self.collect.lock_wait.record_duration(self.now.since(start));
+                            self.collect
+                                .lock_wait
+                                .record_duration(self.now.since(start));
                         }
                     }
                 }
@@ -692,7 +754,9 @@ impl World {
         }
         if let Some(start) = t.wait_started.take() {
             if self.measuring {
-                self.collect.lock_wait.record_duration(self.now.since(start));
+                self.collect
+                    .lock_wait
+                    .record_duration(self.now.since(start));
                 self.collect.lock_busies += 1;
             }
         }
@@ -809,12 +873,16 @@ impl World {
                 let req = self.next_req;
                 self.next_req += 1;
                 self.log_reqs.insert(req, txn);
-                self.send_ipc(node, 0, IpcMsg::IscsiWrite {
-                    page: None,
-                    bytes,
-                    req,
-                    requester: node,
-                });
+                self.send_ipc(
+                    node,
+                    0,
+                    IpcMsg::IscsiWrite {
+                        page: None,
+                        bytes,
+                        req,
+                        requester: node,
+                    },
+                );
             }
             _ => {
                 let target = if self.cfg.log_placement == LogPlacement::Central {
@@ -931,9 +999,27 @@ impl World {
     // ------------------------------------------------------------------
 
     pub(crate) fn handle_ipc(&mut self, node: u32, msg: IpcMsg) {
+        if !self.alive[node as usize] {
+            return; // crashed node: software is gone, messages die here
+        }
+        // A stalled iSCSI target holds arriving commands; the initiator's
+        // timeout/retry machinery deals with the silence.
+        let msg = match msg {
+            m @ (IpcMsg::IscsiRead { .. } | IpcMsg::IscsiWrite { .. })
+                if self.iscsi_gate[node as usize].is_stalled() =>
+            {
+                match self.iscsi_gate[node as usize].admit(m) {
+                    Some(m) => m,
+                    None => return,
+                }
+            }
+            m => m,
+        };
         match msg {
             IpcMsg::BlockReq {
-                page, requester, txn,
+                page,
+                requester,
+                txn,
             } => {
                 // Directory lookup; forward to a live supplier or deny.
                 loop {
@@ -950,14 +1036,20 @@ impl World {
                                 return;
                             }
                             // Stale self-entry; drop and retry.
-                            self.nodes[node as usize].directory.remove_holder(page, node);
+                            self.nodes[node as usize]
+                                .directory
+                                .remove_holder(page, node);
                         }
                         Some(c) => {
-                            self.send_ipc(node, c, IpcMsg::SupplyReq {
-                                page,
-                                requester,
-                                txn,
-                            });
+                            self.send_ipc(
+                                node,
+                                c,
+                                IpcMsg::SupplyReq {
+                                    page,
+                                    requester,
+                                    txn,
+                                },
+                            );
                             return;
                         }
                         None => {
@@ -968,7 +1060,9 @@ impl World {
                 }
             }
             IpcMsg::SupplyReq {
-                page, requester, txn,
+                page,
+                requester,
+                txn,
             } => {
                 if self.nodes[node as usize].buffer.contains(page) {
                     if self.measuring {
@@ -990,7 +1084,9 @@ impl World {
                 self.nodes[node as usize].directory.add_holder(page, holder);
             }
             IpcMsg::EvictNotify { page, holder } => {
-                self.nodes[node as usize].directory.remove_holder(page, holder);
+                self.nodes[node as usize]
+                    .directory
+                    .remove_holder(page, holder);
             }
             IpcMsg::LockReq {
                 txn,
@@ -1016,11 +1112,15 @@ impl World {
                         return;
                     }
                 };
-                self.send_ipc(node, requester, IpcMsg::LockResp {
-                    txn,
-                    res,
-                    outcome: wire,
-                });
+                self.send_ipc(
+                    node,
+                    requester,
+                    IpcMsg::LockResp {
+                        txn,
+                        res,
+                        outcome: wire,
+                    },
+                );
             }
             IpcMsg::LockResp { txn, res, outcome } => {
                 self.handle_remote_lock_outcome(txn, res, outcome);
@@ -1151,10 +1251,11 @@ impl World {
         };
         match a {
             Action::PageRead { node, page } => {
-                self.charge_then(node, self.paths.disk_complete, Action::PageReady {
+                self.charge_then(
                     node,
-                    page,
-                });
+                    self.paths.disk_complete,
+                    Action::PageReady { node, page },
+                );
             }
             Action::TargetRead {
                 node,
@@ -1162,31 +1263,41 @@ impl World {
                 requester,
             } => {
                 let instr = self.paths.disk_complete + self.paths.iscsi_target_per_kb * 8;
-                self.charge_then(node, instr, Action::SendIscsiData {
+                self.charge_then(
                     node,
-                    page,
-                    requester,
-                });
+                    instr,
+                    Action::SendIscsiData {
+                        node,
+                        page,
+                        requester,
+                    },
+                );
             }
             Action::TargetWrite {
                 node,
                 requester,
                 req,
             } => {
-                self.charge_then(node, self.paths.disk_complete, Action::TargetWrite {
+                self.charge_then(
                     node,
-                    requester,
-                    req,
-                });
+                    self.paths.disk_complete,
+                    Action::TargetWrite {
+                        node,
+                        requester,
+                        req,
+                    },
+                );
             }
             Action::LogWritten { txn } => {
                 let node = match self.txns.get(&txn) {
                     Some(t) => t.node,
                     None => return,
                 };
-                self.charge_then(node, self.paths.disk_complete, Action::CommitFinished {
-                    txn,
-                });
+                self.charge_then(
+                    node,
+                    self.paths.disk_complete,
+                    Action::CommitFinished { txn },
+                );
             }
             Action::LogBatchWritten { txns } => {
                 for txn in txns {

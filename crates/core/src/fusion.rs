@@ -52,6 +52,14 @@ impl Directory {
         }
     }
 
+    /// Forget every page `node` held (it crashed; its cache is gone).
+    pub fn purge_node(&mut self, node: u32) {
+        self.holders.retain(|_, h| {
+            h.retain(|&n| n != node);
+            !h.is_empty()
+        });
+    }
+
     pub fn holder_count(&self, page: PageKey) -> usize {
         self.holders.get(&page).map(|h| h.len()).unwrap_or(0)
     }
@@ -106,6 +114,18 @@ mod tests {
         assert_eq!(d.lookup_supplier(pg(1), 0), Some(2));
         d.remove_holder(pg(1), 2);
         assert_eq!(d.tracked(), 0);
+    }
+
+    #[test]
+    fn purge_node_forgets_it_everywhere() {
+        let mut d = Directory::new();
+        d.add_holder(pg(1), 0);
+        d.add_holder(pg(1), 2);
+        d.add_holder(pg(2), 2);
+        d.purge_node(2);
+        assert_eq!(d.holder_count(pg(1)), 1);
+        assert_eq!(d.holder_count(pg(2)), 0);
+        assert_eq!(d.tracked(), 1);
     }
 
     #[test]

@@ -34,11 +34,19 @@ pub enum ConnClass {
 pub enum IpcMsg {
     // ---- cache fusion (§2.1's four-step protocol) ----
     /// A -> B (directory): who has `page`?
-    BlockReq { page: PageKey, requester: u32, txn: u64 },
+    BlockReq {
+        page: PageKey,
+        requester: u32,
+        txn: u64,
+    },
     /// B -> A: nobody has it; go to disk.
     BlockNeg { page: PageKey, txn: u64 },
     /// B -> C: send `page` to `requester`.
-    SupplyReq { page: PageKey, requester: u32, txn: u64 },
+    SupplyReq {
+        page: PageKey,
+        requester: u32,
+        txn: u64,
+    },
     /// C -> A: the block itself (data message).
     BlockData { page: PageKey, txn: u64 },
     /// C -> A: supplier no longer holds the block.
@@ -49,9 +57,17 @@ pub enum IpcMsg {
     EvictNotify { page: PageKey, holder: u32 },
     // ---- distributed lock management ----
     /// A -> M(aster).
-    LockReq { txn: u64, res: ResourceId, queue_if_busy: bool },
+    LockReq {
+        txn: u64,
+        res: ResourceId,
+        queue_if_busy: bool,
+    },
     /// M -> A: immediate outcome.
-    LockResp { txn: u64, res: ResourceId, outcome: LockWire },
+    LockResp {
+        txn: u64,
+        res: ResourceId,
+        outcome: LockWire,
+    },
     /// M -> A: a queued request was granted.
     LockGrant { txn: u64, res: ResourceId },
     /// A -> M: release one lock (commit-time; one message per held
@@ -61,12 +77,21 @@ pub enum IpcMsg {
     ReleaseAll { txn: u64 },
     // ---- iSCSI ----
     /// Initiator -> target: read `page` from your disk.
-    IscsiRead { page: PageKey, req: u64, requester: u32 },
+    IscsiRead {
+        page: PageKey,
+        req: u64,
+        requester: u32,
+    },
     /// Target -> initiator: the data.
     IscsiData { page: PageKey, req: u64 },
     /// Initiator -> target: write. `page` names a write-back target;
     /// `None` means a shipped log record (centralized logging, Fig 9).
-    IscsiWrite { page: Option<PageKey>, bytes: u64, req: u64, requester: u32 },
+    IscsiWrite {
+        page: Option<PageKey>,
+        bytes: u64,
+        req: u64,
+        requester: u32,
+    },
     /// Target -> initiator: write complete.
     IscsiWriteAck { req: u64 },
 }
@@ -134,7 +159,10 @@ mod tests {
 
     #[test]
     fn block_data_is_a_data_message() {
-        let m = IpcMsg::BlockData { page: page(), txn: 9 };
+        let m = IpcMsg::BlockData {
+            page: page(),
+            txn: 9,
+        };
         assert!(m.wire_bytes() > 8192);
         assert!(m.is_data());
     }
@@ -146,7 +174,10 @@ mod tests {
             req: 1,
             requester: 0,
         };
-        let d = IpcMsg::IscsiData { page: page(), req: 1 };
+        let d = IpcMsg::IscsiData {
+            page: page(),
+            req: 1,
+        };
         let w = IpcMsg::IscsiWrite {
             page: None,
             bytes: 2048,

@@ -29,6 +29,11 @@ pub struct Collector {
     pub ipc_resets: u64,
     pub ftp_bytes_delivered: f64,
     pub ftp_transfers: u64,
+    /// Transactions aborted because of an injected fault (node crash
+    /// freeze, exhausted iSCSI retries) since the window started.
+    pub aborted_by_fault: u64,
+    /// iSCSI initiator command timeouts that led to a retry.
+    pub iscsi_retries: u64,
     pub window_start: SimTime,
 }
 
@@ -88,6 +93,18 @@ pub struct Report {
     pub ipc_resets: u64,
     /// Packet drops across all router/output ports in the window.
     pub drops: u64,
+    /// Fault-plan events injected over the whole run.
+    pub fault_events_applied: u64,
+    /// Transactions aborted by injected faults (crash freeze, iSCSI
+    /// retry exhaustion) since the window started.
+    pub aborted_by_fault: u64,
+    /// iSCSI initiator timeouts that triggered a command retry.
+    pub iscsi_retries: u64,
+    /// Frames discarded by injected link/port faults over the whole run.
+    pub fault_drops: u64,
+    /// Availability analysis of the throughput timeline against the
+    /// fault plan's windows; `None` when the plan is empty.
+    pub availability: Option<dclue_fault::Availability>,
     /// Half-second samples of `(time_s, committed so far, mean live
     /// threads per node)` across the whole run (including warm-up) —
     /// lets callers study transients like thrash onset.

@@ -10,36 +10,84 @@ use crate::node::{DiskKind, Node};
 use crate::pathlen::PathLengths;
 use dclue_db::tpcc::TxnInput;
 use dclue_db::{BufferCache, Database, LockTable, PageKey, Table};
+use dclue_fault::{FaultKind, FaultScheduler, LinkRef};
 use dclue_net::packet::Dscp;
 use dclue_net::tcp::TcpConfig;
 use dclue_net::types::Side;
 use dclue_net::{ConnId, HostId, LinkId, MsgId, NetEvent, NetNote, Network, NetworkBuilder};
 use dclue_platform::{Cpu, CpuEvent, CpuNote};
 use dclue_sim::{Duration, EventHeap, Outbox, SimRng, SimTime};
-use dclue_storage::{Disk, DiskEvent, DiskNote};
+use dclue_storage::{Disk, DiskEvent, DiskNote, RetryPolicy, StallGate};
 use dclue_workload::{route_node, FtpGenerator, FtpTransfer, TpccGenerator};
 use std::collections::{HashMap, VecDeque};
+
+/// First reconnect attempt delay after a cluster connection dies with a
+/// crashed endpoint; doubles per attempt (capped) until the peer is back.
+const IPC_RECONNECT_BASE: Duration = Duration::from_millis(200);
 
 /// Global event type.
 #[derive(Debug)]
 pub enum Ev {
     Net(NetEvent),
-    Cpu { node: u32, ev: CpuEvent },
-    Disk { node: u32, kind: DiskKind, disk: u32, ev: DiskEvent },
+    Cpu {
+        node: u32,
+        ev: CpuEvent,
+    },
+    Disk {
+        node: u32,
+        kind: DiskKind,
+        disk: u32,
+        ev: DiskEvent,
+    },
     /// Centralized-SAN array events (SAN storage mode).
-    San { disk: u32, ev: DiskEvent },
+    San {
+        disk: u32,
+        ev: DiskEvent,
+    },
     /// A SAN IO crossing the (unmodeled) SAN fabric: submit on arrival.
-    SanSubmit { disk: u32, req: dclue_storage::DiskRequest },
+    SanSubmit {
+        disk: u32,
+        req: dclue_storage::DiskRequest,
+    },
     /// An action deferred by the SAN fabric's return latency.
-    DelayedAction { id: u64 },
+    DelayedAction {
+        id: u64,
+    },
     /// Group-commit flush timer for a node's pending log batch.
-    LogFlush { node: u32, gen: u64 },
+    LogFlush {
+        node: u32,
+        gen: u64,
+    },
     /// Fault injection: abort one cluster connection.
     Chaos,
-    ClientThink { session: u32 },
-    FtpNext { pair: u32 },
-    TxnRetry { txn: u64 },
-    LockWaitTimeout { txn: u64, gen: u32 },
+    /// The fault plan has events due: apply them.
+    Fault,
+    /// iSCSI initiator command timeout for attempt `attempt`.
+    IscsiTimeout {
+        node: u32,
+        page: PageKey,
+        attempt: u32,
+    },
+    /// Reopen a cluster connection once both endpoints are alive.
+    IpcReconnect {
+        a: u32,
+        b: u32,
+        class: ConnClass,
+        attempt: u32,
+    },
+    ClientThink {
+        session: u32,
+    },
+    FtpNext {
+        pair: u32,
+    },
+    TxnRetry {
+        txn: u64,
+    },
+    LockWaitTimeout {
+        txn: u64,
+        gen: u32,
+    },
     Sample,
     EndWarmup,
     EndRun,
@@ -49,9 +97,18 @@ pub enum Ev {
 #[derive(Debug, Clone)]
 pub(crate) enum ConnKind {
     /// Node pair connection; `a` is the opener node, `b` the acceptor.
-    Cluster { a: u32, b: u32, class: ConnClass },
-    Client { session: u32 },
-    Ftp { #[allow(dead_code)] pair: u32 },
+    Cluster {
+        a: u32,
+        b: u32,
+        class: ConnClass,
+    },
+    Client {
+        session: u32,
+    },
+    Ftp {
+        #[allow(dead_code)]
+        pair: u32,
+    },
 }
 
 /// Meaning of an in-flight framed message.
@@ -68,23 +125,53 @@ pub(crate) enum MsgTag {
 pub(crate) enum Action {
     Nop,
     /// Run the IPC handler after the receive-processing charge.
-    HandleIpc { node: u32, msg: IpcMsg },
+    HandleIpc {
+        node: u32,
+        msg: IpcMsg,
+    },
     /// Parse done: start the transaction carried by a client request.
-    StartTxn { node: u32, session: u32 },
+    StartTxn {
+        node: u32,
+        session: u32,
+    },
     /// Local disk read completed (raw); charge completion then install.
-    PageRead { node: u32, page: PageKey },
+    PageRead {
+        node: u32,
+        page: PageKey,
+    },
     /// Completion handling done: install the page and resume waiters.
-    PageReady { node: u32, page: PageKey },
+    PageReady {
+        node: u32,
+        page: PageKey,
+    },
     /// iSCSI target finished the disk read; ship the data.
-    TargetRead { node: u32, page: PageKey, requester: u32 },
-    SendIscsiData { node: u32, page: PageKey, requester: u32 },
+    TargetRead {
+        node: u32,
+        page: PageKey,
+        requester: u32,
+    },
+    SendIscsiData {
+        node: u32,
+        page: PageKey,
+        requester: u32,
+    },
     /// iSCSI target finished a write; acknowledge.
-    TargetWrite { node: u32, requester: u32, req: u64 },
+    TargetWrite {
+        node: u32,
+        requester: u32,
+        req: u64,
+    },
     /// Log write landed; finish the commit.
-    LogWritten { txn: u64 },
+    LogWritten {
+        txn: u64,
+    },
     /// A batched (group-commit) log write landed.
-    LogBatchWritten { txns: Vec<u64> },
-    CommitFinished { txn: u64 },
+    LogBatchWritten {
+        txns: Vec<u64>,
+    },
+    CommitFinished {
+        txn: u64,
+    },
 }
 
 /// A closed-loop client terminal session.
@@ -242,12 +329,26 @@ pub struct World {
     pub(crate) san_rr: usize,
     versions_at_warmup: u64,
     pub(crate) log_batches: Vec<LogBatch>,
-    pub(crate) latency_hist: dclue_sim::stats::Histogram,
+    pub(crate) latency_hist: dclue_sim::stats::LogHistogram,
     /// Autonomic QoS controller state: (baseline latency EWMA,
     /// recent latency EWMA, current AF weight).
     pub(crate) qos_ctl: (f64, f64, f64),
     /// Sampled (time_s, committed-so-far, mean live threads) triples.
     pub(crate) timeline: Vec<(f64, u64, f64)>,
+    /// Drains the configured fault plan in clock order.
+    pub(crate) fault_sched: FaultScheduler,
+    /// Per-node liveness; a crashed node drops all IPC and client work.
+    pub(crate) alive: Vec<bool>,
+    /// Per-node iSCSI target stall gates (hold incoming commands).
+    pub(crate) iscsi_gate: Vec<StallGate<IpcMsg>>,
+    /// Initiator-side command retry schedule.
+    pub(crate) iscsi_retry: RetryPolicy,
+    /// Outstanding remote reads: `(requester, page) -> attempt`.
+    pub(crate) iscsi_inflight: HashMap<(u32, PageKey), u32>,
+    /// Client host ids, for resolving `LinkRef::ClientUplink`.
+    pub(crate) client_hosts: Vec<HostId>,
+    /// Buffer-cache capacity per node (to rebuild after a crash).
+    pub(crate) buf_capacity: usize,
     done: bool,
 }
 
@@ -298,12 +399,7 @@ impl World {
             (rs, outer)
         };
         for (outer, r) in &trunks_pending {
-            b.trunk(
-                *outer,
-                *r,
-                cfg.trunk_bw,
-                prop + cfg.extra_trunk_latency,
-            );
+            b.trunk(*outer, *r, cfg.trunk_bw, prop + cfg.extra_trunk_latency);
         }
         // Server hosts.
         let mut node_hosts = Vec::new();
@@ -327,7 +423,10 @@ impl World {
             .filter(|l| {
                 matches!(
                     (l.a, l.b),
-                    (dclue_net::DeviceId::Router(_), dclue_net::DeviceId::Router(_))
+                    (
+                        dclue_net::DeviceId::Router(_),
+                        dclue_net::DeviceId::Router(_)
+                    )
                 )
             })
             .map(|l| l.id)
@@ -436,9 +535,18 @@ impl World {
             san_rr: 0,
             versions_at_warmup: 0,
             log_batches: (0..cfg.nodes).map(|_| LogBatch::default()).collect(),
-            latency_hist: dclue_sim::stats::Histogram::new(0.0, 30.0, 600),
+            // 0.1 scaled-ms .. 100 scaled-s, log-spaced: constant ~2.3%
+            // relative error on every quantile, head to tail.
+            latency_hist: dclue_sim::stats::LogHistogram::new(1e-4, 100.0, 600),
             qos_ctl: (0.0, 0.0, 0.6),
             timeline: Vec::new(),
+            fault_sched: FaultScheduler::new(&cfg.fault_plan),
+            alive: vec![true; cfg.nodes as usize],
+            iscsi_gate: (0..cfg.nodes).map(|_| StallGate::default()).collect(),
+            iscsi_retry: RetryPolicy::default(),
+            iscsi_inflight: HashMap::new(),
+            client_hosts,
+            buf_capacity,
             done: false,
             cfg,
         };
@@ -505,26 +613,36 @@ impl World {
             for w in w_lo..=w_hi {
                 for d in 1..=scale.districts_per_wh {
                     trace.clear();
-                    self.db.index(Table::District).get(sch::district_key(w, d), &mut trace);
+                    self.db
+                        .index(Table::District)
+                        .get(sch::district_key(w, d), &mut trace);
                     push_trace(&mut keys, Table::District, &trace);
                     let (olo, ohi) = sch::order_key_range(w, d);
                     trace.clear();
-                    self.db.index(Table::Order).last_in_range(olo, ohi, &mut trace);
+                    self.db
+                        .index(Table::Order)
+                        .last_in_range(olo, ohi, &mut trace);
                     push_trace(&mut keys, Table::Order, &trace);
                     trace.clear();
-                    self.db.index(Table::NewOrder).first_in_range(olo, ohi, &mut trace);
+                    self.db
+                        .index(Table::NewOrder)
+                        .first_in_range(olo, ohi, &mut trace);
                     push_trace(&mut keys, Table::NewOrder, &trace);
                     trace.clear();
                     let l0 = sch::order_line_key(w, d, 1, 0);
                     let l1 = sch::order_line_key(w, d, scale.initial_orders_per_district, 15);
                     let mut out = Vec::new();
-                    self.db.index(Table::OrderLine).range(l0, l1, 64, &mut out, &mut trace);
+                    self.db
+                        .index(Table::OrderLine)
+                        .range(l0, l1, 64, &mut out, &mut trace);
                     push_trace(&mut keys, Table::OrderLine, &trace);
                     let cstep = (scale.customers_per_district / 16).max(1);
                     let mut c = 1;
                     while c <= scale.customers_per_district {
                         trace.clear();
-                        self.db.index(Table::Customer).get(sch::customer_key(w, d, c), &mut trace);
+                        self.db
+                            .index(Table::Customer)
+                            .get(sch::customer_key(w, d, c), &mut trace);
                         push_trace(&mut keys, Table::Customer, &trace);
                         c += cstep;
                     }
@@ -533,12 +651,16 @@ impl World {
                 let mut i = 1;
                 while i <= scale.items {
                     trace.clear();
-                    self.db.index(Table::Stock).get(sch::stock_key(w, i), &mut trace);
+                    self.db
+                        .index(Table::Stock)
+                        .get(sch::stock_key(w, i), &mut trace);
                     push_trace(&mut keys, Table::Stock, &trace);
                     i += istep;
                 }
                 trace.clear();
-                self.db.index(Table::Warehouse).get(sch::wh_key(w), &mut trace);
+                self.db
+                    .index(Table::Warehouse)
+                    .get(sch::wh_key(w), &mut trace);
                 push_trace(&mut keys, Table::Warehouse, &trace);
             }
             // --- hottest last: item (all nodes), district, warehouse ---
@@ -578,8 +700,11 @@ impl World {
         // Seed the directory from the final residency, then zero the
         // warm-up accounting noise.
         for node in 0..n {
-            let resident: Vec<PageKey> =
+            let mut resident: Vec<PageKey> =
                 self.nodes[node as usize].buffer.resident_keys().collect();
+            // resident_keys walks a HashMap; sort so directory holder
+            // lists come out identical across runs.
+            resident.sort_unstable_by_key(|k| (k.space, k.page));
             for key in resident {
                 let home = self.page_home(key);
                 self.nodes[home as usize].directory.add_holder(key, node);
@@ -617,9 +742,8 @@ impl World {
                 for class in [ConnClass::Ipc, ConnClass::Storage] {
                     let (ha, hb) = (self.nodes[a as usize].host, self.nodes[bn as usize].host);
                     let cfg = self.tcp_config(true);
-                    let conn = self.with_net(|net, ob| {
-                        net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob)
-                    });
+                    let conn = self
+                        .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
                     self.cluster_conns.insert((a, bn, class), conn);
                     self.conn_info
                         .insert(conn, ConnKind::Cluster { a, b: bn, class });
@@ -633,8 +757,10 @@ impl World {
         for s in 0..self.sessions.len() {
             let jitter = Duration::from_nanos(self.rng.uniform(1_000_000, span))
                 + self.rng.exponential(self.cfg.think_time);
-            self.heap
-                .push(SimTime::ZERO + jitter, Ev::ClientThink { session: s as u32 });
+            self.heap.push(
+                SimTime::ZERO + jitter,
+                Ev::ClientThink { session: s as u32 },
+            );
         }
         // FTP starts halfway through warm-up.
         if self.cfg.ftp_offered_bps > 0.0 {
@@ -646,6 +772,9 @@ impl World {
         // Fault injection, if configured.
         if let Some(at) = self.cfg.chaos_ipc_reset_at {
             self.heap.push(SimTime::ZERO + at, Ev::Chaos);
+        }
+        if let Some(t) = self.fault_sched.peek_next() {
+            self.heap.push(t, Ev::Fault);
         }
         // Housekeeping.
         self.heap
@@ -713,6 +842,18 @@ impl World {
             Ev::DelayedAction { id } => self.run_action_direct(id),
             Ev::LogFlush { node, gen } => self.log_flush(node, gen),
             Ev::Chaos => self.chaos_reset_one_ipc(),
+            Ev::Fault => self.fault_tick(),
+            Ev::IscsiTimeout {
+                node,
+                page,
+                attempt,
+            } => self.iscsi_timeout(node, page, attempt),
+            Ev::IpcReconnect {
+                a,
+                b,
+                class,
+                attempt,
+            } => self.ipc_reconnect(a, b, class, attempt),
             Ev::ClientThink { session } => self.client_begin(session),
             Ev::FtpNext { pair } => self.ftp_next(pair),
             Ev::TxnRetry { txn } => self.txn_retry(txn),
@@ -801,7 +942,8 @@ impl World {
                 StorageMode::San { fabric_latency } => fabric_latency,
                 StorageMode::Distributed => Duration::ZERO,
             };
-            self.heap.push(self.now + lat, Ev::DelayedAction { id: tag });
+            self.heap
+                .push(self.now + lat, Ev::DelayedAction { id: tag });
         }
     }
 
@@ -889,6 +1031,9 @@ impl World {
                     return;
                 };
                 let node = if side == Side::Opener { *a } else { *b };
+                if !self.alive[node as usize] {
+                    return; // delivered to a crashed node: lost
+                }
                 let mut instr = self.paths.recv_instr(bytes);
                 // iSCSI adds protocol processing on the receiving host.
                 match &m {
@@ -908,6 +1053,12 @@ impl World {
             }
             MsgTag::ClientReq { session } => {
                 let node = self.sessions[session as usize].node;
+                if !self.alive[node as usize] {
+                    // Request landed on a crashed node: reset the client
+                    // connection so the terminal retries on a live one.
+                    self.with_net(|net, ob| net.abort_connection(conn, ob));
+                    return;
+                }
                 let instr = self.paths.recv_instr(bytes) + self.paths.client_req_parse;
                 self.charge_then(node, instr, Action::StartTxn { node, session });
             }
@@ -937,15 +1088,31 @@ impl World {
         self.msg_tags.retain(|_, (c, _)| *c != conn);
         match self.conn_info.remove(&conn) {
             Some(ConnKind::Cluster { a, b, class }) => {
-                // Should essentially never happen (high retrans cap);
-                // reopen to keep the cluster alive, as operators would.
+                // Should essentially never happen under load alone (high
+                // retrans cap); a crash or long outage gets here. Reopen
+                // immediately when both ends live, else retry with
+                // exponential backoff until the peer returns.
                 self.collect.ipc_resets += 1;
-                let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
-                let cfg = self.tcp_config(true);
-                let newc = self
-                    .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-                self.cluster_conns.insert((a, b, class), newc);
-                self.conn_info.insert(newc, ConnKind::Cluster { a, b, class });
+                self.cluster_conns.remove(&(a, b, class));
+                if self.alive[a as usize] && self.alive[b as usize] {
+                    let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
+                    let cfg = self.tcp_config(true);
+                    let newc = self
+                        .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
+                    self.cluster_conns.insert((a, b, class), newc);
+                    self.conn_info
+                        .insert(newc, ConnKind::Cluster { a, b, class });
+                } else {
+                    self.heap.push(
+                        self.now + IPC_RECONNECT_BASE,
+                        Ev::IpcReconnect {
+                            a,
+                            b,
+                            class,
+                            attempt: 0,
+                        },
+                    );
+                }
             }
             Some(ConnKind::Ftp { pair }) => {
                 let p = &mut self.ftp_pairs[pair as usize];
@@ -972,6 +1139,9 @@ impl World {
 
     /// Send an IPC message between nodes (or handle locally if same).
     pub(crate) fn send_ipc(&mut self, from: u32, to: u32, msg: IpcMsg) {
+        if !self.alive[from as usize] || !self.alive[to as usize] {
+            return; // a crashed endpoint neither sends nor receives
+        }
         if from == to {
             // Local shortcut (the paper's A=B / B=C cases): no fabric,
             // no extra processing charge beyond what the op itself pays.
@@ -996,7 +1166,11 @@ impl World {
         let Some(&conn) = self.cluster_conns.get(&key) else {
             return;
         };
-        let side = if from < to { Side::Opener } else { Side::Acceptor };
+        let side = if from < to {
+            Side::Opener
+        } else {
+            Side::Acceptor
+        };
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
         self.msg_tags.insert(id, (conn, MsgTag::Ipc(msg)));
@@ -1009,13 +1183,7 @@ impl World {
     }
 
     /// Send a client-bound or server-bound message on a client conn.
-    pub(crate) fn send_client_msg(
-        &mut self,
-        conn: ConnId,
-        side: Side,
-        tag: MsgTag,
-        bytes: u64,
-    ) {
+    pub(crate) fn send_client_msg(&mut self, conn: ConnId, side: Side, tag: MsgTag, bytes: u64) {
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
         self.msg_tags.insert(id, (conn, tag));
@@ -1032,13 +1200,23 @@ impl World {
             (s.home_w, s.client_host)
         };
         let business = self.gen.business_txn(home_w);
-        let node = route_node(
+        let mut node = route_node(
             home_w,
             self.warehouses,
             self.cfg.nodes,
             self.cfg.affinity,
             &mut self.rng,
         );
+        // Failover: a crashed home node reroutes to the next live one.
+        if !self.alive[node as usize] {
+            for off in 1..self.cfg.nodes {
+                let cand = (node + off) % self.cfg.nodes;
+                if self.alive[cand as usize] {
+                    node = cand;
+                    break;
+                }
+            }
+        }
         let cfg = self.tcp_config(false);
         let server_host = self.nodes[node as usize].host;
         let conn = self.with_net(|net, ob| {
@@ -1139,8 +1317,7 @@ impl World {
             QosPolicy::AllBestEffort => Dscp::BestEffort,
         };
         let cfg = self.tcp_config(false);
-        let conn =
-            self.with_net(|net, ob| net.open_connection(client, server, dscp, cfg, ob));
+        let conn = self.with_net(|net, ob| net.open_connection(client, server, dscp, cfg, ob));
         self.conn_info.insert(conn, ConnKind::Ftp { pair });
         // Queue the payload immediately; TCP sends it once established.
         let (side, bytes) = match transfer {
@@ -1197,12 +1374,15 @@ impl World {
         let stale_after = Duration::from_secs(5);
         let now = self.now;
         for node in 0..self.nodes.len() {
-            let stale: Vec<PageKey> = self.nodes[node]
+            let mut stale: Vec<PageKey> = self.nodes[node]
                 .pending_pages
                 .iter()
                 .filter(|(_, p)| now.since(p.since) > stale_after)
                 .map(|(&k, _)| k)
                 .collect();
+            // HashMap iteration order is per-instance random; redrive in
+            // a fixed order so identical seeds replay identically.
+            stale.sort_unstable_by_key(|k| (k.space, k.page));
             for key in stale {
                 if let Some(p) = self.nodes[node].pending_pages.get_mut(&key) {
                     p.since = now;
@@ -1287,6 +1467,337 @@ impl World {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection (dclue-fault integration)
+    // ------------------------------------------------------------------
+
+    /// Apply every fault-plan event due now, then re-arm the timer.
+    fn fault_tick(&mut self) {
+        for kind in self.fault_sched.pop_due(self.now) {
+            self.apply_fault(kind);
+        }
+        if let Some(t) = self.fault_sched.peek_next() {
+            self.heap.push(t, Ev::Fault);
+        }
+    }
+
+    /// Resolve a logical link reference against the built topology.
+    fn resolve_link(&self, l: LinkRef) -> Option<LinkId> {
+        match l {
+            LinkRef::NodeUplink(i) => self.nodes.get(i).map(|n| self.net.host_uplink(n.host)),
+            LinkRef::ClientUplink(i) => self
+                .client_hosts
+                .get(i % self.client_hosts.len().max(1))
+                .map(|&h| self.net.host_uplink(h)),
+            LinkRef::Trunk(i) => self.trunks.get(i).copied(),
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown(l) => {
+                if let Some(id) = self.resolve_link(l) {
+                    self.net.set_link_up(id, false);
+                }
+            }
+            FaultKind::LinkUp(l) => {
+                if let Some(id) = self.resolve_link(l) {
+                    self.net.set_link_up(id, true);
+                }
+            }
+            FaultKind::LinkDegrade { link, factor } => {
+                if let Some(id) = self.resolve_link(link) {
+                    self.net.set_link_rate_factor(id, factor);
+                }
+            }
+            FaultKind::LinkRestore(l) => {
+                if let Some(id) = self.resolve_link(l) {
+                    self.net.set_link_rate_factor(id, 1.0);
+                }
+            }
+            FaultKind::RouterPortFail(l) => {
+                // Router-side egress: towards the host on access links,
+                // the a→b direction on router↔router trunks.
+                let forward = matches!(l, LinkRef::Trunk(_));
+                if let Some(id) = self.resolve_link(l) {
+                    self.net.set_port_failed(id, forward, true);
+                }
+            }
+            FaultKind::RouterPortRecover(l) => {
+                let forward = matches!(l, LinkRef::Trunk(_));
+                if let Some(id) = self.resolve_link(l) {
+                    self.net.set_port_failed(id, forward, false);
+                }
+            }
+            FaultKind::LossBurst {
+                link,
+                drop_prob,
+                corrupt_prob,
+            } => {
+                if let Some(id) = self.resolve_link(link) {
+                    // Dedicated stream per window: reproducible, and
+                    // independent of every other draw in the run.
+                    let seed = self.cfg.seed ^ 0x1055_B075 ^ ((id.0 as u64) << 32);
+                    self.net.set_link_loss(id, drop_prob, corrupt_prob, seed);
+                }
+            }
+            FaultKind::LossClear(l) => {
+                if let Some(id) = self.resolve_link(l) {
+                    self.net.clear_link_loss(id);
+                }
+            }
+            FaultKind::NodeCrash(n) => self.crash_node(n),
+            FaultKind::NodeRestart(n) => self.restart_node(n),
+            FaultKind::IscsiStall(n) => {
+                if n < self.iscsi_gate.len() {
+                    self.iscsi_gate[n].stall();
+                }
+            }
+            FaultKind::IscsiResume(n) => {
+                if n < self.iscsi_gate.len() {
+                    let held = self.iscsi_gate[n].resume();
+                    for msg in held {
+                        self.handle_ipc(n as u32, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cluster-wide remastering freeze: abort every in-flight
+    /// transaction, clear all lock tables and page waits, and rebuild
+    /// the distributed state without the (crashed or returning) node.
+    /// Real fusion clusters do a bounded version of this on membership
+    /// change; the model takes the simple, conservative form.
+    fn remaster_freeze(&mut self) {
+        // Abort in-flight transactions in id order (determinism: the
+        // txn map is a HashMap, so never iterate it for side effects).
+        let mut ids: Vec<u64> = self.txns.keys().copied().collect();
+        ids.sort_unstable();
+        let mut kicked: Vec<u32> = Vec::new();
+        for id in ids {
+            if let Some(s) = self.txns.get(&id).and_then(|t| t.session) {
+                kicked.push(s);
+            }
+            self.fault_abort_txn(id);
+        }
+        // Reset those clients' connections: the terminal sees an error,
+        // thinks, and retries the whole business transaction.
+        kicked.sort_unstable();
+        kicked.dedup();
+        for s in kicked {
+            if let Some(conn) = self.sessions[s as usize].conn {
+                self.with_net(|net, ob| net.abort_connection(conn, ob));
+            }
+        }
+        for n in 0..self.nodes.len() {
+            self.nodes[n].locks = LockTable::new();
+            self.nodes[n].pending_pages.clear();
+        }
+        self.iscsi_inflight.clear();
+        // Pending group-commit batches reference dead txns; drop them
+        // (keep the generation counter so stale flush timers stay stale).
+        for b in &mut self.log_batches {
+            b.txns.clear();
+            b.bytes = 0;
+            b.armed = false;
+        }
+    }
+
+    /// Abort one transaction because of an injected fault. Threads with
+    /// a burst on the CPU cannot exit mid-burst; their blocking action
+    /// is replaced so the burst's retirement finishes the abort.
+    fn fault_abort_txn(&mut self, id: u64) {
+        let Some(t) = self.txns.get_mut(&id) else {
+            return;
+        };
+        self.collect.aborted_by_fault += 1;
+        t.session = None; // client connection is reset separately
+        t.locks_held.clear(); // lock tables are wholesale-cleared
+        t.masters.clear();
+        if t.phase == Phase::Running {
+            t.block = Some(Block::Finish { aborted: true });
+        } else {
+            self.finish_txn(id, true);
+        }
+    }
+
+    fn crash_node(&mut self, k: usize) {
+        if k >= self.nodes.len() || !self.alive[k] {
+            return;
+        }
+        self.alive[k] = false;
+        self.remaster_freeze();
+        // The node's volatile state is gone.
+        let cap = self.buf_capacity;
+        let n = &mut self.nodes[k];
+        n.buffer = BufferCache::new(cap);
+        n.directory = Directory::new();
+        // resident_txns is NOT zeroed here: the freeze already finished
+        // idle txns (decrementing it), and Running txns finish at burst
+        // retirement where they decrement it themselves.
+        self.iscsi_gate[k].purge();
+        // Survivors forget the crashed cache's residency.
+        for n in 0..self.nodes.len() {
+            if n != k {
+                self.nodes[n].directory.purge_node(k as u32);
+            }
+        }
+        // Reset its cluster connections; the reset handler schedules
+        // reconnect attempts with backoff until the node returns.
+        for other in 0..self.cfg.nodes {
+            if other as usize == k {
+                continue;
+            }
+            for class in [ConnClass::Ipc, ConnClass::Storage] {
+                let key = ((k as u32).min(other), (k as u32).max(other), class);
+                if let Some(&c) = self.cluster_conns.get(&key) {
+                    self.with_net(|net, ob| net.abort_connection(c, ob));
+                }
+            }
+        }
+        // Clients talking to the crashed node retry elsewhere.
+        let stranded: Vec<ConnId> = self
+            .sessions
+            .iter()
+            .filter(|s| s.node == k as u32)
+            .filter_map(|s| s.conn)
+            .collect();
+        for c in stranded {
+            self.with_net(|net, ob| net.abort_connection(c, ob));
+        }
+    }
+
+    fn restart_node(&mut self, k: usize) {
+        if k >= self.nodes.len() || self.alive[k] {
+            return;
+        }
+        self.alive[k] = true;
+        // Rejoin is a second membership change: same freeze, so the
+        // node's lock mastership and directory role resume coherently
+        // (its cache stays cold and refills on demand).
+        self.remaster_freeze();
+        for other in 0..self.cfg.nodes {
+            if other as usize == k {
+                continue;
+            }
+            for class in [ConnClass::Ipc, ConnClass::Storage] {
+                let key = ((k as u32).min(other), (k as u32).max(other), class);
+                if !self.cluster_conns.contains_key(&key) {
+                    self.heap.push(
+                        self.now + Duration::from_millis(10),
+                        Ev::IpcReconnect {
+                            a: key.0,
+                            b: key.1,
+                            class,
+                            attempt: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Try to reopen a cluster connection whose endpoint was down.
+    fn ipc_reconnect(&mut self, a: u32, b: u32, class: ConnClass, attempt: u32) {
+        if self.cluster_conns.contains_key(&(a, b, class)) {
+            return; // already reopened (by restart or an earlier retry)
+        }
+        if self.alive[a as usize] && self.alive[b as usize] {
+            let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
+            let cfg = self.tcp_config(true);
+            let conn =
+                self.with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
+            self.cluster_conns.insert((a, b, class), conn);
+            self.conn_info
+                .insert(conn, ConnKind::Cluster { a, b, class });
+        } else {
+            let delay = Duration::from_nanos(
+                IPC_RECONNECT_BASE
+                    .nanos()
+                    .saturating_mul(1 << attempt.min(5)),
+            );
+            self.heap.push(
+                self.now + delay,
+                Ev::IpcReconnect {
+                    a,
+                    b,
+                    class,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    /// An outstanding remote (iSCSI) read timed out: retry with
+    /// exponential backoff, or fail the IO once attempts are exhausted.
+    fn iscsi_timeout(&mut self, node: u32, page: PageKey, attempt: u32) {
+        let Some(&current) = self.iscsi_inflight.get(&(node, page)) else {
+            return; // completed (or wiped by a crash freeze)
+        };
+        if current != attempt {
+            return; // stale timer from an earlier attempt
+        }
+        self.collect.iscsi_retries += 1;
+        let next = attempt + 1;
+        match self.iscsi_retry.timeout(next) {
+            Some(to) => {
+                self.iscsi_inflight.insert((node, page), next);
+                // Re-issue the command (fresh request id; the target
+                // treats it as new — duplicate data is idempotent).
+                let home = self.page_home(page);
+                let req = self.next_req;
+                self.next_req += 1;
+                let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
+                self.charge_then(node, instr, Action::Nop);
+                self.send_ipc(
+                    node,
+                    home,
+                    IpcMsg::IscsiRead {
+                        page,
+                        req,
+                        requester: node,
+                    },
+                );
+                self.heap.push(
+                    self.now + to,
+                    Ev::IscsiTimeout {
+                        node,
+                        page,
+                        attempt: next,
+                    },
+                );
+            }
+            None => {
+                // Out of attempts: the IO fails and every transaction
+                // waiting on the page aborts (clients retry).
+                self.iscsi_inflight.remove(&(node, page));
+                self.fail_pending_page(node, page);
+            }
+        }
+    }
+
+    /// A page read failed permanently: abort the waiting transactions.
+    fn fail_pending_page(&mut self, node: u32, page: PageKey) {
+        let waiters = self.nodes[node as usize]
+            .pending_pages
+            .remove(&page)
+            .map(|p| p.waiters)
+            .unwrap_or_default();
+        for txn in waiters {
+            let Some(t) = self.txns.get(&txn) else {
+                continue;
+            };
+            if t.phase != Phase::WaitPage {
+                continue;
+            }
+            self.collect.aborted_by_fault += 1;
+            // finish_txn replies to the client (an error response); the
+            // terminal moves on and retries per its business loop.
+            self.finish_txn(txn, true);
+        }
+    }
+
     fn end_warmup(&mut self) {
         self.measuring = true;
         self.collect.reset(self.now);
@@ -1323,9 +1834,18 @@ impl World {
         let committed = c.committed.max(1);
         let tpmc_scaled = c.committed_new_orders as f64 / wsecs * 60.0;
         let n_nodes = self.nodes.len() as f64;
-        let avg_cpi = self.nodes.iter().map(|n| n.cpu.stats.cpi.mean()).sum::<f64>() / n_nodes;
-        let avg_cs =
-            self.nodes.iter().map(|n| n.cpu.stats.cs_cycles.mean()).sum::<f64>() / n_nodes;
+        let avg_cpi = self
+            .nodes
+            .iter()
+            .map(|n| n.cpu.stats.cpi.mean())
+            .sum::<f64>()
+            / n_nodes;
+        let avg_cs = self
+            .nodes
+            .iter()
+            .map(|n| n.cpu.stats.cs_cycles.mean())
+            .sum::<f64>()
+            / n_nodes;
         let threads = self
             .nodes
             .iter()
@@ -1346,7 +1866,9 @@ impl World {
         } else {
             hits as f64 / (hits + misses) as f64
         };
-        let trunk_delta = self.trunk_bytes().saturating_sub(self.trunk_bytes_at_warmup);
+        let trunk_delta = self
+            .trunk_bytes()
+            .saturating_sub(self.trunk_bytes_at_warmup);
         let trunk_mbps = trunk_delta as f64 * 8.0 / wsecs / 1e6;
         let trunk_capacity = (self.trunks.len() as f64).max(1.0) * self.cfg.trunk_bw;
         let drops: u64 = self
@@ -1355,7 +1877,33 @@ impl World {
             .iter()
             .map(|l| l.ports[0].stats.dropped + l.ports[1].stats.dropped)
             .sum::<u64>()
-            + self.net.routers().iter().map(|r| r.stats.input_dropped).sum::<u64>();
+            + self
+                .net
+                .routers()
+                .iter()
+                .map(|r| r.stats.input_dropped)
+                .sum::<u64>();
+        // Availability: rate timeline inside the measurement window
+        // (committed only advances there) against the plan's windows.
+        let availability = if self.cfg.fault_plan.is_empty() {
+            None
+        } else {
+            let ws = self.collect.window_start.as_secs_f64();
+            let samples: Vec<(f64, u64)> = self
+                .timeline
+                .iter()
+                .filter(|&&(t, _, _)| t >= ws)
+                .map(|&(t, c, _)| (t, c))
+                .collect();
+            let windows: Vec<(f64, f64)> = self
+                .cfg
+                .fault_plan
+                .fault_windows()
+                .iter()
+                .map(|&(s, e)| (s.as_secs_f64(), e.as_secs_f64()))
+                .collect();
+            Some(dclue_fault::avail::analyze(&samples, &windows))
+        };
         Report {
             nodes: self.cfg.nodes,
             affinity: self.cfg.affinity,
@@ -1391,6 +1939,11 @@ impl World {
             timeline: std::mem::take(&mut self.timeline),
             ipc_resets: c.ipc_resets,
             drops,
+            fault_events_applied: self.fault_sched.applied(),
+            aborted_by_fault: c.aborted_by_fault,
+            iscsi_retries: c.iscsi_retries,
+            fault_drops: self.net.fault_drops(),
+            availability,
         }
     }
 }

@@ -23,8 +23,8 @@ fn world(nodes: u32) -> World {
 #[test]
 fn partitioned_data_pages_map_to_warehouse_home() {
     let w = world(4); // 16 warehouses, 4 per node
-    // District pages: 86 rows/page, 10 districts per warehouse — the
-    // first node's districts (warehouses 1-4 = rows 0-39) are on page 0.
+                      // District pages: 86 rows/page, 10 districts per warehouse — the
+                      // first node's districts (warehouses 1-4 = rows 0-39) are on page 0.
     let p = w.page_home_for_test(PageKey::data(Table::District, 0));
     assert_eq!(p, 0);
     // A growing table's page namespace encodes the warehouse directly.

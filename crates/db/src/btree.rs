@@ -139,10 +139,7 @@ impl BTree {
                     n = children[i];
                 }
                 Node::Leaf { keys, vals } => {
-                    return keys
-                        .binary_search(&key)
-                        .ok()
-                        .map(|i| vals[i]);
+                    return keys.binary_search(&key).ok().map(|i| vals[i]);
                 }
                 Node::Free => unreachable!("walked into a freed node"),
             }
@@ -242,8 +239,7 @@ impl BTree {
                 match self.insert_rec(child, key, val, trace) {
                     InsertResult::Done(old) => InsertResult::Done(old),
                     InsertResult::Split(sep, right) => {
-                        let Node::Internal { keys, children } = &mut self.nodes[n as usize]
-                        else {
+                        let Node::Internal { keys, children } = &mut self.nodes[n as usize] else {
                             unreachable!()
                         };
                         keys.insert(i, sep);
@@ -404,7 +400,7 @@ enum InsertResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dclue_sim::SimRng;
     use std::collections::BTreeMap;
 
     fn t() -> Vec<u32> {
@@ -498,7 +494,13 @@ mod tests {
         let mut out = Vec::new();
         b.range(100, 140, usize::MAX, &mut out, &mut t());
         let keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
-        assert_eq!(keys, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120, 122, 124, 126, 128, 130, 132, 134, 136, 138]);
+        assert_eq!(
+            keys,
+            vec![
+                100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120, 122, 124, 126, 128, 130,
+                132, 134, 136, 138
+            ]
+        );
     }
 
     #[test]
@@ -628,46 +630,54 @@ mod tests {
         assert!(b.node_count() < 10, "no growth from replacement");
     }
 
-    proptest! {
-        #[test]
-        fn matches_btreemap(ops in proptest::collection::vec(
-            (0u8..3, 0u64..500, 0u64..1000), 1..400))
-        {
+    #[test]
+    fn matches_btreemap() {
+        let mut rng = SimRng::new(0xB7EE_0001);
+        for case in 0..32 {
+            let n_ops = rng.uniform(1, 399) as usize;
             let mut model = BTreeMap::new();
             let mut tree = BTree::new();
-            for (op, k, v) in ops {
+            for _ in 0..n_ops {
+                let op = rng.uniform(0, 2) as u8;
+                let k = rng.uniform(0, 499);
+                let v = rng.uniform(0, 999);
                 match op {
                     0 => {
-                        prop_assert_eq!(tree.insert(k, v, &mut t()), model.insert(k, v));
+                        assert_eq!(tree.insert(k, v, &mut t()), model.insert(k, v));
                     }
                     1 => {
-                        prop_assert_eq!(tree.remove(k, &mut t()), model.remove(&k));
+                        assert_eq!(tree.remove(k, &mut t()), model.remove(&k));
                     }
                     _ => {
-                        prop_assert_eq!(tree.get(k, &mut t()), model.get(&k).copied());
+                        assert_eq!(tree.get(k, &mut t()), model.get(&k).copied());
                     }
                 }
-                prop_assert_eq!(tree.len(), model.len());
+                assert_eq!(tree.len(), model.len(), "case {case}");
             }
             // Full-range scan equals the model's ordered contents.
             let mut out = Vec::new();
             tree.range(0, u64::MAX, usize::MAX, &mut out, &mut t());
             let expect: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
-            prop_assert_eq!(out, expect);
+            assert_eq!(out, expect, "case {case}");
         }
+    }
 
-        #[test]
-        fn last_in_range_matches_model(
-            keys in proptest::collection::btree_set(0u64..2000, 1..300),
-            lo in 0u64..2000, span in 1u64..500)
-        {
+    #[test]
+    fn last_in_range_matches_model() {
+        use std::collections::BTreeSet;
+        let mut rng = SimRng::new(0xB7EE_0002);
+        for case in 0..48 {
+            let n_keys = rng.uniform(1, 299) as usize;
+            let keys: BTreeSet<u64> = (0..n_keys).map(|_| rng.uniform(0, 1999)).collect();
+            let lo = rng.uniform(0, 1999);
+            let span = rng.uniform(1, 499);
             let hi = lo + span;
             let mut tree = BTree::new();
             for &k in &keys {
                 tree.insert(k, k * 2, &mut t());
             }
             let expect = keys.range(lo..hi).next_back().map(|&k| (k, k * 2));
-            prop_assert_eq!(tree.last_in_range(lo, hi, &mut t()), expect);
+            assert_eq!(tree.last_in_range(lo, hi, &mut t()), expect, "case {case}");
         }
     }
 }

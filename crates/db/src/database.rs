@@ -121,11 +121,7 @@ impl<T: Copy> Store<T> {
 
     pub fn get(&self, rowid: u64) -> Option<&T> {
         let (w, local) = split(rowid);
-        self.arenas
-            .get(w)?
-            .rows
-            .get(local)
-            .and_then(|r| r.as_ref())
+        self.arenas.get(w)?.rows.get(local).and_then(|r| r.as_ref())
     }
 
     pub fn get_mut(&mut self, rowid: u64) -> Option<&mut T> {
@@ -270,15 +266,15 @@ impl Database {
             }
             for i in 1..=scale.items {
                 let srow = ((w - 1) * scale.items + (i - 1)) as u64;
-                self.idx[Table::Stock.id() as usize].insert(
-                    schema::stock_key(w, i),
-                    srow,
-                    &mut tr,
-                );
+                self.idx[Table::Stock.id() as usize].insert(schema::stock_key(w, i), srow, &mut tr);
             }
         }
         for i in 1..=scale.items {
-            self.idx[Table::Item.id() as usize].insert(schema::item_key(i), (i - 1) as u64, &mut tr);
+            self.idx[Table::Item.id() as usize].insert(
+                schema::item_key(i),
+                (i - 1) as u64,
+                &mut tr,
+            );
         }
 
         // Initial orders: the most recent 30% are open (new-order rows).
@@ -449,7 +445,9 @@ mod tests {
         }
         // Index can find a known order.
         let mut tr = Vec::new();
-        let found = db.index(Table::Order).get(schema::order_key(1, 1, 1), &mut tr);
+        let found = db
+            .index(Table::Order)
+            .get(schema::order_key(1, 1, 1), &mut tr);
         assert!(found.is_some());
     }
 

@@ -133,7 +133,9 @@ impl LockTable {
             return LockOutcome::Busy;
         }
         let compatible = e.waiters.is_empty()
-            && e.holders.iter().all(|&(_, m)| m.compatible(mode) && mode.compatible(m));
+            && e.holders
+                .iter()
+                .all(|&(_, m)| m.compatible(mode) && mode.compatible(m));
         if compatible {
             e.holders.push((txn, mode));
             self.by_txn.entry(txn).or_default().push(res);
@@ -252,8 +254,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut l = LockTable::new();
-        assert_eq!(l.try_lock(1, res(1, 0), LockMode::Shared, true), LockOutcome::Granted);
-        assert_eq!(l.try_lock(2, res(1, 0), LockMode::Shared, true), LockOutcome::Granted);
+        assert_eq!(
+            l.try_lock(1, res(1, 0), LockMode::Shared, true),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            l.try_lock(2, res(1, 0), LockMode::Shared, true),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
@@ -297,10 +305,16 @@ mod tests {
     fn reentrant_lock_is_granted() {
         let mut l = LockTable::new();
         l.try_lock(1, res(1, 0), LockMode::Shared, true);
-        assert_eq!(l.try_lock(1, res(1, 0), LockMode::Shared, true), LockOutcome::Granted);
+        assert_eq!(
+            l.try_lock(1, res(1, 0), LockMode::Shared, true),
+            LockOutcome::Granted
+        );
         // X implied by held X.
         l.try_lock(1, res(2, 0), LockMode::Exclusive, true);
-        assert_eq!(l.try_lock(1, res(2, 0), LockMode::Shared, true), LockOutcome::Granted);
+        assert_eq!(
+            l.try_lock(1, res(2, 0), LockMode::Shared, true),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
@@ -313,7 +327,10 @@ mod tests {
         );
         assert_eq!(l.stats.upgrades, 1);
         // Now a second shared request must queue.
-        assert_eq!(l.try_lock(2, res(1, 0), LockMode::Shared, false), LockOutcome::Busy);
+        assert_eq!(
+            l.try_lock(2, res(1, 0), LockMode::Shared, false),
+            LockOutcome::Busy
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! Property tests of the database-engine building blocks against
+//! Randomized tests of the database-engine building blocks against
 //! reference models: buffer cache vs an ordered-map LRU, lock table
-//! invariants, MVCC visibility vs a naive version list.
+//! invariants, MVCC visibility vs a naive version list. Cases come
+//! from a fixed-seed `SimRng`, so every run explores the same corpus.
 
 use dclue_db::buffer::BufferCache;
 use dclue_db::lock::{LockMode, LockOutcome, LockTable, ResourceId};
 use dclue_db::mvcc::{VersionRead, VersionStore};
 use dclue_db::{PageKey, Table};
-use proptest::prelude::*;
+use dclue_sim::SimRng;
 use std::collections::VecDeque;
 
 // ----------------------------------------------------------------------
@@ -41,40 +42,47 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn buffer_matches_reference_lru(
-        cap in 2usize..20,
-        ops in proptest::collection::vec(0u64..40, 1..300),
-    ) {
+#[test]
+fn buffer_matches_reference_lru() {
+    let mut rng = SimRng::new(0xB0FF_0001);
+    for case in 0..64 {
+        let cap = rng.uniform(2, 19) as usize;
+        let n_ops = rng.uniform(1, 299) as usize;
         let mut buf = BufferCache::new(cap);
-        let mut reference = RefLru { cap, order: VecDeque::new() };
-        for p in ops {
+        let mut reference = RefLru {
+            cap,
+            order: VecDeque::new(),
+        };
+        for _ in 0..n_ops {
+            let p = rng.uniform(0, 39);
             let key = PageKey::data(Table::Stock, p);
             let hit = buf.access(key, false);
             let ref_hit = reference.touch(p);
-            prop_assert_eq!(hit, ref_hit, "hit status diverged on page {}", p);
+            assert_eq!(hit, ref_hit, "case {case}: hit status diverged on page {p}");
             if !hit {
                 let ev = buf.install(key, false);
                 let ref_ev = reference.install(p);
-                prop_assert_eq!(
+                assert_eq!(
                     ev.first().map(|e| e.key.page),
                     ref_ev,
-                    "eviction diverged on page {:?}",
-                    p
+                    "case {case}: eviction diverged on page {p:?}"
                 );
             }
-            prop_assert!(buf.len() <= cap);
-            prop_assert_eq!(buf.len(), reference.order.len());
+            assert!(buf.len() <= cap);
+            assert_eq!(buf.len(), reference.order.len());
         }
     }
+}
 
-    #[test]
-    fn buffer_discard_keeps_len_consistent(
-        ops in proptest::collection::vec((0u8..3, 0u64..30), 1..200),
-    ) {
+#[test]
+fn buffer_discard_keeps_len_consistent() {
+    let mut rng = SimRng::new(0xB0FF_0002);
+    for _ in 0..64 {
+        let n_ops = rng.uniform(1, 199) as usize;
         let mut buf = BufferCache::new(8);
-        for (kind, p) in ops {
+        for _ in 0..n_ops {
+            let kind = rng.uniform(0, 2) as u8;
+            let p = rng.uniform(0, 29);
             let key = PageKey::data(Table::Customer, p);
             match kind {
                 0 => {
@@ -89,14 +97,14 @@ proptest! {
                     buf.steal(1);
                 }
             }
-            prop_assert!(buf.len() <= 8 + 1);
+            assert!(buf.len() <= 8 + 1);
             // contains() agrees with a re-access probe.
             let c = buf.contains(key);
             let before_hits = buf.stats.hits;
             let hit = buf.access(key, false);
-            prop_assert_eq!(c, hit);
+            assert_eq!(c, hit);
             if hit {
-                prop_assert_eq!(buf.stats.hits, before_hits + 1);
+                assert_eq!(buf.stats.hits, before_hits + 1);
             }
         }
     }
@@ -114,23 +122,30 @@ fn res(r: u8) -> ResourceId {
     }
 }
 
-proptest! {
-    /// Never two exclusive holders on the same resource; shared and
-    /// exclusive never coexist (across distinct transactions).
-    #[test]
-    fn no_conflicting_holders(
-        ops in proptest::collection::vec((0u64..6, 0u8..8, proptest::bool::ANY, proptest::bool::ANY), 1..400),
-    ) {
+/// Never two exclusive holders on the same resource; shared and
+/// exclusive never coexist (across distinct transactions).
+#[test]
+fn no_conflicting_holders() {
+    let mut rng = SimRng::new(0x10CC_0001);
+    for case in 0..32 {
+        let n_ops = rng.uniform(1, 399) as usize;
         let mut lt = LockTable::new();
-        // Shadow: resource -> (exclusive holder count, shared holders).
         let all_res: Vec<ResourceId> = (0..8).map(res).collect();
         let all_txn: Vec<u64> = (0..6).collect();
-        for (txn, r, exclusive, release) in ops {
+        for _ in 0..n_ops {
+            let txn = rng.uniform(0, 5);
+            let r = rng.uniform(0, 7) as u8;
+            let exclusive = rng.chance(0.5);
+            let release = rng.chance(0.5);
             let resource = res(r);
             if release {
                 lt.release_all(txn);
             } else {
-                let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                let mode = if exclusive {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
                 let _ = lt.try_lock(txn, resource, mode, txn % 2 == 0);
             }
             // Invariant check via the public holds() probe: at most one
@@ -149,7 +164,7 @@ proptest! {
                     // excluded here since holders.len() > 1).
                     let t0 = holders[0];
                     let out = lt.try_lock(t0, rr, LockMode::Exclusive, false);
-                    prop_assert_eq!(out, LockOutcome::Busy);
+                    assert_eq!(out, LockOutcome::Busy, "case {case}");
                 }
             }
         }
@@ -157,28 +172,36 @@ proptest! {
         for t in all_txn {
             lt.release_all(t);
         }
-        prop_assert_eq!(lt.live_entries(), 0);
+        assert_eq!(lt.live_entries(), 0, "case {case}");
     }
+}
 
-    /// FIFO fairness: with a queue of exclusive waiters, releases grant
-    /// in arrival order.
-    #[test]
-    fn exclusive_waiters_granted_in_order(n_waiters in 2usize..6) {
+/// FIFO fairness: with a queue of exclusive waiters, releases grant
+/// in arrival order.
+#[test]
+fn exclusive_waiters_granted_in_order() {
+    for n_waiters in 2usize..6 {
         let mut lt = LockTable::new();
         let r = res(0);
-        assert_eq!(lt.try_lock(100, r, LockMode::Exclusive, true), LockOutcome::Granted);
+        assert_eq!(
+            lt.try_lock(100, r, LockMode::Exclusive, true),
+            LockOutcome::Granted
+        );
         for t in 0..n_waiters as u64 {
-            assert_eq!(lt.try_lock(t, r, LockMode::Exclusive, true), LockOutcome::Queued);
+            assert_eq!(
+                lt.try_lock(t, r, LockMode::Exclusive, true),
+                LockOutcome::Queued
+            );
         }
         let mut granted_order = Vec::new();
         let mut current = 100u64;
         for _ in 0..n_waiters {
             let grants = lt.release(current, r);
-            prop_assert_eq!(grants.len(), 1);
+            assert_eq!(grants.len(), 1);
             current = grants[0].0;
             granted_order.push(current);
         }
-        prop_assert_eq!(granted_order, (0..n_waiters as u64).collect::<Vec<_>>());
+        assert_eq!(granted_order, (0..n_waiters as u64).collect::<Vec<_>>());
     }
 }
 
@@ -186,12 +209,14 @@ proptest! {
 // MVCC vs reference visibility
 // ----------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn mvcc_visibility_matches_reference(
-        writes in proptest::collection::vec(1u64..100, 1..40),
-        read_ts in 0u64..120,
-    ) {
+#[test]
+fn mvcc_visibility_matches_reference() {
+    let mut rng = SimRng::new(0x3BCC_0001);
+    for case in 0..64 {
+        let n_writes = rng.uniform(1, 39) as usize;
+        let writes: Vec<u64> = (0..n_writes).map(|_| rng.uniform(1, 99)).collect();
+        let read_ts = rng.uniform(0, 119);
+
         // Build a monotone timestamp sequence.
         let mut ts_list: Vec<u64> = writes.clone();
         ts_list.sort_unstable();
@@ -206,28 +231,34 @@ proptest! {
         // Reference: versions newer than read_ts require walking back.
         let newer = ts_list.iter().filter(|&&t| t > read_ts).count() as u32;
         if newer == 0 {
-            prop_assert_eq!(result, VersionRead::Current);
+            assert_eq!(result, VersionRead::Current, "case {case}");
         } else {
-            prop_assert_eq!(result, VersionRead::Old { steps: newer });
+            assert_eq!(result, VersionRead::Old { steps: newer }, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn prune_never_breaks_reads_at_or_above_watermark(
-        n_versions in 2u64..30,
-        watermark in 1u64..40,
-    ) {
+#[test]
+fn prune_never_breaks_reads_at_or_above_watermark() {
+    let mut rng = SimRng::new(0x3BCC_0002);
+    for case in 0..64 {
+        let n_versions = rng.uniform(2, 29);
+        let watermark = rng.uniform(1, 39);
         let mut store = VersionStore::new(1 << 20);
         for ts in 1..=n_versions {
             store.write(0, 1, 50, ts);
         }
         store.prune(watermark);
         // Reads at the newest timestamp must resolve Current.
-        prop_assert_eq!(store.read(0, 1, n_versions), VersionRead::Current);
+        assert_eq!(
+            store.read(0, 1, n_versions),
+            VersionRead::Current,
+            "case {case}"
+        );
         // Reads at the watermark (if versions remain) must not panic and
         // must resolve to something sensible.
         let r = store.read(0, 1, watermark.min(n_versions));
         let ok = matches!(r, VersionRead::Current | VersionRead::Old { .. });
-        prop_assert!(ok);
+        assert!(ok, "case {case}");
     }
 }

@@ -1,0 +1,220 @@
+//! Availability analysis over a throughput timeline.
+//!
+//! Works on the simulator's sampled timeline (cumulative committed
+//! transactions at each sample time) plus the fault windows from the
+//! plan, and answers the degraded-mode questions: how far did
+//! throughput dip, how long was the system effectively down, and how
+//! long after the fault cleared did it take to return to steady state.
+//! All thresholds are relative to the measured pre-fault baseline, so
+//! the analysis needs no absolute calibration.
+
+/// Mean throughput over one named phase of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRate {
+    pub name: String,
+    pub start_s: f64,
+    pub end_s: f64,
+    /// Mean committed transactions per second over the phase.
+    pub mean_rate: f64,
+}
+
+/// Availability metrics derived from one run's timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Availability {
+    /// Median per-sample rate before the first fault (txn/s).
+    pub baseline_rate: f64,
+    /// Lowest per-sample rate at or after the first fault (txn/s).
+    pub min_rate: f64,
+    /// Sampled time with rate below 10% of baseline (effectively down).
+    pub downtime_s: f64,
+    /// Sampled time (after the first fault, before steady state) with
+    /// rate below 90% of baseline.
+    pub degraded_s: f64,
+    /// Time from the last fault clearing until throughput held ≥ 90% of
+    /// baseline for three consecutive samples; `None` if it never did.
+    pub recovery_s: Option<f64>,
+    /// Pre-fault / fault / recovery / steady phase breakdown.
+    pub phases: Vec<PhaseRate>,
+}
+
+/// Analyze a cumulative-committed timeline against fault windows.
+///
+/// `samples` are `(time_s, committed_so_far)` in ascending time;
+/// `windows_s` are merged `[start, end)` fault-active spans in seconds
+/// on the same clock. With no windows the result carries only the
+/// overall baseline (a no-fault run has no downtime by definition).
+pub fn analyze(samples: &[(f64, u64)], windows_s: &[(f64, f64)]) -> Availability {
+    // Per-interval rates, attributed to the interval's end time.
+    let mut rates: Vec<(f64, f64, f64)> = Vec::new(); // (t_end, dt, rate)
+    for w in samples.windows(2) {
+        let (t0, c0) = w[0];
+        let (t1, c1) = w[1];
+        let dt = t1 - t0;
+        if dt > 0.0 {
+            rates.push((t1, dt, (c1.saturating_sub(c0)) as f64 / dt));
+        }
+    }
+    if rates.is_empty() {
+        return Availability::default();
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let overall = median(rates.iter().map(|&(_, _, r)| r).collect());
+    let Some(&(first_fault, _)) = windows_s.first() else {
+        return Availability {
+            baseline_rate: overall,
+            min_rate: overall,
+            ..Availability::default()
+        };
+    };
+    let last_clear = windows_s.last().unwrap().1;
+
+    let pre: Vec<f64> = rates
+        .iter()
+        .filter(|&&(t, _, _)| t <= first_fault)
+        .map(|&(_, _, r)| r)
+        .collect();
+    let baseline = if pre.is_empty() { overall } else { median(pre) };
+
+    let min_rate = rates
+        .iter()
+        .filter(|&&(t, _, _)| t > first_fault)
+        .map(|&(_, _, r)| r)
+        .fold(f64::INFINITY, f64::min);
+    let min_rate = if min_rate.is_finite() {
+        min_rate
+    } else {
+        baseline
+    };
+
+    // Steady state: three consecutive samples ≥ 90% of baseline, at or
+    // after the last fault cleared.
+    let ok = |r: f64| baseline <= 0.0 || r >= 0.9 * baseline;
+    let mut steady_at: Option<f64> = None;
+    let mut streak = 0;
+    for &(t, _, r) in &rates {
+        if t < last_clear {
+            continue;
+        }
+        if ok(r) {
+            streak += 1;
+            if streak == 3 {
+                steady_at = Some(t);
+                break;
+            }
+        } else {
+            streak = 0;
+        }
+    }
+
+    let horizon = steady_at.unwrap_or(rates.last().unwrap().0);
+    let mut downtime = 0.0;
+    let mut degraded = 0.0;
+    for &(t, dt, r) in &rates {
+        if t <= first_fault || t > horizon {
+            continue;
+        }
+        if baseline > 0.0 && r < 0.1 * baseline {
+            downtime += dt;
+        }
+        if baseline > 0.0 && r < 0.9 * baseline {
+            degraded += dt;
+        }
+    }
+
+    let end = rates.last().unwrap().0;
+    let mut phases = Vec::new();
+    let mut push_phase = |name: &str, a: f64, b: f64| {
+        if b <= a {
+            return;
+        }
+        let span: Vec<&(f64, f64, f64)> =
+            rates.iter().filter(|&&(t, _, _)| t > a && t <= b).collect();
+        let dt: f64 = span.iter().map(|&&(_, d, _)| d).sum();
+        let area: f64 = span.iter().map(|&&(_, d, r)| d * r).sum();
+        phases.push(PhaseRate {
+            name: name.to_string(),
+            start_s: a,
+            end_s: b,
+            mean_rate: if dt > 0.0 { area / dt } else { 0.0 },
+        });
+    };
+    push_phase("pre-fault", rates[0].0 - rates[0].1, first_fault);
+    push_phase("fault", first_fault, last_clear.min(end));
+    match steady_at {
+        Some(s) => {
+            push_phase("recovery", last_clear, s);
+            push_phase("steady", s, end);
+        }
+        None => push_phase("recovery", last_clear, end),
+    }
+
+    Availability {
+        baseline_rate: baseline,
+        min_rate,
+        downtime_s: downtime,
+        degraded_s: degraded,
+        recovery_s: steady_at.map(|s| (s - last_clear).max(0.0)),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cumulative series at 1 Hz from a per-second rate profile.
+    fn cumulative(rates: &[u64]) -> Vec<(f64, u64)> {
+        let mut out = vec![(0.0, 0)];
+        let mut c = 0;
+        for (i, &r) in rates.iter().enumerate() {
+            c += r;
+            out.push(((i + 1) as f64, c));
+        }
+        out
+    }
+
+    #[test]
+    fn clean_run_has_no_downtime() {
+        let s = cumulative(&[100; 20]);
+        let a = analyze(&s, &[]);
+        assert_eq!(a.baseline_rate, 100.0);
+        assert_eq!(a.downtime_s, 0.0);
+        assert_eq!(a.recovery_s, None);
+        assert!(a.phases.is_empty());
+    }
+
+    #[test]
+    fn dip_and_recovery_are_measured() {
+        // 5 s at 100, 3 s dead, 2 s at 50, then healthy again.
+        let mut rates = vec![100u64; 5];
+        rates.extend([0, 0, 0, 50, 50]);
+        rates.extend([100u64; 5]);
+        let s = cumulative(&rates);
+        let a = analyze(&s, &[(5.0, 8.0)]);
+        assert_eq!(a.baseline_rate, 100.0);
+        assert_eq!(a.min_rate, 0.0);
+        assert_eq!(a.downtime_s, 3.0);
+        // Degraded: the 3 dead samples + the two 50s samples.
+        assert_eq!(a.degraded_s, 5.0);
+        // Clear at t=8; samples 9,10 are 50 (reset streak), 11,12,13 are
+        // 100 → steady at t=13 → recovery 5 s.
+        assert_eq!(a.recovery_s, Some(5.0));
+        let names: Vec<&str> = a.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["pre-fault", "fault", "recovery", "steady"]);
+        assert!((a.phases[0].mean_rate - 100.0).abs() < 1e-9);
+        assert!(a.phases[1].mean_rate < 1.0);
+    }
+
+    #[test]
+    fn never_recovering_yields_none() {
+        let mut rates = vec![100u64; 5];
+        rates.extend([0u64; 10]);
+        let s = cumulative(&rates);
+        let a = analyze(&s, &[(5.0, 6.0)]);
+        assert_eq!(a.recovery_s, None);
+        assert!(a.downtime_s >= 9.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! `dclue-fault` — deterministic fault injection for the DCLUE simulator.
+//!
+//! The paper's whole argument is that one Ethernet fabric can carry IPC,
+//! iSCSI and client traffic; this crate lets the reproduction ask what
+//! happens when that shared fabric (or a node behind it) degrades. It
+//! provides:
+//!
+//! * [`FaultPlan`] — a declarative, serially-ordered list of fault events
+//!   (link down/up, degraded-rate windows, router port failures, packet
+//!   loss/corruption bursts, node crash + restart, iSCSI target stalls)
+//!   expressed against *logical* targets (node indices, trunk indices),
+//!   so the plan is independent of how the network is wired,
+//! * [`FaultScheduler`] — drains the plan in DES-clock order; the
+//!   integration layer (`dclue-cluster::world`) maps each [`FaultKind`]
+//!   onto concrete hooks in `dclue-net` / `dclue-storage` / the engine,
+//! * [`avail`] — post-run availability analysis over the throughput
+//!   timeline: downtime, time-to-steady-state after recovery, and a
+//!   per-phase throughput breakdown.
+//!
+//! Everything is pure data + pure functions: a `(config, seed, plan)`
+//! triple fully determines a run, which is what makes the determinism
+//! tests (identical plan ⇒ byte-identical report) possible.
+
+pub mod avail;
+pub mod plan;
+pub mod sched;
+
+pub use avail::{Availability, PhaseRate};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkRef};
+pub use sched::FaultScheduler;

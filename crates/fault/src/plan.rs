@@ -1,0 +1,260 @@
+//! Declarative fault plans.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s, each firing at
+//! a fixed simulation-time offset. Targets are *logical*: a link is
+//! named by its role in the topology ([`LinkRef`]), a node by its index.
+//! The integration layer resolves these to concrete network/storage
+//! object ids, so the same plan applies to any cluster size that has
+//! the referenced elements.
+
+use dclue_sim::Duration;
+
+/// Logical reference to a fabric link, independent of wiring order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkRef {
+    /// The server node `i` ↔ its LATA router uplink.
+    NodeUplink(usize),
+    /// The client host of node `i` ↔ its LATA router uplink.
+    ClientUplink(usize),
+    /// Inter-LATA (or intra-MAN) trunk `i`, in builder order.
+    Trunk(usize),
+}
+
+/// One primitive fault action. Window-style faults (a degraded period, a
+/// loss burst, an outage) are expressed as a start/end *pair* of events;
+/// the [`FaultPlan`] builder helpers emit both sides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Hard-fail a link: both directions black-hole traffic, queued
+    /// frames are dropped. TCP on top sees loss → retransmit storms →
+    /// RTO and, for long outages, connection resets.
+    LinkDown(LinkRef),
+    /// Restore a previously failed link.
+    LinkUp(LinkRef),
+    /// Multiply the link's service rate by `factor` (0 < factor ≤ 1);
+    /// e.g. 0.1 models an auto-negotiation fallback or a failing SFP.
+    LinkDegrade { link: LinkRef, factor: f64 },
+    /// Restore the link's full configured rate.
+    LinkRestore(LinkRef),
+    /// Fail the router-side egress port of the link: frames the router
+    /// forwards onto it are silently discarded, while the reverse
+    /// direction keeps working (an asymmetric black hole).
+    RouterPortFail(LinkRef),
+    /// Recover the router-side egress port.
+    RouterPortRecover(LinkRef),
+    /// Begin a random-loss window on the link: each frame is dropped
+    /// before transmission with `drop_prob`, and each delivered frame is
+    /// corrupted (discarded at the receiver, bandwidth wasted) with
+    /// `corrupt_prob`. Draws come from a derived RNG stream, so the
+    /// burst is reproducible and independent of other randomness.
+    LossBurst {
+        link: LinkRef,
+        drop_prob: f64,
+        corrupt_prob: f64,
+    },
+    /// End the loss window.
+    LossClear(LinkRef),
+    /// Crash-stop server node `node`: its CPU, caches, lock tables and
+    /// directory state vanish; all its connections reset; its lock
+    /// mastership migrates to a surviving node; in-flight transactions
+    /// it owned (or that depended on it) abort and their clients retry.
+    NodeCrash(usize),
+    /// Restart the node with cold caches and reclaim its mastership.
+    NodeRestart(usize),
+    /// The iSCSI target on `node` stops responding: in-flight and newly
+    /// arriving commands are held, initiators time out and retry with
+    /// exponential backoff.
+    IscsiStall(usize),
+    /// The target resumes and works off everything held.
+    IscsiResume(usize),
+}
+
+/// A fault event: `kind` fires at simulation-time offset `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub at: Duration,
+    pub kind: FaultKind,
+}
+
+/// A declarative fault schedule for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; runs must match the baseline).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Add a single primitive event.
+    pub fn at(mut self, at: Duration, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Take a link down at `at` and bring it back `down_for` later.
+    pub fn link_flap(self, link: LinkRef, at: Duration, down_for: Duration) -> Self {
+        self.at(at, FaultKind::LinkDown(link))
+            .at(at + down_for, FaultKind::LinkUp(link))
+    }
+
+    /// Degrade a link's rate by `factor` for `dur`.
+    pub fn degraded_window(self, link: LinkRef, at: Duration, dur: Duration, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        self.at(at, FaultKind::LinkDegrade { link, factor })
+            .at(at + dur, FaultKind::LinkRestore(link))
+    }
+
+    /// Fail the router-side port of `link` for `dur`.
+    pub fn port_fail_window(self, link: LinkRef, at: Duration, dur: Duration) -> Self {
+        self.at(at, FaultKind::RouterPortFail(link))
+            .at(at + dur, FaultKind::RouterPortRecover(link))
+    }
+
+    /// Random loss/corruption burst on `link` for `dur`.
+    pub fn loss_burst(
+        self,
+        link: LinkRef,
+        at: Duration,
+        dur: Duration,
+        drop_prob: f64,
+        corrupt_prob: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        assert!((0.0..=1.0).contains(&corrupt_prob));
+        self.at(
+            at,
+            FaultKind::LossBurst {
+                link,
+                drop_prob,
+                corrupt_prob,
+            },
+        )
+        .at(at + dur, FaultKind::LossClear(link))
+    }
+
+    /// Crash node `node` at `at`; restart it `down_for` later.
+    pub fn node_outage(self, node: usize, at: Duration, down_for: Duration) -> Self {
+        self.at(at, FaultKind::NodeCrash(node))
+            .at(at + down_for, FaultKind::NodeRestart(node))
+    }
+
+    /// Stall node `node`'s iSCSI target for `dur`.
+    pub fn iscsi_stall(self, node: usize, at: Duration, dur: Duration) -> Self {
+        self.at(at, FaultKind::IscsiStall(node))
+            .at(at + dur, FaultKind::IscsiResume(node))
+    }
+
+    /// The `[start, end)` windows during which any fault is active,
+    /// derived by pairing start-style events with their end-style
+    /// counterparts (merging overlaps). Used by availability analysis.
+    pub fn fault_windows(&self) -> Vec<(Duration, Duration)> {
+        let mut spans: Vec<(Duration, Duration)> = Vec::new();
+        let mut sorted: Vec<&FaultEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|e| e.at);
+        // Track open windows per (conceptual) target.
+        let mut open: Vec<(String, Duration)> = Vec::new();
+        for e in &sorted {
+            let key = target_key(&e.kind);
+            if is_start(&e.kind) {
+                open.push((key, e.at));
+            } else if let Some(i) = open.iter().position(|(k, _)| *k == key) {
+                let (_, start) = open.remove(i);
+                spans.push((start, e.at));
+            }
+        }
+        // Unclosed windows run to "infinity"; report them as zero-length
+        // at their start (the run end is unknown to the plan).
+        for (_, start) in open {
+            spans.push((start, start));
+        }
+        spans.sort_by_key(|&(s, _)| s);
+        // Merge overlapping windows.
+        let mut merged: Vec<(Duration, Duration)> = Vec::new();
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some((_, pe)) if s <= *pe => {
+                    if e > *pe {
+                        *pe = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        merged
+    }
+}
+
+fn is_start(k: &FaultKind) -> bool {
+    matches!(
+        k,
+        FaultKind::LinkDown(_)
+            | FaultKind::LinkDegrade { .. }
+            | FaultKind::RouterPortFail(_)
+            | FaultKind::LossBurst { .. }
+            | FaultKind::NodeCrash(_)
+            | FaultKind::IscsiStall(_)
+    )
+}
+
+/// A stable pairing key so an end event closes the matching start.
+fn target_key(k: &FaultKind) -> String {
+    match k {
+        FaultKind::LinkDown(l) | FaultKind::LinkUp(l) => format!("link:{l:?}"),
+        FaultKind::LinkDegrade { link, .. } | FaultKind::LinkRestore(link) => {
+            format!("rate:{link:?}")
+        }
+        FaultKind::RouterPortFail(l) | FaultKind::RouterPortRecover(l) => format!("port:{l:?}"),
+        FaultKind::LossBurst { link, .. } | FaultKind::LossClear(link) => format!("loss:{link:?}"),
+        FaultKind::NodeCrash(n) | FaultKind::NodeRestart(n) => format!("node:{n}"),
+        FaultKind::IscsiStall(n) | FaultKind::IscsiResume(n) => format!("iscsi:{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> Duration {
+        Duration::from_secs(n)
+    }
+
+    #[test]
+    fn builders_emit_paired_events() {
+        let p = FaultPlan::none()
+            .link_flap(LinkRef::Trunk(0), s(10), s(5))
+            .node_outage(1, s(20), s(8));
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.events[0].kind, FaultKind::LinkDown(LinkRef::Trunk(0)));
+        assert_eq!(p.events[1].at, s(15));
+        assert_eq!(p.events[3].kind, FaultKind::NodeRestart(1));
+    }
+
+    #[test]
+    fn windows_merge_overlaps() {
+        let p = FaultPlan::none()
+            .link_flap(LinkRef::Trunk(0), s(10), s(10))
+            .iscsi_stall(0, s(15), s(10));
+        assert_eq!(p.fault_windows(), vec![(s(10), s(25))]);
+    }
+
+    #[test]
+    fn disjoint_windows_stay_separate() {
+        let p = FaultPlan::none()
+            .link_flap(LinkRef::Trunk(0), s(10), s(2))
+            .node_outage(0, s(20), s(3));
+        assert_eq!(p.fault_windows(), vec![(s(10), s(12)), (s(20), s(23))]);
+    }
+
+    #[test]
+    fn empty_plan_has_no_windows() {
+        assert!(FaultPlan::none().fault_windows().is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

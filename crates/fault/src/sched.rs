@@ -1,0 +1,99 @@
+//! Fault scheduler: drains a [`FaultPlan`](crate::FaultPlan) in
+//! simulation-clock order.
+//!
+//! The scheduler is intentionally passive — it never schedules anything
+//! itself. The simulation's integration layer asks for the next due
+//! time, posts one event into its own heap, and on firing calls
+//! [`FaultScheduler::pop_due`] to collect everything due at-or-before
+//! the clock. Ties preserve plan order, so a `(seed, plan)` pair yields
+//! a bit-identical injection sequence on every run.
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+use dclue_sim::SimTime;
+
+/// Drains fault events in `(time, plan-order)` order.
+#[derive(Debug, Clone)]
+pub struct FaultScheduler {
+    /// Sorted ascending by `(at, original index)`.
+    queue: Vec<FaultEvent>,
+    next: usize,
+    applied: u64,
+}
+
+impl FaultScheduler {
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut idx: Vec<usize> = (0..plan.events.len()).collect();
+        idx.sort_by_key(|&i| (plan.events[i].at, i));
+        FaultScheduler {
+            queue: idx.into_iter().map(|i| plan.events[i].clone()).collect(),
+            next: 0,
+            applied: 0,
+        }
+    }
+
+    /// Simulation time of the next pending event, if any.
+    pub fn peek_next(&self) -> Option<SimTime> {
+        self.queue.get(self.next).map(|e| SimTime::ZERO + e.at)
+    }
+
+    /// Remove and return every event due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        while let Some(e) = self.queue.get(self.next) {
+            if SimTime::ZERO + e.at > now {
+                break;
+            }
+            out.push(e.kind.clone());
+            self.next += 1;
+            self.applied += 1;
+        }
+        out
+    }
+
+    /// Number of events handed out so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// True when every plan event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LinkRef;
+    use dclue_sim::Duration;
+
+    #[test]
+    fn drains_in_time_order_with_plan_tiebreak() {
+        let plan = FaultPlan::none()
+            .at(Duration::from_secs(5), FaultKind::NodeCrash(1))
+            .at(
+                Duration::from_secs(2),
+                FaultKind::LinkDown(LinkRef::Trunk(0)),
+            )
+            .at(Duration::from_secs(5), FaultKind::IscsiStall(0));
+        let mut s = FaultScheduler::new(&plan);
+        assert_eq!(s.peek_next(), Some(SimTime::ZERO + Duration::from_secs(2)));
+        let first = s.pop_due(SimTime::ZERO + Duration::from_secs(2));
+        assert_eq!(first, vec![FaultKind::LinkDown(LinkRef::Trunk(0))]);
+        // Both t=5 events pop together, preserving plan order.
+        let due = s.pop_due(SimTime::ZERO + Duration::from_secs(10));
+        assert_eq!(due, vec![FaultKind::NodeCrash(1), FaultKind::IscsiStall(0)]);
+        assert!(s.exhausted());
+        assert_eq!(s.applied(), 3);
+    }
+
+    #[test]
+    fn empty_plan_is_immediately_exhausted() {
+        let mut s = FaultScheduler::new(&FaultPlan::none());
+        assert!(s.exhausted());
+        assert_eq!(s.peek_next(), None);
+        assert!(s
+            .pop_due(SimTime::ZERO + Duration::from_secs(100))
+            .is_empty());
+    }
+}

@@ -58,6 +58,10 @@ pub struct PortStats {
     pub pkts_tx: u64,
     /// Accumulated transmitter busy time.
     pub busy: Duration,
+    /// Packets discarded because the port (or its link) was failed by
+    /// fault injection — kept separate from congestion `dropped` so
+    /// experiments can tell faults from overload.
+    pub fault_dropped: u64,
 }
 
 /// A transmit port: queue(s) + transmitter state for one link direction.
@@ -77,6 +81,9 @@ pub struct TxPort {
     /// Deterministic counter used by RED's drop decision.
     red_seq: u64,
     pub busy: bool,
+    /// Fault injection: a failed port black-holes everything offered to
+    /// it (and its queue is flushed on failure).
+    pub failed: bool,
     pub stats: PortStats,
 }
 
@@ -109,6 +116,7 @@ impl TxPort {
             wfq_turn: 0,
             red_seq: 0,
             busy: false,
+            failed: false,
             stats: PortStats::default(),
         }
     }
@@ -123,7 +131,12 @@ impl TxPort {
     /// RED drop decision: deterministic low-discrepancy sampling (golden
     /// ratio sequence) keeps whole-simulation runs reproducible.
     fn red_drops(&mut self, qlen: usize) -> bool {
-        let DropPolicy::Red { min_th, max_th, max_p } = self.drop_policy else {
+        let DropPolicy::Red {
+            min_th,
+            max_th,
+            max_p,
+        } = self.drop_policy
+        else {
             return false;
         };
         if qlen < min_th {
@@ -138,9 +151,24 @@ impl TxPort {
         u < p
     }
 
+    /// Fail or recover the port. Failing flushes everything queued (the
+    /// frames are lost, as on a real port going dark mid-burst).
+    pub fn set_failed(&mut self, failed: bool) {
+        self.failed = failed;
+        if failed {
+            let flushed: usize = self.queues.iter().map(|q| q.len()).sum();
+            self.stats.fault_dropped += flushed as u64;
+            self.queues.iter_mut().for_each(|q| q.clear());
+        }
+    }
+
     /// Enqueue with the configured drop policy and ECN marking. Returns
     /// false if dropped.
     pub fn enqueue(&mut self, mut p: Packet) -> bool {
+        if self.failed {
+            self.stats.fault_dropped += 1;
+            return false;
+        }
         let c = self.class_of(&p);
         let qlen = self.queues[c].len();
         if qlen >= self.caps[c] || self.red_drops(qlen) {
@@ -168,7 +196,10 @@ impl TxPort {
                 None
             }
             Discipline::Wfq { af_weight } => {
-                let w = [af_weight.clamp(0.01, 0.99), 1.0 - af_weight.clamp(0.01, 0.99)];
+                let w = [
+                    af_weight.clamp(0.01, 0.99),
+                    1.0 - af_weight.clamp(0.01, 0.99),
+                ];
                 if self.queues.iter().all(|q| q.is_empty()) {
                     self.credits = [0.0; 2];
                     return None;
@@ -218,6 +249,21 @@ impl TxPort {
     }
 }
 
+/// Fault-injected random loss/corruption window on a link. Draws come
+/// from a dedicated RNG stream so a loss burst is reproducible and does
+/// not perturb any other stochastic decision in the run.
+#[derive(Debug)]
+pub struct LinkLoss {
+    /// Probability a frame is lost before transmission.
+    pub drop_prob: f64,
+    /// Probability a transmitted frame arrives corrupted (the receiver
+    /// discards it; the bandwidth is still consumed).
+    pub corrupt_prob: f64,
+    pub rng: dclue_sim::SimRng,
+    pub dropped: u64,
+    pub corrupted: u64,
+}
+
 /// A full-duplex point-to-point link.
 #[derive(Debug)]
 pub struct Link {
@@ -226,6 +272,11 @@ pub struct Link {
     pub b: DeviceId,
     pub bandwidth_bps: f64,
     pub propagation: Duration,
+    /// Fault injection: service-rate multiplier in `(0, 1]` (degraded
+    /// windows; 1.0 = healthy).
+    pub rate_factor: f64,
+    /// Fault injection: active random-loss window, if any.
+    pub loss: Option<LinkLoss>,
     /// Transmit ports: `[a->b, b->a]`.
     pub ports: [TxPort; 2],
 }
@@ -233,7 +284,7 @@ pub struct Link {
 impl Link {
     /// Transmission time of `bytes` on this link.
     pub fn tx_time(&self, bytes: u64) -> Duration {
-        Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+        Duration::from_secs_f64(bytes as f64 * 8.0 / (self.bandwidth_bps * self.rate_factor))
     }
 
     /// The device at the far end of the given direction.
@@ -449,6 +500,8 @@ mod tests {
             b: DeviceId::Router(0),
             bandwidth_bps: 1e7,
             propagation: Duration::from_micros(5),
+            rate_factor: 1.0,
+            loss: None,
             ports: [
                 TxPort::new(Discipline::Fifo, 10, 8),
                 TxPort::new(Discipline::Fifo, 10, 8),

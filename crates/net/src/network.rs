@@ -44,6 +44,9 @@ pub struct Network {
     /// Aggregate count of packets that arrived at a host that was not the
     /// destination (indicates a routing bug; must stay zero).
     pub misrouted: u64,
+    /// Drops/corruptions from loss windows that have already been
+    /// cleared (the per-link counters die with the window).
+    retired_loss: u64,
 }
 
 impl Network {
@@ -184,8 +187,7 @@ impl Network {
             return; // stale segment for a reaped connection
         };
         // Which side of the connection is this host?
-        let side = if entry.hosts[Side::Acceptor.index()] == host
-            && packet.seg.from == Side::Opener
+        let side = if entry.hosts[Side::Acceptor.index()] == host && packet.seg.from == Side::Opener
         {
             Side::Acceptor
         } else {
@@ -231,6 +233,13 @@ impl Network {
     /// transmitter if idle.
     fn transmit(&mut self, link: LinkId, forward: bool, p: Packet, ob: &mut NetOutbox) {
         let l = &mut self.links[link.0 as usize];
+        // Fault injection: random loss ahead of the queue.
+        if let Some(loss) = &mut l.loss {
+            if loss.drop_prob > 0.0 && loss.rng.chance(loss.drop_prob) {
+                loss.dropped += 1;
+                return;
+            }
+        }
         let port = l.port(forward);
         if !port.enqueue(p) {
             return; // tail-dropped
@@ -255,7 +264,24 @@ impl Network {
             port.stats.pkts_tx += 1;
             port.stats.busy += tx;
         }
-        ob.schedule(tx + l.propagation, NetEvent::Arrive { device: far, packet: p });
+        // Fault injection: corruption discards the frame at the receiver
+        // but the transmission slot (bandwidth) is still consumed.
+        let corrupted = l.loss.as_mut().is_some_and(|loss| {
+            let hit = loss.corrupt_prob > 0.0 && loss.rng.chance(loss.corrupt_prob);
+            if hit {
+                loss.corrupted += 1;
+            }
+            hit
+        });
+        if !corrupted {
+            ob.schedule(
+                tx + l.propagation,
+                NetEvent::Arrive {
+                    device: far,
+                    packet: p,
+                },
+            );
+        }
         ob.schedule(tx, NetEvent::TxDone { link, forward });
     }
 
@@ -371,6 +397,74 @@ impl Network {
             l.ports[1].set_af_weight(w);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Fail or restore both directions of a link (cable pull / link
+    /// flap). Failing flushes queued packets; traffic in flight on the
+    /// wire still arrives. TCP recovers by retransmission once the link
+    /// comes back, or resets the connection after `max_retrans`.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        let l = &mut self.links[id.0 as usize];
+        l.ports[0].set_failed(!up);
+        l.ports[1].set_failed(!up);
+    }
+
+    /// Fail or restore a single transmit direction — an individual
+    /// router or NIC port dying while the reverse path stays healthy.
+    pub fn set_port_failed(&mut self, id: LinkId, forward: bool, failed: bool) {
+        self.links[id.0 as usize].port(forward).set_failed(failed);
+    }
+
+    /// Degrade (or restore, with 1.0) a link's effective service rate.
+    pub fn set_link_rate_factor(&mut self, id: LinkId, factor: f64) {
+        self.links[id.0 as usize].rate_factor = factor.clamp(1e-6, 1.0);
+    }
+
+    /// Begin a random loss/corruption window on a link. Draws come from
+    /// a dedicated stream seeded by `seed`, so runs stay reproducible.
+    pub fn set_link_loss(&mut self, id: LinkId, drop_prob: f64, corrupt_prob: f64, seed: u64) {
+        self.links[id.0 as usize].loss = Some(crate::device::LinkLoss {
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+            corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
+            rng: dclue_sim::SimRng::new(seed),
+            dropped: 0,
+            corrupted: 0,
+        });
+    }
+
+    /// End any loss window on the link.
+    pub fn clear_link_loss(&mut self, id: LinkId) {
+        if let Some(loss) = self.links[id.0 as usize].loss.take() {
+            self.retired_loss += loss.dropped + loss.corrupted;
+        }
+    }
+
+    /// Whether both directions of a link are currently up.
+    pub fn link_is_up(&self, id: LinkId) -> bool {
+        let l = &self.links[id.0 as usize];
+        !l.ports[0].failed && !l.ports[1].failed
+    }
+
+    /// Total packets discarded by fault injection across the fabric:
+    /// frames dropped at failed ports plus loss-window drops and
+    /// corruptions.
+    pub fn fault_drops(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| {
+                let ports = l.ports[0].stats.fault_dropped + l.ports[1].stats.fault_dropped;
+                let loss = l
+                    .loss
+                    .as_ref()
+                    .map_or(0, |loss| loss.dropped + loss.corrupted);
+                ports + loss
+            })
+            .sum::<u64>()
+            + self.retired_loss
+    }
 }
 
 /// Incrementally describes a topology, then computes routes.
@@ -428,13 +522,7 @@ impl NetworkBuilder {
     }
 
     /// Connect two routers.
-    pub fn trunk(
-        &mut self,
-        a: u32,
-        b: u32,
-        bandwidth_bps: f64,
-        propagation: dclue_sim::Duration,
-    ) {
+    pub fn trunk(&mut self, a: u32, b: u32, bandwidth_bps: f64, propagation: dclue_sim::Duration) {
         self.router_links.push((a, b, bandwidth_bps, propagation));
     }
 
@@ -467,6 +555,8 @@ impl NetworkBuilder {
                 b: DeviceId::Router(r),
                 bandwidth_bps: bw,
                 propagation: prop,
+                rate_factor: 1.0,
+                loss: None,
                 ports: [
                     // host -> router: host NIC FIFO
                     TxPort::new(Discipline::Fifo, HOST_QUEUE_CAP, ECN_THRESH),
@@ -479,7 +569,10 @@ impl NetworkBuilder {
                     ),
                 ],
             });
-            host_ports.push(HostPort { link: id, forward: true });
+            host_ports.push(HostPort {
+                link: id,
+                forward: true,
+            });
             attached[r as usize].push((host, id, false)); // router sends "backward"
         }
 
@@ -493,6 +586,8 @@ impl NetworkBuilder {
                 b: DeviceId::Router(b),
                 bandwidth_bps: bw,
                 propagation: prop,
+                rate_factor: 1.0,
+                loss: None,
                 ports: [
                     TxPort::with_drop_policy(pa.discipline, ROUTER_QUEUE_CAP, ECN_THRESH, pa.drop),
                     TxPort::with_drop_policy(pb.discipline, ROUTER_QUEUE_CAP, ECN_THRESH, pb.drop),
@@ -548,6 +643,7 @@ impl NetworkBuilder {
             next_conn: 0,
             graveyard: Vec::new(),
             misrouted: 0,
+            retired_loss: 0,
         }
     }
 }

@@ -373,14 +373,7 @@ impl Connection {
     }
 
     /// Queue a framed application message for transmission by `side`.
-    pub fn send_msg(
-        &mut self,
-        side: Side,
-        msg: MsgId,
-        bytes: u64,
-        now: SimTime,
-        out: &mut TcpOut,
-    ) {
+    pub fn send_msg(&mut self, side: Side, msg: MsgId, bytes: u64, now: SimTime, out: &mut TcpOut) {
         assert!(bytes > 0, "empty messages are not framable");
         let established = self.established;
         let e = self.ep(side);
@@ -452,7 +445,8 @@ impl Connection {
         self.stats.segs_retransmitted += 1;
         self.conn_gen += 1;
         let gen = self.conn_gen;
-        let backoff = Duration::from_millis(10).max(self.cfg.min_rto * 4) * (1 << self.syn_retrans.min(6)) as u64;
+        let backoff = Duration::from_millis(10).max(self.cfg.min_rto * 4)
+            * (1 << self.syn_retrans.min(6)) as u64;
         out.timers.push(TimerReq {
             kind: TimerKind::Conn,
             gen,
@@ -462,7 +456,14 @@ impl Connection {
 
     /// Handle an arriving segment at `side` (i.e. `seg.from == side.other()`).
     /// `ce` is true if the packet carried an ECN congestion mark.
-    pub fn on_segment(&mut self, side: Side, seg: &Segment, ce: bool, now: SimTime, out: &mut TcpOut) {
+    pub fn on_segment(
+        &mut self,
+        side: Side,
+        seg: &Segment,
+        ce: bool,
+        now: SimTime,
+        out: &mut TcpOut,
+    ) {
         debug_assert_eq!(seg.from, side.other());
         if self.ends[side.index()].state == ConnState::Dead {
             return;
@@ -748,10 +749,8 @@ impl Connection {
                         } else {
                             None
                         };
-                        let (rseq, rlen) = hole.unwrap_or((
-                            e.snd_una,
-                            mss.min(e.snd_end.saturating_sub(e.snd_una)),
-                        ));
+                        let (rseq, rlen) = hole
+                            .unwrap_or((e.snd_una, mss.min(e.snd_end.saturating_sub(e.snd_una))));
                         (rseq, rlen, e.rcv_nxt, e.ece_pending)
                     };
                     if rlen > 0 {
@@ -851,10 +850,8 @@ impl Connection {
                     } else {
                         None
                     };
-                    let (rseq, rlen) = hole.unwrap_or((
-                        e.snd_una,
-                        mss_b.min(e.snd_end.saturating_sub(e.snd_una)),
-                    ));
+                    let (rseq, rlen) =
+                        hole.unwrap_or((e.snd_una, mss_b.min(e.snd_end.saturating_sub(e.snd_una))));
                     (rseq, rlen, e.rcv_nxt, e.ece_pending)
                 };
                 if rlen > 0 {
@@ -1340,7 +1337,11 @@ mod tests {
         p.send(Side::Opener, 1, 64 * 1024);
         p.run(5_000);
         assert!(p.conn.cwnd(Side::Opener) > 2 * 1460);
-        assert_eq!(p.conn.stats.timeouts, 0, "no spurious RTO: {:?}", p.conn.stats);
+        assert_eq!(
+            p.conn.stats.timeouts, 0,
+            "no spurious RTO: {:?}",
+            p.conn.stats
+        );
     }
 
     #[test]
@@ -1572,7 +1573,11 @@ mod tests {
             .collect();
         p.queue.extend(dups);
         p.run(5000);
-        assert_eq!(p.delivered, vec![(Side::Acceptor, MsgId(1))], "exactly once");
+        assert_eq!(
+            p.delivered,
+            vec![(Side::Acceptor, MsgId(1))],
+            "exactly once"
+        );
     }
 
     #[test]

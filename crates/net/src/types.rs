@@ -89,5 +89,9 @@ pub enum NetNote {
     Closed { conn: ConnId },
     /// A segment with payload was received by a host NIC (used by the
     /// platform layer to charge per-packet interrupt/processing cost).
-    SegmentsReceived { host: HostId, segments: u32, bytes: u64 },
+    SegmentsReceived {
+        host: HostId,
+        segments: u32,
+        bytes: u64,
+    },
 }

@@ -35,7 +35,10 @@ impl Driver {
         }
     }
 
-    fn with_net<R>(&mut self, f: impl FnOnce(&mut Network, &mut Outbox<NetEvent, NetNote>) -> R) -> R {
+    fn with_net<R>(
+        &mut self,
+        f: impl FnOnce(&mut Network, &mut Outbox<NetEvent, NetNote>) -> R,
+    ) -> R {
         let mut ob = Outbox::new(self.now);
         let r = f(&mut self.net, &mut ob);
         self.absorb(ob);
@@ -100,7 +103,13 @@ fn message_crosses_one_router() {
     let (net, hosts) = single_lata(2);
     let mut d = Driver::new(net);
     let conn = d.with_net(|n, ob| {
-        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
     });
     d.run_until(SimTime::ZERO + Duration::from_millis(50));
     d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 8192, ob));
@@ -115,7 +124,13 @@ fn message_crosses_latas() {
     let mut d = Driver::new(net);
     // host 0 (lata 1) to host 3 (lata 2): 3 routers on the path.
     let conn = d.with_net(|n, ob| {
-        n.open_connection(hosts[0], hosts[3], Dscp::BestEffort, TcpConfig::default(), ob)
+        n.open_connection(
+            hosts[0],
+            hosts[3],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
     });
     d.run_until(SimTime::ZERO + Duration::from_millis(50));
     d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(42), 65536, ob));
@@ -133,7 +148,13 @@ fn bidirectional_request_response() {
     let (net, hosts) = single_lata(2);
     let mut d = Driver::new(net);
     let conn = d.with_net(|n, ob| {
-        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
     });
     d.run_until(SimTime::ZERO + Duration::from_millis(50));
     d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 250, ob));
@@ -152,16 +173,13 @@ fn many_connections_share_fabric() {
     for i in 0..8usize {
         let a = hosts[i];
         let b = hosts[(i + 1) % 8];
-        let c = d.with_net(|n, ob| {
-            n.open_connection(a, b, Dscp::BestEffort, TcpConfig::default(), ob)
-        });
+        let c =
+            d.with_net(|n, ob| n.open_connection(a, b, Dscp::BestEffort, TcpConfig::default(), ob));
         conns.push(c);
     }
     d.run_until(SimTime::ZERO + Duration::from_millis(100));
     for (i, &c) in conns.iter().enumerate() {
-        d.with_net(|n, ob| {
-            n.send_message(c, Side::Opener, dclue_net::MsgId(i as u64), 16384, ob)
-        });
+        d.with_net(|n, ob| n.send_message(c, Side::Opener, dclue_net::MsgId(i as u64), 16384, ob));
     }
     d.run_until(SimTime::ZERO + Duration::from_secs(10));
     let mut got = d.delivered_msgs();
@@ -178,7 +196,13 @@ fn congestion_delays_but_delivers() {
     let mut conns = Vec::new();
     for i in 1..7 {
         let c = d.with_net(|n, ob| {
-            n.open_connection(hosts[i], hosts[0], Dscp::BestEffort, TcpConfig::default(), ob)
+            n.open_connection(
+                hosts[i],
+                hosts[0],
+                Dscp::BestEffort,
+                TcpConfig::default(),
+                ob,
+            )
         });
         conns.push(c);
     }
@@ -191,7 +215,11 @@ fn congestion_delays_but_delivers() {
     d.run_until(SimTime::ZERO + Duration::from_secs(60));
     let mut got = d.delivered_msgs();
     got.sort_unstable();
-    assert_eq!(got, (0..6).collect::<Vec<_>>(), "all bulk transfers complete");
+    assert_eq!(
+        got,
+        (0..6).collect::<Vec<_>>(),
+        "all bulk transfers complete"
+    );
 }
 
 #[test]
@@ -201,7 +229,13 @@ fn priority_traffic_wins_under_contention() {
     let (net, hosts) = two_latas(2, true);
     let mut d = Driver::new(net);
     let be = d.with_net(|n, ob| {
-        n.open_connection(hosts[0], hosts[2], Dscp::BestEffort, TcpConfig::default(), ob)
+        n.open_connection(
+            hosts[0],
+            hosts[2],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
     });
     let af = d.with_net(|n, ob| {
         n.open_connection(hosts[1], hosts[3], Dscp::Af21, TcpConfig::default(), ob)
@@ -241,9 +275,8 @@ fn router_forwarding_rate_limits_throughput() {
     let h1 = b.host(r, 100e6, Duration::from_micros(1));
     let net = b.build();
     let mut d = Driver::new(net);
-    let conn = d.with_net(|n, ob| {
-        n.open_connection(h0, h1, Dscp::BestEffort, TcpConfig::default(), ob)
-    });
+    let conn =
+        d.with_net(|n, ob| n.open_connection(h0, h1, Dscp::BestEffort, TcpConfig::default(), ob));
     d.run_until(SimTime::ZERO + Duration::from_millis(100));
     for i in 0..100u64 {
         d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(i), 8192, ob));
@@ -268,7 +301,13 @@ fn connection_close_reaps_state() {
     let (net, hosts) = single_lata(2);
     let mut d = Driver::new(net);
     let conn = d.with_net(|n, ob| {
-        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
     });
     d.run_until(SimTime::ZERO + Duration::from_millis(50));
     d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 1000, ob));
@@ -293,7 +332,13 @@ fn ecn_reduces_instead_of_dropping() {
     let mut conns = Vec::new();
     for i in 1..5 {
         let c = d.with_net(|n, ob| {
-            n.open_connection(hosts[i], hosts[0], Dscp::BestEffort, TcpConfig::default(), ob)
+            n.open_connection(
+                hosts[i],
+                hosts[0],
+                Dscp::BestEffort,
+                TcpConfig::default(),
+                ob,
+            )
         });
         conns.push(c);
     }
@@ -335,7 +380,8 @@ fn wfq_splits_trunk_bandwidth() {
     let z2 = b.host(r2, 100e6, Duration::from_micros(5));
     let mut d = Driver::new(b.build());
     let af = d.with_net(|n, ob| n.open_connection(a1, z1, Dscp::Af21, TcpConfig::default(), ob));
-    let be = d.with_net(|n, ob| n.open_connection(a2, z2, Dscp::BestEffort, TcpConfig::default(), ob));
+    let be =
+        d.with_net(|n, ob| n.open_connection(a2, z2, Dscp::BestEffort, TcpConfig::default(), ob));
     d.run_until(SimTime::ZERO + Duration::from_millis(100));
     let bytes = 512 * 1024;
     d.with_net(|n, ob| n.send_message(af, Side::Opener, dclue_net::MsgId(1), bytes, ob));
@@ -352,10 +398,176 @@ fn wfq_splits_trunk_bandwidth() {
     };
     let t_af = t_of(1);
     let t_be = t_of(2);
-    assert!(t_af < SimTime::MAX && t_be < SimTime::MAX, "both must finish");
+    assert!(
+        t_af < SimTime::MAX && t_be < SimTime::MAX,
+        "both must finish"
+    );
     assert!(
         t_be < t_af,
         "0.75-weight best effort should finish first: be={t_be:?} af={t_af:?}"
+    );
+}
+
+#[test]
+fn link_down_blackholes_until_restored() {
+    // A brief outage on the sender's uplink: the message is lost in
+    // flight, TCP retransmits once the link is back, nothing resets.
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    let up = d.net.host_uplink(hosts[0]);
+    d.net.set_link_up(up, false);
+    assert!(!d.net.link_is_up(up));
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(7), 32 * 1024, ob));
+    d.run_until(SimTime::ZERO + Duration::from_millis(150));
+    assert!(
+        d.delivered_msgs().is_empty(),
+        "link is down, nothing arrives"
+    );
+    assert!(d.net.fault_drops() > 0, "failed port must count drops");
+    d.net.set_link_up(up, true);
+    d.run_until(SimTime::ZERO + Duration::from_secs(10));
+    assert_eq!(d.delivered_msgs(), vec![7], "retransmission must deliver");
+    assert!(
+        !d.notes
+            .iter()
+            .any(|(_, n)| matches!(n, NetNote::Reset { .. })),
+        "short outage must not reset the connection"
+    );
+}
+
+#[test]
+fn prolonged_outage_resets_connection() {
+    // Exceeding max_retrans on a black-holed flow must surface a Reset
+    // note — this is the signal the cluster layer keys failover on.
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    let up = d.net.host_uplink(hosts[0]);
+    d.net.set_link_up(up, false);
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(9), 8192, ob));
+    d.run_until(SimTime::ZERO + Duration::from_secs(30));
+    assert!(
+        d.notes
+            .iter()
+            .any(|(_, n)| matches!(n, NetNote::Reset { .. })),
+        "black-holed flow must reset after max_retrans"
+    );
+    assert!(d.delivered_msgs().is_empty());
+}
+
+#[test]
+fn single_port_failure_is_asymmetric() {
+    // Fail only the forward (host -> router) direction of the sender's
+    // uplink: data stops, but the reverse path stays healthy, and
+    // recovery restores delivery.
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    let up = d.net.host_uplink(hosts[0]);
+    d.net.set_port_failed(up, true, true);
+    assert!(!d.net.link_is_up(up), "one dead direction means not up");
+    d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(3), 8192, ob));
+    d.run_until(SimTime::ZERO + Duration::from_millis(200));
+    assert!(d.delivered_msgs().is_empty());
+    d.net.set_port_failed(up, true, false);
+    d.run_until(SimTime::ZERO + Duration::from_secs(10));
+    assert_eq!(d.delivered_msgs(), vec![3]);
+}
+
+#[test]
+fn degraded_link_stretches_transfer() {
+    let elapsed = |factor: f64| {
+        let (net, hosts) = single_lata(2);
+        let mut d = Driver::new(net);
+        let conn = d.with_net(|n, ob| {
+            n.open_connection(
+                hosts[0],
+                hosts[1],
+                Dscp::BestEffort,
+                TcpConfig::default(),
+                ob,
+            )
+        });
+        d.run_until(SimTime::ZERO + Duration::from_millis(50));
+        let up = d.net.host_uplink(hosts[0]);
+        d.net.set_link_rate_factor(up, factor);
+        d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 256 * 1024, ob));
+        d.run_until(SimTime::ZERO + Duration::from_secs(120));
+        d.notes
+            .iter()
+            .find_map(|(t, n)| matches!(n, NetNote::MessageDelivered { .. }).then_some(*t))
+            .expect("transfer must complete")
+    };
+    let healthy = elapsed(1.0);
+    let degraded = elapsed(0.1);
+    assert!(
+        degraded.as_secs_f64() > 3.0 * healthy.as_secs_f64(),
+        "10x rate cut must visibly stretch the transfer: {healthy} vs {degraded}"
+    );
+}
+
+#[test]
+fn loss_burst_is_survivable_and_counted() {
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    let up = d.net.host_uplink(hosts[0]);
+    d.net.set_link_loss(up, 0.1, 0.05, 0xFA11);
+    for i in 0..10u64 {
+        d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(i), 16384, ob));
+    }
+    d.run_until(SimTime::ZERO + Duration::from_secs(60));
+    let mut got = d.delivered_msgs();
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        (0..10).collect::<Vec<_>>(),
+        "TCP must ride out the burst"
+    );
+    let lost = d.net.fault_drops();
+    assert!(lost > 0, "the burst must have cost something");
+    d.net.clear_link_loss(up);
+    assert_eq!(
+        d.net.fault_drops(),
+        lost,
+        "counts survive clearing the window"
     );
 }
 
@@ -364,7 +576,13 @@ fn link_utilization_accounting() {
     let (net, hosts) = single_lata(2);
     let mut d = Driver::new(net);
     let conn = d.with_net(|n, ob| {
-        n.open_connection(hosts[0], hosts[1], Dscp::BestEffort, TcpConfig::default(), ob)
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
     });
     d.run_until(SimTime::ZERO + Duration::from_millis(50));
     d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(1), 100_000, ob));

@@ -1,13 +1,13 @@
-//! Property tests for the TCP state machine: under arbitrary finite
+//! Randomized tests for the TCP state machine: under arbitrary finite
 //! loss patterns, framed messages are delivered exactly once, in order,
-//! to the correct side.
+//! to the correct side. Cases are generated from a fixed-seed `SimRng`,
+//! so every run explores the same corpus.
 
 #![allow(clippy::field_reassign_with_default)]
 
 use dclue_net::tcp::{Connection, TcpAppNote, TcpConfig, TcpOut, TimerKind};
 use dclue_net::types::{ConnId, MsgId, Side};
-use dclue_sim::{Duration, SimTime};
-use proptest::prelude::*;
+use dclue_sim::{Duration, SimRng, SimTime};
 
 /// Deterministic two-endpoint harness with scripted segment drops.
 struct Pipe {
@@ -54,7 +54,8 @@ impl Pipe {
                 .push((self.now + Duration::from_micros(40), Ev::Deliver(to, seg)));
         }
         for t in out.timers {
-            self.queue.push((self.now + t.delay, Ev::Timer(t.kind, t.gen)));
+            self.queue
+                .push((self.now + t.delay, Ev::Timer(t.kind, t.gen)));
         }
         for n in out.notes {
             match n {
@@ -102,18 +103,23 @@ impl Pipe {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Any finite set of data-segment losses is repaired: every framed
+/// message arrives exactly once, in order, on the right side.
+#[test]
+fn messages_survive_arbitrary_finite_loss() {
+    let mut rng = SimRng::new(0xC0FFEE);
+    for case in 0..64 {
+        let n_msgs = rng.uniform(1, 11) as usize;
+        let msgs: Vec<(u8, u64)> = (0..n_msgs)
+            .map(|_| (rng.uniform(0, 1) as u8, rng.uniform(100, 19_999)))
+            .collect();
+        let n_drops = rng.uniform(0, 11) as usize;
+        let mut drops: Vec<u64> = (0..n_drops).map(|_| rng.uniform(1, 59)).collect();
+        drops.sort_unstable();
+        drops.dedup();
 
-    /// Any finite set of data-segment losses is repaired: every framed
-    /// message arrives exactly once, in order, on the right side.
-    #[test]
-    fn messages_survive_arbitrary_finite_loss(
-        msgs in proptest::collection::vec((0u8..2, 100u64..20_000), 1..12),
-        drops in proptest::collection::btree_set(1u64..60, 0..12),
-    ) {
         let mut p = Pipe::new();
-        p.drop_set = drops.into_iter().collect();
+        p.drop_set = drops.clone();
         let mut out = TcpOut::new();
         p.conn.open(p.now, &mut out);
         p.absorb(out);
@@ -121,30 +127,57 @@ proptest! {
 
         let mut expect: Vec<(Side, u64)> = Vec::new();
         for (i, &(side_sel, bytes)) in msgs.iter().enumerate() {
-            let from = if side_sel == 0 { Side::Opener } else { Side::Acceptor };
+            let from = if side_sel == 0 {
+                Side::Opener
+            } else {
+                Side::Acceptor
+            };
             let mut out = TcpOut::new();
-            p.conn.send_msg(from, MsgId(i as u64), bytes, p.now, &mut out);
+            p.conn
+                .send_msg(from, MsgId(i as u64), bytes, p.now, &mut out);
             p.absorb(out);
             expect.push((from.other(), i as u64));
         }
         p.run(100_000);
 
-        prop_assert!(!p.reset, "finite loss must not reset the connection");
+        assert!(
+            !p.reset,
+            "case {case}: finite loss must not reset the connection (drops {drops:?})"
+        );
         // Exactly-once delivery.
-        prop_assert_eq!(p.delivered.len(), expect.len(),
-            "delivered {:?} expected {:?}", p.delivered, expect);
+        assert_eq!(
+            p.delivered.len(),
+            expect.len(),
+            "case {case}: delivered {:?} expected {:?}",
+            p.delivered,
+            expect
+        );
         // Per-receiving-side, order preserved.
         for side in [Side::Opener, Side::Acceptor] {
-            let got: Vec<u64> = p.delivered.iter().filter(|&&(s, _)| s == side).map(|&(_, m)| m).collect();
-            let want: Vec<u64> = expect.iter().filter(|&&(s, _)| s == side).map(|&(_, m)| m).collect();
-            prop_assert_eq!(got, want);
+            let got: Vec<u64> = p
+                .delivered
+                .iter()
+                .filter(|&&(s, _)| s == side)
+                .map(|&(_, m)| m)
+                .collect();
+            let want: Vec<u64> = expect
+                .iter()
+                .filter(|&&(s, _)| s == side)
+                .map(|&(_, m)| m)
+                .collect();
+            assert_eq!(got, want, "case {case}");
         }
     }
+}
 
-    /// Sequence accounting: total bytes delivered equal total bytes sent
-    /// regardless of segmentation.
-    #[test]
-    fn byte_accounting_is_exact(bytes in proptest::collection::vec(1u64..50_000, 1..8)) {
+/// Sequence accounting: total bytes delivered equal total bytes sent
+/// regardless of segmentation.
+#[test]
+fn byte_accounting_is_exact() {
+    let mut rng = SimRng::new(0xBEEF);
+    for case in 0..48 {
+        let n = rng.uniform(1, 7) as usize;
+        let bytes: Vec<u64> = (0..n).map(|_| rng.uniform(1, 49_999)).collect();
         let mut p = Pipe::new();
         let mut out = TcpOut::new();
         p.conn.open(p.now, &mut out);
@@ -153,12 +186,13 @@ proptest! {
         let mut total = 0u64;
         for (i, &b) in bytes.iter().enumerate() {
             let mut out = TcpOut::new();
-            p.conn.send_msg(Side::Opener, MsgId(i as u64), b, p.now, &mut out);
+            p.conn
+                .send_msg(Side::Opener, MsgId(i as u64), b, p.now, &mut out);
             p.absorb(out);
             total += b;
         }
         p.run(100_000);
-        prop_assert_eq!(p.delivered.len(), bytes.len());
-        prop_assert!(p.conn.stats.bytes_sent >= total);
+        assert_eq!(p.delivered.len(), bytes.len(), "case {case}");
+        assert!(p.conn.stats.bytes_sent >= total, "case {case}");
     }
 }

@@ -126,7 +126,9 @@ mod tests {
     fn thrash_ratio_matches_cpi_anchor() {
         let c = PlatformConfig::default();
         // CPI = base + 1.08 * mult (mpi*lat*bf = 0.004*300*0.9 = 1.08).
-        let cpi = |t: usize| c.base_cpi + c.mpi_base * c.thrash_mult(t) * c.mem_latency_cycles * c.blocking_factor;
+        let cpi = |t: usize| {
+            c.base_cpi + c.mpi_base * c.thrash_mult(t) * c.mem_latency_cycles * c.blocking_factor
+        };
         let ratio = cpi(75) / cpi(20);
         // Paper anchor: 16.9 / 11.5 = 1.47.
         assert!((ratio - 1.47).abs() < 0.12, "ratio={ratio}");

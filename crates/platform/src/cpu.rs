@@ -325,8 +325,10 @@ impl Cpu {
         }
         // Miss-traffic accounting for the executed instructions.
         self.stats.instructions += run.slice as f64;
-        self.mem
-            .account(now, run.slice as f64 * run.mpi_eff * self.cfg.line_bytes as f64);
+        self.mem.account(
+            now,
+            run.slice as f64 * run.mpi_eff * self.cfg.line_bytes as f64,
+        );
 
         match run.kind {
             RunKind::Interrupt(tag) => {
@@ -432,7 +434,13 @@ mod tests {
         r.run();
         assert_eq!(r.notes.len(), 1);
         let (t, n) = &r.notes[0];
-        assert_eq!(*n, CpuNote::BurstDone { thread: tid, tag: 7 });
+        assert_eq!(
+            *n,
+            CpuNote::BurstDone {
+                thread: tid,
+                tag: 7
+            }
+        );
         // Duration should be at least instr * base_cpi / freq.
         let min_t = 32_000.0 * 1.0 / freq;
         assert!(t.as_secs_f64() >= min_t, "{} >= {min_t}", t.as_secs_f64());

@@ -1,9 +1,9 @@
-//! Property tests for the platform model: work conservation, monotone
-//! cost curves, and scheduler accounting invariants.
+//! Randomized tests for the platform model: work conservation, monotone
+//! cost curves, and scheduler accounting invariants. Cases come from a
+//! fixed-seed `SimRng`, so every run explores the same corpus.
 
 use dclue_platform::{Cpu, CpuEvent, CpuNote, PlatformConfig};
-use dclue_sim::{Outbox, SimTime};
-use proptest::prelude::*;
+use dclue_sim::{Outbox, SimRng, SimTime};
 
 struct Rig {
     cpu: Cpu,
@@ -54,16 +54,19 @@ impl Rig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Work conservation: every submitted burst and interrupt completes,
+/// and the executed instruction count equals what was submitted.
+#[test]
+fn all_work_completes_exactly() {
+    let mut rng = SimRng::new(0x9A7F_0001);
+    for case in 0..48 {
+        let n_bursts = rng.uniform(1, 19) as usize;
+        let n_interrupts = rng.uniform(0, 9) as usize;
+        let bursts: Vec<u64> = (0..n_bursts).map(|_| rng.uniform(100, 199_999)).collect();
+        let interrupts: Vec<u64> = (0..n_interrupts)
+            .map(|_| rng.uniform(100, 19_999))
+            .collect();
 
-    /// Work conservation: every submitted burst and interrupt completes,
-    /// and the executed instruction count equals what was submitted.
-    #[test]
-    fn all_work_completes_exactly(
-        bursts in proptest::collection::vec(100u64..200_000, 1..20),
-        interrupts in proptest::collection::vec(100u64..20_000, 0..10),
-    ) {
         let mut r = Rig::new();
         let mut total: u64 = 0;
         for (i, &b) in bursts.iter().enumerate() {
@@ -80,28 +83,34 @@ proptest! {
             total += w;
         }
         r.run();
-        prop_assert_eq!(r.bursts_done, bursts.len());
-        prop_assert_eq!(r.interrupts_done, interrupts.len());
-        prop_assert_eq!(r.cpu.stats.instructions as u64, total);
+        assert_eq!(r.bursts_done, bursts.len(), "case {case}");
+        assert_eq!(r.interrupts_done, interrupts.len(), "case {case}");
+        assert_eq!(r.cpu.stats.instructions as u64, total, "case {case}");
     }
+}
 
-    /// Context-switch cost is monotone non-decreasing in live threads
-    /// and the thrash multiplier never dips below 1.
-    #[test]
-    fn cost_curves_are_monotone(a in 0usize..200, b in 0usize..200) {
-        let cfg = PlatformConfig::default();
-        let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(cfg.cs_cycles(lo) <= cfg.cs_cycles(hi));
-        prop_assert!(cfg.thrash_mult(lo) <= cfg.thrash_mult(hi));
-        prop_assert!(cfg.thrash_mult(lo) >= 1.0);
-        prop_assert!(cfg.cs_cycles(hi) <= cfg.cs_max_cycles);
+/// Context-switch cost is monotone non-decreasing in live threads
+/// and the thrash multiplier never dips below 1.
+#[test]
+fn cost_curves_are_monotone() {
+    let cfg = PlatformConfig::default();
+    for lo in 0usize..200 {
+        let hi = lo + 1;
+        assert!(cfg.cs_cycles(lo) <= cfg.cs_cycles(hi));
+        assert!(cfg.thrash_mult(lo) <= cfg.thrash_mult(hi));
+        assert!(cfg.thrash_mult(lo) >= 1.0);
+        assert!(cfg.cs_cycles(hi) <= cfg.cs_max_cycles);
     }
+}
 
-    /// Wall-clock of a solo burst is exactly instr x CPI / f plus the
-    /// single context switch.
-    #[test]
-    fn solo_burst_timing_is_exact(instr in 1_000u64..1_000_000) {
-        let cfg = PlatformConfig::default();
+/// Wall-clock of a solo burst is exactly instr x CPI / f plus the
+/// single context switch.
+#[test]
+fn solo_burst_timing_is_exact() {
+    let mut rng = SimRng::new(0x50_10);
+    let cfg = PlatformConfig::default();
+    for case in 0..32 {
+        let instr = rng.uniform(1_000, 999_999);
         let mut r = Rig::new();
         let tid = r.cpu.spawn(1, r.now);
         let cpi = r.cpu.current_cpi(r.now);
@@ -114,7 +123,9 @@ proptest! {
         let got_s = r.now.as_secs_f64();
         // CPI drifts upward as the burst's own miss traffic loads the
         // memory model; allow 5%.
-        prop_assert!((got_s - expect_s).abs() / expect_s < 0.05,
-            "got {got_s} expected {expect_s}");
+        assert!(
+            (got_s - expect_s).abs() / expect_s < 0.05,
+            "case {case}: got {got_s} expected {expect_s}"
+        );
     }
 }

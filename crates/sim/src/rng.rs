@@ -4,49 +4,95 @@
 //! config; every stochastic decision (workload inputs, affinity routing,
 //! think times, disk placement, FTP transfer sizes) draws from it, so a
 //! `(config, seed)` pair fully determines the run.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna)
+//! seeded through SplitMix64, so the crate carries no external
+//! dependencies and the stream is stable across toolchains forever.
 
 use crate::time::Duration;
 
+/// SplitMix64 step: advances `state` and returns the next output. Used
+/// only for seeding and for [`SimRng::derive`] tag mixing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Seedable simulation RNG with domain distributions.
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Derive an independent stream for a subcomponent. Streams derived
     /// with distinct tags are statistically independent and stable across
     /// runs, so adding a consumer does not perturb other components' draws.
     pub fn derive(&self, tag: u64) -> SimRng {
-        // SplitMix64 finalizer over (base draw, tag); cheap and well mixed.
-        let mut z = tag
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(0x2545_F491_4F6C_DD1D);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SimRng::new(z ^ (z >> 31))
+        // SplitMix64 finalizer over the tag; cheap and well mixed.
+        let mut z = tag;
+        SimRng::new(splitmix64(&mut z))
     }
 
-    /// Uniform integer in `[lo, hi]` inclusive.
+    /// Next raw output of the xoshiro256++ core.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive, bias-free (Lemire with
+    /// rejection).
     #[inline]
     pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let range = span + 1;
+        // Widening-multiply range reduction; reject the biased low zone.
+        let mut m = (self.next_u64() as u128) * (range as u128);
+        if (m as u64) < range {
+            let threshold = range.wrapping_neg() % range;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (range as u128);
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits scaled by 2^-53: the standard uniform-double recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial.
@@ -83,7 +129,7 @@ impl SimRng {
     /// Raw 64 random bits (for hashing-style uses).
     #[inline]
     pub fn bits(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.next_u64()
     }
 }
 
@@ -119,6 +165,29 @@ mod tests {
             let v = r.uniform(3, 9);
             assert!((3..=9).contains(&v));
         }
+    }
+
+    #[test]
+    fn uniform_hits_every_value_in_small_range() {
+        let mut r = SimRng::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[(r.uniform(3, 9) - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_is_half_open_and_well_spread() {
+        let mut r = SimRng::new(12);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
     }
 
     #[test]

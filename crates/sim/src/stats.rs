@@ -249,6 +249,120 @@ impl Histogram {
     }
 }
 
+/// Fixed-bucket histogram with *logarithmically* spaced buckets.
+///
+/// Latency distributions span orders of magnitude; a linear histogram
+/// either wastes resolution on the tail or loses it at the head. Log
+/// buckets give constant *relative* error everywhere: with `b` buckets
+/// spanning `[lo, hi)` each bucket covers a factor of `(hi/lo)^(1/b)`,
+/// so quantile estimates are within that factor of the true value.
+/// Out-of-range samples saturate into the edge buckets (their count is
+/// still exact; only their position is clamped).
+///
+/// Two histograms with identical shape can be [`merged`](Self::merge),
+/// which is exact: the merged quantiles are those of the combined
+/// sample stream. This is what lets per-node or per-run collectors be
+/// combined without keeping raw samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    lo: f64,
+    /// Natural log of the per-bucket growth factor.
+    ln_ratio: f64,
+    buckets: Vec<u64>,
+    n: u64,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// Buckets geometrically spanning `[lo, hi)`; both bounds must be
+    /// positive with `hi > lo`.
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && nbuckets > 0);
+        LogHistogram {
+            lo,
+            ln_ratio: (hi / lo).ln() / nbuckets as f64,
+            buckets: vec![0; nbuckets],
+            n: 0,
+            sum: 0.0,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        let k = self.buckets.len();
+        let idx = if x <= self.lo {
+            0
+        } else {
+            (((x / self.lo).ln() / self.ln_ratio) as usize).min(k - 1)
+        };
+        self.buckets[idx] += 1;
+        self.n += 1;
+        self.sum += x;
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn edge(&self, i: usize) -> f64 {
+        self.lo * (self.ln_ratio * i as f64).exp()
+    }
+
+    /// Quantile estimate (0..=1): the geometric midpoint of the bucket
+    /// containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo * (self.ln_ratio * (i as f64 + 0.5)).exp();
+            }
+        }
+        self.edge(self.buckets.len())
+    }
+
+    /// Merge another histogram of identical shape into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count");
+        assert!(
+            (self.lo - other.lo).abs() < 1e-12 && (self.ln_ratio - other.ln_ratio).abs() < 1e-15,
+            "histogram shapes differ"
+        );
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+    }
+
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.n = 0;
+        self.sum = 0.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,7 +403,7 @@ mod tests {
         let mut g = TimeWeighted::new(SimTime(0), 0.0);
         g.set(SimTime(1_000_000_000), 10.0); // 0 for 1s
         g.set(SimTime(3_000_000_000), 0.0); // 10 for 2s
-        // mean over [0, 4s] = (0*1 + 10*2 + 0*1)/4 = 5
+                                            // mean over [0, 4s] = (0*1 + 10*2 + 0*1)/4 = 5
         assert!((g.mean(SimTime(4_000_000_000)) - 5.0).abs() < 1e-9);
         assert_eq!(g.max(), 10.0);
     }
@@ -320,5 +434,74 @@ mod tests {
         assert_eq!(h.buckets()[0], 1);
         assert_eq!(h.buckets()[9], 1);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn log_histogram_quantile_has_constant_relative_error() {
+        // 1 µs .. 100 s in 600 buckets → each bucket spans a factor of
+        // 10^(8/600) ≈ 1.032, so quantiles are within ~3.2%.
+        let mut h = LogHistogram::new(1e-6, 100.0, 600);
+        let mut x = 1e-5;
+        let mut values = Vec::new();
+        while x < 50.0 {
+            h.record(x);
+            values.push(x);
+            x *= 1.01;
+        }
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            let est = h.quantile(q);
+            let idx = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = values[idx];
+            assert!(
+                (est / truth).ln().abs() < 0.04,
+                "q={q}: est {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_saturates_and_counts() {
+        let mut h = LogHistogram::new(1e-3, 10.0, 40);
+        h.record(1e-9); // below range → first bucket
+        h.record(1e9); // above range → last bucket
+        h.record(0.1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(*h.buckets().last().unwrap(), 1);
+        // Edges are geometric: edge(i+1)/edge(i) constant.
+        let r0 = h.edge(1) / h.edge(0);
+        let r1 = h.edge(31) / h.edge(30);
+        assert!((r0 - r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_merge_is_exact() {
+        let mut a = LogHistogram::new(1e-4, 10.0, 200);
+        let mut b = LogHistogram::new(1e-4, 10.0, 200);
+        let mut all = LogHistogram::new(1e-4, 10.0, 200);
+        for i in 1..500 {
+            let x = i as f64 * 1e-3;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn log_histogram_reset_clears() {
+        let mut h = LogHistogram::new(0.1, 10.0, 10);
+        h.record(1.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
     }
 }

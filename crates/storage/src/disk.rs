@@ -9,9 +9,9 @@
 //! log disk fast.
 
 use dclue_sim::stats::{Counter, Tally};
-use dclue_sim::{Duration, Outbox};
 #[cfg(test)]
 use dclue_sim::SimTime;
+use dclue_sim::{Duration, Outbox};
 use std::collections::BTreeMap;
 
 /// Disk mechanics. Defaults are a 2004-era 15K-class SCSI drive *after*
@@ -194,8 +194,7 @@ impl Disk {
     /// Seek + rotation + transfer for a request given the head position.
     fn service_time(&self, req: &DiskRequest) -> Duration {
         let dist = self.head.abs_diff(req.lba);
-        let transfer =
-            Duration::from_secs_f64(req.bytes as f64 / self.cfg.transfer_bytes);
+        let transfer = Duration::from_secs_f64(req.bytes as f64 / self.cfg.transfer_bytes);
         if dist == 0 {
             // Sequential: no seek, no rotational latency.
             return transfer;
@@ -204,8 +203,7 @@ impl Disk {
         // Square-root seek curve (standard short-seek approximation).
         let seek = Duration::from_secs_f64(
             self.cfg.min_seek.as_secs_f64()
-                + (self.cfg.max_seek.as_secs_f64() - self.cfg.min_seek.as_secs_f64())
-                    * frac.sqrt(),
+                + (self.cfg.max_seek.as_secs_f64() - self.cfg.min_seek.as_secs_f64()) * frac.sqrt(),
         );
         let rot = self.cfg.rotation / 2;
         seek + rot + transfer

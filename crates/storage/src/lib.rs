@@ -11,7 +11,9 @@
 pub mod blockmap;
 pub mod disk;
 pub mod iscsi;
+pub mod retry;
 
 pub use blockmap::BlockMap;
 pub use disk::{Disk, DiskConfig, DiskEvent, DiskNote, DiskRequest};
 pub use iscsi::{IscsiCosts, IscsiMode};
+pub use retry::{RetryPolicy, StallGate};

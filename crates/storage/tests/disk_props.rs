@@ -1,9 +1,9 @@
-//! Property tests for the disk model: completeness, elevator optimality
-//! on batches, and service-time sanity.
+//! Randomized tests for the disk model: completeness, elevator
+//! optimality on batches, and service-time sanity. Cases come from a
+//! fixed-seed `SimRng`, so every run explores the same corpus.
 
+use dclue_sim::{Outbox, SimRng, SimTime};
 use dclue_storage::{Disk, DiskConfig, DiskEvent, DiskNote, DiskRequest};
-use dclue_sim::{Outbox, SimTime};
-use proptest::prelude::*;
 
 struct Rig {
     disk: Disk,
@@ -64,14 +64,15 @@ impl Rig {
     }
 }
 
-proptest! {
-    /// Every submitted request completes exactly once, under either
-    /// scheduling discipline.
-    #[test]
-    fn all_requests_complete_once(
-        lbas in proptest::collection::vec(0u64..100_000, 1..60),
-        elevator in proptest::bool::ANY,
-    ) {
+/// Every submitted request completes exactly once, under either
+/// scheduling discipline.
+#[test]
+fn all_requests_complete_once() {
+    let mut rng = SimRng::new(0xD15C_0001);
+    for case in 0..48 {
+        let n = rng.uniform(1, 59) as usize;
+        let lbas: Vec<u64> = (0..n).map(|_| rng.uniform(0, 99_999)).collect();
+        let elevator = rng.chance(0.5);
         let mut r = Rig::new(DiskConfig {
             elevator,
             ..DiskConfig::default()
@@ -82,57 +83,70 @@ proptest! {
         r.run();
         let mut done = r.done.clone();
         done.sort_unstable();
-        prop_assert_eq!(done, (0..lbas.len() as u64).collect::<Vec<_>>());
+        assert_eq!(
+            done,
+            (0..lbas.len() as u64).collect::<Vec<_>>(),
+            "case {case} (elevator={elevator})"
+        );
     }
+}
 
-    /// For an ascending batch the elevator and FIFO orders coincide, so
-    /// their completion times must match; for arbitrary batches C-SCAN
-    /// is bounded by a constant factor of FIFO (a single wrap can lose
-    /// to a lucky FIFO order, but never catastrophically).
-    #[test]
-    fn elevator_vs_fifo_bounds(
-        mut lbas in proptest::collection::vec(0u64..1_000_000, 3..40),
-        sorted in proptest::bool::ANY,
-    ) {
+/// For an ascending batch the elevator and FIFO orders coincide, so
+/// their completion times must match; for arbitrary batches C-SCAN
+/// is bounded by a constant factor of FIFO (a single wrap can lose
+/// to a lucky FIFO order, but never catastrophically).
+#[test]
+fn elevator_vs_fifo_bounds() {
+    let mut rng = SimRng::new(0xD15C_0002);
+    let run_with = |elevator: bool, lbas: &[u64]| -> f64 {
+        let mut r = Rig::new(DiskConfig {
+            elevator,
+            ..DiskConfig::default()
+        });
+        for (i, &l) in lbas.iter().enumerate() {
+            r.submit(l, i as u64);
+        }
+        r.run();
+        r.now.as_secs_f64()
+    };
+    for case in 0..48 {
+        let n = rng.uniform(3, 39) as usize;
+        let mut lbas: Vec<u64> = (0..n).map(|_| rng.uniform(0, 999_999)).collect();
+        let sorted = rng.chance(0.5);
         if sorted {
             lbas.sort_unstable();
         }
-        let run_with = |elevator: bool, lbas: &[u64]| -> f64 {
-            let mut r = Rig::new(DiskConfig {
-                elevator,
-                ..DiskConfig::default()
-            });
-            for (i, &l) in lbas.iter().enumerate() {
-                r.submit(l, i as u64);
-            }
-            r.run();
-            r.now.as_secs_f64()
-        };
         let t_elev = run_with(true, &lbas);
         let t_fifo = run_with(false, &lbas);
         if sorted {
-            prop_assert!((t_elev - t_fifo).abs() < 1e-6,
-                "ascending batch must be identical: {t_elev} vs {t_fifo}");
+            assert!(
+                (t_elev - t_fifo).abs() < 1e-6,
+                "case {case}: ascending batch must be identical: {t_elev} vs {t_fifo}"
+            );
         } else {
-            prop_assert!(t_elev <= t_fifo * 2.0, "elevator {t_elev} vs fifo {t_fifo}");
+            assert!(
+                t_elev <= t_fifo * 2.0,
+                "case {case}: elevator {t_elev} vs fifo {t_fifo}"
+            );
         }
     }
+}
 
-    /// Service time bounds: a random read takes at least the transfer
-    /// time and at most full-stroke seek + rotation + transfer.
-    #[test]
-    fn single_read_latency_bounds(lba in 1u64..4_000_000) {
+/// Service time bounds: a random read takes at least the transfer
+/// time and at most full-stroke seek + rotation + transfer.
+#[test]
+fn single_read_latency_bounds() {
+    let mut rng = SimRng::new(0xD15C_0003);
+    for case in 0..64 {
+        let lba = rng.uniform(1, 3_999_999);
         let cfg = DiskConfig::default();
         let mut r = Rig::new(cfg.clone());
         r.submit(lba, 0);
         r.run();
         let t = r.now.as_secs_f64();
         let transfer = 8192.0 / cfg.transfer_bytes;
-        let max = cfg.max_seek.as_secs_f64()
-            + cfg.rotation.as_secs_f64() / 2.0
-            + transfer
-            + 1e-9;
-        prop_assert!(t >= transfer, "{t} < transfer {transfer}");
-        prop_assert!(t <= max, "{t} > max {max}");
+        let max = cfg.max_seek.as_secs_f64() + cfg.rotation.as_secs_f64() / 2.0 + transfer + 1e-9;
+        assert!(t >= transfer, "case {case}: {t} < transfer {transfer}");
+        assert!(t <= max, "case {case}: {t} > max {max}");
     }
 }

@@ -1,0 +1,126 @@
+//! Fault-injection integration tests: the dclue-fault plan driving the
+//! full cluster stack. Scenarios keep clusters tiny so debug builds stay
+//! fast, but measurement windows long enough that throughput trends are
+//! out of sampling noise.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, World};
+use dclue_fault::{FaultPlan, LinkRef};
+use dclue_sim::Duration;
+
+fn s(n: u64) -> Duration {
+    Duration::from_secs(n)
+}
+
+/// A small but busy cluster: enough clients that per-sample throughput
+/// is well above noise, warm for 8 s, measured for 30 s.
+fn busy(nodes: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = nodes;
+    cfg.warehouses_per_node = 6;
+    cfg.clients_per_node = 20;
+    cfg.think_time = Duration::from_secs(1);
+    cfg.warmup = s(8);
+    cfg.measure = s(30);
+    cfg.data_spindles = 12;
+    cfg.log_spindles = 2;
+    cfg
+}
+
+#[test]
+fn link_flap_dips_and_recovers() {
+    // Node 0 loses its uplink 10 s into the window for 3 s: TCP on the
+    // dead link retransmits into the void, client flows reset and retry,
+    // throughput dips. Once the link is back the system must return to
+    // steady state well before the run ends.
+    let mut cfg = busy(2);
+    cfg.fault_plan = FaultPlan::none().link_flap(LinkRef::NodeUplink(0), s(18), s(3));
+    let r = World::new(cfg).run();
+
+    assert_eq!(r.fault_events_applied, 2, "{r:?}");
+    assert!(r.fault_drops > 0, "a dead link must discard frames: {r:?}");
+    let a = r.availability.as_ref().expect("plan is non-empty");
+    assert!(a.baseline_rate > 0.0, "{a:?}");
+    assert!(
+        a.min_rate < 0.6 * a.baseline_rate,
+        "losing one of two uplinks must dent throughput: {a:?}"
+    );
+    assert!(a.degraded_s > 0.0, "{a:?}");
+    assert!(
+        a.recovery_s.is_some(),
+        "3 s flap with 17 s of runway must return to steady state: {a:?}"
+    );
+}
+
+#[test]
+fn node_crash_aborts_in_flight_and_cluster_carries_on() {
+    // Node 1 crash-stops mid-window and restarts 5 s later with cold
+    // caches. In-flight transactions abort under the remastering freeze,
+    // their clients fail over to node 0, and the cluster keeps
+    // committing throughout.
+    let mut cfg = busy(2);
+    cfg.fault_plan = FaultPlan::none().node_outage(1, s(18), s(5));
+    let r = World::new(cfg).run();
+
+    assert_eq!(r.fault_events_applied, 2, "{r:?}");
+    assert!(
+        r.aborted_by_fault > 0,
+        "the freeze must abort in-flight work: {r:?}"
+    );
+    let a = r.availability.as_ref().expect("plan is non-empty");
+    assert!(
+        a.min_rate < a.baseline_rate,
+        "losing half the cluster must dip throughput: {a:?}"
+    );
+    // Survivor keeps committing: even the worst phase is not a total
+    // outage, and the post-fault tail recovers to a useful rate.
+    let last = a.phases.last().expect("phases are present");
+    assert!(
+        last.mean_rate > 0.3 * a.baseline_rate,
+        "tail must recover after restart: {a:?}"
+    );
+    assert!(r.committed > 0, "{r:?}");
+}
+
+#[test]
+fn identical_seed_and_plan_reproduce_bit_identical_reports() {
+    // The whole point of a deterministic fault layer: same seed, same
+    // plan, same Report — including the full timeline — twice in a row.
+    let mk = || {
+        let mut cfg = busy(2);
+        cfg.measure = s(12);
+        cfg.fault_plan = FaultPlan::none()
+            .link_flap(LinkRef::NodeUplink(0), s(12), s(2))
+            .node_outage(1, s(16), s(3))
+            .iscsi_stall(0, s(10), s(2));
+        cfg
+    };
+    let r1 = World::new(mk()).run();
+    let r2 = World::new(mk()).run();
+    assert_eq!(
+        format!("{r1:?}"),
+        format!("{r2:?}"),
+        "same seed + same plan must reproduce the run exactly"
+    );
+}
+
+#[test]
+fn empty_plan_matches_unfaulted_baseline() {
+    // FaultPlan::none() must be a true no-op: bit-identical to a config
+    // that never mentions faults at all.
+    let mut with_none = busy(2);
+    with_none.measure = s(12);
+    with_none.fault_plan = FaultPlan::none();
+    let baseline = {
+        let mut c = busy(2);
+        c.measure = s(12);
+        c
+    };
+    let r1 = World::new(with_none).run();
+    let r2 = World::new(baseline).run();
+    assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    assert_eq!(r1.fault_events_applied, 0);
+    assert_eq!(r1.aborted_by_fault, 0);
+    assert!(r1.availability.is_none());
+}
