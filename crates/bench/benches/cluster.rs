@@ -4,7 +4,7 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_bench::Bench;
-use dclue_cluster::{ClusterConfig, QosPolicy, World};
+use dclue_cluster::{sweep, ClusterConfig, QosPolicy, World};
 use dclue_sim::Duration;
 use std::time::Duration as WallDuration;
 
@@ -32,5 +32,21 @@ fn main() {
         cfg.qos = QosPolicy::FtpPriority;
         cfg.ftp_offered_bps = 1e6;
         World::new(cfg).run();
+    });
+    // A small sweep through the worker pool (DCLUE_JOBS or all cores):
+    // wall-clock here vs. the serial benches above shows the fan-out win.
+    c.bench_function("cluster/sweep_pool_6pts", || {
+        let cfgs: Vec<ClusterConfig> = [1u32, 2, 4]
+            .iter()
+            .flat_map(|&n| {
+                [0.8, 0.5].iter().map(move |&a| {
+                    let mut cfg = short_cfg();
+                    cfg.nodes = n;
+                    cfg.affinity = a;
+                    cfg
+                })
+            })
+            .collect();
+        sweep::run_many(sweep::resolve_jobs(None), cfgs);
     });
 }

@@ -4,13 +4,29 @@
 use dclue_bench::Bench;
 use dclue_db::btree::BTree;
 use dclue_db::{BufferCache, LockMode, LockTable, PageKey, Table};
-use dclue_sim::{EventHeap, SimTime};
+use dclue_sim::{Duration, EventHeap, SimTime};
 
 fn bench_event_heap(c: &Bench) {
     c.bench_function("event_heap_push_pop_10k", || {
         let mut h = EventHeap::new();
         for i in 0..10_000u64 {
             h.push(SimTime(i * 7919 % 100_000), i);
+        }
+        while h.pop().is_some() {}
+    });
+    // The hot DES pattern: pops interleaved with same-time pushes
+    // (zero-delay cascades hit the immediate bucket, short timers the
+    // heap). This is the shape `World::run` drives all day.
+    c.bench_function("event_heap_immediate_churn_10k", || {
+        let mut h = EventHeap::with_capacity(64);
+        for i in 0..64u64 {
+            h.push(SimTime(i), i);
+        }
+        for _ in 0..10_000 {
+            let (t, v) = h.pop().unwrap();
+            h.push(t, v); // same-time cascade -> immediate bucket
+            h.push_after(Duration::from_micros(3), v);
+            h.pop();
         }
         while h.pop().is_some() {}
     });

@@ -4,7 +4,13 @@
 //!   figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
 //!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
-//!            baseline|all> [--quick] [--seeds N]
+//!            baseline|all> [--quick] [--seeds N] [--jobs N]
+//!
+//! Every figure collects its whole (config, seed) grid first and runs it
+//! through the [`dclue_cluster::sweep`] worker pool, then prints rows in
+//! submission order — so the output is byte-identical whatever `--jobs`
+//! is (`--jobs 1` bypasses the pool for the exact serial loop; the
+//! default is `DCLUE_JOBS` or all cores).
 //!
 //! Absolute numbers come from the 100x-scaled model (multiply tpm-C by
 //! 100 for real-system equivalents); the paper's claims are about
@@ -13,13 +19,14 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
-use dclue_cluster::{ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload, World};
+use dclue_cluster::{sweep, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload, World};
 use dclue_sim::Duration;
 use dclue_storage::IscsiMode;
 
 struct Opts {
     quick: bool,
     seeds: u64,
+    jobs: usize,
 }
 
 fn base_cfg(opts: &Opts) -> ClusterConfig {
@@ -34,49 +41,15 @@ fn base_cfg(opts: &Opts) -> ClusterConfig {
     cfg
 }
 
-/// Run `cfg` across seeds and average the reported series.
+/// Run a batch of configs through the worker pool: one seed-averaged
+/// report per config, in submission order.
+fn run_batch(cfgs: &[ClusterConfig], opts: &Opts) -> Vec<Report> {
+    sweep::run_avg_many(opts.jobs, cfgs, opts.seeds)
+}
+
+/// Run one config across seeds and average the reported series.
 fn run_avg(cfg: &ClusterConfig, opts: &Opts) -> Report {
-    let mut reports: Vec<Report> = Vec::new();
-    for s in 0..opts.seeds {
-        let mut c = cfg.clone();
-        c.seed = 42 + s * 1000;
-        reports.push(World::new(c).run());
-    }
-    if reports.len() == 1 {
-        return reports.pop().unwrap();
-    }
-    // Average the numeric fields that figures print.
-    let n = reports.len() as f64;
-    let mut r = reports[0].clone();
-    macro_rules! avg {
-        ($($f:ident),*) => {
-            $( r.$f = reports.iter().map(|x| x.$f).sum::<f64>() / n; )*
-        };
-    }
-    avg!(
-        tpmc_scaled,
-        tpmc_equivalent,
-        tps_scaled,
-        ctl_msgs_per_txn,
-        data_msgs_per_txn,
-        storage_msgs_per_txn,
-        lock_waits_per_txn,
-        lock_busies_per_txn,
-        lock_wait_ms,
-        txn_latency_ms,
-        avg_cpi,
-        avg_cs_cycles,
-        avg_live_threads,
-        cpu_util,
-        buffer_hit_ratio,
-        fusion_transfers_per_txn,
-        disk_reads_per_txn,
-        version_walks_per_txn,
-        versions_created_per_txn,
-        trunk_mbps,
-        ftp_mbps
-    );
-    r
+    run_batch(std::slice::from_ref(cfg), opts).pop().unwrap()
 }
 
 const NODE_SWEEP: [u32; 7] = [1, 2, 4, 8, 12, 16, 24];
@@ -87,14 +60,17 @@ fn fig2_3(affinity: f64, opts: &Opts) {
         "{:<6} {:>10} {:>10} {:>12}",
         "nodes", "ctl/txn", "data/txn", "storage/txn"
     );
-    for n in NODE_SWEEP {
-        if n == 1 {
-            continue;
-        }
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = n;
-        cfg.affinity = affinity;
-        let r = run_avg(&cfg, opts);
+    let (rows, cfgs): (Vec<u32>, Vec<ClusterConfig>) = NODE_SWEEP
+        .iter()
+        .filter(|&&n| n != 1)
+        .map(|&n| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = n;
+            cfg.affinity = affinity;
+            (n, cfg)
+        })
+        .unzip();
+    for (n, r) in rows.iter().zip(run_batch(&cfgs, opts)) {
         println!(
             "{:<6} {:>10.2} {:>10.2} {:>12.2}",
             n, r.ctl_msgs_per_txn, r.data_msgs_per_txn, r.storage_msgs_per_txn
@@ -108,6 +84,8 @@ fn fig4_5(opts: &Opts) {
         "{:<6} {:<5} {:>12} {:>14} {:>12}",
         "nodes", "α", "waits/txn", "wait (ms)", "busies/txn"
     );
+    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
     for &a in &[0.8, 0.5, 0.0] {
         for n in NODE_SWEEP {
             if n == 1 {
@@ -116,12 +94,15 @@ fn fig4_5(opts: &Opts) {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.affinity = a;
-            let r = run_avg(&cfg, opts);
-            println!(
-                "{:<6} {:<5.2} {:>12.3} {:>14.1} {:>12.3}",
-                n, a, r.lock_waits_per_txn, r.lock_wait_ms, r.lock_busies_per_txn
-            );
+            rows.push((n, a));
+            cfgs.push(cfg);
         }
+    }
+    for (&(n, a), r) in rows.iter().zip(run_batch(&cfgs, opts)) {
+        println!(
+            "{:<6} {:<5.2} {:>12.3} {:>14.1} {:>12.3}",
+            n, a, r.lock_waits_per_txn, r.lock_wait_ms, r.lock_busies_per_txn
+        );
     }
 }
 
@@ -131,12 +112,20 @@ fn fig6(opts: &Opts) {
         "{:<6} {:<5} {:>12} {:>14} {:>8} {:>8}",
         "nodes", "α", "tpmC(scaled)", "tpmC(real-eq)", "util", "threads"
     );
-    for &a in &[1.0, 0.8, 0.5, 0.0] {
+    let affinities = [1.0, 0.8, 0.5, 0.0];
+    let mut cfgs = Vec::new();
+    for &a in &affinities {
         for n in NODE_SWEEP {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.affinity = a;
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &a in &affinities {
+        for n in NODE_SWEEP {
+            let r = res.next().unwrap();
             println!(
                 "{:<6} {:<5.2} {:>12.0} {:>14.0} {:>8.2} {:>8.1}",
                 n, a, r.tpmc_scaled, r.tpmc_equivalent, r.cpu_util, r.avg_live_threads
@@ -149,12 +138,21 @@ fn fig6(opts: &Opts) {
 fn fig7(opts: &Opts) {
     println!("# Throughput vs affinity, cluster size as parameter");
     println!("{:<6} {:<5} {:>12}", "nodes", "α", "tpmC(scaled)");
-    for &n in &[4u32, 8, 16] {
-        for &a in &[0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0] {
+    let nodes = [4u32, 8, 16];
+    let affinities = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0];
+    let mut cfgs = Vec::new();
+    for &n in &nodes {
+        for &a in &affinities {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.affinity = a;
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &n in &nodes {
+        for &a in &affinities {
+            let r = res.next().unwrap();
             println!("{:<6} {:<5.2} {:>12.0}", n, a, r.tpmc_scaled);
         }
         println!();
@@ -167,13 +165,22 @@ fn fig8(opts: &Opts) {
         "{:<6} {:<10} {:>12} {:>8}",
         "nodes", "rate(pps)", "tpmC(scaled)", "drops"
     );
-    for &rate in &[10_000.0, 4_000.0] {
-        for &n in &[2u32, 4, 6, 8, 10, 12] {
+    let rates = [10_000.0, 4_000.0];
+    let nodes = [2u32, 4, 6, 8, 10, 12];
+    let mut cfgs = Vec::new();
+    for &rate in &rates {
+        for &n in &nodes {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.latas = 1;
             cfg.router_rate = rate;
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &rate in &rates {
+        for &n in &nodes {
+            let r = res.next().unwrap();
             println!(
                 "{:<6} {:<10.0} {:>12.0} {:>8}",
                 n, rate, r.tpmc_scaled, r.drops
@@ -186,8 +193,10 @@ fn fig8(opts: &Opts) {
 fn fig9(opts: &Opts) {
     println!("# Local vs centralized logging");
     println!("{:<6} {:<9} {:>12}", "nodes", "logging", "tpmC(scaled)");
+    let nodes = [1u32, 2, 4, 8, 12];
+    let mut cfgs = Vec::new();
     for &central in &[false, true] {
-        for &n in &[1u32, 2, 4, 8, 12] {
+        for &n in &nodes {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.log_placement = if central {
@@ -195,7 +204,13 @@ fn fig9(opts: &Opts) {
             } else {
                 LogPlacement::Local
             };
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &central in &[false, true] {
+        for &n in &nodes {
+            let r = res.next().unwrap();
             println!(
                 "{:<6} {:<9} {:>12.0}",
                 n,
@@ -213,8 +228,11 @@ fn fig10(opts: &Opts) {
         "{:<6} {:<8} {:>12} {:>12} {:>12}",
         "nodes", "growth", "warehouses", "tpmC(scaled)", "waits/txn"
     );
+    let nodes = [1u32, 2, 4, 8, 12, 16];
+    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
     for &sqrt in &[false, true] {
-        for &n in &[1u32, 2, 4, 8, 12, 16] {
+        for &n in &nodes {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.db_growth = if sqrt {
@@ -222,8 +240,14 @@ fn fig10(opts: &Opts) {
             } else {
                 DbGrowth::Linear
             };
-            let wh = cfg.total_warehouses();
-            let r = run_avg(&cfg, opts);
+            rows.push(cfg.total_warehouses());
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = rows.iter().zip(run_batch(&cfgs, opts));
+    for &sqrt in &[false, true] {
+        for &n in &nodes {
+            let (wh, r) = res.next().unwrap();
             println!(
                 "{:<6} {:<8} {:>12} {:>12.0} {:>12.3}",
                 n,
@@ -257,14 +281,22 @@ fn fig11(opts: &Opts) {
             IscsiMode::Software,
         ),
     ];
-    for (name, tcp, iscsi) in cases {
-        for &a in &[1.0, 0.8, 0.5] {
+    let affinities = [1.0, 0.8, 0.5];
+    let mut cfgs = Vec::new();
+    for (_, tcp, iscsi) in cases {
+        for &a in &affinities {
             let mut cfg = base_cfg(opts);
             cfg.nodes = 4;
             cfg.affinity = a;
             cfg.tcp_offload = tcp;
             cfg.iscsi_mode = iscsi;
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for (name, _, _) in cases {
+        for &a in &affinities {
+            let r = res.next().unwrap();
             println!("{:<22} {:<5.2} {:>12.0}", name, a, r.tpmc_scaled);
         }
         println!();
@@ -282,11 +314,13 @@ fn fig12_13(comp: f64, opts: &Opts) {
         "{:<5} {:<12} {:>12} {:>8} {:>8} {:>8}",
         "α", "extra(real)", "tpmC(scaled)", "drop%", "threads", "util"
     );
-    for &a in &[0.8, 0.5] {
-        let mut baseline = 0.0;
+    let affinities = [0.8, 0.5];
+    let latencies = [0u64, 500, 1000, 2000];
+    let mut cfgs = Vec::new();
+    for &a in &affinities {
         // Axis value L is the total added one-way latency (half per
         // trunk link, per the paper); real microseconds.
-        for &l_us in &[0u64, 500, 1000, 2000] {
+        for &l_us in &latencies {
             let mut cfg = base_cfg(opts);
             cfg.nodes = 8;
             cfg.latas = 2;
@@ -294,7 +328,14 @@ fn fig12_13(comp: f64, opts: &Opts) {
             cfg.computation_factor = comp;
             // Scale by 100x: real us -> scaled us x100; half per link.
             cfg.extra_trunk_latency = Duration::from_micros(l_us * 100 / 2);
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &a in &affinities {
+        let mut baseline = 0.0;
+        for &l_us in &latencies {
+            let r = res.next().unwrap();
             if l_us == 0 {
                 baseline = r.tpmc_scaled;
             }
@@ -323,9 +364,11 @@ fn fig14_15(comp: f64, opts: &Opts) {
         "{:<14} {:<12} {:>12} {:>8} {:>8} {:>9} {:>10} {:>8}",
         "QoS", "ftp(real)", "tpmC(scaled)", "drop%", "threads", "cs(cyc)", "wait(ms)", "ftpMb/s"
     );
-    for qos in [QosPolicy::AllBestEffort, QosPolicy::FtpPriority] {
-        let mut baseline = 0.0;
-        for &ftp_real_mbps in &[0u64, 50, 100, 200, 300, 400, 600] {
+    let policies = [QosPolicy::AllBestEffort, QosPolicy::FtpPriority];
+    let rates = [0u64, 50, 100, 200, 300, 400, 600];
+    let mut cfgs = Vec::new();
+    for qos in policies {
+        for &ftp_real_mbps in &rates {
             let mut cfg = base_cfg(opts);
             cfg.nodes = 8;
             cfg.latas = 2;
@@ -339,7 +382,14 @@ fn fig14_15(comp: f64, opts: &Opts) {
             // QoS effects the paper studies.
             cfg.trunk_bw = 6e6;
             cfg.ftp_offered_bps = ftp_real_mbps as f64 * 1e6 / 100.0; // scaled
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for qos in policies {
+        let mut baseline = 0.0;
+        for &ftp_real_mbps in &rates {
+            let r = res.next().unwrap();
             if ftp_real_mbps == 0 {
                 baseline = r.tpmc_scaled;
             }
@@ -365,9 +415,11 @@ fn fig16(opts: &Opts) {
         "{:<5} {:<12} {:>12} {:>8} {:>8}",
         "α", "ftp(real)", "tpmC(scaled)", "drop%", "threads"
     );
-    for &a in &[0.8, 0.5] {
-        let mut baseline = 0.0;
-        for &ftp_real_mbps in &[0u64, 100, 200, 400] {
+    let affinities = [0.8, 0.5];
+    let rates = [0u64, 100, 200, 400];
+    let mut cfgs = Vec::new();
+    for &a in &affinities {
+        for &ftp_real_mbps in &rates {
             let mut cfg = base_cfg(opts);
             cfg.nodes = 8;
             cfg.latas = 2;
@@ -376,7 +428,14 @@ fn fig16(opts: &Opts) {
             cfg.qos = QosPolicy::FtpPriority;
             cfg.trunk_bw = 6e6; // same operating point as figs 14-15
             cfg.ftp_offered_bps = ftp_real_mbps as f64 * 1e6 / 100.0;
-            let r = run_avg(&cfg, opts);
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &a in &affinities {
+        let mut baseline = 0.0;
+        for &ftp_real_mbps in &rates {
+            let r = res.next().unwrap();
             if ftp_real_mbps == 0 {
                 baseline = r.tpmc_scaled;
             }
@@ -409,26 +468,33 @@ fn ablate_subpage(opts: &Opts) {
         "{:<8} {:<7} {:>12} {:>12} {:>12}",
         "locks", "nodes", "tpmC(scaled)", "waits/txn", "busies/txn"
     );
+    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
     for &coarse in &[false, true] {
         for &n in &[4u32, 8] {
             let mut cfg = base_cfg(opts);
             cfg.nodes = n;
             cfg.coarse_locks = coarse;
-            let r = run_avg(&cfg, opts);
-            println!(
-                "{:<8} {:<7} {:>12.0} {:>12.3} {:>12.3}",
-                if coarse { "page" } else { "subpage" },
-                n,
-                r.tpmc_scaled,
-                r.lock_waits_per_txn,
-                r.lock_busies_per_txn
-            );
+            rows.push((coarse, n));
+            cfgs.push(cfg);
         }
+    }
+    for (&(coarse, n), r) in rows.iter().zip(run_batch(&cfgs, opts)) {
+        println!(
+            "{:<8} {:<7} {:>12.0} {:>12.3} {:>12.3}",
+            if coarse { "page" } else { "subpage" },
+            n,
+            r.tpmc_scaled,
+            r.lock_waits_per_txn,
+            r.lock_busies_per_txn
+        );
     }
 }
 
 fn ablate_thrash(opts: &Opts) {
     println!("# Ablation: cache-thrash model on/off (latency sensitivity, low comp)");
+    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
     for &thrash in &[true, false] {
         for &l_us in &[0u64, 2000] {
             let mut cfg = base_cfg(opts);
@@ -437,24 +503,33 @@ fn ablate_thrash(opts: &Opts) {
             cfg.computation_factor = 0.25;
             cfg.thrash_model = thrash;
             cfg.extra_trunk_latency = Duration::from_micros(l_us * 100 / 2);
-            let r = run_avg(&cfg, opts);
-            println!(
-                "thrash={:<5} extra={:>5}us tpmC={:>7.0} threads={:>6.1} cs={:>7.0} cpi={:.2}",
-                thrash, l_us, r.tpmc_scaled, r.avg_live_threads, r.avg_cs_cycles, r.avg_cpi
-            );
+            rows.push((thrash, l_us));
+            cfgs.push(cfg);
         }
+    }
+    for (&(thrash, l_us), r) in rows.iter().zip(run_batch(&cfgs, opts)) {
+        println!(
+            "thrash={:<5} extra={:>5}us tpmC={:>7.0} threads={:>6.1} cs={:>7.0} cpi={:.2}",
+            thrash, l_us, r.tpmc_scaled, r.avg_live_threads, r.avg_cs_cycles, r.avg_cpi
+        );
     }
 }
 
 fn ablate_elevator(opts: &Opts) {
     println!("# Ablation: elevator (C-SCAN) vs FIFO data disks");
-    for &elev in &[true, false] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 4;
-        cfg.elevator = elev;
-        cfg.buffer_fraction = 0.4; // stress the disks
-        cfg.data_spindles = 16;
-        let r = run_avg(&cfg, opts);
+    let elevators = [true, false];
+    let cfgs: Vec<ClusterConfig> = elevators
+        .iter()
+        .map(|&elev| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 4;
+            cfg.elevator = elev;
+            cfg.buffer_fraction = 0.4; // stress the disks
+            cfg.data_spindles = 16;
+            cfg
+        })
+        .collect();
+    for (&elev, r) in elevators.iter().zip(run_batch(&cfgs, opts)) {
         println!(
             "elevator={:<5} tpmC={:>7.0} disk/txn={:.2} latency={:.0}ms",
             elev, r.tpmc_scaled, r.disk_reads_per_txn, r.txn_latency_ms
@@ -470,24 +545,30 @@ fn ablate_autonomic(opts: &Opts) {
         "{:<22} {:>12} {:>8} {:>9}",
         "policy", "tpmC(scaled)", "drop%", "ftpMb/s"
     );
-    let mut base = 0.0;
-    for (name, qos) in [
+    let cases = [
         ("no cross traffic", None),
         ("strict priority", Some(QosPolicy::FtpPriority)),
         (
             "autonomic (tol 25%)",
             Some(QosPolicy::Autonomic { tolerance: 0.25 }),
         ),
-    ] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 8;
-        cfg.latas = 2;
-        cfg.trunk_bw = 6e6;
-        if let Some(q) = qos {
-            cfg.qos = q;
-            cfg.ftp_offered_bps = 6e6;
-        }
-        let r = run_avg(&cfg, opts);
+    ];
+    let cfgs: Vec<ClusterConfig> = cases
+        .iter()
+        .map(|&(_, qos)| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 8;
+            cfg.latas = 2;
+            cfg.trunk_bw = 6e6;
+            if let Some(q) = qos {
+                cfg.qos = q;
+                cfg.ftp_offered_bps = 6e6;
+            }
+            cfg
+        })
+        .collect();
+    let mut base = 0.0;
+    for (&(name, qos), r) in cases.iter().zip(run_batch(&cfgs, opts)) {
         if qos.is_none() {
             base = r.tpmc_scaled;
         }
@@ -509,8 +590,7 @@ fn ablate_cac(opts: &Opts) {
         "{:<24} {:>12} {:>8} {:>9} {:>8}",
         "control", "tpmC(scaled)", "drop%", "ftpMb/s", "denied"
     );
-    let mut base = 0.0;
-    for (name, policer, cac) in [
+    let cases: [(&str, Option<Policer>, Option<u32>); 3] = [
         ("none (paper setup)", None, None),
         (
             "shaped to 150 Mb/s",
@@ -521,22 +601,28 @@ fn ablate_cac(opts: &Opts) {
             None,
         ),
         ("CAC: 2 concurrent", None, Some(2u32)),
-    ] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 8;
-        cfg.latas = 2;
-        cfg.trunk_bw = 6e6;
-        cfg.qos = QosPolicy::FtpPriority;
-        cfg.ftp_offered_bps = 6e6; // the strict-priority starvation point
-        cfg.ftp_policer = policer;
-        cfg.ftp_max_concurrent = cac;
-        let r = run_avg(&cfg, opts);
-        if base == 0.0 {
-            // Reference: the same cluster with no cross traffic at all.
-            let mut c0 = cfg.clone();
-            c0.ftp_offered_bps = 0.0;
-            base = run_avg(&c0, opts).tpmc_scaled;
-        }
+    ];
+    let mut cfgs: Vec<ClusterConfig> = cases
+        .iter()
+        .map(|&(_, policer, cac)| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 8;
+            cfg.latas = 2;
+            cfg.trunk_bw = 6e6;
+            cfg.qos = QosPolicy::FtpPriority;
+            cfg.ftp_offered_bps = 6e6; // the strict-priority starvation point
+            cfg.ftp_policer = policer;
+            cfg.ftp_max_concurrent = cac;
+            cfg
+        })
+        .collect();
+    // Reference: the same cluster with no cross traffic at all.
+    let mut c0 = cfgs[0].clone();
+    c0.ftp_offered_bps = 0.0;
+    cfgs.push(c0);
+    let mut res = run_batch(&cfgs, opts);
+    let base = res.pop().unwrap().tpmc_scaled;
+    for (&(name, _, _), r) in cases.iter().zip(res) {
         println!(
             "{:<24} {:>12.0} {:>8.1} {:>9.2} {:>8}",
             name,
@@ -554,12 +640,18 @@ fn ablate_group_commit(opts: &Opts) {
         "{:<12} {:>12} {:>14} {:>12}",
         "logging", "tpmC(scaled)", "latency(ms)", "p95(ms)"
     );
-    for &grp in &[false, true] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 4;
-        cfg.group_commit = grp;
-        cfg.log_spindles = 1; // stress the log path
-        let r = run_avg(&cfg, opts);
+    let groups = [false, true];
+    let cfgs: Vec<ClusterConfig> = groups
+        .iter()
+        .map(|&grp| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 4;
+            cfg.group_commit = grp;
+            cfg.log_spindles = 1; // stress the log path
+            cfg
+        })
+        .collect();
+    for (&grp, r) in groups.iter().zip(run_batch(&cfgs, opts)) {
         println!(
             "{:<12} {:>12.0} {:>14.0} {:>12.0}",
             if grp { "group" } else { "per-txn" },
@@ -576,6 +668,8 @@ fn ablate_san(opts: &Opts) {
         "{:<14} {:<7} {:>12} {:>10}",
         "storage", "nodes", "tpmC(scaled)", "disk/txn"
     );
+    let mut rows = Vec::new();
+    let mut cfgs = Vec::new();
     for &san in &[false, true] {
         for &n in &[2u32, 4, 8] {
             let mut cfg = base_cfg(opts);
@@ -587,15 +681,18 @@ fn ablate_san(opts: &Opts) {
             } else {
                 StorageMode::Distributed
             };
-            let r = run_avg(&cfg, opts);
-            println!(
-                "{:<14} {:<7} {:>12.0} {:>10.2}",
-                if san { "SAN" } else { "distributed" },
-                n,
-                r.tpmc_scaled,
-                r.disk_reads_per_txn
-            );
+            rows.push((san, n));
+            cfgs.push(cfg);
         }
+    }
+    for (&(san, n), r) in rows.iter().zip(run_batch(&cfgs, opts)) {
+        println!(
+            "{:<14} {:<7} {:>12.0} {:>10.2}",
+            if san { "SAN" } else { "distributed" },
+            n,
+            r.tpmc_scaled,
+            r.disk_reads_per_txn
+        );
     }
 }
 
@@ -606,23 +703,29 @@ fn ablate_wfq(opts: &Opts) {
         "policy", "tpmC(scaled)", "drop%", "ftpMb/s"
     );
     let ftp = 6e6; // 600 Mb/s real: the strict-priority starvation point
-    let mut base = 0.0;
-    for (name, qos) in [
+    let cases = [
         ("no cross traffic", None),
         ("best effort", Some(QosPolicy::AllBestEffort)),
         ("strict priority", Some(QosPolicy::FtpPriority)),
         ("WFQ weight 0.3", Some(QosPolicy::FtpWfq { af_weight: 0.3 })),
         ("WFQ weight 0.6", Some(QosPolicy::FtpWfq { af_weight: 0.6 })),
-    ] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 8;
-        cfg.latas = 2;
-        cfg.trunk_bw = 6e6;
-        if let Some(q) = qos {
-            cfg.qos = q;
-            cfg.ftp_offered_bps = ftp;
-        }
-        let r = run_avg(&cfg, opts);
+    ];
+    let cfgs: Vec<ClusterConfig> = cases
+        .iter()
+        .map(|&(_, qos)| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 8;
+            cfg.latas = 2;
+            cfg.trunk_bw = 6e6;
+            if let Some(q) = qos {
+                cfg.qos = q;
+                cfg.ftp_offered_bps = ftp;
+            }
+            cfg
+        })
+        .collect();
+    let mut base = 0.0;
+    for (&(name, qos), r) in cases.iter().zip(run_batch(&cfgs, opts)) {
         if qos.is_none() {
             base = r.tpmc_scaled;
         }
@@ -642,15 +745,21 @@ fn ablate_red(opts: &Opts) {
         "{:<10} {:>12} {:>9} {:>8}",
         "drop", "tpmC(scaled)", "ftpMb/s", "drops"
     );
-    for &red in &[false, true] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 8;
-        cfg.latas = 2;
-        cfg.trunk_bw = 6e6;
-        cfg.qos = QosPolicy::AllBestEffort;
-        cfg.red = red;
-        cfg.ftp_offered_bps = 3e6;
-        let r = run_avg(&cfg, opts);
+    let reds = [false, true];
+    let cfgs: Vec<ClusterConfig> = reds
+        .iter()
+        .map(|&red| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 8;
+            cfg.latas = 2;
+            cfg.trunk_bw = 6e6;
+            cfg.qos = QosPolicy::AllBestEffort;
+            cfg.red = red;
+            cfg.ftp_offered_bps = 3e6;
+            cfg
+        })
+        .collect();
+    for (&red, r) in reds.iter().zip(run_batch(&cfgs, opts)) {
         println!(
             "{:<10} {:>12.0} {:>9.2} {:>8}",
             if red { "RED" } else { "tail-drop" },
@@ -663,11 +772,17 @@ fn ablate_red(opts: &Opts) {
 
 fn ablate_mvcc(opts: &Opts) {
     println!("# Ablation: MVCC versioning costs on/off");
-    for &mvcc in &[true, false] {
-        let mut cfg = base_cfg(opts);
-        cfg.nodes = 4;
-        cfg.mvcc = mvcc;
-        let r = run_avg(&cfg, opts);
+    let modes = [true, false];
+    let cfgs: Vec<ClusterConfig> = modes
+        .iter()
+        .map(|&mvcc| {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = 4;
+            cfg.mvcc = mvcc;
+            cfg
+        })
+        .collect();
+    for (&mvcc, r) in modes.iter().zip(run_batch(&cfgs, opts)) {
         println!(
             "mvcc={:<5} tpmC={:>7.0} versions-created/txn={:.2} walks/txn={:.3}",
             mvcc, r.tpmc_scaled, r.versions_created_per_txn, r.version_walks_per_txn
@@ -724,13 +839,16 @@ fn fault(opts: &Opts, scenario: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let seeds = args
-        .iter()
-        .position(|a| a == "--seeds")
-        .and_then(|i| args.get(i + 1))
+    let flag_val = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let seeds = flag_val("--seeds")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    let opts = Opts { quick, seeds };
+    let jobs = sweep::resolve_jobs(flag_val("--jobs").and_then(|s| s.parse().ok()));
+    let opts = Opts { quick, seeds, jobs };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let t0 = std::time::Instant::now();
     match which {

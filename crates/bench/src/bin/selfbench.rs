@@ -1,0 +1,252 @@
+//! Self-benchmark: the repo's perf trajectory, recorded in-tree.
+//!
+//! Runs a fixed set of canonical scenarios through the DES engine,
+//! measures wall time and events/sec for each, times a small sweep
+//! through the worker pool vs. the serial path, and emits
+//! `BENCH_pr2.json` (schema documented in EXPERIMENTS.md). The
+//! pre-optimization numbers — captured on the same scenario
+//! definitions immediately before the PR 2 hot-path work — are
+//! embedded below, so one file shows the before/after trajectory.
+//!
+//! Usage:
+//!   selfbench [--quick] [--jobs N] [--reps R] [--out PATH]
+//!
+//! `--quick` shortens the simulated windows (the mode CI runs);
+//! `--jobs` defaults to `DCLUE_JOBS` or all cores; `--reps` takes the
+//! best of R wall-clock repetitions (default 1).
+
+use dclue_cluster::{sweep, ClusterConfig, QosPolicy, World};
+use dclue_fault::FaultPlan;
+use dclue_sim::Duration;
+use std::time::Instant;
+
+/// Pre-PR2 serial (jobs=1) numbers: `(name, wall_s, events)`, measured
+/// with the identical scenario definitions on the unoptimized tree
+/// (best-of-N wall clock, captured on the same host and in the same
+/// session as the post-optimization run recorded at PR time — the
+/// host is a shared VM, so cross-epoch wall clocks do not compare).
+/// Events are machine-independent (the optimizations must not change
+/// the event stream).
+const BASELINE_QUICK: &[(&str, f64, u64)] = &[
+    ("baseline_n1", 0.011100, 26120),
+    ("cluster_n8_a05", 0.546200, 1356626),
+    ("cluster_n16_a08", 0.918800, 2106387),
+    ("qos_ftp_n8", 0.314500, 947674),
+    ("fault_crash_n4", 0.112700, 302104),
+];
+const BASELINE_FULL: &[(&str, f64, u64)] = &[
+    ("baseline_n1", 0.034000, 70488),
+    ("cluster_n8_a05", 1.305000, 3204672),
+    ("cluster_n16_a08", 2.606200, 5045477),
+    ("qos_ftp_n8", 0.701800, 2160751),
+    ("fault_crash_n4", 0.379600, 897100),
+];
+
+struct ScenarioResult {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+    committed: u64,
+}
+
+fn scenario_cfg(name: &str, quick: bool) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    if quick {
+        cfg.warmup = Duration::from_secs(10);
+        cfg.measure = Duration::from_secs(15);
+    } else {
+        cfg.warmup = Duration::from_secs(20);
+        cfg.measure = Duration::from_secs(40);
+    }
+    match name {
+        // The paper's calibration point: one unclustered node.
+        "baseline_n1" => {
+            cfg.nodes = 1;
+            cfg.affinity = 1.0;
+        }
+        // Mid-affinity 8-node cluster: the coherence-heavy regime most
+        // figures live in (lots of fusion + lock IPC).
+        "cluster_n8_a05" => {
+            cfg.nodes = 8;
+            cfg.affinity = 0.5;
+        }
+        // Two latas with priority FTP at the starvation point: QoS,
+        // trunk queueing and cross-traffic machinery all hot.
+        "qos_ftp_n8" => {
+            cfg.nodes = 8;
+            cfg.latas = 2;
+            cfg.affinity = 0.8;
+            cfg.trunk_bw = 6e6;
+            cfg.qos = QosPolicy::FtpPriority;
+            cfg.ftp_offered_bps = 6e6;
+        }
+        // The paper's largest cluster at its headline affinity: the
+        // heaviest canonical point, long enough to time stably.
+        "cluster_n16_a08" => {
+            cfg.nodes = 16;
+            cfg.affinity = 0.8;
+        }
+        // Node crash mid-measurement: fault plumbing, remastering
+        // freeze and client failover on top of the normal engine.
+        "fault_crash_n4" => {
+            cfg.nodes = 4;
+            cfg.affinity = 0.8;
+            let mid = Duration::from_secs(if quick { 17 } else { 40 });
+            cfg.fault_plan = FaultPlan::none().node_outage(1, mid, Duration::from_secs(4));
+        }
+        other => panic!("unknown scenario '{other}'"),
+    }
+    cfg
+}
+
+const SCENARIOS: [&str; 5] = [
+    "baseline_n1",
+    "cluster_n8_a05",
+    "cluster_n16_a08",
+    "qos_ftp_n8",
+    "fault_crash_n4",
+];
+
+fn run_scenario(name: &'static str, quick: bool, reps: u32) -> ScenarioResult {
+    let mut best: Option<ScenarioResult> = None;
+    for _ in 0..reps.max(1) {
+        let mut w = World::new(scenario_cfg(name, quick));
+        let t0 = Instant::now();
+        let report = w.run();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let r = ScenarioResult {
+            name,
+            wall_s,
+            events: w.events_processed(),
+            committed: report.committed,
+        };
+        if best.as_ref().map(|b| r.wall_s < b.wall_s).unwrap_or(true) {
+            best = Some(r);
+        }
+    }
+    best.unwrap()
+}
+
+/// The pool-speedup probe: a small scalability sweep (one seed per
+/// point), timed once serially and once through the pool.
+fn sweep_cfgs(quick: bool) -> Vec<ClusterConfig> {
+    let mut cfgs = Vec::new();
+    for &n in &[1u32, 2, 4, 8] {
+        for &a in &[0.8, 0.5] {
+            let mut c = scenario_cfg("baseline_n1", quick);
+            c.nodes = n;
+            c.affinity = a;
+            cfgs.push(c);
+        }
+    }
+    cfgs
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn scenario_json(name: &str, wall_s: f64, events: u64, committed: Option<u64>) -> String {
+    let eps = if wall_s > 0.0 {
+        events as f64 / wall_s
+    } else {
+        f64::NAN
+    };
+    let committed = committed
+        .map(|c| format!(", \"committed\": {c}"))
+        .unwrap_or_default();
+    format!(
+        "    {{\"name\": \"{name}\", \"wall_s\": {}, \"events\": {events}, \"events_per_sec\": {}{committed}}}",
+        json_f(wall_s),
+        json_f(eps)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let jobs = sweep::resolve_jobs(get("--jobs").and_then(|s| s.parse().ok()));
+    let reps: u32 = get("--reps").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out = get("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr2.json".into());
+
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("[selfbench] mode={mode} jobs={jobs} reps={reps}");
+
+    // Per-scenario serial measurements (the inner-loop trajectory).
+    let mut results = Vec::new();
+    for name in SCENARIOS {
+        let r = run_scenario(name, quick, reps);
+        eprintln!(
+            "[selfbench] {:<16} {:>8.3}s  {:>9} events  {:>12.0} ev/s  committed={}",
+            r.name,
+            r.wall_s,
+            r.events,
+            r.events as f64 / r.wall_s,
+            r.committed
+        );
+        results.push(r);
+    }
+
+    // Pool speedup probe: same task bag, jobs=1 vs. the pool.
+    let cfgs = sweep_cfgs(quick);
+    let tasks = cfgs.len();
+    let t0 = Instant::now();
+    let serial = sweep::run_many(1, cfgs.clone());
+    let wall_serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let pooled = sweep::run_many(jobs, cfgs);
+    let wall_pool = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, pooled, "pool must reproduce the serial reports");
+    let speedup = wall_serial / wall_pool.max(1e-9);
+    eprintln!(
+        "[selfbench] sweep {tasks} tasks: serial {wall_serial:.3}s, pool(jobs={jobs}) {wall_pool:.3}s, speedup {speedup:.2}x"
+    );
+
+    let baseline = if quick { BASELINE_QUICK } else { BASELINE_FULL };
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"dclue-selfbench/1\",\n");
+    j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    j.push_str(&format!("  \"jobs\": {jobs},\n"));
+    j.push_str(&format!("  \"reps\": {reps},\n"));
+    j.push_str("  \"baseline_pre_pr2\": [\n");
+    let lines: Vec<String> = baseline
+        .iter()
+        .map(|(n, w, e)| scenario_json(n, *w, *e, None))
+        .collect();
+    j.push_str(&lines.join(",\n"));
+    if !lines.is_empty() {
+        j.push('\n');
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"scenarios\": [\n");
+    let lines: Vec<String> = results
+        .iter()
+        .map(|r| scenario_json(r.name, r.wall_s, r.events, Some(r.committed)))
+        .collect();
+    j.push_str(&lines.join(",\n"));
+    j.push('\n');
+    j.push_str("  ],\n");
+    j.push_str("  \"sweep\": {\n");
+    j.push_str(&format!("    \"tasks\": {tasks},\n"));
+    j.push_str(&format!("    \"jobs\": {jobs},\n"));
+    j.push_str(&format!("    \"wall_s_jobs1\": {},\n", json_f(wall_serial)));
+    j.push_str(&format!("    \"wall_s_pool\": {},\n", json_f(wall_pool)));
+    j.push_str(&format!("    \"speedup\": {}\n", json_f(speedup)));
+    j.push_str("  }\n");
+    j.push_str("}\n");
+
+    std::fs::write(&out, j).expect("write benchmark json");
+    eprintln!("[selfbench] wrote {out}");
+}

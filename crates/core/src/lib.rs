@@ -43,6 +43,7 @@ pub mod ipc;
 pub mod metrics;
 pub mod node;
 pub mod pathlen;
+pub mod sweep;
 pub mod world;
 
 pub use config::{ClusterConfig, DbGrowth, QosPolicy, TcpOffload};

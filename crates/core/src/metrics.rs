@@ -48,7 +48,10 @@ impl Collector {
 }
 
 /// The end-of-run report: everything the paper's figures plot.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is bit-exact on the float fields — that is the point:
+/// the pool-vs-serial determinism tests assert whole reports equal.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// Cluster size, echoed for table printing.
     pub nodes: u32,

@@ -7,7 +7,7 @@ use dclue_net::HostId;
 use dclue_platform::Cpu;
 use dclue_sim::SimTime;
 use dclue_storage::Disk;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A page miss in flight: when it started and who waits on it.
 #[derive(Debug)]
@@ -38,8 +38,12 @@ pub struct Node {
     /// Sequential log positions, one per log spindle.
     pub log_lba: Vec<u64>,
     pub log_rr: usize,
-    /// Page misses in flight: waiting transactions per page.
-    pub pending_pages: HashMap<PageKey, PendingPage>,
+    /// Page misses in flight: waiting transactions per page. A
+    /// `BTreeMap` so maintenance sweeps iterate in page order without
+    /// the collect-and-sort pass a hash map would force (the map is
+    /// small — bounded by in-flight misses — so ordered lookups are
+    /// cheap too).
+    pub pending_pages: BTreeMap<PageKey, PendingPage>,
     /// Transactions currently executing here.
     pub resident_txns: u64,
 }

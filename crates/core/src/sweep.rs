@@ -1,0 +1,139 @@
+//! Parallel sweep execution over independent `(config, seed)` points.
+//!
+//! `World::run` is a pure function of its config (the seed is a config
+//! field), so a sweep is an embarrassingly parallel bag of tasks. This
+//! module is the one place that turns a bag of configs into a bag of
+//! [`Report`]s through the [`dclue_sim::par`] worker pool, preserving
+//! the determinism contract: results come back in **submission order**,
+//! and with `jobs == 1` the pool is bypassed for the exact legacy
+//! serial loop. Every harness that prints or averages sweep output
+//! (figures binary, examples, benches, tests) goes through here so they
+//! all inherit the same ordering guarantee.
+
+use crate::{ClusterConfig, Report, World};
+
+pub use dclue_sim::par::{available_jobs, resolve_jobs, run_ordered};
+
+/// The harness seed ladder: seed index `s` runs with `42 + s * 1000`.
+/// (Kept as a function so figures, examples and tests can't drift.)
+pub fn seed_for(s: u64) -> u64 {
+    42 + s * 1000
+}
+
+/// Expand one config into its `seeds` seed-variants, in seed order.
+pub fn expand_seeds(cfg: &ClusterConfig, seeds: u64) -> Vec<ClusterConfig> {
+    (0..seeds.max(1))
+        .map(|s| {
+            let mut c = cfg.clone();
+            c.seed = seed_for(s);
+            c
+        })
+        .collect()
+}
+
+/// Run every config across `jobs` workers; reports in submission order.
+pub fn run_many(jobs: usize, cfgs: Vec<ClusterConfig>) -> Vec<Report> {
+    run_ordered(jobs, cfgs, |c| World::new(c).run())
+}
+
+/// Run each config across `seeds` seeds (all points share one pool) and
+/// average each config's reports. Output index `i` corresponds to
+/// `cfgs[i]`, exactly as a serial per-config loop would produce.
+pub fn run_avg_many(jobs: usize, cfgs: &[ClusterConfig], seeds: u64) -> Vec<Report> {
+    let seeds = seeds.max(1) as usize;
+    let tasks: Vec<ClusterConfig> = cfgs
+        .iter()
+        .flat_map(|c| expand_seeds(c, seeds as u64))
+        .collect();
+    let reports = run_many(jobs, tasks);
+    reports.chunks(seeds).map(average).collect()
+}
+
+/// Average the numeric series the figures print across one config's
+/// seed runs. With a single report this is an exact pass-through
+/// (including counters and timeline); with several, the non-averaged
+/// fields are taken from the first seed, matching the legacy harness.
+pub fn average(reports: &[Report]) -> Report {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let mut r = reports[0].clone();
+    if reports.len() == 1 {
+        return r;
+    }
+    let n = reports.len() as f64;
+    macro_rules! avg {
+        ($($f:ident),*) => {
+            $( r.$f = reports.iter().map(|x| x.$f).sum::<f64>() / n; )*
+        };
+    }
+    avg!(
+        tpmc_scaled,
+        tpmc_equivalent,
+        tps_scaled,
+        ctl_msgs_per_txn,
+        data_msgs_per_txn,
+        storage_msgs_per_txn,
+        lock_waits_per_txn,
+        lock_busies_per_txn,
+        lock_wait_ms,
+        txn_latency_ms,
+        avg_cpi,
+        avg_cs_cycles,
+        avg_live_threads,
+        cpu_util,
+        buffer_hit_ratio,
+        fusion_transfers_per_txn,
+        disk_reads_per_txn,
+        version_walks_per_txn,
+        versions_created_per_txn,
+        trunk_mbps,
+        ftp_mbps
+    );
+    r
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config/report mutation is the intended API pattern
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_ladder_is_fixed() {
+        assert_eq!(seed_for(0), 42);
+        assert_eq!(seed_for(1), 1042);
+        assert_eq!(seed_for(3), 3042);
+    }
+
+    #[test]
+    fn expand_orders_by_seed() {
+        let cfg = ClusterConfig::default();
+        let v = expand_seeds(&cfg, 3);
+        assert_eq!(
+            v.iter().map(|c| c.seed).collect::<Vec<_>>(),
+            vec![42, 1042, 2042]
+        );
+        // Zero seeds is treated as one.
+        assert_eq!(expand_seeds(&cfg, 0).len(), 1);
+    }
+
+    #[test]
+    fn average_of_one_is_identity() {
+        let mut r = Report::default();
+        r.tpmc_scaled = 123.0;
+        r.committed = 77;
+        let a = average(&[r.clone()]);
+        assert_eq!(a, r);
+    }
+
+    #[test]
+    fn average_means_the_series() {
+        let mut a = Report::default();
+        let mut b = Report::default();
+        a.tpmc_scaled = 100.0;
+        b.tpmc_scaled = 300.0;
+        a.cpu_util = 0.5;
+        b.cpu_util = 1.0;
+        let m = average(&[a, b]);
+        assert_eq!(m.tpmc_scaled, 200.0);
+        assert_eq!(m.cpu_util, 0.75);
+    }
+}

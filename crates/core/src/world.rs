@@ -16,10 +16,10 @@ use dclue_net::tcp::TcpConfig;
 use dclue_net::types::Side;
 use dclue_net::{ConnId, HostId, LinkId, MsgId, NetEvent, NetNote, Network, NetworkBuilder};
 use dclue_platform::{Cpu, CpuEvent, CpuNote};
-use dclue_sim::{Duration, EventHeap, Outbox, SimRng, SimTime};
+use dclue_sim::{Duration, EventHeap, FxHashMap, Outbox, SimRng, SimTime};
 use dclue_storage::{Disk, DiskEvent, DiskNote, RetryPolicy, StallGate};
 use dclue_workload::{route_node, FtpGenerator, FtpTransfer, TpccGenerator};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// First reconnect attempt delay after a cluster connection dies with a
 /// crashed endpoint; doubles per attempt (capped) until the peer is back.
@@ -109,6 +109,88 @@ pub(crate) enum ConnKind {
         #[allow(dead_code)]
         pair: u32,
     },
+}
+
+/// Dense `(min node, max node, class) -> conn` table. The pair space is
+/// tiny (`nodes² · 2` slots even at the paper's 24 nodes) and the
+/// lookup sits on the per-message IPC send path, so a flat index beats
+/// hashing by a wide margin.
+pub(crate) struct ConnTable {
+    nodes: usize,
+    slots: Vec<Option<ConnId>>,
+}
+
+impl ConnTable {
+    fn new(nodes: u32) -> Self {
+        let n = nodes as usize;
+        ConnTable {
+            nodes: n,
+            slots: vec![None; n * n * 2],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, a: u32, b: u32, class: ConnClass) -> usize {
+        (a as usize * self.nodes + b as usize) * 2 + class as usize
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, a: u32, b: u32, class: ConnClass) -> Option<ConnId> {
+        self.slots[self.idx(a, b, class)]
+    }
+
+    pub(crate) fn contains(&self, a: u32, b: u32, class: ConnClass) -> bool {
+        self.get(a, b, class).is_some()
+    }
+
+    pub(crate) fn insert(&mut self, a: u32, b: u32, class: ConnClass, conn: ConnId) {
+        let i = self.idx(a, b, class);
+        self.slots[i] = Some(conn);
+    }
+
+    pub(crate) fn remove(&mut self, a: u32, b: u32, class: ConnClass) {
+        let i = self.idx(a, b, class);
+        self.slots[i] = None;
+    }
+}
+
+/// Connection metadata addressed directly by `ConnId`. Ids are handed
+/// out sequentially by the network and never reused, so the table only
+/// grows; reaped connections leave a `None` hole. Iteration (rare) is
+/// in id order — deterministic by construction.
+pub(crate) struct ConnInfoTable {
+    slots: Vec<Option<ConnKind>>,
+}
+
+impl ConnInfoTable {
+    fn new() -> Self {
+        ConnInfoTable { slots: Vec::new() }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, conn: ConnId) -> Option<&ConnKind> {
+        self.slots.get(conn.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    pub(crate) fn insert(&mut self, conn: ConnId, kind: ConnKind) {
+        let i = conn.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(kind);
+    }
+
+    pub(crate) fn remove(&mut self, conn: ConnId) -> Option<ConnKind> {
+        self.slots.get_mut(conn.0 as usize).and_then(|s| s.take())
+    }
+
+    /// Occupied entries in ascending `ConnId` order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (ConnId, &ConnKind)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|k| (ConnId(i as u32), k)))
+    }
 }
 
 /// Meaning of an in-flight framed message.
@@ -302,22 +384,22 @@ pub struct World {
     pub(crate) db: Database,
     pub(crate) warehouses: u32,
     /// `(min node, max node, class) -> conn`; opener is always min.
-    pub(crate) cluster_conns: HashMap<(u32, u32, ConnClass), ConnId>,
-    pub(crate) conn_info: HashMap<ConnId, ConnKind>,
+    pub(crate) cluster_conns: ConnTable,
+    pub(crate) conn_info: ConnInfoTable,
     /// In-flight framed messages: `(owning connection, meaning)`. The
     /// connection id lets reset handling reap entries whose messages
     /// died with the connection.
-    pub(crate) msg_tags: HashMap<MsgId, (ConnId, MsgTag)>,
+    pub(crate) msg_tags: FxHashMap<MsgId, (ConnId, MsgTag)>,
     pub(crate) next_msg: u64,
-    pub(crate) actions: HashMap<u64, Action>,
+    pub(crate) actions: FxHashMap<u64, Action>,
     pub(crate) next_action: u64,
-    pub(crate) txns: HashMap<u64, Txn>,
+    pub(crate) txns: FxHashMap<u64, Txn>,
     pub(crate) next_txn: u64,
     pub(crate) sessions: Vec<ClientSession>,
     pub(crate) gen: TpccGenerator,
     pub(crate) ftp_pairs: Vec<FtpPair>,
     /// iSCSI write request -> committing txn (for shipped logs).
-    pub(crate) log_reqs: HashMap<u64, u64>,
+    pub(crate) log_reqs: FxHashMap<u64, u64>,
     pub(crate) next_req: u64,
     pub(crate) collect: Collector,
     pub(crate) measuring: bool,
@@ -344,7 +426,7 @@ pub struct World {
     /// Initiator-side command retry schedule.
     pub(crate) iscsi_retry: RetryPolicy,
     /// Outstanding remote reads: `(requester, page) -> attempt`.
-    pub(crate) iscsi_inflight: HashMap<(u32, PageKey), u32>,
+    pub(crate) iscsi_inflight: FxHashMap<(u32, PageKey), u32>,
     /// Client host ids, for resolving `LinkRef::ClientUplink`.
     pub(crate) client_hosts: Vec<HostId>,
     /// Buffer-cache capacity per node (to rebuild after a crash).
@@ -466,7 +548,7 @@ impl World {
                 log_disks,
                 log_lba,
                 log_rr: 0,
-                pending_pages: HashMap::new(),
+                pending_pages: BTreeMap::new(),
                 resident_txns: 0,
             });
         }
@@ -507,25 +589,27 @@ impl World {
 
         let mut world = World {
             paths,
-            heap: EventHeap::new(),
+            // Sized for the steady-state pending-event population of a
+            // mid-size cluster; avoids the early growth reallocations.
+            heap: EventHeap::with_capacity(4096),
             now: SimTime::ZERO,
             rng,
             net,
             nodes,
             db,
             warehouses,
-            cluster_conns: HashMap::new(),
-            conn_info: HashMap::new(),
-            msg_tags: HashMap::new(),
+            cluster_conns: ConnTable::new(cfg.nodes),
+            conn_info: ConnInfoTable::new(),
+            msg_tags: FxHashMap::default(),
             next_msg: 0,
-            actions: HashMap::new(),
+            actions: FxHashMap::default(),
             next_action: 0,
-            txns: HashMap::new(),
+            txns: FxHashMap::default(),
             next_txn: 0,
             sessions,
             gen,
             ftp_pairs,
-            log_reqs: HashMap::new(),
+            log_reqs: FxHashMap::default(),
             next_req: 0,
             collect: Collector::default(),
             measuring: false,
@@ -544,7 +628,7 @@ impl World {
             alive: vec![true; cfg.nodes as usize],
             iscsi_gate: (0..cfg.nodes).map(|_| StallGate::default()).collect(),
             iscsi_retry: RetryPolicy::default(),
-            iscsi_inflight: HashMap::new(),
+            iscsi_inflight: FxHashMap::default(),
             client_hosts,
             buf_capacity,
             done: false,
@@ -744,7 +828,7 @@ impl World {
                     let cfg = self.tcp_config(true);
                     let conn = self
                         .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-                    self.cluster_conns.insert((a, bn, class), conn);
+                    self.cluster_conns.insert(a, bn, class, conn);
                     self.conn_info
                         .insert(conn, ConnKind::Cluster { a, b: bn, class });
                 }
@@ -799,6 +883,17 @@ impl World {
         }
         debug_assert!(self.done, "event queue drained before EndRun");
         self.build_report()
+    }
+
+    /// Events dispatched by the engine so far — the DES throughput
+    /// numerator the self-benchmark divides by wall time.
+    pub fn events_processed(&self) -> u64 {
+        self.heap.total_popped()
+    }
+
+    /// Events scheduled so far (processed plus still pending).
+    pub fn events_scheduled(&self) -> u64 {
+        self.heap.total_pushed()
     }
 
     // ------------------------------------------------------------------
@@ -996,9 +1091,9 @@ impl World {
             NetNote::Closed { conn } => {
                 // Client/FTP connection ids are transient; reap them.
                 if let Some(ConnKind::Client { .. } | ConnKind::Ftp { .. }) =
-                    self.conn_info.get(&conn)
+                    self.conn_info.get(conn)
                 {
-                    self.conn_info.remove(&conn);
+                    self.conn_info.remove(conn);
                 }
             }
             NetNote::SegmentsReceived { .. } => {
@@ -1008,7 +1103,7 @@ impl World {
     }
 
     fn on_established(&mut self, conn: ConnId) {
-        match self.conn_info.get(&conn) {
+        match self.conn_info.get(conn) {
             Some(ConnKind::Client { session }) => {
                 let s = *session;
                 self.client_send_next(s);
@@ -1027,7 +1122,7 @@ impl World {
         };
         match tag {
             MsgTag::Ipc(m) => {
-                let Some(ConnKind::Cluster { a, b, .. }) = self.conn_info.get(&conn) else {
+                let Some(ConnKind::Cluster { a, b, .. }) = self.conn_info.get(conn) else {
                     return;
                 };
                 let node = if side == Side::Opener { *a } else { *b };
@@ -1086,20 +1181,20 @@ impl World {
         // Reap framing entries for messages that died with the
         // connection (their delivery will never come).
         self.msg_tags.retain(|_, (c, _)| *c != conn);
-        match self.conn_info.remove(&conn) {
+        match self.conn_info.remove(conn) {
             Some(ConnKind::Cluster { a, b, class }) => {
                 // Should essentially never happen under load alone (high
                 // retrans cap); a crash or long outage gets here. Reopen
                 // immediately when both ends live, else retry with
                 // exponential backoff until the peer returns.
                 self.collect.ipc_resets += 1;
-                self.cluster_conns.remove(&(a, b, class));
+                self.cluster_conns.remove(a, b, class);
                 if self.alive[a as usize] && self.alive[b as usize] {
                     let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
                     let cfg = self.tcp_config(true);
                     let newc = self
                         .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-                    self.cluster_conns.insert((a, b, class), newc);
+                    self.cluster_conns.insert(a, b, class, newc);
                     self.conn_info
                         .insert(newc, ConnKind::Cluster { a, b, class });
                 } else {
@@ -1162,8 +1257,7 @@ impl World {
                 ConnClass::Storage => self.collect.storage_msgs += 1,
             }
         }
-        let key = (from.min(to), from.max(to), class);
-        let Some(&conn) = self.cluster_conns.get(&key) else {
+        let Some(conn) = self.cluster_conns.get(from.min(to), from.max(to), class) else {
             return;
         };
         let side = if from < to {
@@ -1374,15 +1468,15 @@ impl World {
         let stale_after = Duration::from_secs(5);
         let now = self.now;
         for node in 0..self.nodes.len() {
-            let mut stale: Vec<PageKey> = self.nodes[node]
+            // `pending_pages` is a BTreeMap: iteration is already in
+            // page order, so the redrive order is deterministic with no
+            // collect-and-sort pass.
+            let stale: Vec<PageKey> = self.nodes[node]
                 .pending_pages
                 .iter()
                 .filter(|(_, p)| now.since(p.since) > stale_after)
                 .map(|(&k, _)| k)
                 .collect();
-            // HashMap iteration order is per-instance random; redrive in
-            // a fixed order so identical seeds replay identically.
-            stale.sort_unstable_by_key(|k| (k.space, k.page));
             for key in stale {
                 if let Some(p) = self.nodes[node].pending_pages.get_mut(&key) {
                     p.since = now;
@@ -1461,7 +1555,7 @@ impl World {
             .conn_info
             .iter()
             .find(|(_, k)| matches!(k, ConnKind::Cluster { .. }))
-            .map(|(&c, _)| c);
+            .map(|(c, _)| c);
         if let Some(c) = conn {
             self.with_net(|net, ob| net.abort_connection(c, ob));
         }
@@ -1650,8 +1744,8 @@ impl World {
                 continue;
             }
             for class in [ConnClass::Ipc, ConnClass::Storage] {
-                let key = ((k as u32).min(other), (k as u32).max(other), class);
-                if let Some(&c) = self.cluster_conns.get(&key) {
+                let (a, b) = ((k as u32).min(other), (k as u32).max(other));
+                if let Some(c) = self.cluster_conns.get(a, b, class) {
                     self.with_net(|net, ob| net.abort_connection(c, ob));
                 }
             }
@@ -1682,13 +1776,13 @@ impl World {
                 continue;
             }
             for class in [ConnClass::Ipc, ConnClass::Storage] {
-                let key = ((k as u32).min(other), (k as u32).max(other), class);
-                if !self.cluster_conns.contains_key(&key) {
+                let (a, b) = ((k as u32).min(other), (k as u32).max(other));
+                if !self.cluster_conns.contains(a, b, class) {
                     self.heap.push(
                         self.now + Duration::from_millis(10),
                         Ev::IpcReconnect {
-                            a: key.0,
-                            b: key.1,
+                            a,
+                            b,
                             class,
                             attempt: 0,
                         },
@@ -1700,7 +1794,7 @@ impl World {
 
     /// Try to reopen a cluster connection whose endpoint was down.
     fn ipc_reconnect(&mut self, a: u32, b: u32, class: ConnClass, attempt: u32) {
-        if self.cluster_conns.contains_key(&(a, b, class)) {
+        if self.cluster_conns.contains(a, b, class) {
             return; // already reopened (by restart or an earlier retry)
         }
         if self.alive[a as usize] && self.alive[b as usize] {
@@ -1708,7 +1802,7 @@ impl World {
             let cfg = self.tcp_config(true);
             let conn =
                 self.with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-            self.cluster_conns.insert((a, b, class), conn);
+            self.cluster_conns.insert(a, b, class, conn);
             self.conn_info
                 .insert(conn, ConnKind::Cluster { a, b, class });
         } else {

@@ -12,7 +12,10 @@ use std::collections::HashMap;
 
 /// Globally unique page identity. Data pages and index pages of the same
 /// table live in different namespaces.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` is `(space, page)` lexicographic — the canonical page order the
+/// deterministic sweeps (redrive, prewarm seeding) iterate in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PageKey {
     /// Table id; index pages have bit 8 set.
     pub space: u32,

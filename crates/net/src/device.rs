@@ -13,7 +13,7 @@
 use crate::packet::Packet;
 use crate::types::{DeviceId, HostId, LinkId};
 use dclue_sim::Duration;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Queueing discipline of a transmit port. The paper's experiments use
 /// `Fifo` and `Priority` (OPNET's default AF treatment); `Wfq` is one of
@@ -311,6 +311,31 @@ pub struct RouterStats {
     pub busy: Duration,
 }
 
+/// Static routing table: destination host -> (link, direction).
+///
+/// Host ids are small sequential integers, so the table is a flat
+/// vector indexed by `HostId` — the route lookup on every forwarded
+/// packet is a bounds-checked array read instead of a hash probe.
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    slots: Vec<Option<(LinkId, bool)>>,
+}
+
+impl RouteTable {
+    #[inline]
+    pub fn get(&self, host: HostId) -> Option<(LinkId, bool)> {
+        self.slots.get(host.0 as usize).copied().flatten()
+    }
+
+    pub fn insert(&mut self, host: HostId, route: (LinkId, bool)) {
+        let i = host.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(route);
+    }
+}
+
 /// A store-and-forward router with a finite forwarding rate.
 #[derive(Debug)]
 pub struct Router {
@@ -325,7 +350,7 @@ pub struct Router {
     /// Packet currently in the forwarding engine, if any.
     pub in_service: Option<Packet>,
     /// Static routes: destination host -> (link, direction).
-    pub routes: HashMap<HostId, (LinkId, bool)>,
+    pub routes: RouteTable,
     pub stats: RouterStats,
 }
 
@@ -338,7 +363,7 @@ impl Router {
             input: VecDeque::new(),
             input_cap: 512,
             in_service: None,
-            routes: HashMap::new(),
+            routes: RouteTable::default(),
             stats: RouterStats::default(),
         }
     }
@@ -402,7 +427,7 @@ pub struct HostPort {
 mod tests {
     use super::*;
     use crate::packet::Dscp;
-    use crate::tcp::{Flags, Segment};
+    use crate::tcp::{Flags, SackList, Segment};
     use crate::types::{ConnId, Side};
 
     fn pkt(dscp: Dscp, ect: bool) -> Packet {
@@ -421,7 +446,7 @@ mod tests {
                 flags: Flags::ACK,
                 ece: false,
                 cwr: false,
-                sack: Vec::new(),
+                sack: SackList::EMPTY,
             },
         }
     }

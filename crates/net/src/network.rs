@@ -12,8 +12,7 @@ use crate::device::{Discipline, HostPort, Link, PortPolicy, Router, TxPort};
 use crate::packet::{Dscp, Packet};
 use crate::tcp::{Connection, TcpAppNote, TcpConfig, TcpOut, TimerKind};
 use crate::types::{ConnId, DeviceId, HostId, LinkId, MsgId, NetEvent, NetNote, Side};
-use dclue_sim::Outbox;
-use std::collections::HashMap;
+use dclue_sim::{FxHashMap, Outbox};
 
 type NetOutbox = Outbox<NetEvent, NetNote>;
 
@@ -37,7 +36,7 @@ pub struct Network {
     links: Vec<Link>,
     routers: Vec<Router>,
     host_ports: Vec<HostPort>,
-    conns: HashMap<ConnId, ConnEntry>,
+    conns: FxHashMap<ConnId, ConnEntry>,
     next_conn: u32,
     /// Dead connections to reap after the current dispatch.
     graveyard: Vec<ConnId>,
@@ -221,7 +220,7 @@ impl Network {
             ob.schedule(r.service, NetEvent::ForwardDone { router });
         }
         if let Some(p) = done {
-            let route = self.routers[router as usize].routes.get(&p.dst).copied();
+            let route = self.routers[router as usize].routes.get(p.dst);
             match route {
                 Some((link, forward)) => self.transmit(link, forward, p, ob),
                 None => self.misrouted += 1,
@@ -639,7 +638,7 @@ impl NetworkBuilder {
             links,
             routers,
             host_ports,
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
             next_conn: 0,
             graveyard: Vec::new(),
             misrouted: 0,

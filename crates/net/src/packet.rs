@@ -61,7 +61,7 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tcp::{Flags, Segment};
+    use crate::tcp::{Flags, SackList, Segment};
     use crate::types::{ConnId, Side};
 
     fn seg(len: u64) -> Segment {
@@ -74,7 +74,7 @@ mod tests {
             flags: Flags::ACK,
             ece: false,
             cwr: false,
-            sack: Vec::new(),
+            sack: SackList::EMPTY,
         }
     }
 

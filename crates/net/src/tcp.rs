@@ -50,6 +50,53 @@ impl Flags {
     }
 }
 
+/// SACK blocks carried in a segment: up to 3 out-of-order `[start, end)`
+/// ranges, RFC 2018 style (the option field fits 3 blocks alongside
+/// timestamps). Stored inline so a [`Segment`] is `Copy`-cheap to clone
+/// as it moves hop-by-hop through queues — no per-packet allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SackList {
+    len: u8,
+    blocks: [(u64, u64); 3],
+}
+
+impl SackList {
+    pub const EMPTY: SackList = SackList {
+        len: 0,
+        blocks: [(0, 0); 3],
+    };
+
+    /// Append a block; silently ignored once full (RFC 2018 senders
+    /// simply omit blocks that don't fit).
+    #[inline]
+    pub fn push(&mut self, block: (u64, u64)) {
+        if (self.len as usize) < self.blocks.len() {
+            self.blocks[self.len as usize] = block;
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.blocks[..self.len as usize]
+    }
+
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, (u64, u64)> {
+        self.as_slice().iter()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// One TCP segment. Sequence numbers are abstract u64 (no wraparound).
 #[derive(Clone, Debug)]
 pub struct Segment {
@@ -66,9 +113,8 @@ pub struct Segment {
     pub ece: bool,
     /// Congestion-window-reduced: sender response to ECE.
     pub cwr: bool,
-    /// SACK blocks: out-of-order `[start, end)` ranges held by the
-    /// receiver (up to 3, most recent first), RFC 2018 style.
-    pub sack: Vec<(u64, u64)>,
+    /// SACK blocks held by the receiver (most recent first).
+    pub sack: SackList,
 }
 
 /// Timer kinds a connection can request.
@@ -367,7 +413,7 @@ impl Connection {
             flags: Flags::SYN,
             ece: false,
             cwr: false,
-            sack: Vec::new(),
+            sack: SackList::EMPTY,
         });
         self.stats.segs_sent += 1;
     }
@@ -421,7 +467,7 @@ impl Connection {
             flags: Flags::RST,
             ece: false,
             cwr: false,
-            sack: Vec::new(),
+            sack: SackList::EMPTY,
         });
         self.ends[0].state = ConnState::Dead;
         self.ends[1].state = ConnState::Dead;
@@ -577,7 +623,7 @@ impl Connection {
                     flags: Flags::SYN.with(Flags::ACK),
                     ece: false,
                     cwr: false,
-                    sack: Vec::new(),
+                    sack: SackList::EMPTY,
                 });
                 self.stats.segs_sent += 1;
             }
@@ -687,7 +733,7 @@ impl Connection {
         let e = self.ep(side);
         // Ingest SACK blocks into the scoreboard.
         if sack_on {
-            for &(a, b) in &seg.sack {
+            for &(a, b) in seg.sack.iter() {
                 insert_interval(&mut e.sacked, (a, b));
             }
             // Anything at/below the cumulative ACK is implicitly covered.
@@ -763,7 +809,7 @@ impl Connection {
                             flags: Flags::ACK,
                             ece: ece_echo,
                             cwr: false,
-                            sack: Vec::new(),
+                            sack: SackList::EMPTY,
                         });
                         self.stats.segs_retransmitted += 1;
                         self.stats.segs_sent += 1;
@@ -826,7 +872,7 @@ impl Connection {
                                 flags: Flags::ACK,
                                 ece: ece_echo,
                                 cwr: false,
-                                sack: Vec::new(),
+                                sack: SackList::EMPTY,
                             });
                             self.stats.segs_retransmitted += 1;
                             self.stats.segs_sent += 1;
@@ -864,7 +910,7 @@ impl Connection {
                         flags: Flags::ACK,
                         ece: ece_echo,
                         cwr: false,
-                        sack: Vec::new(),
+                        sack: SackList::EMPTY,
                     });
                     self.stats.fast_retransmits += 1;
                     self.stats.segs_retransmitted += 1;
@@ -914,7 +960,7 @@ impl Connection {
                         flags: Flags::FIN.with(Flags::ACK),
                         ece,
                         cwr: false,
-                        sack: Vec::new(),
+                        sack: SackList::EMPTY,
                     });
                     self.stats.segs_sent += 1;
                     sent_any = true;
@@ -941,7 +987,7 @@ impl Connection {
                 flags: Flags::ACK,
                 ece,
                 cwr,
-                sack: Vec::new(),
+                sack: SackList::EMPTY,
             });
             self.stats.segs_sent += 1;
             self.stats.bytes_sent += len;
@@ -1000,11 +1046,12 @@ impl Connection {
         e.delack_armed = false;
         // Up to 3 SACK blocks, most recently received ranges first
         // (approximated by taking the highest ranges).
-        let sack = if sack_on {
-            e.ooo.iter().rev().take(3).copied().collect()
-        } else {
-            Vec::new()
-        };
+        let mut sack = SackList::EMPTY;
+        if sack_on {
+            for &iv in e.ooo.iter().rev().take(3) {
+                sack.push(iv);
+            }
+        }
         let seg = Segment {
             conn: id,
             from: side,
@@ -1067,29 +1114,27 @@ fn first_hole(sacked: &[(u64, u64)], from: u64, limit: u64, mss: u64) -> Option<
     Some((pos, (end - pos).min(mss)))
 }
 
-/// Insert `(start, end)` into a sorted disjoint interval set, coalescing.
+/// Insert `(start, end)` into a sorted disjoint interval set, coalescing
+/// in place. Intervals that overlap or touch the new one are merged into
+/// it; the set's allocation is reused, so the steady-state cost is a
+/// shift, not a fresh `Vec` per call.
 fn insert_interval(set: &mut Vec<(u64, u64)>, iv: (u64, u64)) {
     let (mut s, mut e) = iv;
-    let mut out = Vec::with_capacity(set.len() + 1);
-    let mut placed = false;
-    for &(a, b) in set.iter() {
-        if b < s {
-            out.push((a, b));
-        } else if a > e {
-            if !placed {
-                out.push((s, e));
-                placed = true;
-            }
-            out.push((a, b));
-        } else {
-            s = s.min(a);
-            e = e.max(b);
-        }
+    // First interval whose end reaches `s` — everything before it stays.
+    let lo = set.partition_point(|&(_, b)| b < s);
+    // Consume every interval overlapping or touching `[s, e)`.
+    let mut hi = lo;
+    while hi < set.len() && set[hi].0 <= e {
+        s = s.min(set[hi].0);
+        e = e.max(set[hi].1);
+        hi += 1;
     }
-    if !placed {
-        out.push((s, e));
+    if lo == hi {
+        set.insert(lo, (s, e));
+    } else {
+        set[lo] = (s, e);
+        set.drain(lo + 1..hi);
     }
-    *set = out;
 }
 
 #[cfg(test)]

@@ -1,0 +1,142 @@
+//! A deterministic, fast hasher for simulator-internal maps.
+//!
+//! `std::collections::HashMap`'s default SipHash build is seeded per
+//! process, which is the right call for hostile input but pays ~2-3x on
+//! the small integer keys (`ConnId`, `MsgId`, node indexes) that
+//! dominate the simulator's hot paths — and its per-process seed means
+//! iteration order varies run to run, which is why every determinism-
+//! sensitive sweep had to sort first. This multiply-rotate hasher (the
+//! classic `FxHash` construction from the Firefox/rustc lineage) is
+//! both faster on short keys and **fixed-seeded**, so a map's iteration
+//! order is a pure function of its insertion history.
+//!
+//! Determinism note: code that iterates a [`FxHashMap`] still only gets
+//! *reproducible* order, not *meaningful* order — insertion history
+//! must itself be deterministic (it is, for a fixed RNG seed). Where
+//! the simulator needs key order it uses `BTreeMap` or dense vectors
+//! instead; this type exists for point lookups.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const ROTATE: u32 = 5;
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher with a fixed seed; not DoS-resistant, and not
+/// meant to be — the simulator hashes only its own deterministic keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Fixed-seed build state: two maps with the same insertion history
+/// iterate identically, in this process and the next.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the deterministic fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the deterministic fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn stable_across_instances() {
+        assert_eq!(hash_one(&0xdead_beefu64), hash_one(&0xdead_beefu64));
+        assert_eq!(hash_one(&(3u32, 7u32)), hash_one(&(3u32, 7u32)));
+        assert_eq!(hash_one(&"page-17"), hash_one(&"page-17"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test — just a guard against the degenerate
+        // "everything collides" implementation bug.
+        let hs: FxHashSet<u64> = (0..10_000u64).map(|k| hash_one(&k)).collect();
+        assert!(hs.len() > 9_900, "only {} distinct hashes", hs.len());
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for k in (0..1000).rev() {
+                m.insert(k * 7919, k);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn byte_stream_matches_padded_tail() {
+        // write() must consume a non-multiple-of-8 tail without panicking
+        // and still be deterministic.
+        let mut a = FxHasher::default();
+        a.write(b"0123456789abc");
+        let mut b = FxHasher::default();
+        b.write(b"0123456789abc");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -17,16 +17,20 @@
 //! *simulated* cluster matters far more than wall-clock parallelism, and a
 //! deterministic total order of events is what makes the paper's
 //! sensitivity studies trustworthy. Parallelism in this workspace lives at
-//! the experiment-sweep level (independent simulations on independent
-//! threads), not inside one simulation.
+//! the experiment-sweep level — [`par`] fans independent simulations
+//! across OS threads and reassembles results in submission order — not
+//! inside one simulation.
 
 pub mod event;
+pub mod hash;
 pub mod outbox;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventHeap;
+pub use hash::{FxHashMap, FxHashSet};
 pub use outbox::Outbox;
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};

@@ -6,20 +6,26 @@
 //!
 //! Run with:
 //! `cargo run --release -p dclue-cluster --example latency_study`
+//!
+//! The grid runs through the worker pool (`DCLUE_JOBS` or all cores);
+//! results print in grid order regardless of how many workers ran.
 
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
-use dclue_cluster::{ClusterConfig, World};
+use dclue_cluster::{sweep, ClusterConfig};
 use dclue_sim::Duration;
+
+const WORKLOADS: [(&str, f64); 2] = [("normal", 1.0), ("low-comp", 0.25)];
+const LATENCIES_US: [u64; 3] = [0, 1000, 2000];
 
 fn main() {
     println!(
         "{:<10} {:<14} {:>12} {:>8} {:>9}",
         "workload", "extra one-way", "tpmC(scaled)", "drop%", "threads"
     );
-    for &(label, comp) in &[("normal", 1.0f64), ("low-comp", 0.25)] {
-        let mut base = 0.0;
-        for &lat_us_real in &[0u64, 1000, 2000] {
+    let mut cfgs = Vec::new();
+    for &(_, comp) in &WORKLOADS {
+        for &lat_us_real in &LATENCIES_US {
             let mut cfg = ClusterConfig::default();
             cfg.nodes = 8;
             cfg.latas = 2;
@@ -30,7 +36,15 @@ fn main() {
             cfg.extra_trunk_latency = Duration::from_micros(lat_us_real * 100 / 2);
             cfg.warmup = Duration::from_secs(15);
             cfg.measure = Duration::from_secs(30);
-            let r = World::new(cfg).run();
+            cfgs.push(cfg);
+        }
+    }
+    let jobs = sweep::resolve_jobs(None);
+    let mut reports = sweep::run_many(jobs, cfgs).into_iter();
+    for &(label, _) in &WORKLOADS {
+        let mut base = 0.0;
+        for &lat_us_real in &LATENCIES_US {
+            let r = reports.next().unwrap();
             if lat_us_real == 0 {
                 base = r.tpmc_scaled;
             }

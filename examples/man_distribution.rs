@@ -5,10 +5,13 @@
 //!
 //! Run with:
 //! `cargo run --release -p dclue-cluster --example man_distribution`
+//!
+//! The scenarios run through the worker pool (`DCLUE_JOBS` or all
+//! cores); results print in scenario order.
 
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
-use dclue_cluster::{ClusterConfig, World};
+use dclue_cluster::{sweep, ClusterConfig};
 use dclue_sim::Duration;
 
 fn main() {
@@ -25,16 +28,22 @@ fn main() {
         "{:<24} {:>14} {:>14} {:>8} {:>9}",
         "placement", "one-way (real)", "tpmC(scaled)", "drop%", "threads"
     );
+    let cfgs: Vec<ClusterConfig> = scenarios
+        .iter()
+        .map(|&(_, one_way_us_real)| {
+            let mut cfg = ClusterConfig::default();
+            cfg.nodes = 8;
+            cfg.latas = 2;
+            cfg.affinity = 0.8;
+            cfg.extra_trunk_latency = Duration::from_micros(one_way_us_real * 100 / 2);
+            cfg.warmup = Duration::from_secs(15);
+            cfg.measure = Duration::from_secs(30);
+            cfg
+        })
+        .collect();
+    let jobs = sweep::resolve_jobs(None);
     let mut base = 0.0;
-    for (name, one_way_us_real) in scenarios {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = 8;
-        cfg.latas = 2;
-        cfg.affinity = 0.8;
-        cfg.extra_trunk_latency = Duration::from_micros(one_way_us_real * 100 / 2);
-        cfg.warmup = Duration::from_secs(15);
-        cfg.measure = Duration::from_secs(30);
-        let r = World::new(cfg).run();
+    for (&(name, one_way_us_real), r) in scenarios.iter().zip(sweep::run_many(jobs, cfgs)) {
         if one_way_us_real == 0 {
             base = r.tpmc_scaled;
         }

@@ -4,13 +4,19 @@
 //!
 //! Run with:
 //! `cargo run --release -p dclue-cluster --example qos_interference`
+//!
+//! The grid runs through the worker pool (`DCLUE_JOBS` or all cores);
+//! results print in grid order regardless of how many workers ran.
 
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
-use dclue_cluster::{ClusterConfig, QosPolicy, World};
+use dclue_cluster::{sweep, ClusterConfig, QosPolicy};
 use dclue_sim::Duration;
 
-fn run(qos: QosPolicy, ftp_scaled_bps: f64) -> dclue_cluster::Report {
+const POLICIES: [QosPolicy; 2] = [QosPolicy::AllBestEffort, QosPolicy::FtpPriority];
+const FTP_MBPS_REAL: [u64; 4] = [0, 100, 300, 600];
+
+fn cfg_for(qos: QosPolicy, ftp_scaled_bps: f64) -> ClusterConfig {
     let mut cfg = ClusterConfig::default();
     cfg.nodes = 8;
     cfg.latas = 2;
@@ -22,7 +28,7 @@ fn run(qos: QosPolicy, ftp_scaled_bps: f64) -> dclue_cluster::Report {
     cfg.ftp_offered_bps = ftp_scaled_bps;
     cfg.warmup = Duration::from_secs(15);
     cfg.measure = Duration::from_secs(30);
-    World::new(cfg).run()
+    cfg
 }
 
 fn main() {
@@ -30,10 +36,18 @@ fn main() {
         "{:<16} {:>12} {:>14} {:>9} {:>9} {:>9}",
         "QoS", "ftp offered", "tpmC(scaled)", "drop%", "threads", "ftp Mb/s"
     );
-    for qos in [QosPolicy::AllBestEffort, QosPolicy::FtpPriority] {
+    let mut cfgs = Vec::new();
+    for qos in POLICIES {
+        for &mbps_real in &FTP_MBPS_REAL {
+            cfgs.push(cfg_for(qos, mbps_real as f64 * 1e6 / 100.0));
+        }
+    }
+    let jobs = sweep::resolve_jobs(None);
+    let mut reports = sweep::run_many(jobs, cfgs).into_iter();
+    for qos in POLICIES {
         let mut base = 0.0;
-        for &mbps_real in &[0u64, 100, 300, 600] {
-            let r = run(qos, mbps_real as f64 * 1e6 / 100.0);
+        for &mbps_real in &FTP_MBPS_REAL {
+            let r = reports.next().unwrap();
             if mbps_real == 0 {
                 base = r.tpmc_scaled;
             }

@@ -3,26 +3,40 @@
 //!
 //! Run with:
 //! `cargo run --release -p dclue-cluster --example scalability_sweep`
+//!
+//! The grid runs through the worker pool (`DCLUE_JOBS` or all cores);
+//! results print in grid order regardless of how many workers ran.
 
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
-use dclue_cluster::{ClusterConfig, World};
+use dclue_cluster::{sweep, ClusterConfig};
 use dclue_sim::Duration;
+
+const AFFINITIES: [f64; 3] = [1.0, 0.8, 0.5];
+const NODES: [u32; 4] = [1, 2, 4, 8];
 
 fn main() {
     println!(
         "{:<6} {:<9} {:>14} {:>10} {:>10}",
         "nodes", "affinity", "tpmC(scaled)", "speedup", "ctl/txn"
     );
-    for &affinity in &[1.0, 0.8, 0.5] {
-        let mut base = 0.0;
-        for &nodes in &[1u32, 2, 4, 8] {
+    let mut cfgs = Vec::new();
+    for &affinity in &AFFINITIES {
+        for &nodes in &NODES {
             let mut cfg = ClusterConfig::default();
             cfg.nodes = nodes;
             cfg.affinity = affinity;
             cfg.warmup = Duration::from_secs(15);
             cfg.measure = Duration::from_secs(30);
-            let r = World::new(cfg).run();
+            cfgs.push(cfg);
+        }
+    }
+    let jobs = sweep::resolve_jobs(None);
+    let mut reports = sweep::run_many(jobs, cfgs).into_iter();
+    for &affinity in &AFFINITIES {
+        let mut base = 0.0;
+        for &nodes in &NODES {
+            let r = reports.next().unwrap();
             if nodes == 1 {
                 base = r.tpmc_scaled;
             }
