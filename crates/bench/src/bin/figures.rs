@@ -4,13 +4,19 @@
 //!   figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
 //!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
-//!            baseline|all> [--quick] [--seeds N] [--jobs N]
+//!            baseline|all> [--quick] [--seeds N] [--jobs N] [--exact]
 //!
 //! Every figure collects its whole (config, seed) grid first and runs it
 //! through the [`dclue_cluster::sweep`] worker pool, then prints rows in
 //! submission order — so the output is byte-identical whatever `--jobs`
 //! is (`--jobs 1` bypasses the pool for the exact serial loop; the
 //! default is `DCLUE_JOBS` or all cores).
+//!
+//! By default runs use the segment-train fast path (statistically
+//! equivalent, far fewer events — see DESIGN.md "The hybrid train
+//! model"). Pass `--exact` for the bit-reproducible segment-exact
+//! engine; the committed `figures_output.txt` golden capture is
+//! produced with `figures all --seeds 2 --exact`.
 //!
 //! Absolute numbers come from the 100x-scaled model (multiply tpm-C by
 //! 100 for real-system equivalents); the paper's claims are about
@@ -27,6 +33,7 @@ struct Opts {
     quick: bool,
     seeds: u64,
     jobs: usize,
+    exact: bool,
 }
 
 fn base_cfg(opts: &Opts) -> ClusterConfig {
@@ -38,6 +45,7 @@ fn base_cfg(opts: &Opts) -> ClusterConfig {
         cfg.warmup = Duration::from_secs(20);
         cfg.measure = Duration::from_secs(40);
     }
+    cfg.exact = opts.exact;
     cfg
 }
 
@@ -848,7 +856,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
     let jobs = sweep::resolve_jobs(flag_val("--jobs").and_then(|s| s.parse().ok()));
-    let opts = Opts { quick, seeds, jobs };
+    let exact = args.iter().any(|a| a == "--exact");
+    let opts = Opts {
+        quick,
+        seeds,
+        jobs,
+        exact,
+    };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let t0 = std::time::Instant::now();
     match which {

@@ -1,19 +1,26 @@
 //! Self-benchmark: the repo's perf trajectory, recorded in-tree.
 //!
-//! Runs a fixed set of canonical scenarios through the DES engine,
-//! measures wall time and events/sec for each, times a small sweep
-//! through the worker pool vs. the serial path, and emits
-//! `BENCH_pr2.json` (schema documented in EXPERIMENTS.md). The
-//! pre-optimization numbers — captured on the same scenario
-//! definitions immediately before the PR 2 hot-path work — are
-//! embedded below, so one file shows the before/after trajectory.
+//! Runs a fixed set of canonical scenarios through the DES engine —
+//! each one twice, once on the default segment-train fast path and
+//! once with `exact = true` — measures wall time and events/sec,
+//! times a small sweep through the worker pool vs. the serial path,
+//! and emits `BENCH_pr3.json` (schema `dclue-selfbench/2`, documented
+//! in EXPERIMENTS.md). The pre-optimization numbers — captured on the
+//! same scenario definitions immediately before the PR 2 hot-path
+//! work and again immediately before the PR 3 event-count surgery —
+//! are embedded below, so one file shows the whole trajectory.
 //!
 //! Usage:
-//!   selfbench [--quick] [--jobs N] [--reps R] [--out PATH]
+//!   selfbench [--quick] [--jobs N] [--reps R] [--out PATH] [--check]
 //!
 //! `--quick` shortens the simulated windows (the mode CI runs);
-//! `--jobs` defaults to `DCLUE_JOBS` or all cores; `--reps` takes the
-//! best of R wall-clock repetitions (default 1).
+//! `--jobs` defaults to `DCLUE_JOBS` or all cores (the resolved value
+//! and the machine's core count are both recorded in the output);
+//! `--reps` takes the best of R wall-clock repetitions (default 1).
+//! `--check` turns the run into a regression gate: it compares the
+//! exact-engine events/sec against the embedded pre-PR3 baseline
+//! (fail above 25% regression, warn above 10%) and asserts the
+//! machine-independent train-mode event-count cuts still hold.
 
 use dclue_cluster::{sweep, ClusterConfig, QosPolicy, World};
 use dclue_fault::FaultPlan;
@@ -25,8 +32,8 @@ use std::time::Instant;
 /// (best-of-N wall clock, captured on the same host and in the same
 /// session as the post-optimization run recorded at PR time — the
 /// host is a shared VM, so cross-epoch wall clocks do not compare).
-/// Events are machine-independent (the optimizations must not change
-/// the event stream).
+/// Events are machine-independent (the PR 2 optimizations must not
+/// change the event stream).
 const BASELINE_QUICK: &[(&str, f64, u64)] = &[
     ("baseline_n1", 0.011100, 26120),
     ("cluster_n8_a05", 0.546200, 1356626),
@@ -42,11 +49,40 @@ const BASELINE_FULL: &[(&str, f64, u64)] = &[
     ("fault_crash_n4", 0.379600, 897100),
 ];
 
+/// Pre-PR3 numbers, captured the same way immediately before the
+/// event-count surgery (timer-wheel generation cancel, segment
+/// trains, virtual-time FIFO transmitter). Event counts here are the
+/// "before" side of the PR 3 headline: they include every dead timer
+/// the wheel now cancels at re-arm, and no coalescing. The `--check`
+/// gate measures the current tree against these.
+const BASELINE_PR3_QUICK: &[(&str, f64, u64)] = &[
+    ("baseline_n1", 0.023903, 26120),
+    ("cluster_n8_a05", 0.941149, 1356626),
+    ("cluster_n16_a08", 1.632244, 2106387),
+    ("qos_ftp_n8", 0.561800, 947674),
+    ("fault_crash_n4", 0.203899, 302104),
+];
+const BASELINE_PR3_FULL: &[(&str, f64, u64)] = &[
+    ("baseline_n1", 0.055375, 70488),
+    ("cluster_n8_a05", 2.287058, 3204672),
+    ("cluster_n16_a08", 4.356208, 5045477),
+    ("qos_ftp_n8", 1.110666, 2160751),
+    ("fault_crash_n4", 0.590523, 897100),
+];
+
+/// Scenarios whose train-mode event count must stay >=30% below the
+/// pre-PR3 baseline (the tentpole claim `--check` guards).
+const TRAIN_CUT_SCENARIOS: [&str; 3] = ["cluster_n8_a05", "cluster_n16_a08", "qos_ftp_n8"];
+
 struct ScenarioResult {
     name: &'static str,
+    /// Train-mode (default engine) measurements.
     wall_s: f64,
     events: u64,
     committed: u64,
+    /// Segment-exact engine measurements on the same config + seed.
+    exact_wall_s: f64,
+    exact_events: u64,
 }
 
 fn scenario_cfg(name: &str, quick: bool) -> ClusterConfig {
@@ -107,28 +143,43 @@ const SCENARIOS: [&str; 5] = [
     "fault_crash_n4",
 ];
 
-fn run_scenario(name: &'static str, quick: bool, reps: u32) -> ScenarioResult {
-    let mut best: Option<ScenarioResult> = None;
+/// Best-of-`reps` wall clock for one scenario in one engine mode.
+/// Event counts and committed are deterministic per (config, mode),
+/// so only the wall clock varies across repetitions.
+fn time_mode(name: &str, quick: bool, reps: u32, exact: bool) -> (f64, u64, u64) {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut committed = 0u64;
     for _ in 0..reps.max(1) {
-        let mut w = World::new(scenario_cfg(name, quick));
+        let mut cfg = scenario_cfg(name, quick);
+        cfg.exact = exact;
+        let mut w = World::new(cfg);
         let t0 = Instant::now();
         let report = w.run();
         let wall_s = t0.elapsed().as_secs_f64();
-        let r = ScenarioResult {
-            name,
-            wall_s,
-            events: w.events_processed(),
-            committed: report.committed,
-        };
-        if best.as_ref().map(|b| r.wall_s < b.wall_s).unwrap_or(true) {
-            best = Some(r);
-        }
+        best_wall = best_wall.min(wall_s);
+        events = w.events_processed();
+        committed = report.committed;
     }
-    best.unwrap()
+    (best_wall, events, committed)
+}
+
+fn run_scenario(name: &'static str, quick: bool, reps: u32) -> ScenarioResult {
+    let (wall_s, events, committed) = time_mode(name, quick, reps, false);
+    let (exact_wall_s, exact_events, _) = time_mode(name, quick, reps, true);
+    ScenarioResult {
+        name,
+        wall_s,
+        events,
+        committed,
+        exact_wall_s,
+        exact_events,
+    }
 }
 
 /// The pool-speedup probe: a small scalability sweep (one seed per
-/// point), timed once serially and once through the pool.
+/// point), timed once serially and once through the pool. Runs the
+/// default (train) engine, like the figures harness.
 fn sweep_cfgs(quick: bool) -> Vec<ClusterConfig> {
     let mut cfgs = Vec::new();
     for &n in &[1u32, 2, 4, 8] {
@@ -136,6 +187,7 @@ fn sweep_cfgs(quick: bool) -> Vec<ClusterConfig> {
             let mut c = scenario_cfg("baseline_n1", quick);
             c.nodes = n;
             c.affinity = a;
+            c.exact = false;
             cfgs.push(c);
         }
     }
@@ -150,49 +202,122 @@ fn json_f(v: f64) -> String {
     }
 }
 
-fn scenario_json(name: &str, wall_s: f64, events: u64, committed: Option<u64>) -> String {
+fn baseline_json(name: &str, wall_s: f64, events: u64) -> String {
     let eps = if wall_s > 0.0 {
         events as f64 / wall_s
     } else {
         f64::NAN
     };
-    let committed = committed
-        .map(|c| format!(", \"committed\": {c}"))
-        .unwrap_or_default();
     format!(
-        "    {{\"name\": \"{name}\", \"wall_s\": {}, \"events\": {events}, \"events_per_sec\": {}{committed}}}",
+        "    {{\"name\": \"{name}\", \"wall_s\": {}, \"events\": {events}, \"events_per_sec\": {}}}",
         json_f(wall_s),
         json_f(eps)
     )
 }
 
+fn scenario_json(r: &ScenarioResult, pre_pr3: &[(&str, f64, u64)]) -> String {
+    let eps = r.events as f64 / r.wall_s.max(1e-9);
+    let exact_eps = r.exact_events as f64 / r.exact_wall_s.max(1e-9);
+    // Train-mode cut vs. the same-engine exact run (coalescing alone)
+    // and vs. the pre-PR3 engine (coalescing + dead-timer elimination:
+    // the headline before/after pair).
+    let delta_exact = 100.0 * (r.exact_events as f64 - r.events as f64) / r.exact_events as f64;
+    let base = pre_pr3
+        .iter()
+        .find(|(n, _, _)| *n == r.name)
+        .map(|&(_, _, e)| e)
+        .unwrap_or(r.exact_events);
+    let delta_pre = 100.0 * (base as f64 - r.events as f64) / base as f64;
+    format!(
+        "    {{\"name\": \"{}\", \"wall_s\": {}, \"events\": {}, \"events_per_sec\": {}, \
+         \"committed\": {}, \"exact_wall_s\": {}, \"exact_events\": {}, \
+         \"exact_events_per_sec\": {}, \"events_delta_pct\": {}, \
+         \"events_vs_pre_pr3_pct\": {}}}",
+        r.name,
+        json_f(r.wall_s),
+        r.events,
+        json_f(eps),
+        r.committed,
+        json_f(r.exact_wall_s),
+        r.exact_events,
+        json_f(exact_eps),
+        json_f(delta_exact),
+        json_f(delta_pre)
+    )
+}
+
+/// The `--check` regression gate. Wall-clock comparisons are host
+/// sensitive, hence the wide 25% fail threshold; the event-count cut
+/// checks are machine-independent and exact.
+fn check(results: &[ScenarioResult], pre_pr3: &[(&str, f64, u64)]) -> bool {
+    let mut ok = true;
+    for r in results {
+        let Some(&(_, base_wall, base_events)) = pre_pr3.iter().find(|(n, _, _)| *n == r.name)
+        else {
+            continue;
+        };
+        let base_eps = base_events as f64 / base_wall;
+        let cur_eps = r.exact_events as f64 / r.exact_wall_s.max(1e-9);
+        let regression = (base_eps - cur_eps) / base_eps;
+        if regression > 0.25 {
+            eprintln!(
+                "[selfbench] FAIL {:<16} exact events/sec regressed {:.1}% (baseline {:.0}, now {:.0})",
+                r.name,
+                100.0 * regression,
+                base_eps,
+                cur_eps
+            );
+            ok = false;
+        } else if regression > 0.10 {
+            eprintln!(
+                "[selfbench] WARN {:<16} exact events/sec down {:.1}% vs baseline (noisy hosts can do this)",
+                r.name,
+                100.0 * regression
+            );
+        }
+        if TRAIN_CUT_SCENARIOS.contains(&r.name) && (r.events as f64) > 0.70 * base_events as f64 {
+            eprintln!(
+                "[selfbench] FAIL {:<16} train-mode event cut below 30% vs pre-PR3: {} vs {}",
+                r.name, r.events, base_events
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check_mode = args.iter().any(|a| a == "--check");
     let get = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
+    let cores = sweep::available_jobs();
     let jobs = sweep::resolve_jobs(get("--jobs").and_then(|s| s.parse().ok()));
     let reps: u32 = get("--reps").and_then(|s| s.parse().ok()).unwrap_or(1);
     let out = get("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr2.json".into());
+        .unwrap_or_else(|| "BENCH_pr3.json".into());
 
     let mode = if quick { "quick" } else { "full" };
-    eprintln!("[selfbench] mode={mode} jobs={jobs} reps={reps}");
+    eprintln!("[selfbench] mode={mode} cores={cores} jobs={jobs} reps={reps}");
 
-    // Per-scenario serial measurements (the inner-loop trajectory).
+    // Per-scenario serial measurements, train + exact (the inner-loop
+    // trajectory).
     let mut results = Vec::new();
     for name in SCENARIOS {
         let r = run_scenario(name, quick, reps);
         eprintln!(
-            "[selfbench] {:<16} {:>8.3}s  {:>9} events  {:>12.0} ev/s  committed={}",
+            "[selfbench] {:<16} train {:>8.3}s {:>9} ev  exact {:>8.3}s {:>9} ev  cut {:>5.1}%  committed={}",
             r.name,
             r.wall_s,
             r.events,
-            r.events as f64 / r.wall_s,
+            r.exact_wall_s,
+            r.exact_events,
+            100.0 * (r.exact_events as f64 - r.events as f64) / r.exact_events as f64,
             r.committed
         );
         results.push(r);
@@ -213,34 +338,39 @@ fn main() {
         "[selfbench] sweep {tasks} tasks: serial {wall_serial:.3}s, pool(jobs={jobs}) {wall_pool:.3}s, speedup {speedup:.2}x"
     );
 
-    let baseline = if quick { BASELINE_QUICK } else { BASELINE_FULL };
+    let (base_pr2, base_pr3) = if quick {
+        (BASELINE_QUICK, BASELINE_PR3_QUICK)
+    } else {
+        (BASELINE_FULL, BASELINE_PR3_FULL)
+    };
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"dclue-selfbench/1\",\n");
+    j.push_str("  \"schema\": \"dclue-selfbench/2\",\n");
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    j.push_str(&format!("  \"jobs\": {jobs},\n"));
+    j.push_str(&format!("  \"cores\": {cores},\n"));
+    j.push_str(&format!("  \"jobs_resolved\": {jobs},\n"));
     j.push_str(&format!("  \"reps\": {reps},\n"));
-    j.push_str("  \"baseline_pre_pr2\": [\n");
-    let lines: Vec<String> = baseline
-        .iter()
-        .map(|(n, w, e)| scenario_json(n, *w, *e, None))
-        .collect();
-    j.push_str(&lines.join(",\n"));
-    if !lines.is_empty() {
-        j.push('\n');
+    for (key, base) in [
+        ("baseline_pre_pr2", base_pr2),
+        ("baseline_pre_pr3", base_pr3),
+    ] {
+        j.push_str(&format!("  \"{key}\": [\n"));
+        let lines: Vec<String> = base
+            .iter()
+            .map(|(n, w, e)| baseline_json(n, *w, *e))
+            .collect();
+        j.push_str(&lines.join(",\n"));
+        j.push_str("\n  ],\n");
     }
-    j.push_str("  ],\n");
     j.push_str("  \"scenarios\": [\n");
-    let lines: Vec<String> = results
-        .iter()
-        .map(|r| scenario_json(r.name, r.wall_s, r.events, Some(r.committed)))
-        .collect();
+    let lines: Vec<String> = results.iter().map(|r| scenario_json(r, base_pr3)).collect();
     j.push_str(&lines.join(",\n"));
     j.push('\n');
     j.push_str("  ],\n");
     j.push_str("  \"sweep\": {\n");
     j.push_str(&format!("    \"tasks\": {tasks},\n"));
-    j.push_str(&format!("    \"jobs\": {jobs},\n"));
+    j.push_str(&format!("    \"cores\": {cores},\n"));
+    j.push_str(&format!("    \"jobs_resolved\": {jobs},\n"));
     j.push_str(&format!("    \"wall_s_jobs1\": {},\n", json_f(wall_serial)));
     j.push_str(&format!("    \"wall_s_pool\": {},\n", json_f(wall_pool)));
     j.push_str(&format!("    \"speedup\": {}\n", json_f(speedup)));
@@ -249,4 +379,13 @@ fn main() {
 
     std::fs::write(&out, j).expect("write benchmark json");
     eprintln!("[selfbench] wrote {out}");
+
+    if check_mode {
+        if check(&results, base_pr3) {
+            eprintln!("[selfbench] regression check passed");
+        } else {
+            eprintln!("[selfbench] regression check FAILED");
+            std::process::exit(1);
+        }
+    }
 }

@@ -112,6 +112,11 @@ pub struct ClusterConfig {
     pub measure: Duration,
     pub warmup: Duration,
     pub seed: u64,
+    /// Segment-exact network simulation (the default). When `false`,
+    /// the fabric may coalesce steady-state bulk TCP segments into
+    /// train events — statistically equivalent but not bit-identical;
+    /// see DESIGN.md "The hybrid train model".
+    pub exact: bool,
     // ---- fabric ----
     /// Host and intra-lata link bandwidth, bit/s (10 Mb/s = scaled 1 Gb/s).
     pub link_bw: f64,
@@ -190,6 +195,7 @@ impl Default for ClusterConfig {
             measure: Duration::from_secs(30),
             warmup: Duration::from_secs(15),
             seed: 42,
+            exact: true,
             link_bw: 10e6,
             trunk_bw: 10e6,
             router_rate: 10_000.0,

@@ -27,6 +27,14 @@ use dclue_workload::tpcc_gen::home_node;
 /// cycles into release-and-retry.
 const LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(3);
 
+/// Keyed-timer key for a transaction's lock-wait safety timeout. Bit 60
+/// keeps the space disjoint from the TCP timer keys the network layer
+/// derives from connection ids (well below 2^35).
+#[inline]
+fn lock_key(txn: u64) -> u64 {
+    (1u64 << 60) | txn
+}
+
 #[inline]
 fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -258,7 +266,8 @@ impl World {
                             t.wait_started = Some(self.now);
                             t.wait_gen += 1;
                             let gen = t.wait_gen;
-                            self.heap.push(
+                            self.heap.arm_timer(
+                                lock_key(txn),
                                 self.now + LOCK_WAIT_TIMEOUT,
                                 Ev::LockWaitTimeout { txn, gen },
                             );
@@ -330,7 +339,8 @@ impl World {
                 // reset) must not strand the transaction.
                 t.wait_gen += 1;
                 let gen = t.wait_gen;
-                self.heap.push(
+                self.heap.arm_timer(
+                    lock_key(txn),
                     self.now + LOCK_WAIT_TIMEOUT,
                     Ev::LockWaitTimeout { txn, gen },
                 );
@@ -349,7 +359,8 @@ impl World {
                     // Granted while the burst was still running.
                     t.locks_held.push((master, res));
                     t.lock_idx += 1;
-                    t.wait_gen += 1; // cancel the timeout
+                    t.wait_gen += 1;
+                    self.heap.cancel_timer(lock_key(txn));
                     t.wait_started = None;
                     self.advance(txn);
                 } else {
@@ -673,7 +684,8 @@ impl World {
         }
         match outcome {
             LockWire::Granted => {
-                t.wait_gen += 1; // cancel the in-flight safety timeout
+                t.wait_gen += 1;
+                self.heap.cancel_timer(lock_key(txn));
                 t.locks_held.push((master, res));
                 t.lock_idx += 1;
                 t.acc += self.paths.lock_op;
@@ -688,13 +700,15 @@ impl World {
                 if self.measuring {
                     self.collect.lock_waits += 1;
                 }
-                self.heap.push(
+                self.heap.arm_timer(
+                    lock_key(txn),
                     self.now + LOCK_WAIT_TIMEOUT,
                     Ev::LockWaitTimeout { txn, gen },
                 );
             }
             LockWire::Busy => {
-                t.wait_gen += 1; // cancel the in-flight safety timeout
+                t.wait_gen += 1;
+                self.heap.cancel_timer(lock_key(txn));
                 if self.measuring {
                     self.collect.lock_busies += 1;
                 }
@@ -717,7 +731,8 @@ impl World {
                         self.collect.lock_wait.record_duration(wait);
                     }
                 }
-                t.wait_gen += 1; // cancels the timeout
+                t.wait_gen += 1;
+                self.heap.cancel_timer(lock_key(txn));
                 t.locks_held.push((master, res));
                 t.lock_idx += 1;
                 t.phase = Phase::Running;
@@ -779,6 +794,7 @@ impl World {
         t.lock_idx = 0;
         t.retries += 1;
         t.wait_gen += 1;
+        self.heap.cancel_timer(lock_key(txn));
         t.early_grant = None;
         t.phase = Phase::Retrying;
         let backoff_ms = 20u64 << t.retries.min(4);
@@ -968,6 +984,7 @@ impl World {
         let Some(t) = self.txns.remove(&txn) else {
             return;
         };
+        self.heap.cancel_timer(lock_key(txn));
         let node = t.node;
         self.nodes[node as usize].resident_txns -= 1;
         self.nodes[node as usize].cpu.exit(t.thread, self.now);

@@ -16,7 +16,7 @@ use dclue_net::tcp::TcpConfig;
 use dclue_net::types::Side;
 use dclue_net::{ConnId, HostId, LinkId, MsgId, NetEvent, NetNote, Network, NetworkBuilder};
 use dclue_platform::{Cpu, CpuEvent, CpuNote};
-use dclue_sim::{Duration, EventHeap, FxHashMap, Outbox, SimRng, SimTime};
+use dclue_sim::{Duration, EventHeap, FxHashMap, Outbox, SimRng, SimTime, TimerOp};
 use dclue_storage::{Disk, DiskEvent, DiskNote, RetryPolicy, StallGate};
 use dclue_workload::{route_node, FtpGenerator, FtpTransfer, TpccGenerator};
 use std::collections::{BTreeMap, VecDeque};
@@ -498,7 +498,8 @@ impl World {
         // latas, as in the paper's Fig 1).
         let ftp_client = b.host(lata_routers[0], cfg.link_bw, prop);
         let ftp_server = b.host(*lata_routers.last().unwrap(), cfg.link_bw, prop);
-        let net = b.build();
+        let mut net = b.build();
+        net.set_train_mode(!cfg.exact);
         let trunks: Vec<LinkId> = net
             .links()
             .iter()
@@ -816,6 +817,7 @@ impl World {
             max_syn_retrans: if long_lived { 30 } else { 6 },
             ecn: true,
             sack: true,
+            train: !self.cfg.exact,
         }
     }
 
@@ -896,6 +898,11 @@ impl World {
         self.heap.total_pushed()
     }
 
+    /// Segment-train fast-path telemetry (all zero in exact mode).
+    pub fn train_stats(&self) -> dclue_net::TrainStats {
+        self.net.train_stats
+    }
+
     // ------------------------------------------------------------------
     // Event dispatch and outbox plumbing
     // ------------------------------------------------------------------
@@ -971,6 +978,19 @@ impl World {
         let r = f(&mut self.net, &mut ob);
         for (t, e) in ob.events {
             self.heap.push(t, Ev::Net(e));
+        }
+        // Timer ops ride a separate channel so re-arms can cancel their
+        // predecessor keyed entry instead of leaving a dead event to pop.
+        // Draining them after the plain events is order-safe: within one
+        // dispatch, plain events land within the current transmit window
+        // (≈2 ms) while timers arm at least a delack (40 ms) out, so the
+        // two groups can never collide on a fire time and the relative
+        // seq order between them is unobservable.
+        for op in std::mem::take(&mut ob.timer_ops) {
+            match op {
+                TimerOp::Arm { key, at, ev } => self.heap.arm_timer(key, at, Ev::Net(ev)),
+                TimerOp::Cancel { key } => self.heap.cancel_timer(key),
+            }
         }
         let notes = std::mem::take(&mut ob.notes);
         for n in notes {

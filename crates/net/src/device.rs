@@ -12,7 +12,7 @@
 
 use crate::packet::Packet;
 use crate::types::{DeviceId, HostId, LinkId};
-use dclue_sim::Duration;
+use dclue_sim::{Duration, SimTime};
 use std::collections::VecDeque;
 
 /// Queueing discipline of a transmit port. The paper's experiments use
@@ -70,6 +70,10 @@ pub struct TxPort {
     pub discipline: Discipline,
     pub drop_policy: DropPolicy,
     queues: Vec<VecDeque<Packet>>,
+    /// Queue occupancy per class in *member* packets: a segment train
+    /// counts as its full length, so capacity, RED and ECN thresholds
+    /// see the same queue depth the segment-exact engine would.
+    members: Vec<usize>,
     /// Per-class capacity in packets (AF21 deeper than best effort).
     caps: Vec<usize>,
     /// Mark ECN-capable packets when the class queue is at/above this.
@@ -80,6 +84,18 @@ pub struct TxPort {
     wfq_turn: usize,
     /// Deterministic counter used by RED's drop decision.
     red_seq: u64,
+    /// Virtual-time transmitter (train mode, FIFO ports only): when the
+    /// departure schedule of a port is fully determined at enqueue time
+    /// — single FIFO, no loss window, healthy rate — committed packets
+    /// skip the `TxDone` event machinery entirely. Each admitted packet
+    /// gets its service start and finish computed analytically and only
+    /// its `Arrive` is scheduled. `virt` holds (service start, members)
+    /// of committed-but-not-yet-started transmissions so occupancy
+    /// checks (caps, RED, ECN, `train_safe`) can lazily reconstruct the
+    /// queue depth the segment-exact engine would see; those members
+    /// are also counted in `members[0]`.
+    free_at: SimTime,
+    virt: VecDeque<(SimTime, u16)>,
     pub busy: bool,
     /// Fault injection: a failed port black-holes everything offered to
     /// it (and its queue is flushed on failure).
@@ -106,15 +122,19 @@ impl TxPort {
                 vec![cap * 2, cap],
             ),
         };
+        let members = vec![0; queues.len()];
         TxPort {
             discipline,
             drop_policy,
             queues,
+            members,
             caps,
             ecn_thresh,
             credits: [0.0; 2],
             wfq_turn: 0,
             red_seq: 0,
+            free_at: SimTime::ZERO,
+            virt: VecDeque::new(),
             busy: false,
             failed: false,
             stats: PortStats::default(),
@@ -152,40 +172,166 @@ impl TxPort {
     }
 
     /// Fail or recover the port. Failing flushes everything queued (the
-    /// frames are lost, as on a real port going dark mid-burst).
+    /// frames are lost, as on a real port going dark mid-burst). Pending
+    /// virtual-time transmissions are flushed with the queue — their
+    /// `Arrive` events are already in flight, but the link itself going
+    /// dark is modeled at the receiver (see fault handling) — and the
+    /// transmitter restarts fresh on recovery.
     pub fn set_failed(&mut self, failed: bool) {
         self.failed = failed;
         if failed {
-            let flushed: usize = self.queues.iter().map(|q| q.len()).sum();
+            let flushed: usize = self.members.iter().sum();
             self.stats.fault_dropped += flushed as u64;
             self.queues.iter_mut().for_each(|q| q.clear());
+            self.members.iter_mut().for_each(|m| *m = 0);
+            self.virt.clear();
+            self.free_at = SimTime::ZERO;
         }
+    }
+
+    /// True when this port's departure schedule is fully determined at
+    /// enqueue time, so the caller may use [`TxPort::virtual_admit`]
+    /// instead of the `TxDone` event machinery: a single FIFO with the
+    /// exact-path transmitter idle (after a fault window the exact queue
+    /// drains first, keeping departures ordered across the switch).
+    #[inline]
+    pub fn virtual_ready(&self) -> bool {
+        matches!(self.discipline, Discipline::Fifo) && !self.busy && !self.failed
+    }
+
+    /// Retire virtual-time transmissions whose service has started by
+    /// `now`, so `members` reflects the occupancy the segment-exact
+    /// engine would see (packets awaiting service, excluding the one on
+    /// the wire).
+    pub fn drain_virtual(&mut self, now: SimTime) {
+        while let Some(&(start, n)) = self.virt.front() {
+            if start > now {
+                break;
+            }
+            self.members[0] -= n as usize;
+            self.virt.pop_front();
+        }
+    }
+
+    /// Admit a packet to the virtual-time transmitter: same capacity,
+    /// RED and ECN decisions as [`TxPort::enqueue`] against the lazily
+    /// drained occupancy, then an analytic service slot instead of a
+    /// queue entry. Returns the absolute time the packet finishes
+    /// transmission (propagation not included), or `None` if dropped.
+    /// The caller must have called [`TxPort::drain_virtual`] for `now`.
+    pub fn virtual_admit(&mut self, p: &mut Packet, now: SimTime, tx: Duration) -> Option<SimTime> {
+        let n = p.train.max(1) as usize;
+        if self.failed {
+            self.stats.fault_dropped += n as u64;
+            return None;
+        }
+        let qlen = self.members[0];
+        if qlen + n > self.caps[0] || self.red_drops(qlen) {
+            self.stats.dropped += n as u64;
+            return None;
+        }
+        if p.ect && qlen + n > self.ecn_thresh {
+            p.ce = true;
+            self.stats.ecn_marked += (n - (self.ecn_thresh.saturating_sub(qlen))) as u64;
+        }
+        let start = self.free_at.max(now);
+        self.free_at = start + tx;
+        self.virt.push_back((start, p.train.max(1)));
+        self.members[0] += n;
+        self.stats.enqueued += n as u64;
+        self.stats.bytes_tx += p.wire_bytes();
+        self.stats.pkts_tx += n as u64;
+        self.stats.busy += tx;
+        Some(self.free_at)
+    }
+
+    /// May a segment train ride through this port as a single unit?
+    ///
+    /// True only when queueing the train whole is behaviourally
+    /// equivalent to queueing its members back to back: a FIFO class (or
+    /// the top priority class, which nothing can preempt mid-train),
+    /// with enough headroom that no member could have been tail-dropped
+    /// or RED-dropped. ECN needs no split: threshold marking is
+    /// deterministic, so `enqueue` marks the train whenever any member
+    /// would have been marked — and one CE anywhere in a window triggers
+    /// the same single ECE response as a marked suffix would. Anything
+    /// else — WFQ interleaving, a lower priority class a newcomer could
+    /// overtake, a drop that would land mid-train — and the caller must
+    /// split the train first.
+    pub fn train_safe(&self, p: &Packet) -> bool {
+        let n = p.train.max(1) as usize;
+        if n == 1 {
+            return true;
+        }
+        let c = self.class_of(p);
+        match self.discipline {
+            Discipline::Fifo => {}
+            Discipline::Priority => {
+                // A lower class may fuse only while every higher class
+                // is idle; a backlogged higher class would interleave
+                // between members in exact mode. (A higher-class packet
+                // arriving *during* the fused transmission still waits
+                // out the train — a bounded deviation documented in
+                // DESIGN.md; on ports where the higher class is active,
+                // its queue is rarely empty, so trains split anyway.)
+                if self.queues[..c].iter().any(|q| !q.is_empty()) {
+                    return false;
+                }
+            }
+            Discipline::Wfq { .. } => return false,
+        }
+        let m = self.members[c];
+        if m + n > self.caps[c] {
+            return false;
+        }
+        if let DropPolicy::Red { min_th, .. } = self.drop_policy {
+            if m + n > min_th {
+                return false;
+            }
+        }
+        true
     }
 
     /// Enqueue with the configured drop policy and ECN marking. Returns
     /// false if dropped.
     pub fn enqueue(&mut self, mut p: Packet) -> bool {
+        let n = p.train.max(1) as usize;
         if self.failed {
-            self.stats.fault_dropped += 1;
+            self.stats.fault_dropped += n as u64;
             return false;
         }
         let c = self.class_of(&p);
-        let qlen = self.queues[c].len();
-        if qlen >= self.caps[c] || self.red_drops(qlen) {
-            self.stats.dropped += 1;
+        let qlen = self.members[c];
+        if qlen + n > self.caps[c] || self.red_drops(qlen) {
+            self.stats.dropped += n as u64;
             return false;
         }
-        if p.ect && self.queues[c].len() >= self.ecn_thresh {
+        // Exact-mode marking is a deterministic threshold on queue
+        // depth, so the members of a train that would have been marked
+        // are exactly the suffix enqueued at depth >= thresh. Mark the
+        // train when that suffix is non-empty; the receiver's response
+        // (one ECE episode per window) is identical either way.
+        if p.ect && qlen + n > self.ecn_thresh {
             p.ce = true;
-            self.stats.ecn_marked += 1;
+            self.stats.ecn_marked += (n - (self.ecn_thresh.saturating_sub(qlen))) as u64;
         }
         self.queues[c].push_back(p);
-        self.stats.enqueued += 1;
+        self.members[c] += n;
+        self.stats.enqueued += n as u64;
         true
     }
 
     /// Dequeue the next packet respecting the discipline.
     pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.dequeue_inner();
+        if let Some(p) = &p {
+            let c = self.class_of(p);
+            self.members[c] -= p.train.max(1) as usize;
+        }
+        p
+    }
+
+    fn dequeue_inner(&mut self) -> Option<Packet> {
         match self.discipline {
             Discipline::Fifo | Discipline::Priority => {
                 for q in &mut self.queues {
@@ -236,8 +382,9 @@ impl TxPort {
         }
     }
 
+    /// Queue occupancy in member packets (trains count their length).
     pub fn queued(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.members.iter().sum()
     }
 
     /// Update the WFQ weight at runtime (autonomic QoS controllers).
@@ -347,6 +494,8 @@ pub struct Router {
     /// Input queue in front of the forwarding engine.
     pub input: VecDeque<Packet>,
     pub input_cap: usize,
+    /// Input occupancy in member packets (trains count their length).
+    input_members: usize,
     /// Packet currently in the forwarding engine, if any.
     pub in_service: Option<Packet>,
     /// Static routes: destination host -> (link, direction).
@@ -362,35 +511,49 @@ impl Router {
             policy,
             input: VecDeque::new(),
             input_cap: 512,
+            input_members: 0,
             in_service: None,
             routes: RouteTable::default(),
             stats: RouterStats::default(),
         }
     }
 
+    /// Can a train be queued whole behind the busy engine? (Input is a
+    /// single FIFO, so order is preserved either way; the only thing
+    /// that could differ from member-by-member arrival is an overflow
+    /// drop landing mid-train.)
+    pub fn train_fits(&self, p: &Packet) -> bool {
+        self.input_members + p.train.max(1) as usize <= self.input_cap
+    }
+
     /// Offer a packet to the forwarding engine. Returns `true` if the
     /// engine was idle and service should be scheduled by the caller.
     pub fn offer(&mut self, p: Packet) -> bool {
+        let n = p.train.max(1) as usize;
         if self.in_service.is_none() {
             self.in_service = Some(p);
             true
-        } else if self.input.len() < self.input_cap {
+        } else if self.input_members + n <= self.input_cap {
             self.input.push_back(p);
+            self.input_members += n;
             false
         } else {
-            self.stats.input_dropped += 1;
+            self.stats.input_dropped += n as u64;
             false
         }
     }
 
     /// Complete service of the current packet; returns it plus whether a
-    /// follow-up service completion should be scheduled.
+    /// follow-up service completion should be scheduled. The follow-up
+    /// service time is `service * next.train` — read `in_service` for
+    /// the next packet's train length.
     pub fn complete(&mut self) -> (Option<Packet>, bool) {
         let done = self.in_service.take();
-        if done.is_some() {
-            self.stats.forwarded += 1;
+        if let Some(p) = &done {
+            self.stats.forwarded += p.train.max(1) as u64;
         }
         if let Some(next) = self.input.pop_front() {
+            self.input_members -= next.train.max(1) as usize;
             self.in_service = Some(next);
             (done, true)
         } else {
@@ -437,6 +600,7 @@ mod tests {
             dscp,
             ect,
             ce: false,
+            train: 1,
             seg: Segment {
                 conn: ConnId(0),
                 from: Side::Opener,

@@ -24,6 +24,6 @@ pub mod packet;
 pub mod tcp;
 pub mod types;
 
-pub use network::{Network, NetworkBuilder};
+pub use network::{Network, NetworkBuilder, TrainStats};
 pub use packet::{Dscp, Packet};
 pub use types::{ConnId, DeviceId, HostId, LinkId, MsgId, NetEvent, NetNote};

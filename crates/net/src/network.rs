@@ -10,11 +10,62 @@
 
 use crate::device::{Discipline, HostPort, Link, PortPolicy, Router, TxPort};
 use crate::packet::{Dscp, Packet};
-use crate::tcp::{Connection, TcpAppNote, TcpConfig, TcpOut, TimerKind};
+use crate::tcp::{Connection, Flags, Segment, TcpAppNote, TcpConfig, TcpOut, TimerKind};
 use crate::types::{ConnId, DeviceId, HostId, LinkId, MsgId, NetEvent, NetNote, Side};
 use dclue_sim::{FxHashMap, Outbox};
 
 type NetOutbox = Outbox<NetEvent, NetNote>;
+
+/// Stable key for a connection's keyed single-shot timers in the
+/// [`dclue_sim::EventHeap`] wheel. Five timers per connection; the
+/// engine layer above reserves keys with bit 60 set, so these never
+/// collide with it.
+#[inline]
+fn timer_key(conn: ConnId, kind: TimerKind) -> u64 {
+    let k = match kind {
+        TimerKind::Rtx(Side::Opener) => 0,
+        TimerKind::Rtx(Side::Acceptor) => 1,
+        TimerKind::DelAck(Side::Opener) => 2,
+        TimerKind::DelAck(Side::Acceptor) => 3,
+        TimerKind::Conn => 4,
+    };
+    conn.0 as u64 * 8 + k
+}
+
+/// A segment may join a train only if it is indistinguishable from a
+/// steady-state bulk data segment: full-size, plain ACK flags, no CWR
+/// (a one-shot signal pinned to a specific segment) and no SACK
+/// information to deliver. An ECE echo is allowed — it is a level
+/// signal repeated on every outgoing segment until the peer answers
+/// with CWR, so a run sharing the same `ece` value coalesces
+/// losslessly (the run condition enforces the match).
+#[inline]
+fn train_eligible(s: &Segment, mss: u64) -> bool {
+    s.len == mss && s.flags == Flags::ACK && !s.cwr && s.sack.is_empty()
+}
+
+/// Expand a train packet back into its member segments. The members are
+/// reconstructed exactly as the sender emitted them before coalescing:
+/// contiguous full-size segments sharing one ACK field.
+fn split_train(p: &Packet) -> impl Iterator<Item = Packet> + '_ {
+    let k = p.train.max(1) as u64;
+    let mss = p.seg.len / k;
+    (0..k).map(move |j| {
+        let mut q = p.clone();
+        q.train = 1;
+        q.seg.seq = p.seg.seq + j * mss;
+        q.seg.len = mss;
+        q
+    })
+}
+
+/// Longest train the coalescer will fuse — a receive window's worth of
+/// full-size segments, i.e. the largest back-to-back burst a sender can
+/// emit in one dispatch. A train's members arrive (and are cumulatively
+/// ACKed) together, so this also bounds the ACK compression a train can
+/// induce at the receiver — the main statistical deviation of train
+/// mode from segment-exact timing.
+const TRAIN_MAX: u16 = 64;
 
 /// Default queue capacity (packets) for host NIC ports.
 const HOST_QUEUE_CAP: usize = 1024;
@@ -46,6 +97,31 @@ pub struct Network {
     /// Drops/corruptions from loss windows that have already been
     /// cleared (the per-link counters die with the window).
     retired_loss: u64,
+    /// Recycled [`TcpOut`] buffers: every dispatch takes this, fills it,
+    /// and `absorb_tcp` puts it back cleared — no per-event allocation.
+    scratch: TcpOut,
+    /// Segment-train fast path enabled (statistical mode; see
+    /// `train_eligible` and `Connection::train_ok`).
+    train_mode: bool,
+    /// Train-mode telemetry, cumulative over the run.
+    pub train_stats: TrainStats,
+}
+
+/// Counters for the segment-train fast path (all zero in exact mode).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrainStats {
+    /// Trains of length > 1 built by the coalescer.
+    pub built: u64,
+    /// Member segments riding in those trains.
+    pub members: u64,
+    /// Trains split back into members at a queueing/marking point.
+    pub splits: u64,
+    /// Full-size bulk data segments seen by the coalescer (train-mode
+    /// only; the denominator for the coalescing rate).
+    pub bulk_segs: u64,
+    /// Bulk segments that could not coalesce because the connection
+    /// state failed [`Connection::train_ok`] at emission time.
+    pub gate_rejected: u64,
 }
 
 impl Network {
@@ -68,7 +144,7 @@ impl Network {
         self.next_conn += 1;
         let ecn = cfg.ecn;
         let mut conn = Connection::new(id, cfg);
-        let mut out = TcpOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         conn.open(ob.now(), &mut out);
         self.conns.insert(
             id,
@@ -95,7 +171,7 @@ impl Network {
         let Some(entry) = self.conns.get_mut(&conn) else {
             return;
         };
-        let mut out = TcpOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         entry.conn.send_msg(side, msg, bytes, ob.now(), &mut out);
         self.absorb_tcp(conn, out, ob);
     }
@@ -105,7 +181,7 @@ impl Network {
         let Some(entry) = self.conns.get_mut(&conn) else {
             return;
         };
-        let mut out = TcpOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         entry.conn.close(side, ob.now(), &mut out);
         self.absorb_tcp(conn, out, ob);
         self.reap();
@@ -116,7 +192,7 @@ impl Network {
         let Some(entry) = self.conns.get_mut(&conn) else {
             return;
         };
-        let mut out = TcpOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         entry.conn.abort(&mut out);
         self.absorb_tcp(conn, out, ob);
         self.reap();
@@ -134,6 +210,13 @@ impl Network {
         self.conns.len()
     }
 
+    /// Enable or disable the segment-train fast path. Off by default:
+    /// exact mode transmits every segment as its own packet and is
+    /// bit-reproducible against the pre-train engine.
+    pub fn set_train_mode(&mut self, on: bool) {
+        self.train_mode = on;
+    }
+
     // ------------------------------------------------------------------
     // Event dispatch
     // ------------------------------------------------------------------
@@ -149,21 +232,21 @@ impl Network {
             NetEvent::ForwardDone { router } => self.forward_done(router, ob),
             NetEvent::RtxTimer { conn, side, gen } => {
                 if let Some(entry) = self.conns.get_mut(&conn) {
-                    let mut out = TcpOut::new();
+                    let mut out = std::mem::take(&mut self.scratch);
                     entry.conn.on_rtx_timer(side, gen, ob.now(), &mut out);
                     self.absorb_tcp(conn, out, ob);
                 }
             }
             NetEvent::AckTimer { conn, side, gen } => {
                 if let Some(entry) = self.conns.get_mut(&conn) {
-                    let mut out = TcpOut::new();
+                    let mut out = std::mem::take(&mut self.scratch);
                     entry.conn.on_ack_timer(side, gen, ob.now(), &mut out);
                     self.absorb_tcp(conn, out, ob);
                 }
             }
             NetEvent::ConnTimer { conn, gen } => {
                 if let Some(entry) = self.conns.get_mut(&conn) {
-                    let mut out = TcpOut::new();
+                    let mut out = std::mem::take(&mut self.scratch);
                     entry.conn.on_conn_timer(gen, ob.now(), &mut out);
                     self.absorb_tcp(conn, out, ob);
                 }
@@ -195,21 +278,39 @@ impl Network {
         if packet.seg.len > 0 {
             ob.notify(NetNote::SegmentsReceived {
                 host,
-                segments: 1,
+                segments: packet.train.max(1) as u32,
                 bytes: packet.seg.len,
             });
         }
-        let mut out = TcpOut::new();
-        entry
-            .conn
-            .on_segment(side, &packet.seg, packet.ce, ob.now(), &mut out);
+        let mut out = std::mem::take(&mut self.scratch);
+        entry.conn.on_segments(
+            side,
+            &packet.seg,
+            packet.train.max(1),
+            packet.ce,
+            ob.now(),
+            &mut out,
+        );
         self.absorb_tcp(conn_id, out, ob);
     }
 
     fn router_receive(&mut self, router: u32, packet: Packet, ob: &mut NetOutbox) {
         let r = &mut self.routers[router as usize];
+        if packet.train > 1 && r.in_service.is_some() && !r.train_fits(&packet) {
+            // Input queue too full to take the train whole: its members
+            // queue (and overflow) individually, exactly as exact mode
+            // would have them.
+            self.train_stats.splits += 1;
+            for p in split_train(&packet) {
+                self.router_receive(router, p, ob);
+            }
+            return;
+        }
         if r.offer(packet) {
-            ob.schedule(r.service, NetEvent::ForwardDone { router });
+            // An idle engine swallows a whole train in one service
+            // event: k back-to-back packets take k service slots.
+            let train = r.in_service.as_ref().map_or(1, |p| p.train.max(1));
+            ob.schedule(r.service * train as u64, NetEvent::ForwardDone { router });
         }
     }
 
@@ -217,7 +318,8 @@ impl Network {
         let r = &mut self.routers[router as usize];
         let (done, more) = r.complete();
         if more {
-            ob.schedule(r.service, NetEvent::ForwardDone { router });
+            let train = r.in_service.as_ref().map_or(1, |p| p.train.max(1));
+            ob.schedule(r.service * train as u64, NetEvent::ForwardDone { router });
         }
         if let Some(p) = done {
             let route = self.routers[router as usize].routes.get(p.dst);
@@ -229,9 +331,61 @@ impl Network {
     }
 
     /// Enqueue a packet on a link's transmit port, starting the
-    /// transmitter if idle.
-    fn transmit(&mut self, link: LinkId, forward: bool, p: Packet, ob: &mut NetOutbox) {
+    /// transmitter if idle — or, in train mode on a port whose departure
+    /// schedule is fully determined at enqueue time (single FIFO, no
+    /// active loss window, healthy rate), commit the transmission
+    /// analytically and schedule only the packet's `Arrive`, eliminating
+    /// the per-packet `TxDone` event.
+    fn transmit(&mut self, link: LinkId, forward: bool, mut p: Packet, ob: &mut NetOutbox) {
+        let now = ob.now();
+        let virtual_path = {
+            let l = &mut self.links[link.0 as usize];
+            let ok = self.train_mode
+                && l.loss.is_none()
+                && l.rate_factor == 1.0
+                && l.port(forward).virtual_ready();
+            if ok {
+                // Retire started transmissions first so the occupancy
+                // checks below (train_safe, caps, RED, ECN) see the
+                // queue depth the segment-exact engine would.
+                l.port(forward).drain_virtual(now);
+            }
+            ok
+        };
+        if p.train > 1 {
+            // A train stays fused only through hops where queueing it
+            // whole is indistinguishable from queueing its members back
+            // to back (see `TxPort::train_safe`). An active loss window
+            // draws per frame, and a port where any member could be
+            // dropped, marked or overtaken mid-train is where those
+            // decisions become per-packet — expand back into exact
+            // segments there.
+            let l = &mut self.links[link.0 as usize];
+            let split = l.loss.is_some() || !l.port(forward).train_safe(&p);
+            if split {
+                self.train_stats.splits += 1;
+                for q in split_train(&p) {
+                    self.transmit(link, forward, q, ob);
+                }
+                return;
+            }
+        }
         let l = &mut self.links[link.0 as usize];
+        if virtual_path {
+            let tx = l.tx_time(p.wire_bytes());
+            let far = l.far(forward);
+            let prop = l.propagation;
+            if let Some(dep) = l.port(forward).virtual_admit(&mut p, now, tx) {
+                ob.schedule(
+                    (dep - now) + prop,
+                    NetEvent::Arrive {
+                        device: far,
+                        packet: p,
+                    },
+                );
+            }
+            return;
+        }
         // Fault injection: random loss ahead of the queue.
         if let Some(loss) = &mut l.loss {
             if loss.drop_prob > 0.0 && loss.rng.chance(loss.drop_prob) {
@@ -260,7 +414,7 @@ impl Network {
         {
             let port = l.port(forward);
             port.stats.bytes_tx += p.wire_bytes();
-            port.stats.pkts_tx += 1;
+            port.stats.pkts_tx += p.train.max(1) as u64;
             port.stats.busy += tx;
         }
         // Fault injection: corruption discards the frame at the receiver
@@ -289,17 +443,68 @@ impl Network {
         Self::start_tx(l, link, forward, ob);
     }
 
-    /// Convert TCP outputs into packets, timers and app notes.
-    fn absorb_tcp(&mut self, conn_id: ConnId, out: TcpOut, ob: &mut NetOutbox) {
+    /// Convert TCP outputs into packets, keyed timer ops and app notes.
+    /// Takes the [`TcpOut`] by value and recycles its buffers into
+    /// `self.scratch` on the way out.
+    fn absorb_tcp(&mut self, conn_id: ConnId, mut out: TcpOut, ob: &mut NetOutbox) {
         let Some(entry) = self.conns.get(&conn_id) else {
+            out.clear();
+            self.scratch = out;
             return;
         };
         let hosts = entry.hosts;
         let dscp = entry.dscp;
         let ect = entry.ecn;
         let dead = entry.conn.is_dead();
+        let mss = entry.conn.mss();
+        let train_ok = if self.train_mode {
+            [
+                entry.conn.train_ok(Side::Opener),
+                entry.conn.train_ok(Side::Acceptor),
+            ]
+        } else {
+            [false, false]
+        };
 
-        for seg in out.segs {
+        // Superseded timers die first, before any re-arm below — a
+        // handler may cancel a key and then re-arm it in one dispatch.
+        for kind in out.cancels.drain(..) {
+            ob.cancel_timer(timer_key(conn_id, kind));
+        }
+        let mut i = 0;
+        while i < out.segs.len() {
+            // Segment-train fast path: coalesce a run of back-to-back
+            // full-size bulk segments from one sender into one packet
+            // standing for the whole burst.
+            let mut train: u16 = 1;
+            if self.train_mode && train_eligible(&out.segs[i], mss) {
+                self.train_stats.bulk_segs += 1;
+                if !train_ok[out.segs[i].from.index()] {
+                    self.train_stats.gate_rejected += 1;
+                }
+            }
+            if train_ok[out.segs[i].from.index()] && train_eligible(&out.segs[i], mss) {
+                while i + (train as usize) < out.segs.len() && train < TRAIN_MAX {
+                    let a = &out.segs[i + train as usize - 1];
+                    let b = &out.segs[i + train as usize];
+                    if train_eligible(b, mss)
+                        && b.from == a.from
+                        && b.ack == a.ack
+                        && b.ece == a.ece
+                        && b.seq == a.seq + a.len
+                    {
+                        train += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let mut seg = out.segs[i].clone();
+            if train > 1 {
+                seg.len = mss * train as u64;
+                self.train_stats.built += 1;
+                self.train_stats.members += train as u64;
+            }
             let src = hosts[seg.from.index()];
             let dst = hosts[seg.from.other().index()];
             let packet = Packet {
@@ -308,12 +513,14 @@ impl Network {
                 dscp,
                 ect,
                 ce: false,
+                train,
                 seg,
             };
             let hp = self.host_ports[src.0 as usize];
             self.transmit(hp.link, hp.forward, packet, ob);
+            i += train as usize;
         }
-        for t in out.timers {
+        for t in out.timers.drain(..) {
             let ev = match t.kind {
                 TimerKind::Rtx(side) => NetEvent::RtxTimer {
                     conn: conn_id,
@@ -330,9 +537,9 @@ impl Network {
                     gen: t.gen,
                 },
             };
-            ob.schedule(t.delay, ev);
+            ob.arm_timer(timer_key(conn_id, t.kind), t.delay, ev);
         }
-        for note in out.notes {
+        for note in out.notes.drain(..) {
             let n = match note {
                 TcpAppNote::Established => NetNote::Established { conn: conn_id },
                 TcpAppNote::MessageDelivered {
@@ -353,8 +560,18 @@ impl Network {
             ob.notify(n);
         }
         if dead {
+            // Nothing may fire for a reaped connection: cancel all of
+            // its keyed timers (after the arms above, which must still
+            // consume their sequence numbers for reproducibility).
+            for side in [Side::Opener, Side::Acceptor] {
+                ob.cancel_timer(timer_key(conn_id, TimerKind::Rtx(side)));
+                ob.cancel_timer(timer_key(conn_id, TimerKind::DelAck(side)));
+            }
+            ob.cancel_timer(timer_key(conn_id, TimerKind::Conn));
             self.graveyard.push(conn_id);
         }
+        out.clear();
+        self.scratch = out;
     }
 
     fn reap(&mut self) {
@@ -643,6 +860,9 @@ impl NetworkBuilder {
             graveyard: Vec::new(),
             misrouted: 0,
             retired_loss: 0,
+            scratch: TcpOut::new(),
+            train_mode: false,
+            train_stats: TrainStats::default(),
         }
     }
 }

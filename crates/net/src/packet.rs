@@ -47,14 +47,20 @@ pub struct Packet {
     pub ect: bool,
     /// Congestion-experienced mark set by a router.
     pub ce: bool,
+    /// Number of back-to-back wire segments this packet stands for.
+    /// `1` for an ordinary packet; `> 1` for a segment train, in which
+    /// case `seg.len` spans the whole train and the wire carries one
+    /// header per member segment.
+    pub train: u16,
     pub seg: Segment,
 }
 
 impl Packet {
-    /// Total wire size including all protocol overhead.
+    /// Total wire size including all protocol overhead (one header per
+    /// train member — a train is a modeling artifact, not jumbo frames).
     #[inline]
     pub fn wire_bytes(&self) -> u64 {
-        HEADER_BYTES + self.seg.len
+        HEADER_BYTES * self.train.max(1) as u64 + self.seg.len
     }
 }
 
@@ -86,6 +92,7 @@ mod tests {
             dscp: Dscp::BestEffort,
             ect: false,
             ce: false,
+            train: 1,
             seg: seg(1460),
         };
         assert_eq!(p.wire_bytes(), 1460 + HEADER_BYTES);

@@ -156,12 +156,24 @@ pub enum TcpAppNote {
 pub struct TcpOut {
     pub segs: Vec<Segment>,
     pub timers: Vec<TimerReq>,
+    /// Timers whose pending arm is now known to be superseded (the
+    /// generation was bumped with nothing re-armed). The owner may
+    /// cancel the scheduled event instead of letting it fire dead.
+    pub cancels: Vec<TimerKind>,
     pub notes: Vec<TcpAppNote>,
 }
 
 impl TcpOut {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drop all contents, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.segs.clear();
+        self.timers.clear();
+        self.cancels.clear();
+        self.notes.clear();
     }
 }
 
@@ -194,6 +206,12 @@ pub struct TcpConfig {
     /// holes instead of NewReno's one-hole-per-RTT. The paper runs with
     /// SACK enabled.
     pub sack: bool,
+    /// Segment-train mode: steady-state bulk segments may arrive batched
+    /// (`on_segments` with `train > 1`), so congestion-avoidance growth
+    /// is byte-counted per acked byte (RFC 3465 style) to match the
+    /// effective per-2-segments growth of segment-exact mode regardless
+    /// of how many segments each ACK covers.
+    pub train: bool,
 }
 
 impl Default for TcpConfig {
@@ -213,6 +231,7 @@ impl Default for TcpConfig {
             max_syn_retrans: 5,
             ecn: true,
             sack: true,
+            train: false,
         }
     }
 }
@@ -510,6 +529,22 @@ impl Connection {
         now: SimTime,
         out: &mut TcpOut,
     ) {
+        self.on_segments(side, seg, 1, ce, now, out);
+    }
+
+    /// Handle an arriving segment that stands for `train` back-to-back
+    /// wire segments (train mode): `seg.len` covers the whole span, and
+    /// delayed-ACK accounting advances by the full segment count so one
+    /// train generates the same ACK cadence decision a burst would.
+    pub fn on_segments(
+        &mut self,
+        side: Side,
+        seg: &Segment,
+        train: u16,
+        ce: bool,
+        now: SimTime,
+        out: &mut TcpOut,
+    ) {
         debug_assert_eq!(seg.from, side.other());
         if self.ends[side.index()].state == ConnState::Dead {
             return;
@@ -538,7 +573,7 @@ impl Connection {
 
         // --- receive path: new data / FIN ---
         if seg.len > 0 || seg.flags.has(Flags::FIN) {
-            need_ack = self.receive_data(side, seg, now, out);
+            need_ack = self.receive_data(side, seg, train.max(1) as u32, now, out);
         }
 
         // --- send path: process the ACK field ---
@@ -649,6 +684,8 @@ impl Connection {
                 }
                 if !was_established {
                     out.notes.push(TcpAppNote::Established);
+                    // The pending SYN-retransmit timer is now moot.
+                    out.cancels.push(TimerKind::Conn);
                 }
                 // ACK the SYN-ACK and start pushing any queued data.
                 self.emit_ack(Side::Opener, out);
@@ -658,8 +695,16 @@ impl Connection {
         }
     }
 
-    /// Returns true if an ACK should be generated.
-    fn receive_data(&mut self, side: Side, seg: &Segment, now: SimTime, out: &mut TcpOut) -> bool {
+    /// Returns true if an ACK should be generated. `count` is the number
+    /// of wire segments this call stands for (1, or a train length).
+    fn receive_data(
+        &mut self,
+        side: Side,
+        seg: &Segment,
+        count: u32,
+        now: SimTime,
+        out: &mut TcpOut,
+    ) -> bool {
         let e = self.ep(side);
         let start = seg.seq;
         let mut end = seg.seq + seg.len;
@@ -699,7 +744,7 @@ impl Connection {
             }
         }
         let rcv_nxt = e.rcv_nxt;
-        e.delack_count += 1;
+        e.delack_count += count;
         // Message framing: deliver every message from the *peer* whose end
         // sequence is now contiguous.
         let peer = side.other();
@@ -729,6 +774,7 @@ impl Connection {
         let ack = seg.ack;
         let ece = seg.ece && self.cfg.ecn;
         let sack_on = self.cfg.sack;
+        let train_cfg = self.cfg.train;
 
         let e = self.ep(side);
         // Ingest SACK blocks into the scoreboard.
@@ -821,7 +867,25 @@ impl Connection {
             } else {
                 // Normal cwnd growth.
                 if e.cwnd < e.ssthresh {
-                    e.cwnd += (acked as f64).min(mss);
+                    if train_cfg && acked as f64 > 2.0 * mss {
+                        // Byte-counted slow start: in exact mode the
+                        // receiver ACKs every 2nd segment, so each ACK
+                        // covers ≤ 2·mss and grows cwnd by min(acked,
+                        // mss) = acked/2. When one cumulative ACK covers
+                        // a whole train, the same per-acked-byte rate
+                        // keeps the cwnd trajectory aligned with exact
+                        // mode (RFC 3465 spirit, L matched to delack).
+                        e.cwnd += acked as f64 / 2.0;
+                    } else {
+                        e.cwnd += (acked as f64).min(mss);
+                    }
+                } else if train_cfg {
+                    // Byte-counted congestion avoidance: in exact mode
+                    // the receiver ACKs every 2nd segment, so each ACK
+                    // grows cwnd by mss²/cwnd ≈ mss·acked/(2·cwnd). The
+                    // byte-counted form yields the same growth per acked
+                    // byte when a single ACK covers a whole train.
+                    e.cwnd += mss * (acked as f64) / (2.0 * e.cwnd);
                 } else {
                     e.cwnd += mss * mss / e.cwnd;
                 }
@@ -1017,6 +1081,7 @@ impl Connection {
             let e = self.ep(side);
             e.rtx_armed = false;
             e.rtx_gen += 1;
+            out.cancels.push(TimerKind::Rtx(side));
         }
     }
 
@@ -1043,6 +1108,10 @@ impl Connection {
         let sack_on = self.cfg.sack;
         let e = self.ep(side);
         e.delack_count = 0;
+        if e.delack_armed {
+            // This ACK supersedes the pending delayed-ACK timer.
+            out.cancels.push(TimerKind::DelAck(side));
+        }
         e.delack_armed = false;
         // Up to 3 SACK blocks, most recently received ranges first
         // (approximated by taking the highest ranges).
@@ -1080,6 +1149,41 @@ impl Connection {
     /// Current congestion window of `side` in bytes (diagnostics).
     pub fn cwnd(&self, side: Side) -> u64 {
         self.ends[side.index()].cwnd as u64
+    }
+
+    /// Configured maximum segment size.
+    pub fn mss(&self) -> u64 {
+        self.cfg.mss
+    }
+
+    /// True when `side` is in a regime where back-to-back full-size
+    /// segments may be coalesced into one train event without touching
+    /// congestion dynamics: established, not in loss recovery, no
+    /// dup-ACKs or SACK holes outstanding, no congestion-response
+    /// signal pending. Anywhere else, segments stay exact.
+    ///
+    /// Two states deliberately do *not* gate trains:
+    ///
+    /// - `ece_pending` (we saw CE on traffic *we received* and are
+    ///   echoing ECE outward) describes the reverse path's congestion,
+    ///   not this sender's response state, and on a one-way bulk flow
+    ///   with a congested ACK path it can persist for most of the
+    ///   transfer. A run of segments all carrying the same ECE echo
+    ///   coalesces losslessly — the peer's window reduction is
+    ///   once-per-RTT either way (`ack > ecn_recover` guard).
+    /// - Slow start (`cwnd < ssthresh`): the sender's burst structure is
+    ///   preserved by the train mechanics themselves (wire time, queue
+    ///   occupancy and RED/ECN decisions all see member counts), and
+    ///   cwnd growth under a train's cumulative ACK is byte-counted at
+    ///   the exact-mode delack rate, so the window trajectory matches.
+    pub fn train_ok(&self, side: Side) -> bool {
+        let e = &self.ends[side.index()];
+        self.established
+            && e.state == ConnState::Established
+            && !e.in_recovery
+            && e.dup_acks == 0
+            && e.sacked.is_empty()
+            && !e.cwr_pending
     }
 
     /// Current smoothed RTT estimate of `side`, if any (diagnostics).
@@ -1599,6 +1703,48 @@ mod tests {
         assert!(out.segs.is_empty(), "stale timers must be inert");
         p.absorb(out);
         assert_eq!(p.conn.stats.segs_sent, sent);
+    }
+
+    #[test]
+    fn prior_generation_timers_are_inert_after_bump() {
+        // The EventHeap wheel cancels a superseded arm while it is still
+        // wheel-resident, but an arm that already cascaded into the heap
+        // fires dead carrying its old generation — exactly one behind
+        // the current one. Every handler must treat that immediately
+        // prior generation as inert, same as an ancient one: the gen
+        // check, not the cancellation, is the correctness boundary.
+        let mut p = Pipe::new(cfg());
+        p.open();
+        p.send(Side::Opener, 1, 20_000);
+        p.run(10_000);
+        assert!(p.conn.is_established());
+        let rtx_gen = p.conn.ends[0].rtx_gen;
+        let delack_gen = p.conn.ends[1].delack_gen;
+        let conn_gen = p.conn.conn_gen;
+        assert!(rtx_gen > 0, "transfer must have armed RTO at least once");
+        assert!(
+            delack_gen > 0,
+            "transfer must have armed delack at least once"
+        );
+        let (sent, retx, timeouts) = (
+            p.conn.stats.segs_sent,
+            p.conn.stats.segs_retransmitted,
+            p.conn.stats.timeouts,
+        );
+        let mut out = TcpOut::new();
+        // RTO and delack one generation behind the latest bump, plus the
+        // SYN-retransmit timer firing after establishment (its gen is
+        // still current — the `established` check must gate it).
+        p.conn
+            .on_rtx_timer(Side::Opener, rtx_gen - 1, p.now, &mut out);
+        p.conn
+            .on_ack_timer(Side::Acceptor, delack_gen - 1, p.now, &mut out);
+        p.conn.on_conn_timer(conn_gen, p.now, &mut out);
+        assert!(out.segs.is_empty(), "gen-1 timers must emit nothing");
+        assert!(out.timers.is_empty(), "gen-1 timers must not re-arm");
+        assert_eq!(p.conn.stats.segs_sent, sent);
+        assert_eq!(p.conn.stats.segs_retransmitted, retx);
+        assert_eq!(p.conn.stats.timeouts, timeouts);
     }
 
     #[test]

@@ -30,6 +30,14 @@ impl Driver {
         for (t, e) in ob.events {
             self.heap.push(t, e);
         }
+        // Keyed timers ride the EventHeap's wheel: superseded arms are
+        // cancelled instead of firing dead.
+        for op in ob.timer_ops {
+            match op {
+                dclue_sim::TimerOp::Arm { key, at, ev } => self.heap.arm_timer(key, at, ev),
+                dclue_sim::TimerOp::Cancel { key } => self.heap.cancel_timer(key),
+            }
+        }
         for n in ob.notes {
             self.notes.push((now, n));
         }
@@ -116,6 +124,43 @@ fn message_crosses_one_router() {
     d.run_until(SimTime::ZERO + Duration::from_secs(2));
     assert_eq!(d.delivered_msgs(), vec![1]);
     assert_eq!(d.net.misrouted, 0);
+}
+
+#[test]
+fn wheel_cancels_superseded_timer_arms() {
+    // A multi-message transfer re-arms the RTO on every ACK and the
+    // delack timer on most data segments; nearly all of those arms are
+    // superseded before their deadline. With keyed timers riding the
+    // EventHeap wheel, the superseded generations must be cancelled
+    // in place — never popped — so total pops stay strictly below
+    // total pushes once the queue drains. (Pre-wheel, every dead arm
+    // was popped and dispatched as a stale-generation no-op.)
+    let (net, hosts) = single_lata(2);
+    let mut d = Driver::new(net);
+    let conn = d.with_net(|n, ob| {
+        n.open_connection(
+            hosts[0],
+            hosts[1],
+            Dscp::BestEffort,
+            TcpConfig::default(),
+            ob,
+        )
+    });
+    d.run_until(SimTime::ZERO + Duration::from_millis(50));
+    for m in 1..=20u64 {
+        d.with_net(|n, ob| n.send_message(conn, Side::Opener, dclue_net::MsgId(m), 16384, ob));
+    }
+    d.run_until(SimTime::ZERO + Duration::from_secs(10));
+    assert_eq!(d.delivered_msgs(), (1..=20).collect::<Vec<_>>());
+    assert!(
+        d.heap.is_empty(),
+        "transfer must quiesce so push/pop totals are comparable"
+    );
+    let (pushed, popped) = (d.heap.total_pushed(), d.heap.total_popped());
+    assert!(
+        popped < pushed,
+        "cancelled timer arms must never pop: pushed={pushed} popped={popped}"
+    );
 }
 
 #[test]

@@ -23,10 +23,49 @@
 //! whole bucket. The property test at the bottom drives 10k random
 //! interleaved operations — including pushes into the past — against a
 //! brute-force reference model.
+//!
+//! ## The timer wheel
+//!
+//! Single-shot protocol timers (TCP RTO, delayed ACK, SYN retransmit,
+//! lock-wait safety timeouts) are overwhelmingly *cancelled* — superseded
+//! by a newer arming long before their deadline. Heaping each arming and
+//! lazily discarding the stale pop wastes two O(log n) sifts plus one
+//! dispatched event per dead timer, and dead timers dominate the event
+//! count of a whole-cluster run.
+//!
+//! [`EventHeap::arm_timer`] instead parks the timer in a two-level
+//! hierarchical wheel (256 slots of ~1 ms, cascading from 256 slots of
+//! ~268 ms, with a far-overflow list). [`EventHeap::cancel_timer`] — or
+//! re-arming the same key — removes it in O(1) *before* it ever touches
+//! the heap. Only timers that survive to their deadline neighbourhood
+//! cascade into the heap, carrying the **sequence number assigned at
+//! arming time**. Because the heap orders by `(time, seq)` regardless of
+//! insertion order, a surviving timer fires at exactly the `(time, seq)`
+//! it would have had as a plain push — the pop stream of surviving
+//! events is bit-identical to the heap-everything engine; only the dead
+//! pops disappear. The wheel costs nothing when unused: every fast path
+//! is gated on `timers_live == 0`.
 
+use crate::hash::FxHashMap;
 use crate::time::{Duration, SimTime};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the level-0 slot width: 2^20 ns ≈ 1.05 ms per slot.
+const L0_SHIFT: u32 = 20;
+/// log2 of the slots per wheel level.
+const WHEEL_BITS: u32 = 8;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+const WHEEL_MASK: u64 = (WHEEL_SLOTS - 1) as u64;
+
+/// A parked timer: the payload plus the ordering identity it will carry
+/// into the heap if it survives to its deadline.
+struct TimerEnt<E> {
+    time: SimTime,
+    seq: u64,
+    key: u64,
+    payload: E,
+}
 
 /// Heap entries hold only ordering metadata plus a slab index; the
 /// payload itself sits still in `EventHeap::slots`. Sift operations
@@ -89,6 +128,29 @@ pub struct EventHeap<E> {
     pushed: u64,
     /// Total number of events ever popped (events actually processed).
     popped: u64,
+    // ---- timer wheel (see module docs) ----
+    /// Parked-timer slab; `None` slots are free, indices in `timer_free`.
+    timer_slots: Vec<Option<TimerEnt<E>>>,
+    timer_free: Vec<u32>,
+    /// Level 0: 256 slots of 2^20 ns. Cell `s & 255` holds timers whose
+    /// deadline slot `s` satisfies `wheel_pos <= s < wheel_pos + 256`.
+    /// Lazily allocated on the first `arm_timer`.
+    l0: Vec<Vec<(u32, u64)>>,
+    /// Level 1: 256 slots of 2^28 ns, strictly beyond the L0 window.
+    l1: Vec<Vec<(u32, u64)>>,
+    /// Timers beyond the L1 horizon (~68.7 s); re-examined at every L1
+    /// cascade boundary.
+    t_overflow: Vec<(u32, u64)>,
+    /// The next absolute L0 slot (`time >> L0_SHIFT`) not yet flushed.
+    /// All timers in slots `< wheel_pos` have been cascaded or cancelled.
+    wheel_pos: u64,
+    /// Number of timers currently parked in the wheel (not yet cascaded
+    /// or cancelled). Gates every wheel code path.
+    timers_live: usize,
+    /// key -> (slab index, seq) for the live timer armed under that key.
+    /// The entry is removed at cancel time *and* at cascade time, so a
+    /// key maps to at most one wheel-resident timer.
+    keyed: FxHashMap<u64, (u32, u64)>,
 }
 
 impl<E> Default for EventHeap<E> {
@@ -113,6 +175,14 @@ impl<E> EventHeap<E> {
             seq: 0,
             pushed: 0,
             popped: 0,
+            timer_slots: Vec::new(),
+            timer_free: Vec::new(),
+            l0: Vec::new(),
+            l1: Vec::new(),
+            t_overflow: Vec::new(),
+            wheel_pos: 0,
+            timers_live: 0,
+            keyed: FxHashMap::default(),
         }
     }
 
@@ -125,25 +195,38 @@ impl<E> EventHeap<E> {
         // bucket stays time-homogeneous (it is empty or already holds
         // `at`). Out-of-order pushes into the past fall through to the
         // heap, which handles any timestamp.
+        self.insert_raw(at, seq, payload);
+    }
+
+    /// Insert an event that already owns its sequence number, choosing
+    /// the same-time bucket or the heap exactly as `push` would.
+    fn insert_raw(&mut self, at: SimTime, seq: u64, payload: E) {
         if at == self.cur && self.immediate.front().is_none_or(|f| f.0 == at) {
             self.immediate.push_back((at, seq, payload));
         } else {
-            let slot = match self.free.pop() {
-                Some(i) => {
-                    self.slots[i as usize] = Some(payload);
-                    i
-                }
-                None => {
-                    self.slots.push(Some(payload));
-                    (self.slots.len() - 1) as u32
-                }
-            };
-            self.heap.push(Entry {
-                time: at,
-                seq,
-                slot,
-            });
+            self.heap_insert(at, seq, payload);
         }
+    }
+
+    /// Insert straight into the heap, preserving the given `(at, seq)`
+    /// identity. Used by `push` and by timer cascade, where the seq was
+    /// assigned at arming time.
+    fn heap_insert(&mut self, at: SimTime, seq: u64, payload: E) {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(payload);
+                i
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            slot,
+        });
     }
 
     /// Schedule `payload` at the current time plus `delay` — the time of
@@ -158,6 +241,9 @@ impl<E> EventHeap<E> {
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.timers_live > 0 {
+            self.flush_due_timers();
+        }
         let take_heap = match (self.heap.peek(), self.immediate.front()) {
             (None, None) => return None,
             (Some(_), None) => true,
@@ -180,13 +266,199 @@ impl<E> EventHeap<E> {
         }
     }
 
-    /// Time of the earliest pending event.
+    // ---- timer wheel ----
+
+    /// Arm (or re-arm) the single-shot timer identified by `key` to fire
+    /// at absolute time `at`. Any previously armed timer under the same
+    /// key is cancelled first, so a key holds at most one pending timer.
+    ///
+    /// The arming consumes a sequence number exactly like `push`, so the
+    /// surviving-event order of a run is unchanged whether timers are
+    /// armed here or pushed directly; only cancelled timers' dead pops
+    /// are saved.
+    pub fn arm_timer(&mut self, key: u64, at: SimTime, payload: E) {
+        self.cancel_timer(key);
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        if self.timers_live == 0 {
+            // Empty wheel: skip ahead over any timer-free gap. Safe
+            // because no slot below the current time can ever receive a
+            // future timer.
+            self.wheel_pos = self.wheel_pos.max(self.cur.0 >> L0_SHIFT);
+        }
+        let slot = at.0 >> L0_SHIFT;
+        if at <= self.cur || slot < self.wheel_pos {
+            // Due now / in the past, or inside an already-flushed slot:
+            // the wheel can no longer hold it, so it goes straight into
+            // the queue. A later cancel is then a no-op and the event
+            // fires dead — exactly the pre-wheel engine's behavior.
+            self.insert_raw(at, seq, payload);
+            return;
+        }
+        if self.l0.is_empty() {
+            self.l0.resize_with(WHEEL_SLOTS, Vec::new);
+            self.l1.resize_with(WHEEL_SLOTS, Vec::new);
+        }
+        let idx = match self.timer_free.pop() {
+            Some(i) => i,
+            None => {
+                self.timer_slots.push(None);
+                (self.timer_slots.len() - 1) as u32
+            }
+        };
+        self.timer_slots[idx as usize] = Some(TimerEnt {
+            time: at,
+            seq,
+            key,
+            payload,
+        });
+        self.keyed.insert(key, (idx, seq));
+        self.timers_live += 1;
+        self.place(idx, seq, slot);
+    }
+
+    /// Cancel the pending timer armed under `key`, if any. O(1). A timer
+    /// that has already cascaded into the heap (its deadline slot was
+    /// reached) can no longer be cancelled and will fire; callers guard
+    /// fired timers with a generation check, as they did before the
+    /// wheel existed.
+    pub fn cancel_timer(&mut self, key: u64) {
+        if let Some((idx, seq)) = self.keyed.remove(&key) {
+            let slot = &mut self.timer_slots[idx as usize];
+            debug_assert!(slot.as_ref().is_some_and(|e| e.seq == seq));
+            if slot.as_ref().is_some_and(|e| e.seq == seq) {
+                *slot = None;
+                self.timer_free.push(idx);
+                self.timers_live -= 1;
+                // The (idx, seq) pair left in its wheel cell is a
+                // tombstone; cascade skips it by seq validation.
+            }
+        }
+    }
+
+    /// File a live timer into the wheel level covering its deadline.
+    fn place(&mut self, idx: u32, seq: u64, slot: u64) {
+        debug_assert!(slot >= self.wheel_pos);
+        if slot - self.wheel_pos < WHEEL_SLOTS as u64 {
+            self.l0[(slot & WHEEL_MASK) as usize].push((idx, seq));
+        } else if (slot >> WHEEL_BITS) - (self.wheel_pos >> WHEEL_BITS) < WHEEL_SLOTS as u64 {
+            self.l1[((slot >> WHEEL_BITS) & WHEEL_MASK) as usize].push((idx, seq));
+        } else {
+            self.t_overflow.push((idx, seq));
+        }
+    }
+
+    /// Advance the wheel until every timer due at or before the next
+    /// queued event has cascaded into the heap (or, with an empty queue,
+    /// until the earliest surviving timer has). Called before each pop.
+    fn flush_due_timers(&mut self) {
+        loop {
+            let next_queued = match (self.heap.peek(), self.immediate.front()) {
+                (None, None) => None,
+                (Some(h), None) => Some(h.time),
+                (None, Some(&(t, _, _))) => Some(t),
+                (Some(h), Some(&(t, _, _))) => Some(h.time.min(t)),
+            };
+            match next_queued {
+                Some(t) => {
+                    // A timer in a slot beyond `t`'s cannot precede `t`.
+                    let limit = t.0 >> L0_SHIFT;
+                    while self.timers_live > 0 && self.wheel_pos <= limit {
+                        self.flush_slot();
+                    }
+                    return;
+                }
+                None => {
+                    if self.timers_live == 0 {
+                        return;
+                    }
+                    // Queue empty but timers pending: advance slot by
+                    // slot until one cascades, then re-check (it may
+                    // unblock further due slots — it can't, its slot was
+                    // just flushed, but the loop proves it).
+                    self.flush_slot();
+                }
+            }
+        }
+    }
+
+    /// Flush the single L0 slot at `wheel_pos`: cascade down from L1 and
+    /// the overflow list when entering a new L1 slot, then move every
+    /// surviving timer in the L0 cell into the heap with its original
+    /// `(time, seq)` identity.
+    fn flush_slot(&mut self) {
+        let pos = self.wheel_pos;
+        if pos & WHEEL_MASK == 0 && !self.l1.is_empty() {
+            let l1_cell = ((pos >> WHEEL_BITS) & WHEEL_MASK) as usize;
+            let mut cells = std::mem::take(&mut self.l1[l1_cell]);
+            for (idx, seq) in cells.drain(..) {
+                if let Some(e) = &self.timer_slots[idx as usize] {
+                    if e.seq == seq {
+                        let slot = e.time.0 >> L0_SHIFT;
+                        self.place(idx, seq, slot);
+                    }
+                }
+            }
+            self.l1[l1_cell] = cells;
+            if !self.t_overflow.is_empty() {
+                let far = std::mem::take(&mut self.t_overflow);
+                for (idx, seq) in far {
+                    if let Some(e) = &self.timer_slots[idx as usize] {
+                        if e.seq == seq {
+                            let slot = e.time.0 >> L0_SHIFT;
+                            // `place` re-files into the overflow list if
+                            // the deadline is still beyond the horizon.
+                            self.place(idx, seq, slot);
+                        }
+                    }
+                }
+            }
+        }
+        if !self.l0.is_empty() {
+            let cell = (pos & WHEEL_MASK) as usize;
+            if !self.l0[cell].is_empty() {
+                let mut cells = std::mem::take(&mut self.l0[cell]);
+                for (idx, seq) in cells.drain(..) {
+                    let live = self.timer_slots[idx as usize]
+                        .as_ref()
+                        .is_some_and(|e| e.seq == seq);
+                    if !live {
+                        continue; // tombstone of a cancelled/re-armed timer
+                    }
+                    let ent = self.timer_slots[idx as usize].take().unwrap();
+                    self.timer_free.push(idx);
+                    self.timers_live -= 1;
+                    debug_assert_eq!(self.keyed.get(&ent.key), Some(&(idx, seq)));
+                    self.keyed.remove(&ent.key);
+                    debug_assert!(ent.time > self.cur);
+                    self.heap_insert(ent.time, ent.seq, ent.payload);
+                }
+                self.l0[cell] = cells;
+            }
+        }
+        self.wheel_pos = pos + 1;
+    }
+
+    /// Time of the earliest pending event, timers included.
     pub fn peek_time(&self) -> Option<SimTime> {
-        match (self.heap.peek(), self.immediate.front()) {
+        let queued = match (self.heap.peek(), self.immediate.front()) {
             (None, None) => None,
             (Some(h), None) => Some(h.time),
             (None, Some(&(t, _, _))) => Some(t),
             (Some(h), Some(&(t, _, _))) => Some(h.time.min(t)),
+        };
+        if self.timers_live == 0 {
+            return queued;
+        }
+        let parked = self
+            .timer_slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|e| e.time))
+            .min();
+        match (queued, parked) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 
@@ -196,11 +468,11 @@ impl<E> EventHeap<E> {
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len() + self.immediate.len()
+        self.heap.len() + self.immediate.len() + self.timers_live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.immediate.is_empty()
+        self.heap.is_empty() && self.immediate.is_empty() && self.timers_live == 0
     }
 
     /// Total number of events pushed over the queue's lifetime.
@@ -380,6 +652,10 @@ mod tests {
                 .map(|(i, _)| i)?;
             Some(self.v.swap_remove(i))
         }
+        /// Model a timer cancellation: drop the entry armed as `seq`.
+        fn remove(&mut self, seq: u64) {
+            self.v.retain(|&(_, s)| s != seq);
+        }
     }
 
     #[test]
@@ -420,5 +696,175 @@ mod tests {
         assert_eq!(q.pop(), None);
         assert_eq!(q.total_pushed(), m.seq);
         assert_eq!(q.total_popped(), m.seq);
+    }
+
+    // ---- timer-wheel tests ----
+
+    /// One L0 slot in nanoseconds.
+    const G: u64 = 1 << 20;
+
+    #[test]
+    fn armed_timer_fires_at_exact_time_and_seq_order() {
+        // Timers and plain pushes at the *same* deadline must pop in
+        // pure arming/push order — the wheel cascade may not reorder
+        // same-deadline events even though it inserts them late.
+        let mut q = EventHeap::new();
+        let t = SimTime(5 * G + 123);
+        q.arm_timer(1, t, "t1"); // seq 0
+        q.push(t, "p1"); // seq 1
+        q.arm_timer(2, t, "t2"); // seq 2
+        q.push(t, "p2"); // seq 3
+        q.arm_timer(3, t, "t3"); // seq 4
+        for want in ["t1", "p1", "t2", "p2", "t3"] {
+            assert_eq!(q.pop(), Some((t, want)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_and_rearm_supersedes() {
+        let mut q = EventHeap::new();
+        q.arm_timer(7, SimTime(10 * G), "old");
+        q.arm_timer(7, SimTime(20 * G), "new"); // re-arm cancels "old"
+        q.arm_timer(8, SimTime(15 * G), "gone");
+        q.cancel_timer(8);
+        q.cancel_timer(99); // unknown key: no-op
+        q.push(SimTime(30 * G), "end");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime(20 * G), "new")));
+        assert_eq!(q.pop(), Some((SimTime(30 * G), "end")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        // Arms consume sequence numbers like pushes; cancels save pops.
+        assert_eq!(q.total_pushed(), 4);
+        assert_eq!(q.total_popped(), 2);
+    }
+
+    #[test]
+    fn cancel_after_cascade_is_a_noop_and_timer_fires() {
+        let mut q = EventHeap::new();
+        q.arm_timer(1, SimTime(2 * G + 5), "timer");
+        q.push(SimTime(2 * G + 1), "early");
+        // Popping "early" flushes the wheel through its slot, which
+        // cascades the timer into the heap.
+        assert_eq!(q.pop(), Some((SimTime(2 * G + 1), "early")));
+        // Too late: the timer is heap-resident now and must still fire
+        // (callers treat it as a stale generation).
+        q.cancel_timer(1);
+        assert_eq!(q.pop(), Some((SimTime(2 * G + 5), "timer")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn long_horizon_timers_cascade_through_levels() {
+        let mut q = EventHeap::new();
+        q.arm_timer(1, SimTime(100 * G + 7), 100u64);
+        q.arm_timer(2, SimTime(1000 * G + 7), 1000); // beyond L0 window
+        q.arm_timer(3, SimTime(100_000 * G + 7), 100_000); // beyond L1 horizon
+        assert_eq!(q.peek_time(), Some(SimTime(100 * G + 7)));
+        assert_eq!(q.len(), 3);
+        for i in 1..=10u64 {
+            q.push(SimTime(i * 11 * G), i);
+        }
+        let mut got = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            got.push((t.0 / G, v));
+        }
+        // Ticks at 11,22,..,99 precede the L0 timer (slot 100), then the
+        // last tick at 110, then the L1 and overflow timers — each fired
+        // at its exact deadline, never early.
+        let mut want: Vec<(u64, u64)> = (1..=9).map(|i| (i * 11, i)).collect();
+        want.push((100, 100));
+        want.push((110, 10));
+        want.push((1000, 1000));
+        want.push((100_000, 100_000));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn timer_armed_in_the_past_fires_immediately() {
+        let mut q = EventHeap::new();
+        q.push(SimTime(10 * G), "anchor");
+        assert_eq!(q.pop(), Some((SimTime(10 * G), "anchor")));
+        // Deadline at/before now: bypasses the wheel, fires as a plain
+        // event (and is no longer cancellable — like a due timer).
+        q.arm_timer(1, SimTime(10 * G), "due-now");
+        q.arm_timer(2, SimTime(3 * G), "past");
+        q.cancel_timer(1);
+        q.cancel_timer(2);
+        assert_eq!(q.pop(), Some((SimTime(3 * G), "past")));
+        assert_eq!(q.pop(), Some((SimTime(10 * G), "due-now")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn property_wheel_matches_model_under_arms_cancels_and_pushes() {
+        // Drives the wheel against the brute-force model with keyed
+        // arms across all three levels, cancellations, re-arms, plain
+        // pushes and pops. Cancels and re-arms only target timers whose
+        // deadline slot is provably still wheel-resident (beyond every
+        // popped time's slot), where model-removal and wheel-cancel
+        // agree; timers past that line are left to fire in both.
+        let mut rng = crate::SimRng::new(0xBEE1);
+        let mut q = EventHeap::new();
+        let mut m = Model {
+            v: Vec::new(),
+            seq: 0,
+        };
+        // key -> (deadline, seq) of the arm we still track.
+        let mut keys: std::collections::HashMap<u64, (SimTime, u64)> = Default::default();
+        let mut cur = SimTime::ZERO;
+        let mut max_pop = SimTime::ZERO;
+        let cancellable = |dl: SimTime, max_pop: SimTime| dl.0 / G > max_pop.0 / G;
+        for _ in 0..20_000 {
+            let r = rng.uniform(0, 100);
+            if r < 35 || q.is_empty() {
+                // Plain push near now, occasionally into the past.
+                let t = SimTime(cur.0.saturating_sub(2) + rng.uniform(0, 8));
+                let id = m.push(t);
+                q.push(t, id);
+            } else if r < 60 {
+                // Keyed arm, spanning L0, L1 and the overflow horizon.
+                let key = rng.uniform(0, 24);
+                let delta = match rng.uniform(0, 10) {
+                    0..=5 => rng.uniform(2 * G, 200 * G),
+                    6..=8 => rng.uniform(300 * G, 4000 * G),
+                    _ => rng.uniform(70_000 * G, 80_000 * G),
+                };
+                let t = SimTime(cur.0 + delta);
+                if let Some((dl, old)) = keys.remove(&key) {
+                    if cancellable(dl, max_pop) {
+                        m.remove(old); // the re-arm cancels it
+                    }
+                    // else: already cascaded — fires dead in both.
+                }
+                let id = m.push(t);
+                q.arm_timer(key, t, id);
+                keys.insert(key, (t, id));
+            } else if r < 70 {
+                let key = rng.uniform(0, 24);
+                if let Some(&(dl, old)) = keys.get(&key) {
+                    if cancellable(dl, max_pop) {
+                        keys.remove(&key);
+                        q.cancel_timer(key);
+                        m.remove(old);
+                    }
+                }
+            } else {
+                let got = q.pop();
+                assert_eq!(got, m.pop());
+                if let Some((t, _)) = got {
+                    cur = t;
+                    max_pop = max_pop.max(t);
+                }
+            }
+            assert_eq!(q.len(), m.v.len());
+        }
+        while let Some(want) = m.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushed(), m.seq);
     }
 }

@@ -31,6 +31,6 @@ pub mod time;
 
 pub use event::EventHeap;
 pub use hash::{FxHashMap, FxHashSet};
-pub use outbox::Outbox;
+pub use outbox::{Outbox, TimerOp};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};

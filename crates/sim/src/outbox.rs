@@ -15,12 +15,27 @@
 
 use crate::time::{Duration, SimTime};
 
+/// A keyed single-shot timer operation, drained in emission order. Kept
+/// as one ordered channel (rather than separate arm/cancel lists)
+/// because a handler may cancel a key and re-arm it in the same
+/// dispatch — the integration layer must replay those against the
+/// [`crate::EventHeap`] wheel in exactly the order they were emitted.
+#[derive(Debug)]
+pub enum TimerOp<E> {
+    /// Arm (or re-arm, superseding) the timer `key` to fire at `at`.
+    Arm { key: u64, at: SimTime, ev: E },
+    /// Cancel the pending timer `key`, if it has not cascaded yet.
+    Cancel { key: u64 },
+}
+
 /// Action list filled by a subsystem handler during one event dispatch.
 #[derive(Debug)]
 pub struct Outbox<E, N> {
     now: SimTime,
     /// `(fire_at, event)` pairs to be scheduled back into this subsystem.
     pub events: Vec<(SimTime, E)>,
+    /// Keyed timer arms/cancels, in emission order.
+    pub timer_ops: Vec<TimerOp<E>>,
     /// Notifications for the integration layer.
     pub notes: Vec<N>,
 }
@@ -31,6 +46,7 @@ impl<E, N> Outbox<E, N> {
         Outbox {
             now,
             events: Vec::new(),
+            timer_ops: Vec::new(),
             notes: Vec::new(),
         }
     }
@@ -54,6 +70,24 @@ impl<E, N> Outbox<E, N> {
         self.events.push((at.max(self.now), event));
     }
 
+    /// Arm the keyed single-shot timer `key` to fire `delay` from now,
+    /// superseding any earlier arm of the same key. Routed through
+    /// [`crate::EventHeap::arm_timer`] by the integration layer.
+    #[inline]
+    pub fn arm_timer(&mut self, key: u64, delay: Duration, ev: E) {
+        self.timer_ops.push(TimerOp::Arm {
+            key,
+            at: self.now + delay,
+            ev,
+        });
+    }
+
+    /// Cancel the keyed timer `key` if it is still pending.
+    #[inline]
+    pub fn cancel_timer(&mut self, key: u64) {
+        self.timer_ops.push(TimerOp::Cancel { key });
+    }
+
     /// Emit a notification for the integration layer.
     #[inline]
     pub fn notify(&mut self, note: N) {
@@ -62,7 +96,7 @@ impl<E, N> Outbox<E, N> {
 
     /// True if the handler produced no actions.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.notes.is_empty()
+        self.events.is_empty() && self.timer_ops.is_empty() && self.notes.is_empty()
     }
 }
 
@@ -83,6 +117,22 @@ mod tests {
         ob.schedule_at(SimTime(40), 1);
         ob.schedule_at(SimTime(140), 2);
         assert_eq!(ob.events, vec![(SimTime(100), 1), (SimTime(140), 2)]);
+    }
+
+    #[test]
+    fn timer_ops_keep_emission_order() {
+        let mut ob: Outbox<u32, ()> = Outbox::new(SimTime(100));
+        ob.cancel_timer(3);
+        ob.arm_timer(3, Duration(5), 9);
+        assert!(!ob.is_empty());
+        match &ob.timer_ops[..] {
+            [TimerOp::Cancel { key: 3 }, TimerOp::Arm {
+                key: 3,
+                at: SimTime(105),
+                ev: 9,
+            }] => {}
+            other => panic!("unexpected ops: {other:?}"),
+        }
     }
 
     #[test]
