@@ -857,6 +857,12 @@ fn main() {
         .unwrap_or(1);
     let jobs = sweep::resolve_jobs(flag_val("--jobs").and_then(|s| s.parse().ok()));
     let exact = args.iter().any(|a| a == "--exact");
+    // The metrics registry is thread-local, so `--metrics` pins the
+    // serial (jobs=1) path and dumps the registry when the run ends.
+    // Compiled in for debug builds or `--features dclue-trace/trace`.
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let jobs = if metrics { 1 } else { jobs };
+    dclue_trace::metrics::set_enabled(metrics);
     let opts = Opts {
         quick,
         seeds,
@@ -923,6 +929,11 @@ fn main() {
         other => {
             eprintln!("unknown figure '{other}'");
             std::process::exit(2);
+        }
+    }
+    if metrics {
+        for (k, v) in dclue_trace::metrics::snapshot() {
+            eprintln!("[figures] metric {which} {k}={v}");
         }
     }
     eprintln!("[figures] {which} done in {:?}", t0.elapsed());

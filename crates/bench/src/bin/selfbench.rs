@@ -12,6 +12,13 @@
 //!
 //! Usage:
 //!   selfbench [--quick] [--jobs N] [--reps R] [--out PATH] [--check]
+//!             [--metrics]
+//!
+//! `--metrics` dumps the dclue-trace gauge/counter registry after each
+//! scenario (one `metric <scenario> <name>=<value>` line per entry).
+//! The registry is only compiled in for debug builds or with
+//! `--features dclue-trace/trace`; a plain release build prints
+//! nothing.
 //!
 //! `--quick` shortens the simulated windows (the mode CI runs);
 //! `--jobs` defaults to `DCLUE_JOBS` or all cores (the resolved value
@@ -290,6 +297,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check_mode = args.iter().any(|a| a == "--check");
+    let metrics = args.iter().any(|a| a == "--metrics");
     let get = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -307,9 +315,16 @@ fn main() {
 
     // Per-scenario serial measurements, train + exact (the inner-loop
     // trajectory).
+    dclue_trace::metrics::set_enabled(metrics);
     let mut results = Vec::new();
     for name in SCENARIOS {
+        dclue_trace::metrics::clear();
         let r = run_scenario(name, quick, reps);
+        if metrics {
+            for (k, v) in dclue_trace::metrics::snapshot() {
+                eprintln!("[selfbench] metric {name} {k}={v}");
+            }
+        }
         eprintln!(
             "[selfbench] {:<16} train {:>8.3}s {:>9} ev  exact {:>8.3}s {:>9} ev  cut {:>5.1}%  committed={}",
             r.name,

@@ -130,6 +130,7 @@ impl World {
         };
         let id = self.next_txn;
         self.next_txn += 1;
+        dclue_trace::trace_span!(Db, Begin, self.now.0, "txn", id);
         let read_ts = self.db.next_ts();
         let thread = self.nodes[node as usize].cpu.spawn(id, self.now);
         self.nodes[node as usize].resident_txns += 1;
@@ -259,6 +260,8 @@ impl World {
                             t.lock_idx += 1;
                         }
                         LockOutcome::Queued => {
+                            dclue_trace::trace_event!(Db, self.now.0, "lock_wait", txn, res.page);
+                            dclue_trace::metric_add!("db.lock_waits", 1);
                             if self.measuring {
                                 self.collect.lock_waits += 1;
                             }
@@ -487,6 +490,7 @@ impl World {
             }
             let req = self.next_req;
             self.next_req += 1;
+            dclue_trace::trace_event!(Storage, self.now.0, "iscsi_issue", node, req);
             let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
             self.charge_then(node, instr, Action::Nop);
             self.send_ipc(
@@ -697,6 +701,8 @@ impl World {
                 t.wait_started = Some(self.now);
                 t.wait_gen += 1;
                 let gen = t.wait_gen;
+                dclue_trace::trace_event!(Db, self.now.0, "lock_wait_remote", txn, res.page);
+                dclue_trace::metric_add!("db.lock_waits", 1);
                 if self.measuring {
                     self.collect.lock_waits += 1;
                 }
@@ -985,6 +991,7 @@ impl World {
             return;
         };
         self.heap.cancel_timer(lock_key(txn));
+        dclue_trace::trace_span!(Db, End, self.now.0, "txn", txn, aborted as i64);
         let node = t.node;
         self.nodes[node as usize].resident_txns -= 1;
         self.nodes[node as usize].cpu.exit(t.thread, self.now);
@@ -1000,7 +1007,7 @@ impl World {
             }
             let lat = self.now.since(t.started);
             self.collect.txn_latency.record_duration(lat);
-            self.latency_hist.record(lat.as_secs_f64());
+            self.collect.latency_hist.record(lat.as_secs_f64());
         }
         if let Some(session) = t.session {
             self.reply_to_client(node, session);

@@ -1,10 +1,10 @@
 //! Measurement collection and the end-of-run report.
 
-use dclue_sim::stats::Tally;
+use dclue_sim::stats::{LogHistogram, Tally};
 use dclue_sim::SimTime;
 
 /// Counters accumulated during the measurement window.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
     pub committed: u64,
     pub committed_new_orders: u64,
@@ -34,11 +34,49 @@ pub struct Collector {
     pub aborted_by_fault: u64,
     /// iSCSI initiator command timeouts that led to a retry.
     pub iscsi_retries: u64,
+    /// Commit-latency distribution (seconds) for the window. Lives
+    /// here — not on `World` — so [`Collector::reset`] cannot leave
+    /// stale samples behind when the window restarts.
+    pub latency_hist: LogHistogram,
     pub window_start: SimTime,
 }
 
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            committed: 0,
+            committed_new_orders: 0,
+            aborted: 0,
+            ctl_msgs: 0,
+            data_msgs: 0,
+            storage_msgs: 0,
+            lock_waits: 0,
+            lock_busies: 0,
+            lock_wait: Tally::new(),
+            txn_latency: Tally::new(),
+            fusion_transfers: 0,
+            disk_reads: 0,
+            remote_disk_reads: 0,
+            log_writes: 0,
+            version_walks: 0,
+            ftp_denied: 0,
+            ipc_resets: 0,
+            ftp_bytes_delivered: 0.0,
+            ftp_transfers: 0,
+            aborted_by_fault: 0,
+            iscsi_retries: 0,
+            // 0.1 ms .. 100 s, 600 log bins: covers sub-ms cache hits
+            // through multi-second faulted commits.
+            latency_hist: LogHistogram::new(1e-4, 100.0, 600),
+            window_start: SimTime::default(),
+        }
+    }
+}
+
 impl Collector {
-    /// Restart the window (called at end of warm-up).
+    /// Restart the window (called at end of warm-up). Every counter,
+    /// tally and histogram restarts empty — a mid-window reset must not
+    /// leak samples from before the reset into the new window.
     pub fn reset(&mut self, now: SimTime) {
         *self = Collector {
             window_start: now,
@@ -133,5 +171,57 @@ impl Report {
             self.cpu_util,
             self.buffer_hit_ratio,
         )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // building dirty collectors is the point
+mod tests {
+    use super::*;
+
+    /// `reset` must restart the window with *nothing* carried over —
+    /// including the latency histogram, which used to live outside the
+    /// collector and silently kept its samples across a mid-window
+    /// reset.
+    #[test]
+    fn reset_clears_counters_tallies_and_histogram() {
+        let mut c = Collector::default();
+        c.committed = 7;
+        c.aborted = 2;
+        c.lock_waits = 3;
+        c.txn_latency.record(0.25);
+        c.lock_wait.record(0.01);
+        c.latency_hist.record(0.05);
+        c.latency_hist.record(1.5);
+        assert_eq!(c.latency_hist.count(), 2);
+
+        let t = SimTime(12_345);
+        c.reset(t);
+
+        assert_eq!(c.window_start, t);
+        assert_eq!(c.committed, 0);
+        assert_eq!(c.aborted, 0);
+        assert_eq!(c.lock_waits, 0);
+        assert_eq!(c.txn_latency.count(), 0);
+        assert_eq!(c.lock_wait.count(), 0);
+        assert_eq!(
+            c.latency_hist.count(),
+            0,
+            "histogram leaked samples across reset"
+        );
+        // The fresh histogram keeps the standard latency bounds.
+        assert_eq!(c.latency_hist.quantile(0.95), 0.0);
+    }
+
+    /// Two resets in a row behave identically to one (idempotent on an
+    /// already-clean collector).
+    #[test]
+    fn reset_is_idempotent() {
+        let mut c = Collector::default();
+        c.latency_hist.record(0.2);
+        c.reset(SimTime(10));
+        c.reset(SimTime(20));
+        assert_eq!(c.window_start, SimTime(20));
+        assert_eq!(c.latency_hist.count(), 0);
     }
 }

@@ -411,7 +411,6 @@ pub struct World {
     pub(crate) san_rr: usize,
     versions_at_warmup: u64,
     pub(crate) log_batches: Vec<LogBatch>,
-    pub(crate) latency_hist: dclue_sim::stats::LogHistogram,
     /// Autonomic QoS controller state: (baseline latency EWMA,
     /// recent latency EWMA, current AF weight).
     pub(crate) qos_ctl: (f64, f64, f64),
@@ -437,6 +436,10 @@ pub struct World {
 impl World {
     /// Build the whole cluster per the configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
+        // Arm the stateful invariant checks (debug/test builds) before
+        // any setup traffic: connection-open SYNs emitted here must be
+        // in the conservation ledger when `run` later delivers them.
+        dclue_trace::invariant::arm();
         let rng = SimRng::new(cfg.seed);
         let scale = cfg.tpcc_scale();
         let warehouses = scale.warehouses;
@@ -620,9 +623,6 @@ impl World {
             san_rr: 0,
             versions_at_warmup: 0,
             log_batches: (0..cfg.nodes).map(|_| LogBatch::default()).collect(),
-            // 0.1 scaled-ms .. 100 scaled-s, log-spaced: constant ~2.3%
-            // relative error on every quantile, head to tail.
-            latency_hist: dclue_sim::stats::LogHistogram::new(1e-4, 100.0, 600),
             qos_ctl: (0.0, 0.0, 0.6),
             timeline: Vec::new(),
             fault_sched: FaultScheduler::new(&cfg.fault_plan),
@@ -876,6 +876,8 @@ impl World {
     /// Run to completion and report.
     pub fn run(&mut self) -> Report {
         while let Some((t, ev)) = self.heap.pop() {
+            dclue_trace::invariant::clock(dclue_trace::invariant::Clock::Dispatch, 0, t.0);
+            dclue_trace::trace_event!(Sim, t.0, "dispatch", self.heap.total_popped());
             self.now = t;
             if matches!(ev, Ev::EndRun) {
                 self.done = true;
@@ -884,7 +886,9 @@ impl World {
             self.dispatch(ev);
         }
         debug_assert!(self.done, "event queue drained before EndRun");
-        self.build_report()
+        let report = self.build_report();
+        dclue_trace::invariant::disarm();
+        report
     }
 
     /// Events dispatched by the engine so far — the DES throughput
@@ -1458,6 +1462,7 @@ impl World {
             / self.nodes.len() as f64;
         self.timeline
             .push((self.now.as_secs_f64(), self.collect.committed, threads));
+        self.gauge_sample(threads);
         self.autonomic_qos_step();
         self.redrive_stale_page_waits();
         // MVCC pruning: nothing older than the oldest active snapshot is
@@ -1480,6 +1485,31 @@ impl World {
                 self.db.versions.add_capacity(bytes);
             }
         }
+    }
+
+    /// Publish the periodic gauge snapshot to the metrics registry.
+    /// Free when the registry is compiled out or not enabled.
+    fn gauge_sample(&mut self, threads: f64) {
+        if !dclue_trace::ENABLED || !dclue_trace::metrics::enabled() {
+            return;
+        }
+        dclue_trace::metric_gauge!("core.committed", self.collect.committed);
+        dclue_trace::metric_gauge!("core.live_txns", self.txns.len());
+        dclue_trace::metric_gauge!("platform.threads_avg", threads);
+        dclue_trace::metric_max!(
+            "sim.heap_pending_max",
+            self.heap.total_pushed() - self.heap.total_popped()
+        );
+        let lock_entries: usize = self.nodes.iter().map(|n| n.locks.live_entries()).sum();
+        dclue_trace::metric_max!("db.lock_entries_max", lock_entries);
+        let port_q = self
+            .net
+            .links()
+            .iter()
+            .map(|l| l.ports[0].queued().max(l.ports[1].queued()))
+            .max()
+            .unwrap_or(0);
+        dclue_trace::metric_max!("net.port_queue_max", port_q);
     }
 
     /// Re-drive fusion protocols whose responses were lost (only
@@ -1608,6 +1638,23 @@ impl World {
     }
 
     fn apply_fault(&mut self, kind: FaultKind) {
+        if dclue_trace::ENABLED {
+            let (label, a) = match &kind {
+                FaultKind::LinkDown(_) => ("fault_link_down", 0i64),
+                FaultKind::LinkUp(_) => ("fault_link_up", 0),
+                FaultKind::LinkDegrade { .. } => ("fault_link_degrade", 0),
+                FaultKind::LinkRestore(_) => ("fault_link_restore", 0),
+                FaultKind::RouterPortFail(_) => ("fault_port_fail", 0),
+                FaultKind::RouterPortRecover(_) => ("fault_port_recover", 0),
+                FaultKind::LossBurst { .. } => ("fault_loss_burst", 0),
+                FaultKind::LossClear(_) => ("fault_loss_clear", 0),
+                FaultKind::NodeCrash(n) => ("fault_node_crash", *n as i64),
+                FaultKind::NodeRestart(n) => ("fault_node_restart", *n as i64),
+                FaultKind::IscsiStall(n) => ("fault_iscsi_stall", *n as i64),
+                FaultKind::IscsiResume(n) => ("fault_iscsi_resume", *n as i64),
+            };
+            dclue_trace::trace_event!(Fault, self.now.0, label, a);
+        }
         match kind {
             FaultKind::LinkDown(l) => {
                 if let Some(id) = self.resolve_link(l) {
@@ -1853,9 +1900,11 @@ impl World {
             return; // stale timer from an earlier attempt
         }
         self.collect.iscsi_retries += 1;
+        dclue_trace::trace_event!(Storage, self.now.0, "iscsi_timeout", node, attempt);
         let next = attempt + 1;
         match self.iscsi_retry.timeout(next) {
             Some(to) => {
+                dclue_trace::trace_event!(Storage, self.now.0, "iscsi_retry", node, next);
                 self.iscsi_inflight.insert((node, page), next);
                 // Re-issue the command (fresh request id; the target
                 // treats it as new — duplicate data is idempotent).
@@ -1885,6 +1934,7 @@ impl World {
             None => {
                 // Out of attempts: the IO fails and every transaction
                 // waiting on the page aborts (clients retry).
+                dclue_trace::trace_event!(Storage, self.now.0, "iscsi_abandon", node, attempt);
                 self.iscsi_inflight.remove(&(node, page));
                 self.fail_pending_page(node, page);
             }
@@ -1914,8 +1964,9 @@ impl World {
 
     fn end_warmup(&mut self) {
         self.measuring = true;
+        // Also clears the embedded latency histogram — see
+        // `Collector::reset`.
         self.collect.reset(self.now);
-        self.latency_hist.reset();
         let now = self.now;
         for n in &mut self.nodes {
             n.cpu.stats.context_switches.reset();
@@ -1942,6 +1993,11 @@ impl World {
     }
 
     fn build_report(&mut self) -> Report {
+        // End-of-run structural check: every lock-table shard must be
+        // internally consistent (holders/waiters ↔ by_txn cross-index).
+        for n in &self.nodes {
+            n.locks.check_consistency(self.now.0);
+        }
         let window = self.now.since(self.collect.window_start);
         let wsecs = window.as_secs_f64().max(1e-9);
         let c = &self.collect;
@@ -2042,7 +2098,7 @@ impl World {
             fusion_transfers_per_txn: c.fusion_transfers as f64 / committed as f64,
             disk_reads_per_txn: c.disk_reads as f64 / committed as f64,
             version_walks_per_txn: c.version_walks as f64 / committed as f64,
-            txn_latency_p95_ms: self.latency_hist.quantile(0.95) * 1e3,
+            txn_latency_p95_ms: c.latency_hist.quantile(0.95) * 1e3,
             versions_created_per_txn: (self.db.versions.stats.versions_created
                 - self.versions_at_warmup) as f64
                 / committed as f64,

@@ -155,6 +155,7 @@ impl BufferCache {
         match self.map.get(&key).copied() {
             Some(f) => {
                 self.stats.hits += 1;
+                dclue_trace::metric_add!("db.buffer.hits", 1);
                 self.unlink(f);
                 self.push_front(f);
                 let fr = &mut self.frames[f as usize];
@@ -166,6 +167,7 @@ impl BufferCache {
             }
             None => {
                 self.stats.misses += 1;
+                dclue_trace::metric_add!("db.buffer.misses", 1);
                 false
             }
         }

@@ -237,6 +237,43 @@ impl LockTable {
     pub fn live_entries(&self) -> usize {
         self.entries.len()
     }
+
+    /// Debug-mode structural consistency check: every holder and waiter
+    /// must be registered in `by_txn`, and every `by_txn` resource must
+    /// still have a live entry. No-op unless the invariant layer is
+    /// compiled in and armed. `a` in a violation is the offending txn.
+    pub fn check_consistency(&self, t_ns: u64) {
+        if !dclue_trace::invariant::ACTIVE || !dclue_trace::invariant::armed() {
+            return;
+        }
+        for (res, e) in &self.entries {
+            for &(txn, _) in e.holders.iter().chain(e.waiters.iter()) {
+                let registered = self.by_txn.get(&txn).is_some_and(|v| v.contains(res));
+                dclue_trace::invariant::ensure(
+                    t_ns,
+                    registered,
+                    "lock_holder_not_in_by_txn",
+                    txn as i64,
+                    res.page as i64,
+                );
+            }
+        }
+        for (&txn, resources) in &self.by_txn {
+            for res in resources {
+                let live = self.entries.get(res).is_some_and(|e| {
+                    e.holders.iter().any(|&(t, _)| t == txn)
+                        || e.waiters.iter().any(|&(t, _)| t == txn)
+                });
+                dclue_trace::invariant::ensure(
+                    t_ns,
+                    live,
+                    "by_txn_entry_without_lock",
+                    txn as i64,
+                    res.page as i64,
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

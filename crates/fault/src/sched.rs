@@ -47,6 +47,10 @@ impl FaultScheduler {
             self.next += 1;
             self.applied += 1;
         }
+        if !out.is_empty() {
+            dclue_trace::trace_event!(Fault, now.0, "fault_due", self.applied, out.len());
+            dclue_trace::metric_add!("fault.injected", out.len());
+        }
         out
     }
 

@@ -208,6 +208,13 @@ impl TxPort {
             if start > now {
                 break;
             }
+            dclue_trace::invariant::ensure(
+                now.0,
+                self.members[0] >= n as usize,
+                "virtual_queue_depth_underflow",
+                self.members[0] as i64,
+                n as i64,
+            );
             self.members[0] -= n as usize;
             self.virt.pop_front();
         }
@@ -326,7 +333,15 @@ impl TxPort {
         let p = self.dequeue_inner();
         if let Some(p) = &p {
             let c = self.class_of(p);
-            self.members[c] -= p.train.max(1) as usize;
+            let n = p.train.max(1) as usize;
+            dclue_trace::invariant::ensure(
+                0,
+                self.members[c] >= n,
+                "port_queue_depth_underflow",
+                self.members[c] as i64,
+                n as i64,
+            );
+            self.members[c] -= n;
         }
         p
     }

@@ -264,6 +264,9 @@ impl Network {
             self.misrouted += 1;
             return;
         }
+        // The fabric may delay or drop segments, never mint them: every
+        // arrival at the addressed host must be covered by an emission.
+        dclue_trace::invariant::seg_delivered(ob.now().0, packet.train.max(1) as u64);
         let conn_id = packet.seg.conn;
         let Some(entry) = self.conns.get_mut(&conn_id) else {
             return; // stale segment for a reaped connection
@@ -301,16 +304,29 @@ impl Network {
             // queue (and overflow) individually, exactly as exact mode
             // would have them.
             self.train_stats.splits += 1;
+            dclue_trace::trace_event!(
+                Net,
+                ob.now().0,
+                "train_split_router_input",
+                router,
+                packet.train
+            );
             for p in split_train(&packet) {
                 self.router_receive(router, p, ob);
             }
             return;
         }
+        let dropped_before = r.stats.input_dropped;
         if r.offer(packet) {
             // An idle engine swallows a whole train in one service
             // event: k back-to-back packets take k service slots.
             let train = r.in_service.as_ref().map_or(1, |p| p.train.max(1));
             ob.schedule(r.service * train as u64, NetEvent::ForwardDone { router });
+        }
+        let over = r.stats.input_dropped - dropped_before;
+        if over > 0 {
+            dclue_trace::trace_event!(Net, ob.now().0, "router_input_drop", router, over);
+            dclue_trace::invariant::seg_dropped(ob.now().0, over);
         }
     }
 
@@ -361,28 +377,46 @@ impl Network {
             // decisions become per-packet — expand back into exact
             // segments there.
             let l = &mut self.links[link.0 as usize];
-            let split = l.loss.is_some() || !l.port(forward).train_safe(&p);
+            let loss_window = l.loss.is_some();
+            let split = loss_window || !l.port(forward).train_safe(&p);
             if split {
                 self.train_stats.splits += 1;
+                if loss_window {
+                    dclue_trace::trace_event!(Net, now.0, "train_split_loss", link.0, p.train);
+                } else {
+                    dclue_trace::trace_event!(Net, now.0, "train_split_port", link.0, p.train);
+                }
                 for q in split_train(&p) {
                     self.transmit(link, forward, q, ob);
                 }
                 return;
             }
         }
+        let n = p.train.max(1) as u64;
         let l = &mut self.links[link.0 as usize];
         if virtual_path {
             let tx = l.tx_time(p.wire_bytes());
             let far = l.far(forward);
             let prop = l.propagation;
-            if let Some(dep) = l.port(forward).virtual_admit(&mut p, now, tx) {
-                ob.schedule(
-                    (dep - now) + prop,
-                    NetEvent::Arrive {
-                        device: far,
-                        packet: p,
-                    },
-                );
+            let port = l.port(forward);
+            let marked_before = port.stats.ecn_marked;
+            match port.virtual_admit(&mut p, now, tx) {
+                Some(dep) => {
+                    if port.stats.ecn_marked > marked_before {
+                        dclue_trace::trace_event!(Net, now.0, "ecn_mark", link.0, n);
+                    }
+                    ob.schedule(
+                        (dep - now) + prop,
+                        NetEvent::Arrive {
+                            device: far,
+                            packet: p,
+                        },
+                    );
+                }
+                None => {
+                    dclue_trace::trace_event!(Net, now.0, "port_drop", link.0, n);
+                    dclue_trace::invariant::seg_dropped(now.0, n);
+                }
             }
             return;
         }
@@ -390,12 +424,20 @@ impl Network {
         if let Some(loss) = &mut l.loss {
             if loss.drop_prob > 0.0 && loss.rng.chance(loss.drop_prob) {
                 loss.dropped += 1;
+                dclue_trace::trace_event!(Net, now.0, "loss_drop", link.0, n);
+                dclue_trace::invariant::seg_dropped(now.0, n);
                 return;
             }
         }
         let port = l.port(forward);
+        let marked_before = port.stats.ecn_marked;
         if !port.enqueue(p) {
+            dclue_trace::trace_event!(Net, now.0, "port_drop", link.0, n);
+            dclue_trace::invariant::seg_dropped(now.0, n);
             return; // tail-dropped
+        }
+        if port.stats.ecn_marked > marked_before {
+            dclue_trace::trace_event!(Net, now.0, "ecn_mark", link.0, n);
         }
         if !port.busy {
             port.busy = true;
@@ -419,6 +461,11 @@ impl Network {
         }
         // Fault injection: corruption discards the frame at the receiver
         // but the transmission slot (bandwidth) is still consumed.
+        dclue_trace::invariant::clock(
+            dclue_trace::invariant::Clock::Port,
+            link.0 as usize * 2 + usize::from(!forward),
+            ob.now().0,
+        );
         let corrupted = l.loss.as_mut().is_some_and(|loss| {
             let hit = loss.corrupt_prob > 0.0 && loss.rng.chance(loss.corrupt_prob);
             if hit {
@@ -426,6 +473,10 @@ impl Network {
             }
             hit
         });
+        if corrupted {
+            dclue_trace::trace_event!(Net, ob.now().0, "corrupt_drop", link.0, p.train.max(1));
+            dclue_trace::invariant::seg_dropped(ob.now().0, p.train.max(1) as u64);
+        }
         if !corrupted {
             ob.schedule(
                 tx + l.propagation,
@@ -517,6 +568,7 @@ impl Network {
                 seg,
             };
             let hp = self.host_ports[src.0 as usize];
+            dclue_trace::invariant::seg_emitted(ob.now().0, train.max(1) as u64);
             self.transmit(hp.link, hp.forward, packet, ob);
             i += train as usize;
         }
@@ -539,7 +591,24 @@ impl Network {
             };
             ob.arm_timer(timer_key(conn_id, t.kind), t.delay, ev);
         }
+        dclue_trace::invariant::clock(
+            dclue_trace::invariant::Clock::Conn,
+            conn_id.0 as usize,
+            ob.now().0,
+        );
         for note in out.notes.drain(..) {
+            match &note {
+                TcpAppNote::Established => {
+                    dclue_trace::trace_event!(Net, ob.now().0, "tcp_established", conn_id.0);
+                }
+                TcpAppNote::Reset => {
+                    dclue_trace::trace_event!(Net, ob.now().0, "tcp_reset", conn_id.0);
+                }
+                TcpAppNote::Closed => {
+                    dclue_trace::trace_event!(Net, ob.now().0, "tcp_closed", conn_id.0);
+                }
+                TcpAppNote::MessageDelivered { .. } => {}
+            }
             let n = match note {
                 TcpAppNote::Established => NetNote::Established { conn: conn_id },
                 TcpAppNote::MessageDelivered {
@@ -624,14 +693,30 @@ impl Network {
     /// comes back, or resets the connection after `max_retrans`.
     pub fn set_link_up(&mut self, id: LinkId, up: bool) {
         let l = &mut self.links[id.0 as usize];
+        let flushed = if up {
+            0
+        } else {
+            l.ports[0].queued() + l.ports[1].queued()
+        };
         l.ports[0].set_failed(!up);
         l.ports[1].set_failed(!up);
+        if !up {
+            // The fault edge itself is traced by the caller (which
+            // knows the simulation clock); only the drop accounting
+            // happens here.
+            dclue_trace::invariant::seg_dropped(0, flushed as u64);
+        }
     }
 
     /// Fail or restore a single transmit direction — an individual
     /// router or NIC port dying while the reverse path stays healthy.
     pub fn set_port_failed(&mut self, id: LinkId, forward: bool, failed: bool) {
-        self.links[id.0 as usize].port(forward).set_failed(failed);
+        let port = self.links[id.0 as usize].port(forward);
+        let flushed = if failed { port.queued() } else { 0 };
+        port.set_failed(failed);
+        if failed {
+            dclue_trace::invariant::seg_dropped(0, flushed as u64);
+        }
     }
 
     /// Degrade (or restore, with 1.0) a link's effective service rate.

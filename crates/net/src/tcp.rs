@@ -622,6 +622,21 @@ impl Connection {
         e.rto = (e.rto * 2).min(max_rto);
         self.stats.timeouts += 1;
         self.stats.segs_retransmitted += 1;
+        dclue_trace::trace_event!(
+            Net,
+            now.0,
+            "tcp_rto",
+            self.id.0,
+            self.ep(side).retrans_count
+        );
+        dclue_trace::trace_span!(
+            Net,
+            Counter,
+            now.0,
+            "cwnd",
+            self.id.0,
+            self.ep(side).cwnd as i64
+        );
         self.pump(side, now, out);
     }
 
@@ -904,6 +919,15 @@ impl Connection {
                 e.ecn_recover = e.snd_nxt;
                 e.cwr_pending = true;
                 self.stats.ecn_reductions += 1;
+                dclue_trace::trace_event!(Net, now.0, "tcp_ecn_reduction", self.id.0);
+                dclue_trace::trace_span!(
+                    Net,
+                    Counter,
+                    now.0,
+                    "cwnd",
+                    self.id.0,
+                    self.ep(side).cwnd as i64
+                );
             }
             self.rearm_or_cancel_rtx(side, out);
             self.pump(side, now, out);
@@ -952,6 +976,15 @@ impl Connection {
                 e.recover = e.snd_nxt;
                 e.rtt_probe = None;
                 let id = self.id;
+                dclue_trace::trace_event!(Net, now.0, "tcp_fast_retransmit", id.0);
+                dclue_trace::trace_span!(
+                    Net,
+                    Counter,
+                    now.0,
+                    "cwnd",
+                    id.0,
+                    self.ep(side).cwnd as i64
+                );
                 let mss_b = self.cfg.mss;
                 let (rseq, rlen, ack_field, ece_echo) = {
                     let e = self.ep(side);

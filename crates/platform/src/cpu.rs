@@ -162,6 +162,7 @@ impl Cpu {
     pub fn spawn(&mut self, tag: u64, now: SimTime) -> ThreadId {
         self.live += 1;
         self.stats.live_threads.set(now, self.live as f64);
+        dclue_trace::metric_max!("platform.live_threads_max", self.live);
         if let Some(i) = self.free.pop() {
             self.threads[i as usize] = Thread {
                 tag,

@@ -392,6 +392,7 @@ impl<E> EventHeap<E> {
         if pos & WHEEL_MASK == 0 && !self.l1.is_empty() {
             let l1_cell = ((pos >> WHEEL_BITS) & WHEEL_MASK) as usize;
             let mut cells = std::mem::take(&mut self.l1[l1_cell]);
+            let cascaded = cells.len();
             for (idx, seq) in cells.drain(..) {
                 if let Some(e) = &self.timer_slots[idx as usize] {
                     if e.seq == seq {
@@ -400,6 +401,7 @@ impl<E> EventHeap<E> {
                     }
                 }
             }
+            dclue_trace::trace_event!(Sim, self.cur.0, "wheel_cascade_l1", pos, cascaded);
             self.l1[l1_cell] = cells;
             if !self.t_overflow.is_empty() {
                 let far = std::mem::take(&mut self.t_overflow);
@@ -419,6 +421,7 @@ impl<E> EventHeap<E> {
             let cell = (pos & WHEEL_MASK) as usize;
             if !self.l0[cell].is_empty() {
                 let mut cells = std::mem::take(&mut self.l0[cell]);
+                dclue_trace::trace_event!(Sim, self.cur.0, "wheel_flush_l0", pos, cells.len());
                 for (idx, seq) in cells.drain(..) {
                     let live = self.timer_slots[idx as usize]
                         .as_ref()
@@ -866,5 +869,135 @@ mod tests {
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
         assert_eq!(q.total_pushed(), m.seq);
+    }
+
+    // ---- slot-boundary cascade tests ----
+    //
+    // Deadlines landing exactly on L0 slot edges (t = k·G), on the
+    // L1→L0 cascade instant (t = 256·G, where `wheel_pos & WHEEL_MASK
+    // == 0`) and on the overflow horizon (t = 65536·G) are the
+    // off-by-one hot spots of the wheel's shift arithmetic. The
+    // uniform-random property test above almost never generates them.
+
+    #[test]
+    fn timers_at_exact_slot_edges_fire_at_their_deadline() {
+        let mut q = EventHeap::new();
+        let w = WHEEL_SLOTS as u64;
+        let edges = [
+            G,
+            2 * G,
+            (w - 1) * G, // last L0 slot
+            w * G,       // first L1 slot == cascade boundary
+            (w + 1) * G, // just past the boundary
+            2 * w * G,   // second cascade boundary
+            w * w * G,   // overflow horizon
+        ];
+        for (i, &t) in edges.iter().enumerate() {
+            q.arm_timer(i as u64, SimTime(t), t);
+        }
+        let mut got = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            assert_eq!(t.0, v, "timer fired away from its deadline");
+            got.push(t.0);
+        }
+        let mut want: Vec<u64> = edges.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cascade_boundary_timer_keeps_fifo_order_with_pushes() {
+        // A timer whose deadline is exactly the cascade instant moves
+        // L1→L0 and L0→heap inside a single `flush_slot` call; it must
+        // still interleave with plain pushes at the same deadline in
+        // pure sequence order.
+        let mut q = EventHeap::new();
+        let t = SimTime(WHEEL_SLOTS as u64 * G);
+        q.push(t, "p0"); // seq 0
+        q.arm_timer(1, t, "t1"); // seq 1 — parked in L1
+        q.push(t, "p2"); // seq 2
+        q.arm_timer(3, t, "t3"); // seq 3
+        for want in ["p0", "t1", "p2", "t3"] {
+            assert_eq!(q.pop(), Some((t, want)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_between_l1_cascade_and_l0_flush_still_wins() {
+        // Crossing the 256-slot boundary cascades the L1 cell down into
+        // L0, but a cascaded timer is still *wheel*-resident until its
+        // own L0 slot flushes — a cancel in that window must still win.
+        let mut q = EventHeap::new();
+        let w = WHEEL_SLOTS as u64;
+        let deadline = SimTime((w + 44) * G + 5);
+        q.arm_timer(1, deadline, "victim");
+        q.arm_timer(2, deadline, "survivor");
+        // Pop an event just past the boundary: flushes slots 0..=256,
+        // running the L1→L0 cascade at `wheel_pos == 256` without
+        // reaching the timers' own slot.
+        q.push(SimTime(w * G + 1), "early");
+        assert_eq!(q.pop(), Some((SimTime(w * G + 1), "early")));
+        q.cancel_timer(1);
+        q.push(SimTime(2 * w * G), "end");
+        assert_eq!(q.pop(), Some((deadline, "survivor")));
+        assert_eq!(q.pop(), Some((SimTime(2 * w * G), "end")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_boundary_cascade_to_heap_is_a_noop() {
+        // Same shape as `cancel_after_cascade_is_a_noop_and_timer_fires`
+        // but with the deadline in the very slot where the L1→L0
+        // cascade and the L0 flush happen in one step: once that slot
+        // flushes, the timer is heap-resident and the cancel is too late.
+        let mut q = EventHeap::new();
+        let w = WHEEL_SLOTS as u64;
+        q.arm_timer(1, SimTime(w * G + 7), "timer"); // L1-resident
+        q.push(SimTime(w * G + 2), "early");
+        assert_eq!(q.pop(), Some((SimTime(w * G + 2), "early")));
+        q.cancel_timer(1);
+        assert_eq!(q.pop(), Some((SimTime(w * G + 7), "timer")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn property_slot_aligned_deadlines_match_model() {
+        // Model check with every deadline pinned to an exact slot edge
+        // and half of them to multiples of the 256-slot cascade period.
+        let mut rng = crate::SimRng::new(0xA119);
+        let mut q = EventHeap::new();
+        let mut m = Model {
+            v: Vec::new(),
+            seq: 0,
+        };
+        let mut cur = 0u64;
+        let mut key = 0u64;
+        for _ in 0..5_000 {
+            if rng.uniform(0, 10) < 6 || q.is_empty() {
+                let slots = if rng.uniform(0, 2) == 0 {
+                    rng.uniform(1, 4) * WHEEL_SLOTS as u64
+                } else {
+                    rng.uniform(1, 600)
+                };
+                let t = SimTime((cur / G + slots) * G);
+                let id = m.push(t);
+                key += 1;
+                q.arm_timer(key, t, id);
+            } else {
+                let got = q.pop();
+                assert_eq!(got, m.pop());
+                if let Some((t, _)) = got {
+                    cur = t.0;
+                }
+            }
+            assert_eq!(q.len(), m.v.len());
+        }
+        while let Some(want) = m.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
     }
 }

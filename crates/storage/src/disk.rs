@@ -127,6 +127,7 @@ impl Disk {
     /// Submit a request; completion arrives as a [`DiskNote::Complete`].
     pub fn submit(&mut self, req: DiskRequest, ob: &mut DiskOutbox) {
         self.stats.queue_len.record(self.queued() as f64);
+        dclue_trace::metric_max!("storage.disk.queue_max", self.queued() as f64);
         if self.cfg.elevator {
             self.pending.entry(req.lba).or_default().push(req);
         } else {

@@ -160,4 +160,121 @@ mod tests {
         assert_eq!(g.purge(), 2);
         assert_eq!(g.resume(), Vec::<u32>::new());
     }
+
+    // ---- timeout/backoff sequencing under an injected target stall ----
+
+    #[test]
+    fn default_policy_sequence_is_pinned() {
+        // The cluster engine's dead-target detection horizon is the sum
+        // of this schedule; pin it so a config drift shows up as a test
+        // failure, not a silently different failover time.
+        let p = RetryPolicy::default();
+        let want = [4u64, 8, 16, 16, 16, 16];
+        for (n, &secs) in want.iter().enumerate() {
+            assert_eq!(p.timeout(n as u32), Some(Duration::from_secs(secs)));
+        }
+        assert_eq!(p.timeout(6), None);
+        let horizon: Duration = (0..6).map(|n| p.timeout(n).unwrap()).sum();
+        assert_eq!(horizon, Duration::from_secs(76));
+    }
+
+    /// Drive one command against a target stalled on `[0, resume_at)`:
+    /// the initiator issues attempt `n`, and while the gate is stalled
+    /// the command parks and the attempt-`n` timeout eventually fires a
+    /// redrive. `Ok((attempt, t))` is the attempt and time at which the
+    /// target finally accepted the command; `Err(t)` is the abandonment
+    /// time once the policy runs out of attempts.
+    fn drive(policy: &RetryPolicy, resume_at: Duration) -> Result<(u32, Duration), Duration> {
+        let mut gate: StallGate<u32> = StallGate::default();
+        gate.stall();
+        let mut t = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            if t >= resume_at && gate.is_stalled() {
+                // The resumed batch holds every redrive parked so far,
+                // in arrival (attempt) order.
+                let released = gate.resume();
+                assert_eq!(released, (0..attempt).collect::<Vec<_>>());
+            }
+            if let Some(a) = gate.admit(attempt) {
+                return Ok((a, t));
+            }
+            match policy.timeout(attempt) {
+                Some(dt) => {
+                    t += dt;
+                    attempt += 1;
+                }
+                None => return Err(t),
+            }
+        }
+    }
+
+    #[test]
+    fn short_stall_recovers_on_first_redrive() {
+        // Target resumes inside the first timeout window: exactly one
+        // redrive, accepted at the attempt-0 deadline (4 s).
+        let p = RetryPolicy::default();
+        assert_eq!(
+            drive(&p, Duration::from_secs(3)),
+            Ok((1, Duration::from_secs(4)))
+        );
+    }
+
+    #[test]
+    fn mid_schedule_resume_lands_on_the_backoff_grid() {
+        // Redrives can only happen at cumulative-timeout instants
+        // (4, 12, 28, 44, 60 s with the default policy); a resume at
+        // 20 s is therefore observed at the 28 s redrive, attempt 3.
+        let p = RetryPolicy::default();
+        assert_eq!(
+            drive(&p, Duration::from_secs(20)),
+            Ok((3, Duration::from_secs(28)))
+        );
+    }
+
+    #[test]
+    fn stall_outlasting_the_schedule_abandons_at_the_horizon() {
+        // A stall longer than the whole schedule: all six attempts park
+        // and time out, and the command is abandoned at exactly the
+        // 76 s detection horizon.
+        let p = RetryPolicy::default();
+        assert_eq!(
+            drive(&p, Duration::from_secs(1_000)),
+            Err(Duration::from_secs(76))
+        );
+    }
+
+    #[test]
+    fn resume_exactly_at_a_redrive_instant_accepts_that_redrive() {
+        // Boundary case: resume at t == a redrive instant must accept
+        // that very redrive (>= comparison), not wait for the next one.
+        let p = RetryPolicy::default();
+        assert_eq!(
+            drive(&p, Duration::from_secs(12)),
+            Ok((2, Duration::from_secs(12)))
+        );
+    }
+
+    #[test]
+    fn crash_mid_stall_purges_redrives_but_schedule_runs_on() {
+        // The stalled node crashes at 12 s: everything parked dies with
+        // it. The initiator-side schedule is independent state and
+        // still walks to abandonment; a post-crash restart (fresh gate)
+        // accepts the next redrive immediately.
+        let p = RetryPolicy::default();
+        let mut gate: StallGate<u32> = StallGate::default();
+        gate.stall();
+        let mut t = Duration::ZERO;
+        let mut attempt = 0u32;
+        while t < Duration::from_secs(12) {
+            assert_eq!(gate.admit(attempt), None);
+            t += p.timeout(attempt).unwrap();
+            attempt += 1;
+        }
+        assert_eq!(gate.purge(), 2); // attempts 0 and 1 die with the node
+        gate.resume(); // restart: gate comes back healthy and empty
+        assert_eq!(gate.parked(), 0);
+        assert_eq!(gate.admit(attempt), Some(2));
+        assert!(p.timeout(attempt).is_some(), "schedule had attempts left");
+    }
 }

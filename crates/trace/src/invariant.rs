@@ -1,0 +1,287 @@
+//! Debug-mode runtime invariant checks.
+//!
+//! The DES engine's correctness rests on a handful of structural
+//! properties that no single unit test can pin: simulation clocks
+//! never run backwards per entity, segments handed to the fabric are
+//! eventually delivered or accounted as drops (never duplicated into
+//! existence), queue depths never go negative, and lock tables are
+//! consistent when a run quiesces. This module checks them *during*
+//! every debug/test run and, on violation, panics carrying the tail of
+//! the trace flight recorder — turning every existing test and example
+//! into a self-checking run with a post-mortem attached.
+//!
+//! Checks are compiled out of plain release builds ([`ACTIVE`] mirrors
+//! [`crate::ENABLED`]). The stateful checks (clocks, conservation) are
+//! additionally **armed** only inside an integration-level run
+//! (`World::run` arms and disarms): subsystem unit tests drive state
+//! machines directly with hand-built inputs, where global conservation
+//! bookkeeping is meaningless and would false-positive.
+
+use std::cell::{Cell, RefCell};
+
+/// Compile-time switch; identical to [`crate::ENABLED`].
+pub const ACTIVE: bool = crate::ENABLED;
+
+/// How many flight-recorder records a violation panic carries.
+pub const TAIL_N: usize = 32;
+
+/// Per-entity clock families checked for monotonicity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Clock {
+    /// The global dispatch clock (entity id 0).
+    Dispatch = 0,
+    /// Per-node engine clock.
+    Node = 1,
+    /// Per-connection TCP clock.
+    Conn = 2,
+    /// Per-port transmit clock.
+    Port = 3,
+}
+
+const CLOCK_FAMILIES: usize = 4;
+
+struct State {
+    clocks: [Vec<u64>; CLOCK_FAMILIES],
+    seg_emitted: u64,
+    seg_delivered: u64,
+    seg_dropped: u64,
+}
+
+impl State {
+    const fn new() -> State {
+        State {
+            clocks: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            seg_emitted: 0,
+            seg_delivered: 0,
+            seg_dropped: 0,
+        }
+    }
+}
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<State> = const { RefCell::new(State::new()) };
+}
+
+/// Arm the stateful checks for an integration run, resetting all
+/// per-run state. Called by `World::run` on entry.
+#[inline]
+pub fn arm() {
+    if !ACTIVE {
+        return;
+    }
+    STATE.with(|s| *s.borrow_mut() = State::new());
+    ARMED.with(|c| c.set(true));
+}
+
+/// Disarm the stateful checks (end of an integration run).
+#[inline]
+pub fn disarm() {
+    if !ACTIVE {
+        return;
+    }
+    ARMED.with(|c| c.set(false));
+}
+
+/// Are the stateful checks currently armed on this thread?
+#[inline]
+pub fn armed() -> bool {
+    ACTIVE && ARMED.with(|c| c.get())
+}
+
+/// Assert the clock `kind`/`id` never runs backwards. Armed runs only.
+#[inline]
+pub fn clock(kind: Clock, id: usize, t_ns: u64) {
+    if !armed() {
+        return;
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let v = &mut st.clocks[kind as usize];
+        if v.len() <= id {
+            v.resize(id + 1, 0);
+        }
+        if t_ns < v[id] {
+            let prev = v[id];
+            violation(
+                t_ns,
+                "clock_regression",
+                format!("{kind:?}[{id}] moved backwards: {prev} -> {t_ns} ns"),
+            );
+        }
+        v[id] = t_ns;
+    });
+}
+
+/// Count `n` segments handed to the fabric.
+#[inline]
+pub fn seg_emitted(t_ns: u64, n: u64) {
+    let _ = t_ns;
+    if !armed() {
+        return;
+    }
+    STATE.with(|s| s.borrow_mut().seg_emitted += n);
+}
+
+/// Count `n` segments delivered to an endpoint, checking conservation:
+/// the fabric may delay or drop segments but never mint them.
+#[inline]
+pub fn seg_delivered(t_ns: u64, n: u64) {
+    if !armed() {
+        return;
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        st.seg_delivered += n;
+        if st.seg_delivered + st.seg_dropped > st.seg_emitted {
+            let (e, d, x) = (st.seg_emitted, st.seg_delivered, st.seg_dropped);
+            drop(st);
+            violation(
+                t_ns,
+                "segment_conservation",
+                format!("delivered {d} + dropped {x} > emitted {e}"),
+            );
+        }
+    });
+}
+
+/// Count `n` segments dropped by the fabric (congestion, faults, loss).
+#[inline]
+pub fn seg_dropped(t_ns: u64, n: u64) {
+    if !armed() {
+        return;
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        st.seg_dropped += n;
+        if st.seg_delivered + st.seg_dropped > st.seg_emitted {
+            let (e, d, x) = (st.seg_emitted, st.seg_delivered, st.seg_dropped);
+            drop(st);
+            violation(
+                t_ns,
+                "segment_conservation",
+                format!("delivered {d} + dropped {x} > emitted {e}"),
+            );
+        }
+    });
+}
+
+/// Current (emitted, delivered, dropped) segment counts. Diagnostics;
+/// the difference `emitted - delivered - dropped` is the in-flight
+/// population and is legitimately non-zero while traffic is moving.
+pub fn seg_counts() -> (u64, u64, u64) {
+    STATE.with(|s| {
+        let st = s.borrow();
+        (st.seg_emitted, st.seg_delivered, st.seg_dropped)
+    })
+}
+
+/// Assert `cond`, panicking with the trace tail otherwise. Active in
+/// every debug/test build regardless of arming — use for local
+/// structural properties (non-negative depths, table consistency)
+/// that must hold even in unit tests.
+#[inline]
+pub fn ensure(t_ns: u64, cond: bool, what: &'static str, a: i64, b: i64) {
+    if ACTIVE && !cond {
+        violation(t_ns, what, format!("a={a} b={b}"));
+    }
+}
+
+/// Assert a computed queue depth or count is non-negative.
+#[inline]
+pub fn nonnegative(t_ns: u64, what: &'static str, v: i64) {
+    ensure(t_ns, v >= 0, what, v, 0);
+}
+
+/// Panic with a formatted violation report carrying the last
+/// [`TAIL_N`] trace records from the flight recorder.
+#[cold]
+pub fn violation(t_ns: u64, what: &'static str, detail: String) -> ! {
+    panic!(
+        "invariant violated: {what} at t={t_ns} ns ({detail})\n\
+         last {TAIL_N} trace records (oldest first):\n{}",
+        crate::format_tail(TAIL_N)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_checks_are_noops() {
+        disarm();
+        clock(Clock::Conn, 3, 100);
+        clock(Clock::Conn, 3, 50); // would regress if armed
+        seg_delivered(0, 10); // would exceed emitted if armed
+        assert!(!armed());
+    }
+
+    #[test]
+    fn armed_clock_accepts_monotone_times() {
+        arm();
+        clock(Clock::Node, 1, 10);
+        clock(Clock::Node, 1, 10);
+        clock(Clock::Node, 1, 25);
+        clock(Clock::Node, 2, 5); // independent entity
+        disarm();
+    }
+
+    #[test]
+    fn conservation_tracks_in_flight_slack() {
+        arm();
+        seg_emitted(0, 10);
+        seg_delivered(1, 4);
+        seg_dropped(2, 3);
+        assert_eq!(seg_counts(), (10, 4, 3));
+        disarm();
+    }
+
+    #[test]
+    fn deliberate_violation_panics_with_trace_tail() {
+        // The acceptance-criteria test: force a clock regression after
+        // emitting trace records and check the panic payload carries
+        // them.
+        let result = std::panic::catch_unwind(|| {
+            arm();
+            for i in 0..5u64 {
+                crate::trace_event!(Sim, 100 + i, "pre_violation_marker", i);
+            }
+            clock(Clock::Dispatch, 0, 500);
+            clock(Clock::Dispatch, 0, 400); // regression
+        });
+        disarm();
+        let err = result.expect_err("clock regression must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "not a string panic".into());
+        assert!(msg.contains("clock_regression"), "{msg}");
+        assert!(msg.contains("500 -> 400"), "{msg}");
+        assert!(
+            msg.contains("pre_violation_marker"),
+            "panic must carry the flight-recorder tail: {msg}"
+        );
+    }
+
+    #[test]
+    fn conservation_violation_panics() {
+        let result = std::panic::catch_unwind(|| {
+            arm();
+            seg_emitted(0, 2);
+            seg_delivered(1, 3); // fabric minted a segment
+        });
+        disarm();
+        let err = result.expect_err("over-delivery must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("segment_conservation"), "{msg}");
+    }
+
+    #[test]
+    fn ensure_is_unconditional_when_active() {
+        ensure(7, true, "fine", 0, 0);
+        let r = std::panic::catch_unwind(|| nonnegative(9, "queue_depth", -1));
+        assert!(r.is_err());
+    }
+}

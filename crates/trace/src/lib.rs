@@ -1,0 +1,381 @@
+//! Zero-cost structured tracing, a metrics registry, and runtime
+//! invariant support for the DCLUE reproduction.
+//!
+//! The repro's headline results are end-of-run [`Report`] aggregates;
+//! regression hunts (train-mode drift, bit-identity breaks) need the
+//! internal dynamics — cwnd trajectories, queue depths, lock-wait
+//! chains, retry storms. This crate provides them without perturbing
+//! the golden captures:
+//!
+//! * [`TraceRecord`] — a fixed-size structured event (time, category,
+//!   kind, static name, two integer payloads),
+//! * [`TraceSink`] — where records go: a [`RingSink`] flight recorder,
+//!   a [`JsonlSink`] line-per-record export, or nothing,
+//! * [`trace_event!`] / [`trace_span!`] — recording macros whose
+//!   expansion is gated on the compile-time [`ENABLED`] constant, so a
+//!   release build without the `trace` feature compiles every call
+//!   site to nothing,
+//! * [`metrics`] — a thread-local gauge/counter registry the bench
+//!   binaries can dump per scenario,
+//! * [`invariant`] — debug-mode runtime checks (monotone clocks,
+//!   segment conservation, non-negative depths) that panic with the
+//!   trace tail on violation.
+//!
+//! # The zero-cost claim
+//!
+//! [`ENABLED`] is `cfg!(any(debug_assertions, feature = "trace"))`,
+//! evaluated *in this crate*. The macros expand to
+//! `if dclue_trace::ENABLED { dclue_trace::emit(..) }`, so the gate is
+//! a crate-local constant rather than a caller-local `#[cfg]` (which
+//! would resolve against the *calling* crate's features — the classic
+//! macro-hygiene trap the `log` crate's `STATIC_MAX_LEVEL` avoids the
+//! same way). When `ENABLED` is `false` the branch is constant-folded
+//! away and the record arguments are never evaluated; the instrumented
+//! binary is bit-identical in behaviour *and* in output to an
+//! uninstrumented one. Debug builds (and therefore `cargo test`)
+//! always compile the machinery in, which is what arms the invariant
+//! layer across the whole test suite.
+//!
+//! Tracing is strictly write-only with respect to simulation state:
+//! installing or removing a sink may never change a [`Report`], a
+//! property `tests/trace_identity.rs` pins.
+//!
+//! [`Report`]: https://docs.rs/dclue-cluster
+//! [`trace_span!`]: crate::trace_span
+
+use std::cell::{Cell, RefCell};
+
+pub mod invariant;
+pub mod metrics;
+mod sink;
+
+pub use sink::{chrome_trace_json, JsonlSink, RingSink, TraceSink};
+
+/// Compile-time master switch. `true` in debug builds and whenever the
+/// `trace` feature is on; `false` in plain release builds, where every
+/// macro call site constant-folds to nothing.
+pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "trace"));
+
+/// Which layer emitted a record. Doubles as the "thread id" lane in
+/// chrome-trace exports so each layer gets its own track.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Category {
+    /// DES kernel: dispatch, timer-wheel cascades.
+    Sim = 0,
+    /// Fabric: TCP state machine, ports, trains.
+    Net = 1,
+    /// Database: locks, buffer cache, txn phases.
+    Db = 2,
+    /// Disk + iSCSI initiator/target.
+    Storage = 3,
+    /// Fault injection / recovery edges.
+    Fault = 4,
+    /// Integration layer: engine-level events.
+    Cluster = 5,
+}
+
+impl Category {
+    /// Short lowercase label used by the JSONL and chrome exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Sim => "sim",
+            Category::Net => "net",
+            Category::Db => "db",
+            Category::Storage => "storage",
+            Category::Fault => "fault",
+            Category::Cluster => "cluster",
+        }
+    }
+}
+
+/// Record shape, mirroring the chrome-trace phase alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Kind {
+    /// A point event (`ph: "i"`).
+    Instant = 0,
+    /// Span open (`ph: "B"`); pair with [`Kind::End`] by name + `a`.
+    Begin = 1,
+    /// Span close (`ph: "E"`).
+    End = 2,
+    /// A sampled value (`ph: "C"`): `a` is the entity, `b` the value.
+    Counter = 3,
+}
+
+impl Kind {
+    /// Chrome-trace phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            Kind::Instant => "i",
+            Kind::Begin => "B",
+            Kind::End => "E",
+            Kind::Counter => "C",
+        }
+    }
+}
+
+/// One structured trace record. Fixed-size and `Copy` so the ring
+/// sink is a flat memcpy with no allocation on the hot path.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceRecord {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// Emitting layer.
+    pub cat: Category,
+    /// Point event, span edge, or counter sample.
+    pub kind: Kind,
+    /// Static event name (`"tcp_established"`, `"lock_wait"`, …).
+    pub name: &'static str,
+    /// First payload: usually the entity id (node, conn, port, txn).
+    pub a: i64,
+    /// Second payload: usually a value (depth, cwnd, attempt #).
+    pub b: i64,
+}
+
+impl TraceRecord {
+    /// Render as one JSONL line (no trailing newline). Names are
+    /// static identifiers and never need escaping.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"t\":{},\"cat\":\"{}\",\"kind\":\"{}\",\"name\":\"{}\",\"a\":{},\"b\":{}}}",
+            self.t_ns,
+            self.cat.label(),
+            self.kind.phase(),
+            self.name,
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// Capacity of the always-on flight recorder backing invariant
+/// diagnostics (and [`tail`]) even when no sink is installed.
+pub const FLIGHT_CAP: usize = 128;
+
+struct Flight {
+    buf: Vec<TraceRecord>,
+    next: usize,
+}
+
+impl Flight {
+    fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < FLIGHT_CAP {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next % FLIGHT_CAP] = rec;
+        }
+        self.next += 1;
+    }
+
+    fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let len = self.buf.len();
+        let n = n.min(len);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let logical = len - n + i;
+            let idx = if len < FLIGHT_CAP {
+                logical
+            } else {
+                (self.next + logical) % FLIGHT_CAP
+            };
+            out.push(self.buf[idx]);
+        }
+        out
+    }
+}
+
+thread_local! {
+    static SINK: RefCell<Option<Box<dyn TraceSink>>> = const { RefCell::new(None) };
+    static SINK_ON: Cell<bool> = const { Cell::new(false) };
+    static FLIGHT: RefCell<Flight> = const {
+        RefCell::new(Flight {
+            buf: Vec::new(),
+            next: 0,
+        })
+    };
+}
+
+/// Install a sink on this thread, replacing (and returning) any
+/// previous one. Simulations are single-threaded by design — the
+/// parallel sweep runs whole sims per worker thread — so thread-local
+/// sinks give per-run isolation with no synchronisation on the hot
+/// path.
+pub fn install(sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+    let prev = SINK.with(|s| s.borrow_mut().replace(sink));
+    SINK_ON.with(|c| c.set(true));
+    prev
+}
+
+/// Remove and return this thread's sink, if any.
+pub fn take_sink() -> Option<Box<dyn TraceSink>> {
+    SINK_ON.with(|c| c.set(false));
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+/// Is a sink currently installed on this thread?
+pub fn sink_active() -> bool {
+    SINK_ON.with(|c| c.get())
+}
+
+/// Record one event: always into the flight recorder, and into the
+/// installed sink if there is one. Callers go through the macros so
+/// this is never reached when [`ENABLED`] is `false`.
+pub fn emit(rec: TraceRecord) {
+    FLIGHT.with(|f| f.borrow_mut().push(rec));
+    if sink_active() {
+        SINK.with(|s| {
+            if let Some(sink) = s.borrow_mut().as_mut() {
+                sink.record(&rec);
+            }
+        });
+    }
+}
+
+/// Last `n` records seen on this thread (flight recorder), oldest
+/// first. Works with or without an installed sink.
+pub fn tail(n: usize) -> Vec<TraceRecord> {
+    FLIGHT.with(|f| f.borrow().tail(n))
+}
+
+/// Format the flight-recorder tail for a diagnostic message.
+pub fn format_tail(n: usize) -> String {
+    let recs = tail(n);
+    if recs.is_empty() {
+        return "  (trace empty)".into();
+    }
+    let mut out = String::new();
+    for r in recs {
+        out.push_str(&format!(
+            "  [{:>14} ns] {:<8} {} {} a={} b={}\n",
+            r.t_ns,
+            r.cat.label(),
+            r.kind.phase(),
+            r.name,
+            r.a,
+            r.b
+        ));
+    }
+    out
+}
+
+/// Record a point event: `trace_event!(Net, t_ns, "name", a, b)`.
+/// `a`/`b` default to 0 when omitted. Compiles to nothing when
+/// [`ENABLED`] is `false`; the payload expressions are then never
+/// evaluated, so call sites must keep them side-effect free.
+#[macro_export]
+macro_rules! trace_event {
+    ($cat:ident, $t:expr, $name:expr) => {
+        $crate::trace_event!($cat, $t, $name, 0, 0)
+    };
+    ($cat:ident, $t:expr, $name:expr, $a:expr) => {
+        $crate::trace_event!($cat, $t, $name, $a, 0)
+    };
+    ($cat:ident, $t:expr, $name:expr, $a:expr, $b:expr) => {
+        if $crate::ENABLED {
+            $crate::emit($crate::TraceRecord {
+                t_ns: $t,
+                cat: $crate::Category::$cat,
+                kind: $crate::Kind::Instant,
+                name: $name,
+                a: ($a) as i64,
+                b: ($b) as i64,
+            });
+        }
+    };
+}
+
+/// Record a span edge or counter sample:
+/// `trace_span!(Db, Begin, t_ns, "txn", txn_id, phase)`.
+#[macro_export]
+macro_rules! trace_span {
+    ($cat:ident, $kind:ident, $t:expr, $name:expr, $a:expr) => {
+        $crate::trace_span!($cat, $kind, $t, $name, $a, 0)
+    };
+    ($cat:ident, $kind:ident, $t:expr, $name:expr, $a:expr, $b:expr) => {
+        if $crate::ENABLED {
+            $crate::emit($crate::TraceRecord {
+                t_ns: $t,
+                cat: $crate::Category::$cat,
+                kind: $crate::Kind::$kind,
+                name: $name,
+                a: ($a) as i64,
+                b: ($b) as i64,
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, name: &'static str) -> TraceRecord {
+        TraceRecord {
+            t_ns: t,
+            cat: Category::Sim,
+            kind: Kind::Instant,
+            name,
+            a: t as i64,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_records_in_order() {
+        let _ = take_sink();
+        for i in 0..(FLIGHT_CAP as u64 + 10) {
+            emit(rec(i, "x"));
+        }
+        let t = tail(5);
+        let times: Vec<u64> = t.iter().map(|r| r.t_ns).collect();
+        let last = FLIGHT_CAP as u64 + 9;
+        assert_eq!(times, vec![last - 4, last - 3, last - 2, last - 1, last]);
+    }
+
+    #[test]
+    fn install_routes_records_to_sink_and_take_returns_it() {
+        install(Box::new(RingSink::new(16)));
+        emit(rec(1, "a"));
+        emit(rec(2, "b"));
+        let sink = take_sink().expect("sink was installed");
+        let ring = sink
+            .as_any()
+            .and_then(|a| a.downcast_ref::<RingSink>())
+            .expect("ring sink");
+        let names: Vec<&str> = ring.records().iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(!sink_active());
+    }
+
+    #[test]
+    fn jsonl_line_shape_is_stable() {
+        let r = TraceRecord {
+            t_ns: 42,
+            cat: Category::Net,
+            kind: Kind::Counter,
+            name: "cwnd",
+            a: 3,
+            b: -1,
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            "{\"t\":42,\"cat\":\"net\",\"kind\":\"C\",\"name\":\"cwnd\",\"a\":3,\"b\":-1}"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constant's value IS the assertion
+    fn enabled_matches_build_profile() {
+        // Unit tests always run with debug_assertions, so the machinery
+        // must be armed here whatever the feature set.
+        assert!(ENABLED);
+    }
+
+    #[test]
+    fn format_tail_mentions_names() {
+        let _ = take_sink();
+        emit(rec(7, "cascade"));
+        assert!(format_tail(4).contains("cascade"));
+    }
+}

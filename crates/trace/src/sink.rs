@@ -1,0 +1,231 @@
+//! Trace sinks: where records go once emitted.
+//!
+//! Sinks are deliberately dumb — the hot path is `record`, everything
+//! else is post-run export. A sink must never touch simulation state;
+//! the bit-identity contract (`tests/trace_identity.rs`) depends on
+//! recording being write-only.
+
+use crate::TraceRecord;
+use std::any::Any;
+use std::io::Write;
+
+/// Destination for trace records. Object-safe so the thread-local
+/// holder can store any sink behind one pointer.
+pub trait TraceSink {
+    /// Accept one record. Called on the simulation hot path in debug
+    /// builds; keep it allocation-light.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Last `n` records, oldest first, when the sink retains them.
+    fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let _ = n;
+        Vec::new()
+    }
+
+    /// Flush buffered output (JSONL / file-backed sinks).
+    fn flush(&mut self) {}
+
+    /// Downcast support so callers can recover a concrete sink from
+    /// [`crate::take_sink`].
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
+}
+
+/// Bounded flight recorder: keeps the newest `cap` records, evicting
+/// the oldest. The canonical "what just happened?" sink.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<TraceRecord>,
+    next: usize,
+    cap: usize,
+    total: u64,
+}
+
+impl RingSink {
+    /// A ring keeping the newest `cap` records (`cap >= 1`).
+    pub fn new(cap: usize) -> RingSink {
+        RingSink {
+            buf: Vec::new(),
+            next: 0,
+            cap: cap.max(1),
+            total: 0,
+        }
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() < self.cap {
+            out.extend_from_slice(&self.buf);
+        } else {
+            for i in 0..self.cap {
+                out.push(self.buf[(self.next + i) % self.cap]);
+            }
+        }
+        out
+    }
+
+    /// Total records ever offered (retained or evicted).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(*rec);
+        } else {
+            self.buf[self.next] = *rec;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let all = self.records();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+/// Line-per-record JSONL export. Records stream into any `Write`
+/// target; [`JsonlSink::in_memory`] keeps them in a buffer the test
+/// suite can read back after [`crate::take_sink`].
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+    /// Retained copy when constructed in-memory, for post-run access.
+    mem: Option<Vec<u8>>,
+}
+
+impl JsonlSink {
+    /// Stream records into `out` (a file, a pipe, …).
+    pub fn new(out: Box<dyn Write>) -> JsonlSink {
+        JsonlSink { out, mem: None }
+    }
+
+    /// Buffer records in memory; read back with [`JsonlSink::bytes`].
+    pub fn in_memory() -> JsonlSink {
+        JsonlSink {
+            out: Box::new(std::io::sink()),
+            mem: Some(Vec::new()),
+        }
+    }
+
+    /// The buffered JSONL bytes (in-memory sinks only).
+    pub fn bytes(&self) -> &[u8] {
+        self.mem.as_deref().unwrap_or(&[])
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        let line = rec.to_jsonl();
+        if let Some(mem) = &mut self.mem {
+            mem.extend_from_slice(line.as_bytes());
+            mem.push(b'\n');
+        } else {
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+/// Convert records to the chrome://tracing (Trace Event Format) JSON
+/// shape. Open the result in Chrome's `chrome://tracing` or Perfetto:
+/// each [`crate::Category`] renders as its own track, spans pair up by
+/// name, and counters draw as graphs. Times convert from ns to the
+/// format's microsecond unit.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"a\":{},\"b\":{}}}{}}}",
+            r.name,
+            r.cat.label(),
+            r.kind.phase(),
+            r.t_ns as f64 / 1e3,
+            r.cat as u8,
+            r.a,
+            r.b,
+            // Instant events need an explicit scope or the viewer
+            // renders them zero-width and unclickable.
+            if matches!(r.kind, crate::Kind::Instant) {
+                ",\"s\":\"t\""
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, Kind};
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord {
+            t_ns: t,
+            cat: Category::Db,
+            kind: Kind::Instant,
+            name: "ev",
+            a: t as i64,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_total() {
+        let mut s = RingSink::new(3);
+        for t in 0..5 {
+            s.record(&rec(t));
+        }
+        let times: Vec<u64> = s.records().iter().map(|r| r.t_ns).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.tail(2).len(), 2);
+        assert_eq!(s.tail(2)[1].t_ns, 4);
+        assert_eq!(s.tail(99).len(), 3);
+    }
+
+    #[test]
+    fn jsonl_in_memory_round_trips_lines() {
+        let mut s = JsonlSink::in_memory();
+        s.record(&rec(1));
+        s.record(&rec(2));
+        let text = String::from_utf8(s.bytes().to_vec()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":1,"));
+        assert!(lines[1].contains("\"name\":\"ev\""));
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_and_tracks_by_category() {
+        let json = chrome_trace_json(&[rec(1_000), rec(2_000)]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"ts\":1"));
+        assert!(json.contains(&format!("\"tid\":{}", Category::Db as u8)));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+}

@@ -191,6 +191,7 @@ impl TpccGenerator {
     /// new-order and a payment, and appends the rarer transactions with
     /// probabilities that reproduce the 43/43/5/5/4 aggregate mix.
     pub fn business_txn(&mut self, w: u32) -> BusinessTxn {
+        dclue_trace::metric_add!("workload.business_txns", 1);
         let mut txns = vec![self.new_order(w), self.payment(w)];
         if self.rng.chance(5.0 / 43.0) {
             txns.push(self.order_status(w));

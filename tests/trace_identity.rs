@@ -1,0 +1,159 @@
+//! Trace-identity tests: the structured tracing layer must be strictly
+//! write-only with respect to simulation state.
+//!
+//! Each scenario runs three times — tracing off, into a ring-buffer
+//! flight recorder, and into an in-memory JSONL exporter — and the
+//! three `Report`s must be bit-identical (`Report` derives `PartialEq`
+//! over raw floats, so "identical" means identical to the last bit).
+//! The exported trace must also replay in event order: timestamps
+//! never regress, and the dispatch sequence numbers the run loop
+//! stamps are strictly increasing.
+//!
+//! These tests only observe anything when the trace machinery is
+//! compiled in (debug builds / `--features dclue-trace/trace`); `cargo
+//! test` always runs debug, so they are always live in CI.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, Report, World};
+use dclue_fault::FaultPlan;
+use dclue_sim::Duration;
+use dclue_trace::{JsonlSink, RingSink, TraceRecord};
+
+/// A small but busy cluster, short enough for three debug runs.
+fn busy(nodes: u32, affinity: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = nodes;
+    cfg.affinity = affinity;
+    cfg.clients_per_node = 10;
+    cfg.think_time = Duration::from_secs(1);
+    cfg.warmup = Duration::from_secs(2);
+    cfg.measure = Duration::from_secs(6);
+    cfg
+}
+
+fn run_plain(cfg: &ClusterConfig) -> Report {
+    World::new(cfg.clone()).run()
+}
+
+fn run_with_ring(cfg: &ClusterConfig) -> (Report, Vec<TraceRecord>, u64) {
+    assert!(dclue_trace::install(Box::new(RingSink::new(1 << 14))).is_none());
+    let report = World::new(cfg.clone()).run();
+    let sink = dclue_trace::take_sink().expect("ring sink still installed");
+    let ring = sink
+        .as_any()
+        .and_then(|a| a.downcast_ref::<RingSink>())
+        .expect("sink is a RingSink");
+    (report, ring.records(), ring.total())
+}
+
+fn run_with_jsonl(cfg: &ClusterConfig) -> (Report, Vec<u8>) {
+    assert!(dclue_trace::install(Box::new(JsonlSink::in_memory())).is_none());
+    let report = World::new(cfg.clone()).run();
+    let sink = dclue_trace::take_sink().expect("jsonl sink still installed");
+    let jsonl = sink
+        .as_any()
+        .and_then(|a| a.downcast_ref::<JsonlSink>())
+        .expect("sink is a JsonlSink");
+    (report, jsonl.bytes().to_vec())
+}
+
+/// Pull `"key":<integer>` out of a JSONL trace line.
+fn field_i64(line: &str, key: &str) -> i64 {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).unwrap_or_else(|| {
+        panic!("line missing field {key}: {line}");
+    }) + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric field")
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat).expect("string field present") + pat.len();
+    let rest = &line[start..];
+    &rest[..rest.find('"').expect("closing quote")]
+}
+
+/// Assert the exported trace replays in event order and carries the
+/// monotone dispatch sequence.
+fn check_replay(jsonl: &[u8]) {
+    let text = std::str::from_utf8(jsonl).expect("jsonl is utf-8");
+    let mut last_t = 0i64;
+    let mut last_dispatch_seq = 0i64;
+    let mut lines = 0u64;
+    let mut dispatches = 0u64;
+    for line in text.lines() {
+        lines += 1;
+        let t = field_i64(line, "t");
+        assert!(
+            t >= last_t,
+            "trace time regressed: {last_t} -> {t} on {line}"
+        );
+        last_t = t;
+        if field_str(line, "name") == "dispatch" {
+            let seq = field_i64(line, "a");
+            assert!(
+                seq > last_dispatch_seq,
+                "dispatch seq not strictly increasing: {last_dispatch_seq} -> {seq}"
+            );
+            last_dispatch_seq = seq;
+            dispatches += 1;
+        }
+    }
+    assert!(
+        lines > 1_000,
+        "expected a substantial trace, got {lines} lines"
+    );
+    assert!(
+        dispatches > 1_000,
+        "expected dispatch records, got {dispatches}"
+    );
+}
+
+fn identical_across_sinks(cfg: ClusterConfig) {
+    let plain = run_plain(&cfg);
+    let (ring_report, ring_records, ring_total) = run_with_ring(&cfg);
+    let (jsonl_report, jsonl) = run_with_jsonl(&cfg);
+
+    assert_eq!(
+        plain, ring_report,
+        "ring-buffer tracing changed the simulation"
+    );
+    assert_eq!(plain, jsonl_report, "jsonl tracing changed the simulation");
+
+    // The ring kept the most recent window, in emission order.
+    assert!(ring_total > 0, "ring sink saw no records");
+    let mut last = 0u64;
+    for r in &ring_records {
+        assert!(r.t_ns >= last, "ring record time regressed");
+        last = r.t_ns;
+    }
+
+    check_replay(&jsonl);
+
+    // The chrome-trace exporter accepts the same records.
+    let chrome = dclue_trace::chrome_trace_json(&ring_records);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+    assert_eq!(chrome.matches("\"ph\":").count(), ring_records.len());
+}
+
+#[test]
+fn healthy_cluster_reports_identical_across_sink_modes() {
+    identical_across_sinks(busy(8, 0.5));
+}
+
+#[test]
+fn faulted_cluster_reports_identical_across_sink_modes() {
+    // A node outage in the middle of the window: the trace stream now
+    // includes fault edges, retransmissions and aborts, and must still
+    // be a pure observer.
+    let mut cfg = busy(4, 0.8);
+    cfg.fault_plan =
+        FaultPlan::none().node_outage(1, Duration::from_secs(4), Duration::from_secs(2));
+    identical_across_sinks(cfg);
+}
