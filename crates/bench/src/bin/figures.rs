@@ -4,7 +4,7 @@
 //!   figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
 //!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
-//!            baseline|all> [--quick] [--seeds N] [--jobs N] [--exact]
+//!            protocol|baseline|all> [--quick] [--seeds N] [--jobs N] [--exact]
 //!
 //! Every figure collects its whole (config, seed) grid first and runs it
 //! through the [`dclue_cluster::sweep`] worker pool, then prints rows in
@@ -25,7 +25,9 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
-use dclue_cluster::{sweep, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload, World};
+use dclue_cluster::{
+    sweep, ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, Report, TcpOffload, World,
+};
 use dclue_sim::Duration;
 use dclue_storage::IscsiMode;
 
@@ -49,9 +51,19 @@ fn base_cfg(opts: &Opts) -> ClusterConfig {
     cfg
 }
 
+/// Reject a bad config before it reaches the worker pool — a
+/// mis-built grid would otherwise panic (or silently lie) mid-sweep.
+fn validate_or_die(cfg: &ClusterConfig) {
+    if let Err(e) = cfg.validate() {
+        eprintln!("[figures] invalid config: {e}");
+        std::process::exit(2);
+    }
+}
+
 /// Run a batch of configs through the worker pool: one seed-averaged
 /// report per config, in submission order.
 fn run_batch(cfgs: &[ClusterConfig], opts: &Opts) -> Vec<Report> {
+    cfgs.iter().for_each(validate_or_die);
     sweep::run_avg_many(opts.jobs, cfgs, opts.seeds)
 }
 
@@ -798,6 +810,56 @@ fn ablate_mvcc(opts: &Opts) {
     }
 }
 
+/// Coherence-protocol comparison (EXPERIMENTS.md "Protocol
+/// comparison"): cache-fusion 2PL vs. MVCC read leases at the
+/// coherence-heavy mid-affinity operating point. Deliberately not part
+/// of `all` — the golden capture pins the fusion-only figure set.
+fn protocol(opts: &Opts) {
+    println!("# Coherence protocol comparison: cache-fusion 2PL vs MVCC read leases (α = 0.5)");
+    println!(
+        "{:<12} {:<6} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "protocol",
+        "nodes",
+        "tpmC(scaled)",
+        "latency(ms)",
+        "abort%",
+        "fusion/txn",
+        "lease/txn",
+        "renew/txn"
+    );
+    let kinds = [ProtocolKind::CacheFusion2pl, ProtocolKind::MvccReadLease];
+    let nodes = [4u32, 8, 16];
+    let mut cfgs = Vec::new();
+    for &kind in &kinds {
+        for &n in &nodes {
+            let mut cfg = base_cfg(opts);
+            cfg.nodes = n;
+            cfg.affinity = 0.5;
+            cfg.protocol = kind;
+            cfgs.push(cfg);
+        }
+    }
+    let mut res = run_batch(&cfgs, opts).into_iter();
+    for &kind in &kinds {
+        for &n in &nodes {
+            let r = res.next().unwrap();
+            let attempts = (r.committed + r.aborted).max(1);
+            println!(
+                "{:<12} {:<6} {:>12.0} {:>12.1} {:>8.2} {:>10.2} {:>10.2} {:>10.2}",
+                kind.label(),
+                n,
+                r.tpmc_scaled,
+                r.txn_latency_ms,
+                100.0 * r.aborted as f64 / attempts as f64,
+                r.fusion_transfers_per_txn,
+                r.lease_transfers_per_txn,
+                r.lease_renewals_per_txn
+            );
+        }
+        println!();
+    }
+}
+
 /// Degraded-mode scenarios (EXPERIMENTS.md "Fault scenarios"): drive a
 /// 4-node cluster through a fault plan and print the availability
 /// analysis. Single-seeded — the point is the deterministic transient,
@@ -819,6 +881,7 @@ fn fault(opts: &Opts, scenario: &str) {
         _ => unreachable!(),
     };
     println!("--- fault-{scenario} (n=4 α=0.8, fault at t={mid}s) ---");
+    validate_or_die(&cfg);
     let r = World::new(cfg).run();
     println!(
         "committed={} aborted_by_fault={} fault_events={} fault_drops={} iscsi_retries={}",
@@ -899,6 +962,7 @@ fn main() {
         "ablate-red" => ablate_red(&opts),
         "fault-flap" => fault(&opts, "flap"),
         "fault-crash" => fault(&opts, "crash"),
+        "protocol" => protocol(&opts),
         "all" => {
             baseline(&opts);
             fig2_3(0.8, &opts);

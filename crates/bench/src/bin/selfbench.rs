@@ -160,6 +160,10 @@ fn time_mode(name: &str, quick: bool, reps: u32, exact: bool) -> (f64, u64, u64)
     for _ in 0..reps.max(1) {
         let mut cfg = scenario_cfg(name, quick);
         cfg.exact = exact;
+        if let Err(e) = cfg.validate() {
+            eprintln!("[selfbench] invalid config '{name}': {e}");
+            std::process::exit(2);
+        }
         let mut w = World::new(cfg);
         let t0 = Instant::now();
         let report = w.run();
@@ -195,6 +199,10 @@ fn sweep_cfgs(quick: bool) -> Vec<ClusterConfig> {
             c.nodes = n;
             c.affinity = a;
             c.exact = false;
+            if let Err(e) = c.validate() {
+                eprintln!("[selfbench] invalid sweep config: {e}");
+                std::process::exit(2);
+            }
             cfgs.push(c);
         }
     }

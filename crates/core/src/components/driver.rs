@@ -1,0 +1,197 @@
+//! The workload-driver component: closed-loop TPC-C client terminals
+//! and the FTP cross-traffic source.
+
+use crate::components::fabric::{ConnKind, MsgTag};
+use crate::components::platform::Action;
+use crate::config::QosPolicy;
+use crate::ipc::{CLIENT_REQ_BYTES, CLIENT_RESP_BYTES};
+use crate::world::{Ev, World};
+use dclue_db::tpcc::TxnInput;
+use dclue_net::packet::Dscp;
+use dclue_net::types::Side;
+use dclue_net::{ConnId, HostId, MsgId};
+use dclue_sim::SimTime;
+use dclue_workload::{route_node, FtpGenerator, FtpTransfer, TpccGenerator};
+use std::collections::VecDeque;
+
+/// A closed-loop client terminal session.
+pub(crate) struct ClientSession {
+    pub home_w: u32,
+    pub client_host: HostId,
+    pub node: u32,
+    pub conn: Option<ConnId>,
+    pub queue: VecDeque<TxnInput>,
+    pub inflight: Option<TxnInput>,
+}
+
+/// An FTP cross-traffic endpoint pair.
+pub(crate) struct FtpPair {
+    pub client: HostId,
+    pub server: HostId,
+    pub generator: FtpGenerator,
+    /// Token-bucket state (tokens in bytes) for the optional policer.
+    pub tokens: f64,
+    pub tokens_at: SimTime,
+    /// Live transfers (for connection admission control).
+    pub active: u32,
+    /// Transfers denied by CAC / policing.
+    pub denied: u64,
+}
+
+/// Everything that *offers load* to the cluster: terminal sessions in
+/// their think/request loop and the FTP pair. Egress port: framed
+/// client messages tagged with `MsgTag`; ingress: the responses the
+/// engine sends back through `World::reply_to_client`.
+pub struct WorkloadDriver {
+    pub(crate) sessions: Vec<ClientSession>,
+    pub(crate) gen: TpccGenerator,
+    pub(crate) ftp_pairs: Vec<FtpPair>,
+}
+
+impl World {
+    // ------------------------------------------------------------------
+    // Client sessions
+    // ------------------------------------------------------------------
+
+    pub(crate) fn client_begin(&mut self, session: u32) {
+        let (home_w, client_host) = {
+            let s = &self.driver.sessions[session as usize];
+            (s.home_w, s.client_host)
+        };
+        let business = self.driver.gen.business_txn(home_w);
+        let mut node = route_node(
+            home_w,
+            self.warehouses,
+            self.cfg.nodes,
+            self.cfg.affinity,
+            &mut self.rng,
+        );
+        // Failover: a crashed home node reroutes to the next live one.
+        if !self.alive[node as usize] {
+            for off in 1..self.cfg.nodes {
+                let cand = (node + off) % self.cfg.nodes;
+                if self.alive[cand as usize] {
+                    node = cand;
+                    break;
+                }
+            }
+        }
+        let cfg = self.tcp_config(false);
+        let server_host = self.nodes[node as usize].host;
+        let conn = self.with_net(|net, ob| {
+            net.open_connection(client_host, server_host, Dscp::BestEffort, cfg, ob)
+        });
+        self.fabric
+            .conn_info
+            .insert(conn, ConnKind::Client { session });
+        let s = &mut self.driver.sessions[session as usize];
+        s.node = node;
+        s.conn = Some(conn);
+        s.queue = business.txns.into();
+        s.inflight = None;
+    }
+
+    pub(crate) fn client_send_next(&mut self, session: u32) {
+        let s = &mut self.driver.sessions[session as usize];
+        let Some(conn) = s.conn else { return };
+        let Some(input) = s.queue.pop_front() else {
+            // Business transaction complete: close and think.
+            self.with_net(|net, ob| {
+                net.close_connection(conn, Side::Opener, ob);
+                net.close_connection(conn, Side::Acceptor, ob);
+            });
+            let s = &mut self.driver.sessions[session as usize];
+            s.conn = None;
+            let delay = self.rng.exponential(self.cfg.think_time);
+            self.heap
+                .push(self.now + delay, Ev::ClientThink { session });
+            return;
+        };
+        s.inflight = Some(input);
+        self.send_client_msg(
+            conn,
+            Side::Opener,
+            MsgTag::ClientReq { session },
+            CLIENT_REQ_BYTES,
+        );
+    }
+
+    pub(crate) fn client_got_response(&mut self, session: u32) {
+        self.client_send_next(session);
+    }
+
+    /// Called by the engine when a transaction finished: respond to the
+    /// waiting client.
+    pub(crate) fn reply_to_client(&mut self, node: u32, session: u32) {
+        let Some(conn) = self.driver.sessions[session as usize].conn else {
+            return;
+        };
+        let bytes = CLIENT_RESP_BYTES;
+        let instr = self.paths.client_resp_build + self.paths.send_instr(bytes);
+        self.charge_then(node, instr, Action::Nop);
+        self.send_client_msg(conn, Side::Acceptor, MsgTag::ClientResp { session }, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // FTP cross traffic
+    // ------------------------------------------------------------------
+
+    pub(crate) fn ftp_next(&mut self, pair: u32) {
+        let (gap, transfer) = self.driver.ftp_pairs[pair as usize]
+            .generator
+            .next_transfer();
+        self.heap.push(self.now + gap, Ev::FtpNext { pair });
+        // Connection admission control: refuse the transfer outright
+        // when the concurrent-transfer budget is exhausted.
+        if let Some(cap) = self.cfg.ftp_max_concurrent {
+            let p = &mut self.driver.ftp_pairs[pair as usize];
+            if p.active >= cap {
+                p.denied += 1;
+                return;
+            }
+        }
+        // Token-bucket shaping: push the transfer's start back until the
+        // bucket holds its bytes.
+        if let Some(pol) = self.cfg.ftp_policer {
+            let now = self.now;
+            let p = &mut self.driver.ftp_pairs[pair as usize];
+            let dt = now.since(p.tokens_at).as_secs_f64();
+            p.tokens = (p.tokens + dt * pol.rate_bps / 8.0).min(pol.burst_bytes);
+            p.tokens_at = now;
+            let need = transfer.bytes() as f64;
+            if p.tokens < need {
+                // Not enough credit: drop this transfer (a shaper would
+                // queue it; at sustained overload that queue is
+                // unbounded, so policing = drop is the stable choice).
+                p.denied += 1;
+                return;
+            }
+            p.tokens -= need;
+        }
+        self.driver.ftp_pairs[pair as usize].active += 1;
+        let (client, server) = {
+            let p = &self.driver.ftp_pairs[pair as usize];
+            (p.client, p.server)
+        };
+        let dscp = match self.cfg.qos {
+            QosPolicy::FtpPriority | QosPolicy::FtpWfq { .. } | QosPolicy::Autonomic { .. } => {
+                Dscp::Af21
+            }
+            QosPolicy::AllBestEffort => Dscp::BestEffort,
+        };
+        let cfg = self.tcp_config(false);
+        let conn = self.with_net(|net, ob| net.open_connection(client, server, dscp, cfg, ob));
+        self.fabric.conn_info.insert(conn, ConnKind::Ftp { pair });
+        // Queue the payload immediately; TCP sends it once established.
+        let (side, bytes) = match transfer {
+            FtpTransfer::Put { bytes } => (Side::Opener, bytes),
+            FtpTransfer::Get { bytes } => (Side::Acceptor, bytes),
+        };
+        let id = MsgId(self.fabric.next_msg);
+        self.fabric.next_msg += 1;
+        self.fabric
+            .msg_tags
+            .insert(id, (conn, MsgTag::FtpFile { pair }));
+        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
+    }
+}

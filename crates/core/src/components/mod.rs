@@ -1,0 +1,26 @@
+//! Subsystem components of the simulated cluster.
+//!
+//! `World` used to be one god-object holding every field of every
+//! subsystem. It is now an assembly of typed components, each owning
+//! its state and speaking explicit message enums at its boundary (its
+//! "ports"): events the component schedules for itself (ingress) and
+//! notes it hands back to the cluster layer (egress).
+//!
+//! | component                    | state it owns                       | ingress enum | egress enum |
+//! |------------------------------|-------------------------------------|--------------|-------------|
+//! | [`fabric::FabricPort`]       | TCP fabric, conn tables, QoS ctl    | `NetEvent`   | `NetNote`   |
+//! | [`platform::PlatformPort`]   | deferred-action table (CPU charges) | `CpuEvent`   | `CpuNote`   |
+//! | [`storage::StoragePort`]     | SAN array, iSCSI retry/stall, logs  | `DiskEvent`  | `DiskNote`  |
+//! | [`driver::WorkloadDriver`]   | client terminals, FTP sources       | client msgs  | `MsgTag`    |
+//!
+//! The cluster/DB-node component itself is [`crate::node::Node`] (one
+//! per server), and the coherence decisions that used to be hardwired
+//! across these files live behind [`crate::protocol::CoherenceProtocol`].
+//! Cross-component orchestration stays on `impl World` blocks — one per
+//! component file — so every subsystem's handlers are next to the state
+//! they own while `World` remains the single deterministic scheduler.
+
+pub mod driver;
+pub mod fabric;
+pub mod platform;
+pub mod storage;

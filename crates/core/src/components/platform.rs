@@ -1,0 +1,122 @@
+//! The platform/CPU component: deferred actions charged as interrupt
+//! work before they run.
+
+use crate::ipc::IpcMsg;
+use crate::world::{Ev, World};
+use dclue_db::PageKey;
+use dclue_platform::{Cpu, CpuEvent, CpuNote};
+use dclue_sim::{FxHashMap, Outbox};
+
+/// Deferred work waiting on a CPU interrupt or a disk completion.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Nop,
+    /// Run the IPC handler after the receive-processing charge.
+    HandleIpc {
+        node: u32,
+        msg: IpcMsg,
+    },
+    /// Parse done: start the transaction carried by a client request.
+    StartTxn {
+        node: u32,
+        session: u32,
+    },
+    /// Local disk read completed (raw); charge completion then install.
+    PageRead {
+        node: u32,
+        page: PageKey,
+    },
+    /// Completion handling done: install the page and resume waiters.
+    PageReady {
+        node: u32,
+        page: PageKey,
+    },
+    /// iSCSI target finished the disk read; ship the data.
+    TargetRead {
+        node: u32,
+        page: PageKey,
+        requester: u32,
+    },
+    SendIscsiData {
+        node: u32,
+        page: PageKey,
+        requester: u32,
+    },
+    /// iSCSI target finished a write; acknowledge.
+    TargetWrite {
+        node: u32,
+        requester: u32,
+        req: u64,
+    },
+    /// Log write landed; finish the commit.
+    LogWritten {
+        txn: u64,
+    },
+    /// A batched (group-commit) log write landed.
+    LogBatchWritten {
+        txns: Vec<u64>,
+    },
+    CommitFinished {
+        txn: u64,
+    },
+}
+
+/// The deferred-action table shared by every node's CPU: completion
+/// continuations keyed by the tag their interrupt (or disk IO) carries.
+/// Ingress port: [`CpuEvent`]; egress port: [`CpuNote`].
+pub struct PlatformPort {
+    pub(crate) actions: FxHashMap<u64, Action>,
+    pub(crate) next_action: u64,
+}
+
+impl World {
+    pub(crate) fn with_cpu<R>(
+        &mut self,
+        node: u32,
+        f: impl FnOnce(&mut Cpu, &mut Outbox<CpuEvent, CpuNote>) -> R,
+    ) -> R {
+        let mut ob = Outbox::new(self.now);
+        let r = f(&mut self.nodes[node as usize].cpu, &mut ob);
+        self.absorb_cpu(node, ob);
+        r
+    }
+
+    pub(crate) fn absorb_cpu(&mut self, node: u32, ob: Outbox<CpuEvent, CpuNote>) {
+        for (t, e) in ob.events {
+            self.heap.push(t, Ev::Cpu { node, ev: e });
+        }
+        for n in ob.notes {
+            match n {
+                CpuNote::BurstDone { thread: _, tag } => self.on_burst_done(tag),
+                CpuNote::InterruptDone { tag } => self.run_action(tag),
+            }
+        }
+    }
+
+    /// Run a deferred action by id without an interrupt charge (the
+    /// disk-completion path charges separately).
+    pub(crate) fn run_action_direct(&mut self, id: u64) {
+        self.on_disk_complete_pub(id);
+    }
+
+    /// Allocate an action id.
+    pub(crate) fn action(&mut self, a: Action) -> u64 {
+        let id = self.platform.next_action;
+        self.platform.next_action += 1;
+        self.platform.actions.insert(id, a);
+        id
+    }
+
+    /// Charge `instr` of interrupt work on `node`, then run `a`.
+    pub(crate) fn charge_then(&mut self, node: u32, instr: u64, a: Action) {
+        let id = self.action(a);
+        self.with_cpu(node, |cpu, ob| cpu.interrupt(instr, id, ob));
+    }
+
+    pub(crate) fn run_action(&mut self, id: u64) {
+        let Some(a) = self.platform.actions.remove(&id) else {
+            return;
+        };
+        self.perform_action(a);
+    }
+}

@@ -1,0 +1,397 @@
+//! The storage component: per-node disk completions, the shared SAN
+//! array, iSCSI initiator retry state, and commit logging.
+
+use crate::components::platform::Action;
+use crate::config::{LogPlacement, StorageMode};
+use crate::ipc::IpcMsg;
+use crate::node::DiskKind;
+use crate::world::{Ev, Phase, World};
+use dclue_db::PageKey;
+use dclue_sim::{Duration, FxHashMap, Outbox};
+use dclue_storage::{Disk, DiskEvent, DiskNote, DiskRequest, RetryPolicy, StallGate};
+
+/// Pending group-commit batch on one node.
+#[derive(Debug, Default)]
+pub(crate) struct LogBatch {
+    pub txns: Vec<u64>,
+    pub bytes: u64,
+    pub gen: u64,
+    pub armed: bool,
+}
+
+/// Storage-facing state of the cluster outside the per-node spindles
+/// (which live on [`crate::node::Node`]): the SAN array, iSCSI
+/// initiator bookkeeping, and log-shipping state. Ingress port:
+/// [`DiskEvent`]; egress port: [`DiskNote`].
+pub struct StoragePort {
+    /// Shared disk array for the SAN storage mode (empty otherwise).
+    pub(crate) san_disks: Vec<Disk>,
+    #[allow(dead_code)]
+    pub(crate) san_rr: usize,
+    /// Per-node iSCSI target stall gates (hold incoming commands).
+    pub(crate) iscsi_gate: Vec<StallGate<IpcMsg>>,
+    /// Initiator-side command retry schedule.
+    pub(crate) iscsi_retry: RetryPolicy,
+    /// Outstanding remote reads: `(requester, page) -> attempt`.
+    pub(crate) iscsi_inflight: FxHashMap<(u32, PageKey), u32>,
+    /// iSCSI write request -> committing txn (for shipped logs).
+    pub(crate) log_reqs: FxHashMap<u64, u64>,
+    pub(crate) next_req: u64,
+    pub(crate) log_batches: Vec<LogBatch>,
+}
+
+impl World {
+    pub(crate) fn absorb_disk(
+        &mut self,
+        node: u32,
+        kind: DiskKind,
+        disk: u32,
+        ob: Outbox<DiskEvent, DiskNote>,
+    ) {
+        for (t, e) in ob.events {
+            self.heap.push(
+                t,
+                Ev::Disk {
+                    node,
+                    kind,
+                    disk,
+                    ev: e,
+                },
+            );
+        }
+        for n in ob.notes {
+            let DiskNote::Complete { tag, .. } = n;
+            self.on_disk_complete(tag);
+        }
+    }
+
+    pub(crate) fn absorb_san(&mut self, disk: u32, ob: Outbox<DiskEvent, DiskNote>) {
+        for (t, e) in ob.events {
+            self.heap.push(t, Ev::San { disk, ev: e });
+        }
+        for n in ob.notes {
+            let DiskNote::Complete { tag, .. } = n;
+            // The completion crosses the SAN fabric back to the host.
+            let lat = match self.cfg.storage {
+                StorageMode::San { fabric_latency } => fabric_latency,
+                StorageMode::Distributed => Duration::ZERO,
+            };
+            self.heap
+                .push(self.now + lat, Ev::DelayedAction { id: tag });
+        }
+    }
+
+    fn on_disk_complete(&mut self, tag: u64) {
+        self.on_disk_complete_pub(tag);
+    }
+
+    /// Read a page: from the shared SAN array (SAN mode) or from its
+    /// home node's disks (local SCSI or remote iSCSI).
+    pub(crate) fn disk_read(&mut self, node: u32, key: PageKey) {
+        if self.measuring {
+            self.collect.disk_reads += 1;
+        }
+        if let StorageMode::San { fabric_latency } = self.cfg.storage {
+            let lba = self.lba_of(key);
+            let disk = ((lba / 64) % self.storage.san_disks.len() as u64) as u32;
+            let tag = self.action(Action::PageRead { node, page: key });
+            self.heap.push(
+                self.now + fabric_latency,
+                Ev::SanSubmit {
+                    disk,
+                    req: DiskRequest {
+                        lba,
+                        bytes: dclue_db::schema::PAGE_BYTES,
+                        write: false,
+                        tag,
+                    },
+                },
+            );
+            self.charge_then(node, self.paths.disk_submit, Action::Nop);
+            return;
+        }
+        let home = self.page_home(key);
+        if home == node {
+            let lba = self.lba_of(key);
+            let spindle = self.nodes[node as usize].data_spindle(lba);
+            let tag = self.action(Action::PageRead { node, page: key });
+            let mut ob = Outbox::new(self.now);
+            self.nodes[node as usize].data_disks[spindle].submit(
+                DiskRequest {
+                    lba,
+                    bytes: dclue_db::schema::PAGE_BYTES,
+                    write: false,
+                    tag,
+                },
+                &mut ob,
+            );
+            self.absorb_data_disk(node, spindle as u32, ob);
+            self.charge_then(node, self.paths.disk_submit, Action::Nop);
+        } else {
+            if self.measuring {
+                self.collect.remote_disk_reads += 1;
+            }
+            let req = self.storage.next_req;
+            self.storage.next_req += 1;
+            dclue_trace::trace_event!(Storage, self.now.0, "iscsi_issue", node, req);
+            let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
+            self.charge_then(node, instr, Action::Nop);
+            self.send_ipc(
+                node,
+                home,
+                IpcMsg::IscsiRead {
+                    page: key,
+                    req,
+                    requester: node,
+                },
+            );
+            // Arm the initiator's command timeout (one timer per
+            // outstanding page; re-entries ride the existing timer).
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.storage.iscsi_inflight.entry((node, key))
+            {
+                e.insert(0);
+                if let Some(to) = self.storage.iscsi_retry.timeout(0) {
+                    self.heap.push(
+                        self.now + to,
+                        Ev::IscsiTimeout {
+                            node,
+                            page: key,
+                            attempt: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    pub(crate) fn absorb_data_disk(
+        &mut self,
+        node: u32,
+        disk: u32,
+        ob: Outbox<dclue_storage::DiskEvent, dclue_storage::DiskNote>,
+    ) {
+        for (t, e) in ob.events {
+            self.heap.push(
+                t,
+                Ev::Disk {
+                    node,
+                    kind: DiskKind::Data,
+                    disk,
+                    ev: e,
+                },
+            );
+        }
+        for n in ob.notes {
+            let dclue_storage::DiskNote::Complete { tag, .. } = n;
+            self.on_disk_complete_pub(tag);
+        }
+    }
+
+    pub(crate) fn absorb_log_disk(
+        &mut self,
+        node: u32,
+        disk: u32,
+        ob: Outbox<dclue_storage::DiskEvent, dclue_storage::DiskNote>,
+    ) {
+        for (t, e) in ob.events {
+            self.heap.push(
+                t,
+                Ev::Disk {
+                    node,
+                    kind: DiskKind::Log,
+                    disk,
+                    ev: e,
+                },
+            );
+        }
+        for n in ob.notes {
+            let dclue_storage::DiskNote::Complete { tag, .. } = n;
+            self.on_disk_complete_pub(tag);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Commit burst done: write the log (local or shipped to node 0).
+    pub(crate) fn do_log(&mut self, txn: u64) {
+        let Some(t) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        if t.log_bytes == 0 {
+            // Read-only transaction: nothing to make durable.
+            return self.finish_txn(txn, false);
+        }
+        let node = t.node;
+        let bytes = t.log_bytes.max(512);
+        t.phase = Phase::WaitLog;
+        if self.measuring {
+            self.collect.log_writes += 1;
+        }
+        match self.cfg.log_placement {
+            LogPlacement::Central if node != 0 => {
+                let req = self.storage.next_req;
+                self.storage.next_req += 1;
+                self.storage.log_reqs.insert(req, txn);
+                self.send_ipc(
+                    node,
+                    0,
+                    IpcMsg::IscsiWrite {
+                        page: None,
+                        bytes,
+                        req,
+                        requester: node,
+                    },
+                );
+            }
+            _ => {
+                let target = if self.cfg.log_placement == LogPlacement::Central {
+                    0
+                } else {
+                    node
+                };
+                if self.cfg.group_commit {
+                    // Batch with other committers on this node; flush on
+                    // size or after a short timer.
+                    let batch = &mut self.storage.log_batches[target as usize];
+                    batch.txns.push(txn);
+                    batch.bytes += bytes;
+                    let full = batch.txns.len() >= 8 || batch.bytes >= 16 * 1024;
+                    if full {
+                        self.log_flush_now(target);
+                    } else if !self.storage.log_batches[target as usize].armed {
+                        let b = &mut self.storage.log_batches[target as usize];
+                        b.armed = true;
+                        b.gen += 1;
+                        let gen = b.gen;
+                        self.heap.push(
+                            self.now + Duration::from_millis(20),
+                            Ev::LogFlush { node: target, gen },
+                        );
+                    }
+                    return;
+                }
+                let (disk, lba) = self.nodes[target as usize].next_log_slot();
+                let tag = self.action(Action::LogWritten { txn });
+                let mut ob = Outbox::new(self.now);
+                self.nodes[target as usize].log_disks[disk].submit(
+                    DiskRequest {
+                        lba,
+                        bytes,
+                        write: true,
+                        tag,
+                    },
+                    &mut ob,
+                );
+                self.absorb_log_disk(target, disk as u32, ob);
+            }
+        }
+    }
+
+    /// Group-commit flush timer fired.
+    pub(crate) fn log_flush(&mut self, node: u32, gen: u64) {
+        let b = &self.storage.log_batches[node as usize];
+        if !b.armed || b.gen != gen {
+            return;
+        }
+        self.log_flush_now(node);
+    }
+
+    fn log_flush_now(&mut self, node: u32) {
+        let b = &mut self.storage.log_batches[node as usize];
+        if b.txns.is_empty() {
+            b.armed = false;
+            return;
+        }
+        let txns = std::mem::take(&mut b.txns);
+        let bytes = std::mem::take(&mut b.bytes).max(512);
+        b.armed = false;
+        let (disk, lba) = self.nodes[node as usize].next_log_slot();
+        let tag = self.action(Action::LogBatchWritten { txns });
+        let mut ob = Outbox::new(self.now);
+        self.nodes[node as usize].log_disks[disk].submit(
+            DiskRequest {
+                lba,
+                bytes,
+                write: true,
+                tag,
+            },
+            &mut ob,
+        );
+        self.absorb_log_disk(node, disk as u32, ob);
+    }
+
+    /// An outstanding remote (iSCSI) read timed out: retry with
+    /// exponential backoff, or fail the IO once attempts are exhausted.
+    pub(crate) fn iscsi_timeout(&mut self, node: u32, page: PageKey, attempt: u32) {
+        let Some(&current) = self.storage.iscsi_inflight.get(&(node, page)) else {
+            return; // completed (or wiped by a crash freeze)
+        };
+        if current != attempt {
+            return; // stale timer from an earlier attempt
+        }
+        self.collect.iscsi_retries += 1;
+        dclue_trace::trace_event!(Storage, self.now.0, "iscsi_timeout", node, attempt);
+        let next = attempt + 1;
+        match self.storage.iscsi_retry.timeout(next) {
+            Some(to) => {
+                dclue_trace::trace_event!(Storage, self.now.0, "iscsi_retry", node, next);
+                self.storage.iscsi_inflight.insert((node, page), next);
+                // Re-issue the command (fresh request id; the target
+                // treats it as new — duplicate data is idempotent).
+                let home = self.page_home(page);
+                let req = self.storage.next_req;
+                self.storage.next_req += 1;
+                let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
+                self.charge_then(node, instr, Action::Nop);
+                self.send_ipc(
+                    node,
+                    home,
+                    IpcMsg::IscsiRead {
+                        page,
+                        req,
+                        requester: node,
+                    },
+                );
+                self.heap.push(
+                    self.now + to,
+                    Ev::IscsiTimeout {
+                        node,
+                        page,
+                        attempt: next,
+                    },
+                );
+            }
+            None => {
+                // Out of attempts: the IO fails and every transaction
+                // waiting on the page aborts (clients retry).
+                dclue_trace::trace_event!(Storage, self.now.0, "iscsi_abandon", node, attempt);
+                self.storage.iscsi_inflight.remove(&(node, page));
+                self.fail_pending_page(node, page);
+            }
+        }
+    }
+
+    /// A page read failed permanently: abort the waiting transactions.
+    fn fail_pending_page(&mut self, node: u32, page: PageKey) {
+        let waiters = self.nodes[node as usize]
+            .pending_pages
+            .remove(&page)
+            .map(|p| p.waiters)
+            .unwrap_or_default();
+        for txn in waiters {
+            let Some(t) = self.txns.get(&txn) else {
+                continue;
+            };
+            if t.phase != Phase::WaitPage {
+                continue;
+            }
+            self.collect.aborted_by_fault += 1;
+            // finish_txn replies to the client (an error response); the
+            // terminal moves on and retries per its business loop.
+            self.finish_txn(txn, true);
+        }
+    }
+}

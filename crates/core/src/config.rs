@@ -86,6 +86,34 @@ pub enum LogPlacement {
     Central,
 }
 
+/// Which coherence / concurrency-control protocol the cluster runs
+/// (see [`crate::protocol::CoherenceProtocol`]). The paper evaluates a
+/// cache-fusion 2PL design; the read-lease variant explores the axis
+/// that *The End of Slow Networks* and *P4DB* argue matters once the
+/// fabric is fast: where snapshot reads are served from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProtocolKind {
+    /// Cache-fusion block transfers + distributed two-phase locking
+    /// (the paper's protocol; the bit-identical baseline).
+    #[default]
+    CacheFusion2pl,
+    /// Snapshot reads served from the local buffer under time-bounded
+    /// leases from the page home; writes still take exclusive locks and
+    /// ship write-sets over IPC. Requires `mvcc` (version walks give
+    /// leased reads a consistent snapshot).
+    MvccReadLease,
+}
+
+impl ProtocolKind {
+    /// Short stable label for tables and trace records.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::CacheFusion2pl => "fusion2pl",
+            ProtocolKind::MvccReadLease => "mvcc-lease",
+        }
+    }
+}
+
 /// Full experiment configuration. Defaults reproduce the paper's
 /// baseline: P4 DP nodes, 1 Gb/s links (100x-scaled to 10 Mb/s),
 /// hardware TCP + iSCSI, distributed storage, local logging, α = 0.8.
@@ -173,6 +201,8 @@ pub struct ClusterConfig {
     /// Page-grain instead of subpage-grain locking (ablation for the
     /// paper's "we had to tune the subpage size per table" remark).
     pub coarse_locks: bool,
+    /// Coherence / concurrency-control protocol the cluster runs.
+    pub protocol: ProtocolKind,
     /// Fault injection: abort one IPC connection at this time after
     /// start (testing; the cluster must reopen it and keep committing).
     pub chaos_ipc_reset_at: Option<Duration>,
@@ -220,6 +250,7 @@ impl Default for ClusterConfig {
             thrash_model: true,
             mvcc: true,
             coarse_locks: false,
+            protocol: ProtocolKind::CacheFusion2pl,
             chaos_ipc_reset_at: None,
             fault_plan: dclue_fault::FaultPlan::none(),
         }
@@ -274,6 +305,104 @@ impl ClusterConfig {
     /// Which lata a node lives in.
     pub fn lata_of(&self, node: u32) -> u32 {
         node / self.nodes_per_lata()
+    }
+
+    /// Reject configurations that would silently misbehave. Call this
+    /// before [`crate::World::new`]; the harness binaries do, so a bad
+    /// sweep parameter fails loudly instead of being clamped (or
+    /// panicking deep inside topology construction). Each error says
+    /// what to change.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("nodes must be >= 1 (the cluster needs at least one server)".into());
+        }
+        if self.latas > 0 && self.latas > self.nodes {
+            return Err(format!(
+                "latas ({}) exceeds nodes ({}); at most one lata per node",
+                self.latas, self.nodes
+            ));
+        }
+        if self.latas > 0 && self.nodes % self.latas != 0 {
+            return Err(format!(
+                "nodes ({}) must divide evenly across latas ({}); \
+                 uneven subclusters skew the affinity routing — use {} or {} nodes, \
+                 or latas = 0 for automatic placement",
+                self.nodes,
+                self.latas,
+                (self.nodes / self.latas) * self.latas,
+                (self.nodes / self.latas + 1) * self.latas,
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.affinity) {
+            return Err(format!(
+                "affinity ({}) must lie in [0, 1] — it is the probability a query \
+                 routes to its home node",
+                self.affinity
+            ));
+        }
+        if !(self.buffer_fraction > 0.0 && self.buffer_fraction <= 1.0) {
+            return Err(format!(
+                "buffer_fraction ({}) must lie in (0, 1]: it is each node's cache \
+                 share of its database partition",
+                self.buffer_fraction
+            ));
+        }
+        if self.warehouses_per_node == 0 || self.clients_per_node == 0 {
+            return Err("warehouses_per_node and clients_per_node must be >= 1 \
+                 (an empty node cannot run TPC-C)"
+                .into());
+        }
+        if self.data_spindles == 0 || self.log_spindles == 0 {
+            return Err(
+                "data_spindles and log_spindles must be >= 1; zero spindles would \
+                 divide by zero in LBA striping"
+                    .into(),
+            );
+        }
+        if self.measure == Duration::ZERO {
+            return Err("measure window must be > 0 (nothing would be collected)".into());
+        }
+        if let QosPolicy::FtpWfq { af_weight } = self.qos {
+            if !(af_weight > 0.0 && af_weight < 1.0) {
+                return Err(format!(
+                    "FtpWfq af_weight ({af_weight}) must lie strictly in (0, 1); \
+                     the scheduler would otherwise silently clamp it"
+                ));
+            }
+        }
+        if let QosPolicy::Autonomic { tolerance } = self.qos {
+            if tolerance <= 0.0 {
+                return Err(format!(
+                    "Autonomic tolerance ({tolerance}) must be > 0: it is the \
+                     latency headroom over the warm-up baseline"
+                ));
+            }
+        }
+        if self.group_commit && self.log_placement == LogPlacement::Central && self.nodes > 1 {
+            return Err(
+                "group_commit with LogPlacement::Central is not meaningful on a \
+                 multi-node cluster: remote committers ship their log records over \
+                 iSCSI one at a time, bypassing the batcher — use LogPlacement::Local \
+                 or disable group_commit"
+                    .into(),
+            );
+        }
+        if !self.exact && self.chaos_ipc_reset_at.is_some() {
+            return Err(
+                "chaos_ipc_reset_at is a determinism-test hook and requires the \
+                 segment-exact engine; set exact = true (the train fast path \
+                 coalesces the segments the reset is meant to kill mid-flight)"
+                    .into(),
+            );
+        }
+        if self.protocol == ProtocolKind::MvccReadLease && !self.mvcc {
+            return Err(
+                "protocol = MvccReadLease requires mvcc = true: leased snapshot \
+                 reads rely on the version store for consistency"
+                    .into(),
+            );
+        }
+        Ok(())
     }
 }
 

@@ -10,12 +10,13 @@
 //! Those waits are what extra worker threads hide, until the processor
 //! cache starts thrashing: the paper's central feedback loop.
 
-use crate::config::{LogPlacement, StorageMode};
+use crate::components::platform::Action;
+use crate::config::StorageMode;
 use crate::ipc::{IpcMsg, LockWire};
-use crate::node::{DiskKind, PendingPage};
-use crate::world::{Action, Block, Cursor, Ev, Phase, Txn, World};
+use crate::node::PendingPage;
+use crate::world::{Block, Cursor, Ev, Phase, Txn, World};
 use dclue_db::database::WH_PAGE_SPAN;
-use dclue_db::lock::{LockMode, LockOutcome, ResourceId};
+use dclue_db::lock::{LockOutcome, ResourceId};
 use dclue_db::{PageKey, Table};
 use dclue_sim::{Duration, Outbox};
 use dclue_storage::DiskRequest;
@@ -52,7 +53,7 @@ impl World {
     /// affine workload needs almost no IPC (as the paper observes at
     /// α = 1.0); item and history pages hash across the cluster, and
     /// index pages follow the warehouse of their smallest key.
-    pub(crate) fn page_home(&self, key: PageKey) -> u32 {
+    pub fn page_home(&self, key: PageKey) -> u32 {
         let n = self.cfg.nodes;
         if n <= 1 {
             return 0;
@@ -112,7 +113,7 @@ impl World {
     }
 
     /// Logical block address of a page on its home node's data disks.
-    pub(crate) fn lba_of(&self, key: PageKey) -> u64 {
+    pub fn lba_of(&self, key: PageKey) -> u64 {
         (key.space as u64 * 524_288 + key.page) % self.cfg.disk.blocks
     }
 
@@ -125,7 +126,7 @@ impl World {
         if !self.alive[node as usize] {
             return; // crashed while the request parse was in flight
         }
-        let Some(input) = self.sessions[session as usize].inflight.clone() else {
+        let Some(input) = self.driver.sessions[session as usize].inflight.clone() else {
             return;
         };
         let id = self.next_txn;
@@ -208,14 +209,30 @@ impl World {
                     while t.page_idx < t.pages.len() {
                         let (key, exclusive) = t.pages[t.page_idx];
                         if self.nodes[node as usize].buffer.access(key, exclusive) {
+                            // Under read leases, a cached snapshot read
+                            // is only servable while its lease is live;
+                            // an expired one blocks for a renewal round
+                            // trip. `leases` is empty under cache
+                            // fusion, so that path pays one branch.
+                            if !exclusive
+                                && !self.leases.is_empty()
+                                && self.leases[node as usize]
+                                    .get(&key)
+                                    .is_some_and(|&expiry| expiry <= self.now)
+                            {
+                                fault = Some((key, false));
+                                break;
+                            }
                             t.page_idx += 1;
                         } else {
-                            fault = Some(key);
+                            fault = Some((key, exclusive));
                             break;
                         }
                     }
                     match fault {
-                        Some(key) => return self.flush(txn, Block::PageFault(key)),
+                        Some((key, exclusive)) => {
+                            return self.flush(txn, Block::PageFault { key, exclusive })
+                        }
                         None => {
                             let t = self.txns.get_mut(&txn).unwrap();
                             t.cursor = Cursor::Locks;
@@ -245,12 +262,8 @@ impl World {
                     if master != node {
                         return self.flush(txn, Block::SendLockReq { res, master, queue });
                     }
-                    let outcome = self.nodes[node as usize].locks.try_lock(
-                        txn,
-                        res,
-                        LockMode::Exclusive,
-                        queue,
-                    );
+                    let protocol = self.protocol;
+                    let outcome = protocol.try_lock(self, node, txn, res, queue);
                     match outcome {
                         LockOutcome::Granted => {
                             let lock_op = self.paths.lock_op;
@@ -332,9 +345,9 @@ impl World {
         };
         let node = t.node;
         match block {
-            Block::PageFault(key) => {
+            Block::PageFault { key, exclusive } => {
                 t.phase = Phase::WaitPage;
-                self.page_miss(node, txn, key);
+                self.page_miss(node, txn, key, exclusive);
             }
             Block::SendLockReq { res, master, queue } => {
                 t.phase = Phase::WaitLockRemote;
@@ -371,7 +384,11 @@ impl World {
                 }
             }
             Block::FailRetry => self.fail_and_retry(txn),
-            Block::WriteLog => self.do_log(txn),
+            Block::WriteLog => {
+                // Commit ordering is the protocol's decision.
+                let protocol = self.protocol;
+                protocol.commit(self, txn);
+            }
             Block::Finish { aborted } => self.finish_txn(txn, aborted),
         }
     }
@@ -380,7 +397,7 @@ impl World {
     // Cache fusion / paging
     // ------------------------------------------------------------------
 
-    fn page_miss(&mut self, node: u32, txn: u64, key: PageKey) {
+    fn page_miss(&mut self, node: u32, txn: u64, key: PageKey, exclusive: bool) {
         let now = self.now;
         let pend = &mut self.nodes[node as usize].pending_pages;
         if let Some(p) = pend.get_mut(&key) {
@@ -392,203 +409,47 @@ impl World {
             PendingPage {
                 since: now,
                 waiters: vec![txn],
+                exclusive,
             },
         );
-        self.drive_page_protocol(node, key, txn);
+        let protocol = self.protocol;
+        protocol.drive_page(self, node, key, txn, exclusive);
     }
 
-    /// (Re)issue the fusion protocol for a registered pending page
+    /// (Re)issue the coherence protocol for a registered pending page
     /// (also used by the staleness sweep after connection resets).
     pub(crate) fn redrive_page(&mut self, node: u32, key: PageKey, txn: u64) {
-        self.drive_page_protocol(node, key, txn);
+        let exclusive = self.nodes[node as usize]
+            .pending_pages
+            .get(&key)
+            .map(|p| p.exclusive)
+            .unwrap_or(true);
+        let protocol = self.protocol;
+        protocol.drive_page(self, node, key, txn, exclusive);
     }
 
-    /// (Re)issue the fusion protocol for a registered pending page.
-    fn drive_page_protocol(&mut self, node: u32, key: PageKey, txn: u64) {
-        let dir = self.page_home(key);
-        if dir != node && !self.alive[dir as usize] {
-            // Directory (= disk home) node is down: go straight to the
-            // iSCSI read; its timeout/retry machinery bounds the wait
-            // and aborts the waiters if the node stays dark.
-            return self.disk_read(node, key);
-        }
-        if dir == node {
-            // A = B: local directory lookup (free, per the paper).
-            match self.nodes[node as usize]
-                .directory
-                .lookup_supplier(key, node)
-            {
-                Some(c) => self.send_ipc(
-                    node,
-                    c,
-                    IpcMsg::SupplyReq {
-                        page: key,
-                        requester: node,
-                        txn,
-                    },
-                ),
-                None => self.disk_read(node, key),
-            }
-        } else {
-            self.send_ipc(
-                node,
-                dir,
-                IpcMsg::BlockReq {
-                    page: key,
-                    requester: node,
-                    txn,
-                },
-            );
-        }
-    }
-
-    /// Read a page: from the shared SAN array (SAN mode) or from its
-    /// home node's disks (local SCSI or remote iSCSI).
-    fn disk_read(&mut self, node: u32, key: PageKey) {
-        if self.measuring {
-            self.collect.disk_reads += 1;
-        }
-        if let StorageMode::San { fabric_latency } = self.cfg.storage {
-            let lba = self.lba_of(key);
-            let disk = ((lba / 64) % self.san_disks.len() as u64) as u32;
-            let tag = self.action(Action::PageRead { node, page: key });
-            self.heap.push(
-                self.now + fabric_latency,
-                Ev::SanSubmit {
-                    disk,
-                    req: DiskRequest {
-                        lba,
-                        bytes: dclue_db::schema::PAGE_BYTES,
-                        write: false,
-                        tag,
-                    },
-                },
-            );
-            self.charge_then(node, self.paths.disk_submit, Action::Nop);
-            return;
-        }
-        let home = self.page_home(key);
-        if home == node {
-            let lba = self.lba_of(key);
-            let spindle = self.nodes[node as usize].data_spindle(lba);
-            let tag = self.action(Action::PageRead { node, page: key });
-            let mut ob = Outbox::new(self.now);
-            self.nodes[node as usize].data_disks[spindle].submit(
-                DiskRequest {
-                    lba,
-                    bytes: dclue_db::schema::PAGE_BYTES,
-                    write: false,
-                    tag,
-                },
-                &mut ob,
-            );
-            self.absorb_data_disk(node, spindle as u32, ob);
-            self.charge_then(node, self.paths.disk_submit, Action::Nop);
-        } else {
-            if self.measuring {
-                self.collect.remote_disk_reads += 1;
-            }
-            let req = self.next_req;
-            self.next_req += 1;
-            dclue_trace::trace_event!(Storage, self.now.0, "iscsi_issue", node, req);
-            let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
-            self.charge_then(node, instr, Action::Nop);
-            self.send_ipc(
-                node,
-                home,
-                IpcMsg::IscsiRead {
-                    page: key,
-                    req,
-                    requester: node,
-                },
-            );
-            // Arm the initiator's command timeout (one timer per
-            // outstanding page; re-entries ride the existing timer).
-            if let std::collections::hash_map::Entry::Vacant(e) =
-                self.iscsi_inflight.entry((node, key))
-            {
-                e.insert(0);
-                if let Some(to) = self.iscsi_retry.timeout(0) {
-                    self.heap.push(
-                        self.now + to,
-                        Ev::IscsiTimeout {
-                            node,
-                            page: key,
-                            attempt: 0,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    pub(crate) fn absorb_data_disk(
-        &mut self,
-        node: u32,
-        disk: u32,
-        ob: Outbox<dclue_storage::DiskEvent, dclue_storage::DiskNote>,
-    ) {
-        for (t, e) in ob.events {
-            self.heap.push(
-                t,
-                Ev::Disk {
-                    node,
-                    kind: DiskKind::Data,
-                    disk,
-                    ev: e,
-                },
-            );
-        }
-        for n in ob.notes {
-            let dclue_storage::DiskNote::Complete { tag, .. } = n;
-            self.on_disk_complete_pub(tag);
-        }
-    }
-
-    pub(crate) fn absorb_log_disk(
-        &mut self,
-        node: u32,
-        disk: u32,
-        ob: Outbox<dclue_storage::DiskEvent, dclue_storage::DiskNote>,
-    ) {
-        for (t, e) in ob.events {
-            self.heap.push(
-                t,
-                Ev::Disk {
-                    node,
-                    kind: DiskKind::Log,
-                    disk,
-                    ev: e,
-                },
-            );
-        }
-        for n in ob.notes {
-            let dclue_storage::DiskNote::Complete { tag, .. } = n;
-            self.on_disk_complete_pub(tag);
-        }
-    }
-
-    /// A page arrived (fusion transfer, local read or iSCSI read):
-    /// install it, update the directory, resume waiting transactions.
+    /// A page arrived (coherence transfer, local read or iSCSI read):
+    /// install it, let the protocol register the residency, resume
+    /// waiting transactions.
     pub(crate) fn page_ready(&mut self, node: u32, key: PageKey) {
-        self.iscsi_inflight.remove(&(node, key));
+        self.storage.iscsi_inflight.remove(&(node, key));
         let evicted = self.nodes[node as usize].buffer.install(key, false);
         for ev in evicted {
             self.page_evicted(node, ev);
         }
-        let dir = self.page_home(key);
-        if dir == node {
-            self.nodes[node as usize].directory.add_holder(key, node);
-        } else {
-            self.send_ipc(
-                node,
-                dir,
-                IpcMsg::AckHolding {
-                    page: key,
-                    holder: node,
-                },
-            );
-        }
+        let exclusive = self.nodes[node as usize]
+            .pending_pages
+            .get(&key)
+            .map(|p| p.exclusive)
+            .unwrap_or(true);
+        let protocol = self.protocol;
+        protocol.on_page_installed(self, node, key, exclusive);
+        self.resume_page_waiters(node, key);
+    }
+
+    /// Unregister `key`'s pending entry on `node` and re-run every
+    /// transaction that faulted on it.
+    pub(crate) fn resume_page_waiters(&mut self, node: u32, key: PageKey) {
         let waiters = self.nodes[node as usize]
             .pending_pages
             .remove(&key)
@@ -604,27 +465,17 @@ impl World {
         }
     }
 
-    /// Handle a buffer eviction: tell the directory, write back dirty
-    /// pages to their disk home (lazily; nothing waits on this).
+    /// Handle a buffer eviction: let the protocol undo its residency
+    /// bookkeeping, then write back dirty pages to their disk home
+    /// (lazily; nothing waits on this).
     pub(crate) fn page_evicted(&mut self, node: u32, ev: dclue_db::buffer::Evicted) {
         let key = ev.key;
-        let dir = self.page_home(key);
-        if dir == node {
-            self.nodes[node as usize].directory.remove_holder(key, node);
-        } else {
-            self.send_ipc(
-                node,
-                dir,
-                IpcMsg::EvictNotify {
-                    page: key,
-                    holder: node,
-                },
-            );
-        }
+        let protocol = self.protocol;
+        protocol.on_page_evicted(self, node, key);
         if ev.dirty {
             if let StorageMode::San { fabric_latency } = self.cfg.storage {
                 let lba = self.lba_of(key);
-                let disk = ((lba / 64) % self.san_disks.len() as u64) as u32;
+                let disk = ((lba / 64) % self.storage.san_disks.len() as u64) as u32;
                 let tag = self.action(Action::Nop);
                 self.heap.push(
                     self.now + fabric_latency,
@@ -657,8 +508,8 @@ impl World {
                 );
                 self.absorb_data_disk(node, spindle as u32, ob);
             } else {
-                let req = self.next_req;
-                self.next_req += 1;
+                let req = self.storage.next_req;
+                self.storage.next_req += 1;
                 self.send_ipc(
                     node,
                     home,
@@ -871,118 +722,6 @@ impl World {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Commit
-    // ------------------------------------------------------------------
-
-    /// Commit burst done: write the log (local or shipped to node 0).
-    fn do_log(&mut self, txn: u64) {
-        let Some(t) = self.txns.get_mut(&txn) else {
-            return;
-        };
-        if t.log_bytes == 0 {
-            // Read-only transaction: nothing to make durable.
-            return self.finish_txn(txn, false);
-        }
-        let node = t.node;
-        let bytes = t.log_bytes.max(512);
-        t.phase = Phase::WaitLog;
-        if self.measuring {
-            self.collect.log_writes += 1;
-        }
-        match self.cfg.log_placement {
-            LogPlacement::Central if node != 0 => {
-                let req = self.next_req;
-                self.next_req += 1;
-                self.log_reqs.insert(req, txn);
-                self.send_ipc(
-                    node,
-                    0,
-                    IpcMsg::IscsiWrite {
-                        page: None,
-                        bytes,
-                        req,
-                        requester: node,
-                    },
-                );
-            }
-            _ => {
-                let target = if self.cfg.log_placement == LogPlacement::Central {
-                    0
-                } else {
-                    node
-                };
-                if self.cfg.group_commit {
-                    // Batch with other committers on this node; flush on
-                    // size or after a short timer.
-                    let batch = &mut self.log_batches[target as usize];
-                    batch.txns.push(txn);
-                    batch.bytes += bytes;
-                    let full = batch.txns.len() >= 8 || batch.bytes >= 16 * 1024;
-                    if full {
-                        self.log_flush_now(target);
-                    } else if !self.log_batches[target as usize].armed {
-                        let b = &mut self.log_batches[target as usize];
-                        b.armed = true;
-                        b.gen += 1;
-                        let gen = b.gen;
-                        self.heap.push(
-                            self.now + Duration::from_millis(20),
-                            Ev::LogFlush { node: target, gen },
-                        );
-                    }
-                    return;
-                }
-                let (disk, lba) = self.nodes[target as usize].next_log_slot();
-                let tag = self.action(Action::LogWritten { txn });
-                let mut ob = Outbox::new(self.now);
-                self.nodes[target as usize].log_disks[disk].submit(
-                    DiskRequest {
-                        lba,
-                        bytes,
-                        write: true,
-                        tag,
-                    },
-                    &mut ob,
-                );
-                self.absorb_log_disk(target, disk as u32, ob);
-            }
-        }
-    }
-
-    /// Group-commit flush timer fired.
-    pub(crate) fn log_flush(&mut self, node: u32, gen: u64) {
-        let b = &self.log_batches[node as usize];
-        if !b.armed || b.gen != gen {
-            return;
-        }
-        self.log_flush_now(node);
-    }
-
-    fn log_flush_now(&mut self, node: u32) {
-        let b = &mut self.log_batches[node as usize];
-        if b.txns.is_empty() {
-            b.armed = false;
-            return;
-        }
-        let txns = std::mem::take(&mut b.txns);
-        let bytes = std::mem::take(&mut b.bytes).max(512);
-        b.armed = false;
-        let (disk, lba) = self.nodes[node as usize].next_log_slot();
-        let tag = self.action(Action::LogBatchWritten { txns });
-        let mut ob = Outbox::new(self.now);
-        self.nodes[node as usize].log_disks[disk].submit(
-            DiskRequest {
-                lba,
-                bytes,
-                write: true,
-                tag,
-            },
-            &mut ob,
-        );
-        self.absorb_log_disk(node, disk as u32, ob);
-    }
-
     /// Commit (or abort) complete: release locks, answer the client,
     /// retire the worker thread.
     pub(crate) fn finish_txn(&mut self, txn: u64, aborted: bool) {
@@ -1030,9 +769,9 @@ impl World {
         // timeout/retry machinery deals with the silence.
         let msg = match msg {
             m @ (IpcMsg::IscsiRead { .. } | IpcMsg::IscsiWrite { .. })
-                if self.iscsi_gate[node as usize].is_stalled() =>
+                if self.storage.iscsi_gate[node as usize].is_stalled() =>
             {
-                match self.iscsi_gate[node as usize].admit(m) {
+                match self.storage.iscsi_gate[node as usize].admit(m) {
                     Some(m) => m,
                     None => return,
                 }
@@ -1112,17 +851,21 @@ impl World {
                     .directory
                     .remove_holder(page, holder);
             }
+            msg @ (IpcMsg::LeaseReq { .. }
+            | IpcMsg::LeaseData { .. }
+            | IpcMsg::LeaseNeg { .. }
+            | IpcMsg::LeaseRenew { .. }
+            | IpcMsg::LeaseAck { .. }) => {
+                let protocol = self.protocol;
+                protocol.handle_msg(self, node, msg);
+            }
             IpcMsg::LockReq {
                 txn,
                 res,
                 queue_if_busy,
             } => {
-                let outcome = self.nodes[node as usize].locks.try_lock(
-                    txn,
-                    res,
-                    LockMode::Exclusive,
-                    queue_if_busy,
-                );
+                let protocol = self.protocol;
+                let outcome = protocol.try_lock(self, node, txn, res, queue_if_busy);
                 let wire = match outcome {
                     LockOutcome::Granted => LockWire::Granted,
                     LockOutcome::Queued => LockWire::Queued,
@@ -1230,7 +973,7 @@ impl World {
                 }
             },
             IpcMsg::IscsiWriteAck { req } => {
-                if let Some(txn) = self.log_reqs.remove(&req) {
+                if let Some(txn) = self.storage.log_reqs.remove(&req) {
                     self.finish_commit(txn);
                 }
             }
@@ -1270,7 +1013,7 @@ impl World {
     /// Disk completion routing: the first pass charges the completion
     /// interrupt, whose retirement performs the follow-up action.
     pub(crate) fn on_disk_complete_pub(&mut self, tag: u64) {
-        let Some(a) = self.actions.remove(&tag) else {
+        let Some(a) = self.platform.actions.remove(&tag) else {
             return;
         };
         match a {

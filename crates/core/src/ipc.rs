@@ -55,6 +55,22 @@ pub enum IpcMsg {
     AckHolding { page: PageKey, holder: u32 },
     /// A -> B: A evicted the block.
     EvictNotify { page: PageKey, holder: u32 },
+    // ---- MVCC read leases (ProtocolKind::MvccReadLease only) ----
+    /// A -> H(ome): grant me a read lease on `page` and ship it.
+    LeaseReq {
+        page: PageKey,
+        requester: u32,
+        txn: u64,
+    },
+    /// H -> A: the block, under a read lease (data message).
+    LeaseData { page: PageKey, txn: u64 },
+    /// H -> A: home's cache no longer holds the block; read it yourself.
+    LeaseNeg { page: PageKey, txn: u64 },
+    /// A -> H: extend my lease on `page` (buffer still holds the block,
+    /// so no data needs to move — only the control round trip).
+    LeaseRenew { page: PageKey, requester: u32 },
+    /// H -> A: lease extended.
+    LeaseAck { page: PageKey },
     // ---- distributed lock management ----
     /// A -> M(aster).
     LockReq {
@@ -108,7 +124,7 @@ impl IpcMsg {
     /// Bytes this message occupies on the wire (TCP payload).
     pub fn wire_bytes(&self) -> u64 {
         match self {
-            IpcMsg::BlockData { .. } => BLOCK_BYTES,
+            IpcMsg::BlockData { .. } | IpcMsg::LeaseData { .. } => BLOCK_BYTES,
             IpcMsg::IscsiData { .. } => 8192 + iscsi::PDU_HEADER_BYTES + iscsi::STATUS_PDU_BYTES,
             IpcMsg::IscsiRead { .. } => iscsi::CMD_PDU_BYTES,
             IpcMsg::IscsiWrite { bytes, .. } => bytes + iscsi::wire_overhead(*bytes, 8192),
@@ -190,6 +206,37 @@ mod tests {
         assert!(d.is_data());
         assert!(!r.is_data());
         assert!(w.wire_bytes() > 2048);
+    }
+
+    #[test]
+    fn lease_messages_split_control_and_data() {
+        let d = IpcMsg::LeaseData {
+            page: page(),
+            txn: 1,
+        };
+        assert_eq!(d.wire_bytes(), BLOCK_BYTES);
+        assert!(d.is_data());
+        assert_eq!(d.class(), ConnClass::Ipc);
+        for m in [
+            IpcMsg::LeaseReq {
+                page: page(),
+                requester: 1,
+                txn: 1,
+            },
+            IpcMsg::LeaseNeg {
+                page: page(),
+                txn: 1,
+            },
+            IpcMsg::LeaseRenew {
+                page: page(),
+                requester: 1,
+            },
+            IpcMsg::LeaseAck { page: page() },
+        ] {
+            assert_eq!(m.wire_bytes(), CTL_BYTES);
+            assert!(!m.is_data());
+            assert_eq!(m.class(), ConnClass::Ipc);
+        }
     }
 
     #[test]

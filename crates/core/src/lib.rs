@@ -28,6 +28,13 @@
 //! * [`world::World`] — owns the event heap, the network, all nodes and
 //!   the logical database; `run()` executes warm-up + measurement and
 //!   returns a [`metrics::Report`].
+//! * [`components`] — the subsystem components `World` is assembled
+//!   from: network fabric, platform/CPU, storage, workload driver, each
+//!   behind a typed port (explicit ingress/egress message enums).
+//! * [`protocol::CoherenceProtocol`] — the pluggable coherence /
+//!   concurrency-control protocol (lock grants, page transfer,
+//!   invalidation, commit ordering); ships `CacheFusion2pl` and
+//!   `MvccReadLease`, selected by [`config::ClusterConfig::protocol`].
 //! * [`engine`] — the per-transaction state machine: plan → pages
 //!   (buffer/fusion/disk) → locks (two-phase, queue-on-first) → apply →
 //!   log → commit.
@@ -36,6 +43,7 @@
 //! * [`pathlen`] — the path-length calibration table (instructions per
 //!   operation), including HW/SW TCP and iSCSI cost models.
 
+pub mod components;
 pub mod config;
 pub mod engine;
 pub mod fusion;
@@ -43,9 +51,12 @@ pub mod ipc;
 pub mod metrics;
 pub mod node;
 pub mod pathlen;
+pub mod protocol;
 pub mod sweep;
 pub mod world;
 
-pub use config::{ClusterConfig, DbGrowth, QosPolicy, TcpOffload};
+pub use components::fabric::FabricPort;
+pub use config::{ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, TcpOffload};
 pub use metrics::Report;
+pub use protocol::{CacheFusion2pl, CoherenceProtocol, MvccReadLease};
 pub use world::World;

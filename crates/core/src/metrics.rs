@@ -20,6 +20,11 @@ pub struct Collector {
     pub lock_wait: Tally,
     pub txn_latency: Tally,
     pub fusion_transfers: u64,
+    /// Pages shipped under a read lease (`ProtocolKind::MvccReadLease`;
+    /// always zero under cache fusion).
+    pub lease_transfers: u64,
+    /// Lease-extension control round trips (no data moved).
+    pub lease_renewals: u64,
     pub disk_reads: u64,
     pub remote_disk_reads: u64,
     pub log_writes: u64,
@@ -55,6 +60,8 @@ impl Default for Collector {
             lock_wait: Tally::new(),
             txn_latency: Tally::new(),
             fusion_transfers: 0,
+            lease_transfers: 0,
+            lease_renewals: 0,
             disk_reads: 0,
             remote_disk_reads: 0,
             log_writes: 0,
@@ -119,6 +126,10 @@ pub struct Report {
     pub cpu_util: f64,
     pub buffer_hit_ratio: f64,
     pub fusion_transfers_per_txn: f64,
+    /// Read-lease page ships per committed txn (zero under cache fusion).
+    pub lease_transfers_per_txn: f64,
+    /// Lease renewals per committed txn (zero under cache fusion).
+    pub lease_renewals_per_txn: f64,
     pub disk_reads_per_txn: f64,
     pub version_walks_per_txn: f64,
     pub versions_created_per_txn: f64,

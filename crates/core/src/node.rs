@@ -9,11 +9,14 @@ use dclue_sim::SimTime;
 use dclue_storage::Disk;
 use std::collections::BTreeMap;
 
-/// A page miss in flight: when it started and who waits on it.
+/// A page miss in flight: when it started, who waits on it, and the
+/// access mode of the fault that registered it (the coherence protocol
+/// may fetch reads and writes differently).
 #[derive(Debug)]
 pub struct PendingPage {
     pub since: SimTime,
     pub waiters: Vec<u64>,
+    pub exclusive: bool,
 }
 
 /// Disk subsystem selector for disk events.

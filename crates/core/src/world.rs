@@ -2,28 +2,26 @@
 //! sessions and cross traffic. Transaction execution lives in
 //! [`crate::engine`] (also `impl World` blocks).
 
-use crate::config::{ClusterConfig, QosPolicy, StorageMode};
+use crate::components::driver::{ClientSession, FtpPair, WorkloadDriver};
+use crate::components::fabric::{ConnInfoTable, ConnKind, ConnTable, FabricPort};
+use crate::components::platform::PlatformPort;
+use crate::components::storage::{LogBatch, StoragePort};
+use crate::config::{ClusterConfig, ProtocolKind, QosPolicy, StorageMode};
 use crate::fusion::Directory;
-use crate::ipc::{ConnClass, IpcMsg, CLIENT_REQ_BYTES, CLIENT_RESP_BYTES};
+use crate::ipc::ConnClass;
 use crate::metrics::{Collector, Report};
 use crate::node::{DiskKind, Node};
 use crate::pathlen::PathLengths;
-use dclue_db::tpcc::TxnInput;
+use crate::protocol::CoherenceProtocol;
 use dclue_db::{BufferCache, Database, LockTable, PageKey, Table};
 use dclue_fault::{FaultKind, FaultScheduler, LinkRef};
 use dclue_net::packet::Dscp;
-use dclue_net::tcp::TcpConfig;
-use dclue_net::types::Side;
-use dclue_net::{ConnId, HostId, LinkId, MsgId, NetEvent, NetNote, Network, NetworkBuilder};
-use dclue_platform::{Cpu, CpuEvent, CpuNote};
-use dclue_sim::{Duration, EventHeap, FxHashMap, Outbox, SimRng, SimTime, TimerOp};
-use dclue_storage::{Disk, DiskEvent, DiskNote, RetryPolicy, StallGate};
-use dclue_workload::{route_node, FtpGenerator, FtpTransfer, TpccGenerator};
+use dclue_net::{ConnId, LinkId, NetEvent, NetworkBuilder};
+use dclue_platform::{Cpu, CpuEvent};
+use dclue_sim::{Duration, EventHeap, FxHashMap, Outbox, SimRng, SimTime};
+use dclue_storage::{Disk, DiskEvent, RetryPolicy, StallGate};
+use dclue_workload::{FtpGenerator, TpccGenerator};
 use std::collections::{BTreeMap, VecDeque};
-
-/// First reconnect attempt delay after a cluster connection dies with a
-/// crashed endpoint; doubles per attempt (capped) until the peer is back.
-const IPC_RECONNECT_BASE: Duration = Duration::from_millis(200);
 
 /// Global event type.
 #[derive(Debug)]
@@ -93,202 +91,6 @@ pub enum Ev {
     EndRun,
 }
 
-/// What a TCP connection is used for.
-#[derive(Debug, Clone)]
-pub(crate) enum ConnKind {
-    /// Node pair connection; `a` is the opener node, `b` the acceptor.
-    Cluster {
-        a: u32,
-        b: u32,
-        class: ConnClass,
-    },
-    Client {
-        session: u32,
-    },
-    Ftp {
-        #[allow(dead_code)]
-        pair: u32,
-    },
-}
-
-/// Dense `(min node, max node, class) -> conn` table. The pair space is
-/// tiny (`nodes² · 2` slots even at the paper's 24 nodes) and the
-/// lookup sits on the per-message IPC send path, so a flat index beats
-/// hashing by a wide margin.
-pub(crate) struct ConnTable {
-    nodes: usize,
-    slots: Vec<Option<ConnId>>,
-}
-
-impl ConnTable {
-    fn new(nodes: u32) -> Self {
-        let n = nodes as usize;
-        ConnTable {
-            nodes: n,
-            slots: vec![None; n * n * 2],
-        }
-    }
-
-    #[inline]
-    fn idx(&self, a: u32, b: u32, class: ConnClass) -> usize {
-        (a as usize * self.nodes + b as usize) * 2 + class as usize
-    }
-
-    #[inline]
-    pub(crate) fn get(&self, a: u32, b: u32, class: ConnClass) -> Option<ConnId> {
-        self.slots[self.idx(a, b, class)]
-    }
-
-    pub(crate) fn contains(&self, a: u32, b: u32, class: ConnClass) -> bool {
-        self.get(a, b, class).is_some()
-    }
-
-    pub(crate) fn insert(&mut self, a: u32, b: u32, class: ConnClass, conn: ConnId) {
-        let i = self.idx(a, b, class);
-        self.slots[i] = Some(conn);
-    }
-
-    pub(crate) fn remove(&mut self, a: u32, b: u32, class: ConnClass) {
-        let i = self.idx(a, b, class);
-        self.slots[i] = None;
-    }
-}
-
-/// Connection metadata addressed directly by `ConnId`. Ids are handed
-/// out sequentially by the network and never reused, so the table only
-/// grows; reaped connections leave a `None` hole. Iteration (rare) is
-/// in id order — deterministic by construction.
-pub(crate) struct ConnInfoTable {
-    slots: Vec<Option<ConnKind>>,
-}
-
-impl ConnInfoTable {
-    fn new() -> Self {
-        ConnInfoTable { slots: Vec::new() }
-    }
-
-    #[inline]
-    pub(crate) fn get(&self, conn: ConnId) -> Option<&ConnKind> {
-        self.slots.get(conn.0 as usize).and_then(|s| s.as_ref())
-    }
-
-    pub(crate) fn insert(&mut self, conn: ConnId, kind: ConnKind) {
-        let i = conn.0 as usize;
-        if i >= self.slots.len() {
-            self.slots.resize_with(i + 1, || None);
-        }
-        self.slots[i] = Some(kind);
-    }
-
-    pub(crate) fn remove(&mut self, conn: ConnId) -> Option<ConnKind> {
-        self.slots.get_mut(conn.0 as usize).and_then(|s| s.take())
-    }
-
-    /// Occupied entries in ascending `ConnId` order.
-    pub(crate) fn iter(&self) -> impl Iterator<Item = (ConnId, &ConnKind)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|k| (ConnId(i as u32), k)))
-    }
-}
-
-/// Meaning of an in-flight framed message.
-#[derive(Debug)]
-pub(crate) enum MsgTag {
-    Ipc(IpcMsg),
-    ClientReq { session: u32 },
-    ClientResp { session: u32 },
-    FtpFile { pair: u32 },
-}
-
-/// Deferred work waiting on a CPU interrupt or a disk completion.
-#[derive(Debug)]
-pub(crate) enum Action {
-    Nop,
-    /// Run the IPC handler after the receive-processing charge.
-    HandleIpc {
-        node: u32,
-        msg: IpcMsg,
-    },
-    /// Parse done: start the transaction carried by a client request.
-    StartTxn {
-        node: u32,
-        session: u32,
-    },
-    /// Local disk read completed (raw); charge completion then install.
-    PageRead {
-        node: u32,
-        page: PageKey,
-    },
-    /// Completion handling done: install the page and resume waiters.
-    PageReady {
-        node: u32,
-        page: PageKey,
-    },
-    /// iSCSI target finished the disk read; ship the data.
-    TargetRead {
-        node: u32,
-        page: PageKey,
-        requester: u32,
-    },
-    SendIscsiData {
-        node: u32,
-        page: PageKey,
-        requester: u32,
-    },
-    /// iSCSI target finished a write; acknowledge.
-    TargetWrite {
-        node: u32,
-        requester: u32,
-        req: u64,
-    },
-    /// Log write landed; finish the commit.
-    LogWritten {
-        txn: u64,
-    },
-    /// A batched (group-commit) log write landed.
-    LogBatchWritten {
-        txns: Vec<u64>,
-    },
-    CommitFinished {
-        txn: u64,
-    },
-}
-
-/// A closed-loop client terminal session.
-pub(crate) struct ClientSession {
-    pub home_w: u32,
-    pub client_host: HostId,
-    pub node: u32,
-    pub conn: Option<ConnId>,
-    pub queue: VecDeque<TxnInput>,
-    pub inflight: Option<TxnInput>,
-}
-
-/// Pending group-commit batch on one node.
-#[derive(Debug, Default)]
-pub(crate) struct LogBatch {
-    pub txns: Vec<u64>,
-    pub bytes: u64,
-    pub gen: u64,
-    pub armed: bool,
-}
-
-/// An FTP cross-traffic endpoint pair.
-pub(crate) struct FtpPair {
-    pub client: HostId,
-    pub server: HostId,
-    pub generator: FtpGenerator,
-    /// Token-bucket state (tokens in bytes) for the optional policer.
-    pub tokens: f64,
-    pub tokens_at: SimTime,
-    /// Live transfers (for connection admission control).
-    pub active: u32,
-    /// Transfers denied by CAC / policing.
-    pub denied: u64,
-}
-
 // ---------------------------------------------------------------------
 // Transaction state (driven by engine.rs)
 // ---------------------------------------------------------------------
@@ -320,7 +122,10 @@ pub(crate) enum Cursor {
 /// switch (the only kind the platform charges for).
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Block {
-    PageFault(PageKey),
+    PageFault {
+        key: PageKey,
+        exclusive: bool,
+    },
     SendLockReq {
         res: dclue_db::lock::ResourceId,
         master: u32,
@@ -372,62 +177,45 @@ pub(crate) struct Txn {
 // World
 // ---------------------------------------------------------------------
 
-/// The entire simulated cluster.
+/// The entire simulated cluster: the deterministic scheduler plus one
+/// typed component per subsystem (see [`crate::components`]).
 pub struct World {
     pub cfg: ClusterConfig,
     pub(crate) paths: PathLengths,
     pub(crate) heap: EventHeap<Ev>,
     pub(crate) now: SimTime,
     pub(crate) rng: SimRng,
-    pub(crate) net: Network,
+    /// The cluster/DB-node components: one per server.
     pub(crate) nodes: Vec<Node>,
     pub(crate) db: Database,
     pub(crate) warehouses: u32,
-    /// `(min node, max node, class) -> conn`; opener is always min.
-    pub(crate) cluster_conns: ConnTable,
-    pub(crate) conn_info: ConnInfoTable,
-    /// In-flight framed messages: `(owning connection, meaning)`. The
-    /// connection id lets reset handling reap entries whose messages
-    /// died with the connection.
-    pub(crate) msg_tags: FxHashMap<MsgId, (ConnId, MsgTag)>,
-    pub(crate) next_msg: u64,
-    pub(crate) actions: FxHashMap<u64, Action>,
-    pub(crate) next_action: u64,
+    /// The coherence/concurrency-control protocol in force. Both
+    /// implementations are zero-sized, so the `&'static` trait object
+    /// costs one pointer and never allocates.
+    pub(crate) protocol: &'static dyn CoherenceProtocol,
+    /// Per-node read-lease tables (`page -> expiry`), used only by
+    /// `ProtocolKind::MvccReadLease`; left empty under cache fusion so
+    /// the hot paths pay nothing for the feature.
+    pub(crate) leases: Vec<FxHashMap<PageKey, SimTime>>,
+    /// Network fabric: TCP state, conn tables, QoS controller.
+    pub(crate) fabric: FabricPort,
+    /// Platform/CPU: the deferred-action table.
+    pub(crate) platform: PlatformPort,
+    /// Storage: SAN array, iSCSI initiator state, commit logs.
+    pub(crate) storage: StoragePort,
+    /// Workload driver: client terminals and FTP cross traffic.
+    pub(crate) driver: WorkloadDriver,
     pub(crate) txns: FxHashMap<u64, Txn>,
     pub(crate) next_txn: u64,
-    pub(crate) sessions: Vec<ClientSession>,
-    pub(crate) gen: TpccGenerator,
-    pub(crate) ftp_pairs: Vec<FtpPair>,
-    /// iSCSI write request -> committing txn (for shipped logs).
-    pub(crate) log_reqs: FxHashMap<u64, u64>,
-    pub(crate) next_req: u64,
     pub(crate) collect: Collector,
     pub(crate) measuring: bool,
-    pub(crate) trunks: Vec<LinkId>,
-    pub(crate) trunk_bytes_at_warmup: u64,
-    /// Shared disk array for the SAN storage mode (empty otherwise).
-    pub(crate) san_disks: Vec<Disk>,
-    #[allow(dead_code)]
-    pub(crate) san_rr: usize,
     versions_at_warmup: u64,
-    pub(crate) log_batches: Vec<LogBatch>,
-    /// Autonomic QoS controller state: (baseline latency EWMA,
-    /// recent latency EWMA, current AF weight).
-    pub(crate) qos_ctl: (f64, f64, f64),
     /// Sampled (time_s, committed-so-far, mean live threads) triples.
     pub(crate) timeline: Vec<(f64, u64, f64)>,
     /// Drains the configured fault plan in clock order.
     pub(crate) fault_sched: FaultScheduler,
     /// Per-node liveness; a crashed node drops all IPC and client work.
     pub(crate) alive: Vec<bool>,
-    /// Per-node iSCSI target stall gates (hold incoming commands).
-    pub(crate) iscsi_gate: Vec<StallGate<IpcMsg>>,
-    /// Initiator-side command retry schedule.
-    pub(crate) iscsi_retry: RetryPolicy,
-    /// Outstanding remote reads: `(requester, page) -> attempt`.
-    pub(crate) iscsi_inflight: FxHashMap<(u32, PageKey), u32>,
-    /// Client host ids, for resolving `LinkRef::ClientUplink`.
-    pub(crate) client_hosts: Vec<HostId>,
     /// Buffer-cache capacity per node (to rebuild after a crash).
     pub(crate) buf_capacity: usize,
     done: bool,
@@ -598,39 +386,54 @@ impl World {
             heap: EventHeap::with_capacity(4096),
             now: SimTime::ZERO,
             rng,
-            net,
             nodes,
             db,
             warehouses,
-            cluster_conns: ConnTable::new(cfg.nodes),
-            conn_info: ConnInfoTable::new(),
-            msg_tags: FxHashMap::default(),
-            next_msg: 0,
-            actions: FxHashMap::default(),
-            next_action: 0,
+            protocol: crate::protocol::resolve(cfg.protocol),
+            leases: match cfg.protocol {
+                ProtocolKind::MvccReadLease => {
+                    vec![FxHashMap::default(); cfg.nodes as usize]
+                }
+                ProtocolKind::CacheFusion2pl => Vec::new(),
+            },
+            fabric: FabricPort {
+                net,
+                cluster_conns: ConnTable::new(cfg.nodes),
+                conn_info: ConnInfoTable::new(),
+                msg_tags: FxHashMap::default(),
+                next_msg: 0,
+                trunks,
+                trunk_bytes_at_warmup: 0,
+                client_hosts,
+                qos_ctl: (0.0, 0.0, 0.6),
+            },
+            platform: PlatformPort {
+                actions: FxHashMap::default(),
+                next_action: 0,
+            },
+            storage: StoragePort {
+                san_disks,
+                san_rr: 0,
+                iscsi_gate: (0..cfg.nodes).map(|_| StallGate::default()).collect(),
+                iscsi_retry: RetryPolicy::default(),
+                iscsi_inflight: FxHashMap::default(),
+                log_reqs: FxHashMap::default(),
+                next_req: 0,
+                log_batches: (0..cfg.nodes).map(|_| LogBatch::default()).collect(),
+            },
+            driver: WorkloadDriver {
+                sessions,
+                gen,
+                ftp_pairs,
+            },
             txns: FxHashMap::default(),
             next_txn: 0,
-            sessions,
-            gen,
-            ftp_pairs,
-            log_reqs: FxHashMap::default(),
-            next_req: 0,
             collect: Collector::default(),
             measuring: false,
-            trunks,
-            trunk_bytes_at_warmup: 0,
-            san_disks,
-            san_rr: 0,
             versions_at_warmup: 0,
-            log_batches: (0..cfg.nodes).map(|_| LogBatch::default()).collect(),
-            qos_ctl: (0.0, 0.0, 0.6),
             timeline: Vec::new(),
             fault_sched: FaultScheduler::new(&cfg.fault_plan),
             alive: vec![true; cfg.nodes as usize],
-            iscsi_gate: (0..cfg.nodes).map(|_| StallGate::default()).collect(),
-            iscsi_retry: RetryPolicy::default(),
-            iscsi_inflight: FxHashMap::default(),
-            client_hosts,
             buf_capacity,
             done: false,
             cfg,
@@ -800,27 +603,6 @@ impl World {
         }
     }
 
-    /// TCP parameters, paper-style: standard timers / 100 for the data
-    /// center, times the 100x scale = standard values in scaled time.
-    /// IPC connections get a very high retransmission cap so stress
-    /// never resets them (the paper does exactly this).
-    pub(crate) fn tcp_config(&self, long_lived: bool) -> TcpConfig {
-        TcpConfig {
-            mss: 1460,
-            rwnd: 64 * 1024,
-            init_cwnd_segs: 2,
-            init_ssthresh: 64 * 1024,
-            min_rto: Duration::from_millis(200),
-            max_rto: Duration::from_secs(60),
-            delack: Duration::from_millis(40),
-            max_retrans: if long_lived { 100 } else { 8 },
-            max_syn_retrans: if long_lived { 30 } else { 6 },
-            ecn: true,
-            sack: true,
-            train: !self.cfg.exact,
-        }
-    }
-
     fn init_schedule(&mut self) {
         // Open the two per-pair connections (IPC + storage).
         for a in 0..self.cfg.nodes {
@@ -830,8 +612,9 @@ impl World {
                     let cfg = self.tcp_config(true);
                     let conn = self
                         .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-                    self.cluster_conns.insert(a, bn, class, conn);
-                    self.conn_info
+                    self.fabric.cluster_conns.insert(a, bn, class, conn);
+                    self.fabric
+                        .conn_info
                         .insert(conn, ConnKind::Cluster { a, b: bn, class });
                 }
             }
@@ -840,7 +623,7 @@ impl World {
         // time, so the cluster ramps up rather than being hit by a
         // thundering herd that tips it into thrash before measurement.
         let span = (self.cfg.warmup.nanos()).max(1);
-        for s in 0..self.sessions.len() {
+        for s in 0..self.driver.sessions.len() {
             let jitter = Duration::from_nanos(self.rng.uniform(1_000_000, span))
                 + self.rng.exponential(self.cfg.think_time);
             self.heap.push(
@@ -904,7 +687,26 @@ impl World {
 
     /// Segment-train fast-path telemetry (all zero in exact mode).
     pub fn train_stats(&self) -> dclue_net::TrainStats {
-        self.net.train_stats
+        self.fabric.net.train_stats
+    }
+
+    // ------------------------------------------------------------------
+    // Component accessors
+    // ------------------------------------------------------------------
+
+    /// The network-fabric component: conn tables, QoS controller state.
+    pub fn fabric(&self) -> &FabricPort {
+        &self.fabric
+    }
+
+    /// The logical database shared by every node.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The coherence/concurrency-control protocol in force.
+    pub fn protocol(&self) -> &'static dyn CoherenceProtocol {
+        self.protocol
     }
 
     // ------------------------------------------------------------------
@@ -937,12 +739,12 @@ impl World {
             }
             Ev::San { disk, ev } => {
                 let mut ob = Outbox::new(self.now);
-                self.san_disks[disk as usize].handle(ev, &mut ob);
+                self.storage.san_disks[disk as usize].handle(ev, &mut ob);
                 self.absorb_san(disk, ob);
             }
             Ev::SanSubmit { disk, req } => {
                 let mut ob = Outbox::new(self.now);
-                self.san_disks[disk as usize].submit(req, &mut ob);
+                self.storage.san_disks[disk as usize].submit(req, &mut ob);
                 self.absorb_san(disk, ob);
             }
             Ev::DelayedAction { id } => self.run_action_direct(id),
@@ -972,480 +774,6 @@ impl World {
             Ev::EndWarmup => self.end_warmup(),
             Ev::EndRun => unreachable!("handled in run()"),
         }
-    }
-
-    pub(crate) fn with_net<R>(
-        &mut self,
-        f: impl FnOnce(&mut Network, &mut Outbox<NetEvent, NetNote>) -> R,
-    ) -> R {
-        let mut ob = Outbox::new(self.now);
-        let r = f(&mut self.net, &mut ob);
-        for (t, e) in ob.events {
-            self.heap.push(t, Ev::Net(e));
-        }
-        // Timer ops ride a separate channel so re-arms can cancel their
-        // predecessor keyed entry instead of leaving a dead event to pop.
-        // Draining them after the plain events is order-safe: within one
-        // dispatch, plain events land within the current transmit window
-        // (≈2 ms) while timers arm at least a delack (40 ms) out, so the
-        // two groups can never collide on a fire time and the relative
-        // seq order between them is unobservable.
-        for op in std::mem::take(&mut ob.timer_ops) {
-            match op {
-                TimerOp::Arm { key, at, ev } => self.heap.arm_timer(key, at, Ev::Net(ev)),
-                TimerOp::Cancel { key } => self.heap.cancel_timer(key),
-            }
-        }
-        let notes = std::mem::take(&mut ob.notes);
-        for n in notes {
-            self.handle_net_note(n);
-        }
-        r
-    }
-
-    pub(crate) fn with_cpu<R>(
-        &mut self,
-        node: u32,
-        f: impl FnOnce(&mut Cpu, &mut Outbox<CpuEvent, CpuNote>) -> R,
-    ) -> R {
-        let mut ob = Outbox::new(self.now);
-        let r = f(&mut self.nodes[node as usize].cpu, &mut ob);
-        self.absorb_cpu(node, ob);
-        r
-    }
-
-    fn absorb_cpu(&mut self, node: u32, ob: Outbox<CpuEvent, CpuNote>) {
-        for (t, e) in ob.events {
-            self.heap.push(t, Ev::Cpu { node, ev: e });
-        }
-        for n in ob.notes {
-            match n {
-                CpuNote::BurstDone { thread: _, tag } => self.on_burst_done(tag),
-                CpuNote::InterruptDone { tag } => self.run_action(tag),
-            }
-        }
-    }
-
-    fn absorb_disk(
-        &mut self,
-        node: u32,
-        kind: DiskKind,
-        disk: u32,
-        ob: Outbox<DiskEvent, DiskNote>,
-    ) {
-        for (t, e) in ob.events {
-            self.heap.push(
-                t,
-                Ev::Disk {
-                    node,
-                    kind,
-                    disk,
-                    ev: e,
-                },
-            );
-        }
-        for n in ob.notes {
-            let DiskNote::Complete { tag, .. } = n;
-            self.on_disk_complete(tag);
-        }
-    }
-
-    pub(crate) fn absorb_san(&mut self, disk: u32, ob: Outbox<DiskEvent, DiskNote>) {
-        for (t, e) in ob.events {
-            self.heap.push(t, Ev::San { disk, ev: e });
-        }
-        for n in ob.notes {
-            let DiskNote::Complete { tag, .. } = n;
-            // The completion crosses the SAN fabric back to the host.
-            let lat = match self.cfg.storage {
-                StorageMode::San { fabric_latency } => fabric_latency,
-                StorageMode::Distributed => Duration::ZERO,
-            };
-            self.heap
-                .push(self.now + lat, Ev::DelayedAction { id: tag });
-        }
-    }
-
-    /// Run a deferred action by id without an interrupt charge (the
-    /// disk-completion path charges separately).
-    pub(crate) fn run_action_direct(&mut self, id: u64) {
-        self.on_disk_complete_pub(id);
-    }
-
-    /// Allocate an action id.
-    pub(crate) fn action(&mut self, a: Action) -> u64 {
-        let id = self.next_action;
-        self.next_action += 1;
-        self.actions.insert(id, a);
-        id
-    }
-
-    /// Charge `instr` of interrupt work on `node`, then run `a`.
-    pub(crate) fn charge_then(&mut self, node: u32, instr: u64, a: Action) {
-        let id = self.action(a);
-        self.with_cpu(node, |cpu, ob| cpu.interrupt(instr, id, ob));
-    }
-
-    pub(crate) fn run_action(&mut self, id: u64) {
-        let Some(a) = self.actions.remove(&id) else {
-            return;
-        };
-        self.perform_action(a);
-    }
-
-    fn on_disk_complete(&mut self, tag: u64) {
-        self.on_disk_complete_pub(tag);
-    }
-
-    // ------------------------------------------------------------------
-    // Network notes
-    // ------------------------------------------------------------------
-
-    fn handle_net_note(&mut self, note: NetNote) {
-        match note {
-            NetNote::Established { conn } => self.on_established(conn),
-            NetNote::MessageDelivered {
-                conn,
-                side,
-                msg,
-                bytes,
-                ..
-            } => self.on_message(conn, side, msg, bytes),
-            NetNote::Reset { conn } => self.on_reset(conn),
-            NetNote::Closed { conn } => {
-                // Client/FTP connection ids are transient; reap them.
-                if let Some(ConnKind::Client { .. } | ConnKind::Ftp { .. }) =
-                    self.conn_info.get(conn)
-                {
-                    self.conn_info.remove(conn);
-                }
-            }
-            NetNote::SegmentsReceived { .. } => {
-                // Folded into per-message processing costs.
-            }
-        }
-    }
-
-    fn on_established(&mut self, conn: ConnId) {
-        match self.conn_info.get(conn) {
-            Some(ConnKind::Client { session }) => {
-                let s = *session;
-                self.client_send_next(s);
-            }
-            Some(ConnKind::Ftp { pair: _ }) => {
-                // The transfer payload was queued at open time; nothing
-                // further needed here.
-            }
-            _ => {}
-        }
-    }
-
-    fn on_message(&mut self, conn: ConnId, side: Side, msg: MsgId, bytes: u64) {
-        let Some((_, tag)) = self.msg_tags.remove(&msg) else {
-            return;
-        };
-        match tag {
-            MsgTag::Ipc(m) => {
-                let Some(ConnKind::Cluster { a, b, .. }) = self.conn_info.get(conn) else {
-                    return;
-                };
-                let node = if side == Side::Opener { *a } else { *b };
-                if !self.alive[node as usize] {
-                    return; // delivered to a crashed node: lost
-                }
-                let mut instr = self.paths.recv_instr(bytes);
-                // iSCSI adds protocol processing on the receiving host.
-                match &m {
-                    IpcMsg::IscsiData { .. } => {
-                        instr += self.paths.iscsi_initiator_per_io
-                            + self.paths.iscsi_initiator_per_kb * bytes.div_ceil(1024);
-                    }
-                    IpcMsg::IscsiRead { .. } | IpcMsg::IscsiWrite { .. } => {
-                        instr += self.paths.iscsi_target_per_io
-                            + self.paths.iscsi_target_per_kb * bytes.div_ceil(1024);
-                    }
-                    _ => {}
-                }
-                let bus = self.paths.recv_bus_bytes(bytes);
-                self.nodes[node as usize].cpu.account_bus(self.now, bus);
-                self.charge_then(node, instr, Action::HandleIpc { node, msg: m });
-            }
-            MsgTag::ClientReq { session } => {
-                let node = self.sessions[session as usize].node;
-                if !self.alive[node as usize] {
-                    // Request landed on a crashed node: reset the client
-                    // connection so the terminal retries on a live one.
-                    self.with_net(|net, ob| net.abort_connection(conn, ob));
-                    return;
-                }
-                let instr = self.paths.recv_instr(bytes) + self.paths.client_req_parse;
-                self.charge_then(node, instr, Action::StartTxn { node, session });
-            }
-            MsgTag::ClientResp { session } => {
-                // Arrives at the (un-modelled) client host.
-                self.client_got_response(session);
-            }
-            MsgTag::FtpFile { pair } => {
-                if self.measuring {
-                    self.collect.ftp_bytes_delivered += bytes as f64;
-                    self.collect.ftp_transfers += 1;
-                }
-                let p = &mut self.ftp_pairs[pair as usize];
-                p.active = p.active.saturating_sub(1);
-                // Tear the per-transfer connection down from both ends.
-                self.with_net(|net, ob| {
-                    net.close_connection(conn, Side::Opener, ob);
-                    net.close_connection(conn, Side::Acceptor, ob);
-                });
-            }
-        }
-    }
-
-    fn on_reset(&mut self, conn: ConnId) {
-        // Reap framing entries for messages that died with the
-        // connection (their delivery will never come).
-        self.msg_tags.retain(|_, (c, _)| *c != conn);
-        match self.conn_info.remove(conn) {
-            Some(ConnKind::Cluster { a, b, class }) => {
-                // Should essentially never happen under load alone (high
-                // retrans cap); a crash or long outage gets here. Reopen
-                // immediately when both ends live, else retry with
-                // exponential backoff until the peer returns.
-                self.collect.ipc_resets += 1;
-                self.cluster_conns.remove(a, b, class);
-                if self.alive[a as usize] && self.alive[b as usize] {
-                    let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
-                    let cfg = self.tcp_config(true);
-                    let newc = self
-                        .with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-                    self.cluster_conns.insert(a, b, class, newc);
-                    self.conn_info
-                        .insert(newc, ConnKind::Cluster { a, b, class });
-                } else {
-                    self.heap.push(
-                        self.now + IPC_RECONNECT_BASE,
-                        Ev::IpcReconnect {
-                            a,
-                            b,
-                            class,
-                            attempt: 0,
-                        },
-                    );
-                }
-            }
-            Some(ConnKind::Ftp { pair }) => {
-                let p = &mut self.ftp_pairs[pair as usize];
-                p.active = p.active.saturating_sub(1);
-            }
-            Some(ConnKind::Client { session }) => {
-                // The business transaction is abandoned; think and retry.
-                let think = self.cfg.think_time;
-                let s = &mut self.sessions[session as usize];
-                s.conn = None;
-                s.queue.clear();
-                s.inflight = None;
-                let delay = self.rng.exponential(think);
-                self.heap
-                    .push(self.now + delay, Ev::ClientThink { session });
-            }
-            _ => {}
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Message sending
-    // ------------------------------------------------------------------
-
-    /// Send an IPC message between nodes (or handle locally if same).
-    pub(crate) fn send_ipc(&mut self, from: u32, to: u32, msg: IpcMsg) {
-        if !self.alive[from as usize] || !self.alive[to as usize] {
-            return; // a crashed endpoint neither sends nor receives
-        }
-        if from == to {
-            // Local shortcut (the paper's A=B / B=C cases): no fabric,
-            // no extra processing charge beyond what the op itself pays.
-            self.handle_ipc(to, msg);
-            return;
-        }
-        let class = msg.class();
-        let bytes = msg.wire_bytes();
-        if self.measuring {
-            match class {
-                ConnClass::Ipc => {
-                    if msg.is_data() {
-                        self.collect.data_msgs += 1;
-                    } else {
-                        self.collect.ctl_msgs += 1;
-                    }
-                }
-                ConnClass::Storage => self.collect.storage_msgs += 1,
-            }
-        }
-        let Some(conn) = self.cluster_conns.get(from.min(to), from.max(to), class) else {
-            return;
-        };
-        let side = if from < to {
-            Side::Opener
-        } else {
-            Side::Acceptor
-        };
-        let id = MsgId(self.next_msg);
-        self.next_msg += 1;
-        self.msg_tags.insert(id, (conn, MsgTag::Ipc(msg)));
-        // Send-side processing + copy traffic.
-        let instr = self.paths.send_instr(bytes);
-        let bus = self.paths.send_bus_bytes(bytes);
-        self.nodes[from as usize].cpu.account_bus(self.now, bus);
-        self.charge_then(from, instr, Action::Nop);
-        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
-    }
-
-    /// Send a client-bound or server-bound message on a client conn.
-    pub(crate) fn send_client_msg(&mut self, conn: ConnId, side: Side, tag: MsgTag, bytes: u64) {
-        let id = MsgId(self.next_msg);
-        self.next_msg += 1;
-        self.msg_tags.insert(id, (conn, tag));
-        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
-    }
-
-    // ------------------------------------------------------------------
-    // Client sessions
-    // ------------------------------------------------------------------
-
-    fn client_begin(&mut self, session: u32) {
-        let (home_w, client_host) = {
-            let s = &self.sessions[session as usize];
-            (s.home_w, s.client_host)
-        };
-        let business = self.gen.business_txn(home_w);
-        let mut node = route_node(
-            home_w,
-            self.warehouses,
-            self.cfg.nodes,
-            self.cfg.affinity,
-            &mut self.rng,
-        );
-        // Failover: a crashed home node reroutes to the next live one.
-        if !self.alive[node as usize] {
-            for off in 1..self.cfg.nodes {
-                let cand = (node + off) % self.cfg.nodes;
-                if self.alive[cand as usize] {
-                    node = cand;
-                    break;
-                }
-            }
-        }
-        let cfg = self.tcp_config(false);
-        let server_host = self.nodes[node as usize].host;
-        let conn = self.with_net(|net, ob| {
-            net.open_connection(client_host, server_host, Dscp::BestEffort, cfg, ob)
-        });
-        self.conn_info.insert(conn, ConnKind::Client { session });
-        let s = &mut self.sessions[session as usize];
-        s.node = node;
-        s.conn = Some(conn);
-        s.queue = business.txns.into();
-        s.inflight = None;
-    }
-
-    fn client_send_next(&mut self, session: u32) {
-        let s = &mut self.sessions[session as usize];
-        let Some(conn) = s.conn else { return };
-        let Some(input) = s.queue.pop_front() else {
-            // Business transaction complete: close and think.
-            self.with_net(|net, ob| {
-                net.close_connection(conn, Side::Opener, ob);
-                net.close_connection(conn, Side::Acceptor, ob);
-            });
-            let s = &mut self.sessions[session as usize];
-            s.conn = None;
-            let delay = self.rng.exponential(self.cfg.think_time);
-            self.heap
-                .push(self.now + delay, Ev::ClientThink { session });
-            return;
-        };
-        s.inflight = Some(input);
-        self.send_client_msg(
-            conn,
-            Side::Opener,
-            MsgTag::ClientReq { session },
-            CLIENT_REQ_BYTES,
-        );
-    }
-
-    fn client_got_response(&mut self, session: u32) {
-        self.client_send_next(session);
-    }
-
-    /// Called by the engine when a transaction finished: respond to the
-    /// waiting client.
-    pub(crate) fn reply_to_client(&mut self, node: u32, session: u32) {
-        let Some(conn) = self.sessions[session as usize].conn else {
-            return;
-        };
-        let bytes = CLIENT_RESP_BYTES;
-        let instr = self.paths.client_resp_build + self.paths.send_instr(bytes);
-        self.charge_then(node, instr, Action::Nop);
-        self.send_client_msg(conn, Side::Acceptor, MsgTag::ClientResp { session }, bytes);
-    }
-
-    // ------------------------------------------------------------------
-    // FTP cross traffic
-    // ------------------------------------------------------------------
-
-    fn ftp_next(&mut self, pair: u32) {
-        let (gap, transfer) = self.ftp_pairs[pair as usize].generator.next_transfer();
-        self.heap.push(self.now + gap, Ev::FtpNext { pair });
-        // Connection admission control: refuse the transfer outright
-        // when the concurrent-transfer budget is exhausted.
-        if let Some(cap) = self.cfg.ftp_max_concurrent {
-            let p = &mut self.ftp_pairs[pair as usize];
-            if p.active >= cap {
-                p.denied += 1;
-                return;
-            }
-        }
-        // Token-bucket shaping: push the transfer's start back until the
-        // bucket holds its bytes.
-        if let Some(pol) = self.cfg.ftp_policer {
-            let now = self.now;
-            let p = &mut self.ftp_pairs[pair as usize];
-            let dt = now.since(p.tokens_at).as_secs_f64();
-            p.tokens = (p.tokens + dt * pol.rate_bps / 8.0).min(pol.burst_bytes);
-            p.tokens_at = now;
-            let need = transfer.bytes() as f64;
-            if p.tokens < need {
-                // Not enough credit: drop this transfer (a shaper would
-                // queue it; at sustained overload that queue is
-                // unbounded, so policing = drop is the stable choice).
-                p.denied += 1;
-                return;
-            }
-            p.tokens -= need;
-        }
-        self.ftp_pairs[pair as usize].active += 1;
-        let (client, server) = {
-            let p = &self.ftp_pairs[pair as usize];
-            (p.client, p.server)
-        };
-        let dscp = match self.cfg.qos {
-            QosPolicy::FtpPriority | QosPolicy::FtpWfq { .. } | QosPolicy::Autonomic { .. } => {
-                Dscp::Af21
-            }
-            QosPolicy::AllBestEffort => Dscp::BestEffort,
-        };
-        let cfg = self.tcp_config(false);
-        let conn = self.with_net(|net, ob| net.open_connection(client, server, dscp, cfg, ob));
-        self.conn_info.insert(conn, ConnKind::Ftp { pair });
-        // Queue the payload immediately; TCP sends it once established.
-        let (side, bytes) = match transfer {
-            FtpTransfer::Put { bytes } => (Side::Opener, bytes),
-            FtpTransfer::Get { bytes } => (Side::Acceptor, bytes),
-        };
-        let id = MsgId(self.next_msg);
-        self.next_msg += 1;
-        self.msg_tags.insert(id, (conn, MsgTag::FtpFile { pair }));
-        self.with_net(|net, ob| net.send_message(conn, side, id, bytes, ob));
     }
 
     // ------------------------------------------------------------------
@@ -1503,6 +831,7 @@ impl World {
         let lock_entries: usize = self.nodes.iter().map(|n| n.locks.live_entries()).sum();
         dclue_trace::metric_max!("db.lock_entries_max", lock_entries);
         let port_q = self
+            .fabric
             .net
             .links()
             .iter()
@@ -1537,80 +866,6 @@ impl World {
         }
     }
 
-    /// One step of the autonomic QoS controller (runs every sample
-    /// tick when `QosPolicy::Autonomic` is configured).
-    fn autonomic_qos_step(&mut self) {
-        let QosPolicy::Autonomic { tolerance } = self.cfg.qos else {
-            return;
-        };
-        let (baseline, recent, weight) = &mut self.qos_ctl;
-        if *recent <= 0.0 || *baseline <= 0.0 {
-            return; // no latency samples yet
-        }
-        let budget = *baseline * (1.0 + tolerance);
-        if *recent > budget {
-            *weight = (*weight * 0.8).max(0.05);
-        } else if *recent < *baseline * (1.0 + tolerance * 0.5) {
-            *weight = (*weight + 0.02).min(0.9);
-        }
-        let wv = *weight;
-        self.net.set_af_weight(wv);
-    }
-
-    /// Feed the autonomic controller one commit-latency observation
-    /// (always on, independent of the measurement window).
-    pub(crate) fn qos_latency_sample(&mut self, lat_s: f64) {
-        if !matches!(self.cfg.qos, QosPolicy::Autonomic { .. }) {
-            return;
-        }
-        let (baseline, recent, _) = &mut self.qos_ctl;
-        if *baseline == 0.0 {
-            *baseline = lat_s;
-            *recent = lat_s;
-        } else {
-            // The slow EWMA locks in the uncontended early behaviour;
-            // the fast one tracks current conditions.
-            if !self.measuring {
-                *baseline += 0.02 * (lat_s - *baseline);
-            }
-            *recent += 0.1 * (lat_s - *recent);
-        }
-    }
-
-    /// Test accessor: the controller's current AF weight (autonomic QoS).
-    pub fn af_weight_for_test(&self) -> f64 {
-        self.qos_ctl.2
-    }
-
-    /// Test accessor: placement function (stable public surface for
-    /// white-box tests without exposing internals).
-    pub fn page_home_for_test(&self, key: PageKey) -> u32 {
-        self.page_home(key)
-    }
-
-    /// Test accessor: logical block address mapping.
-    pub fn lba_for_test(&self, key: PageKey) -> u64 {
-        self.lba_of(key)
-    }
-
-    /// Test accessor: the logical database.
-    pub fn database_for_test(&self) -> &Database {
-        &self.db
-    }
-
-    /// Abort the first live IPC connection (fault injection): the reset
-    /// handler must reopen it and the cluster must keep committing.
-    fn chaos_reset_one_ipc(&mut self) {
-        let conn = self
-            .conn_info
-            .iter()
-            .find(|(_, k)| matches!(k, ConnKind::Cluster { .. }))
-            .map(|(c, _)| c);
-        if let Some(c) = conn {
-            self.with_net(|net, ob| net.abort_connection(c, ob));
-        }
-    }
-
     // ------------------------------------------------------------------
     // Fault injection (dclue-fault integration)
     // ------------------------------------------------------------------
@@ -1628,12 +883,16 @@ impl World {
     /// Resolve a logical link reference against the built topology.
     fn resolve_link(&self, l: LinkRef) -> Option<LinkId> {
         match l {
-            LinkRef::NodeUplink(i) => self.nodes.get(i).map(|n| self.net.host_uplink(n.host)),
+            LinkRef::NodeUplink(i) => self
+                .nodes
+                .get(i)
+                .map(|n| self.fabric.net.host_uplink(n.host)),
             LinkRef::ClientUplink(i) => self
+                .fabric
                 .client_hosts
-                .get(i % self.client_hosts.len().max(1))
-                .map(|&h| self.net.host_uplink(h)),
-            LinkRef::Trunk(i) => self.trunks.get(i).copied(),
+                .get(i % self.fabric.client_hosts.len().max(1))
+                .map(|&h| self.fabric.net.host_uplink(h)),
+            LinkRef::Trunk(i) => self.fabric.trunks.get(i).copied(),
         }
     }
 
@@ -1658,22 +917,22 @@ impl World {
         match kind {
             FaultKind::LinkDown(l) => {
                 if let Some(id) = self.resolve_link(l) {
-                    self.net.set_link_up(id, false);
+                    self.fabric.net.set_link_up(id, false);
                 }
             }
             FaultKind::LinkUp(l) => {
                 if let Some(id) = self.resolve_link(l) {
-                    self.net.set_link_up(id, true);
+                    self.fabric.net.set_link_up(id, true);
                 }
             }
             FaultKind::LinkDegrade { link, factor } => {
                 if let Some(id) = self.resolve_link(link) {
-                    self.net.set_link_rate_factor(id, factor);
+                    self.fabric.net.set_link_rate_factor(id, factor);
                 }
             }
             FaultKind::LinkRestore(l) => {
                 if let Some(id) = self.resolve_link(l) {
-                    self.net.set_link_rate_factor(id, 1.0);
+                    self.fabric.net.set_link_rate_factor(id, 1.0);
                 }
             }
             FaultKind::RouterPortFail(l) => {
@@ -1681,13 +940,13 @@ impl World {
                 // the a→b direction on router↔router trunks.
                 let forward = matches!(l, LinkRef::Trunk(_));
                 if let Some(id) = self.resolve_link(l) {
-                    self.net.set_port_failed(id, forward, true);
+                    self.fabric.net.set_port_failed(id, forward, true);
                 }
             }
             FaultKind::RouterPortRecover(l) => {
                 let forward = matches!(l, LinkRef::Trunk(_));
                 if let Some(id) = self.resolve_link(l) {
-                    self.net.set_port_failed(id, forward, false);
+                    self.fabric.net.set_port_failed(id, forward, false);
                 }
             }
             FaultKind::LossBurst {
@@ -1699,24 +958,26 @@ impl World {
                     // Dedicated stream per window: reproducible, and
                     // independent of every other draw in the run.
                     let seed = self.cfg.seed ^ 0x1055_B075 ^ ((id.0 as u64) << 32);
-                    self.net.set_link_loss(id, drop_prob, corrupt_prob, seed);
+                    self.fabric
+                        .net
+                        .set_link_loss(id, drop_prob, corrupt_prob, seed);
                 }
             }
             FaultKind::LossClear(l) => {
                 if let Some(id) = self.resolve_link(l) {
-                    self.net.clear_link_loss(id);
+                    self.fabric.net.clear_link_loss(id);
                 }
             }
             FaultKind::NodeCrash(n) => self.crash_node(n),
             FaultKind::NodeRestart(n) => self.restart_node(n),
             FaultKind::IscsiStall(n) => {
-                if n < self.iscsi_gate.len() {
-                    self.iscsi_gate[n].stall();
+                if n < self.storage.iscsi_gate.len() {
+                    self.storage.iscsi_gate[n].stall();
                 }
             }
             FaultKind::IscsiResume(n) => {
-                if n < self.iscsi_gate.len() {
-                    let held = self.iscsi_gate[n].resume();
+                if n < self.storage.iscsi_gate.len() {
+                    let held = self.storage.iscsi_gate[n].resume();
                     for msg in held {
                         self.handle_ipc(n as u32, msg);
                     }
@@ -1747,7 +1008,7 @@ impl World {
         kicked.sort_unstable();
         kicked.dedup();
         for s in kicked {
-            if let Some(conn) = self.sessions[s as usize].conn {
+            if let Some(conn) = self.driver.sessions[s as usize].conn {
                 self.with_net(|net, ob| net.abort_connection(conn, ob));
             }
         }
@@ -1755,14 +1016,18 @@ impl World {
             self.nodes[n].locks = LockTable::new();
             self.nodes[n].pending_pages.clear();
         }
-        self.iscsi_inflight.clear();
+        self.storage.iscsi_inflight.clear();
         // Pending group-commit batches reference dead txns; drop them
         // (keep the generation counter so stale flush timers stay stale).
-        for b in &mut self.log_batches {
+        for b in &mut self.storage.log_batches {
             b.txns.clear();
             b.bytes = 0;
             b.armed = false;
         }
+        // Protocol-private state (e.g. read leases) was granted under
+        // the old membership; the protocol decides what survives.
+        let protocol = self.protocol;
+        protocol.on_membership_change(self);
     }
 
     /// Abort one transaction because of an injected fault. Threads with
@@ -1797,7 +1062,7 @@ impl World {
         // resident_txns is NOT zeroed here: the freeze already finished
         // idle txns (decrementing it), and Running txns finish at burst
         // retirement where they decrement it themselves.
-        self.iscsi_gate[k].purge();
+        self.storage.iscsi_gate[k].purge();
         // Survivors forget the crashed cache's residency.
         for n in 0..self.nodes.len() {
             if n != k {
@@ -1812,13 +1077,14 @@ impl World {
             }
             for class in [ConnClass::Ipc, ConnClass::Storage] {
                 let (a, b) = ((k as u32).min(other), (k as u32).max(other));
-                if let Some(c) = self.cluster_conns.get(a, b, class) {
+                if let Some(c) = self.fabric.cluster_conns.get(a, b, class) {
                     self.with_net(|net, ob| net.abort_connection(c, ob));
                 }
             }
         }
         // Clients talking to the crashed node retry elsewhere.
         let stranded: Vec<ConnId> = self
+            .driver
             .sessions
             .iter()
             .filter(|s| s.node == k as u32)
@@ -1844,7 +1110,7 @@ impl World {
             }
             for class in [ConnClass::Ipc, ConnClass::Storage] {
                 let (a, b) = ((k as u32).min(other), (k as u32).max(other));
-                if !self.cluster_conns.contains(a, b, class) {
+                if !self.fabric.cluster_conns.contains(a, b, class) {
                     self.heap.push(
                         self.now + Duration::from_millis(10),
                         Ev::IpcReconnect {
@@ -1856,109 +1122,6 @@ impl World {
                     );
                 }
             }
-        }
-    }
-
-    /// Try to reopen a cluster connection whose endpoint was down.
-    fn ipc_reconnect(&mut self, a: u32, b: u32, class: ConnClass, attempt: u32) {
-        if self.cluster_conns.contains(a, b, class) {
-            return; // already reopened (by restart or an earlier retry)
-        }
-        if self.alive[a as usize] && self.alive[b as usize] {
-            let (ha, hb) = (self.nodes[a as usize].host, self.nodes[b as usize].host);
-            let cfg = self.tcp_config(true);
-            let conn =
-                self.with_net(|net, ob| net.open_connection(ha, hb, Dscp::BestEffort, cfg, ob));
-            self.cluster_conns.insert(a, b, class, conn);
-            self.conn_info
-                .insert(conn, ConnKind::Cluster { a, b, class });
-        } else {
-            let delay = Duration::from_nanos(
-                IPC_RECONNECT_BASE
-                    .nanos()
-                    .saturating_mul(1 << attempt.min(5)),
-            );
-            self.heap.push(
-                self.now + delay,
-                Ev::IpcReconnect {
-                    a,
-                    b,
-                    class,
-                    attempt: attempt + 1,
-                },
-            );
-        }
-    }
-
-    /// An outstanding remote (iSCSI) read timed out: retry with
-    /// exponential backoff, or fail the IO once attempts are exhausted.
-    fn iscsi_timeout(&mut self, node: u32, page: PageKey, attempt: u32) {
-        let Some(&current) = self.iscsi_inflight.get(&(node, page)) else {
-            return; // completed (or wiped by a crash freeze)
-        };
-        if current != attempt {
-            return; // stale timer from an earlier attempt
-        }
-        self.collect.iscsi_retries += 1;
-        dclue_trace::trace_event!(Storage, self.now.0, "iscsi_timeout", node, attempt);
-        let next = attempt + 1;
-        match self.iscsi_retry.timeout(next) {
-            Some(to) => {
-                dclue_trace::trace_event!(Storage, self.now.0, "iscsi_retry", node, next);
-                self.iscsi_inflight.insert((node, page), next);
-                // Re-issue the command (fresh request id; the target
-                // treats it as new — duplicate data is idempotent).
-                let home = self.page_home(page);
-                let req = self.next_req;
-                self.next_req += 1;
-                let instr = self.paths.disk_submit + self.paths.iscsi_initiator_per_io;
-                self.charge_then(node, instr, Action::Nop);
-                self.send_ipc(
-                    node,
-                    home,
-                    IpcMsg::IscsiRead {
-                        page,
-                        req,
-                        requester: node,
-                    },
-                );
-                self.heap.push(
-                    self.now + to,
-                    Ev::IscsiTimeout {
-                        node,
-                        page,
-                        attempt: next,
-                    },
-                );
-            }
-            None => {
-                // Out of attempts: the IO fails and every transaction
-                // waiting on the page aborts (clients retry).
-                dclue_trace::trace_event!(Storage, self.now.0, "iscsi_abandon", node, attempt);
-                self.iscsi_inflight.remove(&(node, page));
-                self.fail_pending_page(node, page);
-            }
-        }
-    }
-
-    /// A page read failed permanently: abort the waiting transactions.
-    fn fail_pending_page(&mut self, node: u32, page: PageKey) {
-        let waiters = self.nodes[node as usize]
-            .pending_pages
-            .remove(&page)
-            .map(|p| p.waiters)
-            .unwrap_or_default();
-        for txn in waiters {
-            let Some(t) = self.txns.get(&txn) else {
-                continue;
-            };
-            if t.phase != Phase::WaitPage {
-                continue;
-            }
-            self.collect.aborted_by_fault += 1;
-            // finish_txn replies to the client (an error response); the
-            // terminal moves on and retries per its business loop.
-            self.finish_txn(txn, true);
         }
     }
 
@@ -1978,18 +1141,8 @@ impl World {
             n.cpu.stats.interrupts.reset();
             n.buffer.stats = Default::default();
         }
-        self.trunk_bytes_at_warmup = self.trunk_bytes();
+        self.fabric.trunk_bytes_at_warmup = self.trunk_bytes();
         self.versions_at_warmup = self.db.versions.stats.versions_created;
-    }
-
-    fn trunk_bytes(&self) -> u64 {
-        self.trunks
-            .iter()
-            .map(|&l| {
-                let link = self.net.link(l);
-                link.ports[0].stats.bytes_tx + link.ports[1].stats.bytes_tx
-            })
-            .sum()
     }
 
     fn build_report(&mut self) -> Report {
@@ -2038,16 +1191,18 @@ impl World {
         };
         let trunk_delta = self
             .trunk_bytes()
-            .saturating_sub(self.trunk_bytes_at_warmup);
+            .saturating_sub(self.fabric.trunk_bytes_at_warmup);
         let trunk_mbps = trunk_delta as f64 * 8.0 / wsecs / 1e6;
-        let trunk_capacity = (self.trunks.len() as f64).max(1.0) * self.cfg.trunk_bw;
+        let trunk_capacity = (self.fabric.trunks.len() as f64).max(1.0) * self.cfg.trunk_bw;
         let drops: u64 = self
+            .fabric
             .net
             .links()
             .iter()
             .map(|l| l.ports[0].stats.dropped + l.ports[1].stats.dropped)
             .sum::<u64>()
             + self
+                .fabric
                 .net
                 .routers()
                 .iter()
@@ -2096,6 +1251,8 @@ impl World {
             cpu_util: util,
             buffer_hit_ratio: hit_ratio,
             fusion_transfers_per_txn: c.fusion_transfers as f64 / committed as f64,
+            lease_transfers_per_txn: c.lease_transfers as f64 / committed as f64,
+            lease_renewals_per_txn: c.lease_renewals as f64 / committed as f64,
             disk_reads_per_txn: c.disk_reads as f64 / committed as f64,
             version_walks_per_txn: c.version_walks as f64 / committed as f64,
             txn_latency_p95_ms: c.latency_hist.quantile(0.95) * 1e3,
@@ -2105,14 +1262,14 @@ impl World {
             trunk_mbps,
             trunk_utilization: (trunk_mbps * 1e6 / trunk_capacity).min(1.0),
             ftp_mbps: c.ftp_bytes_delivered * 8.0 / wsecs / 1e6,
-            ftp_denied: self.ftp_pairs.iter().map(|p| p.denied).sum(),
+            ftp_denied: self.driver.ftp_pairs.iter().map(|p| p.denied).sum(),
             timeline: std::mem::take(&mut self.timeline),
             ipc_resets: c.ipc_resets,
             drops,
             fault_events_applied: self.fault_sched.applied(),
             aborted_by_fault: c.aborted_by_fault,
             iscsi_retries: c.iscsi_retries,
-            fault_drops: self.net.fault_drops(),
+            fault_drops: self.fabric.net.fault_drops(),
             availability,
         }
     }

@@ -25,13 +25,13 @@ fn partitioned_data_pages_map_to_warehouse_home() {
     let w = world(4); // 16 warehouses, 4 per node
                       // District pages: 86 rows/page, 10 districts per warehouse — the
                       // first node's districts (warehouses 1-4 = rows 0-39) are on page 0.
-    let p = w.page_home_for_test(PageKey::data(Table::District, 0));
+    let p = w.page_home(PageKey::data(Table::District, 0));
     assert_eq!(p, 0);
     // A growing table's page namespace encodes the warehouse directly.
     let order_pg_w9 = PageKey::data(Table::Order, 8 * WH_PAGE_SPAN); // w=9
-    assert_eq!(w.page_home_for_test(order_pg_w9), 2); // warehouses 9-12 -> node 2
+    assert_eq!(w.page_home(order_pg_w9), 2); // warehouses 9-12 -> node 2
     let order_pg_w16 = PageKey::data(Table::Order, 15 * WH_PAGE_SPAN);
-    assert_eq!(w.page_home_for_test(order_pg_w16), 3);
+    assert_eq!(w.page_home(order_pg_w16), 3);
 }
 
 #[test]
@@ -40,14 +40,14 @@ fn stock_pages_follow_their_warehouse() {
     // Stock: 26 rows/page, 1000 rows (items) per warehouse scaled.
     // Warehouse 5 (node 1) starts at row 4000 => page ~153.
     let page = 4000 / Table::Stock.rows_per_page() + 1;
-    assert_eq!(w.page_home_for_test(PageKey::data(Table::Stock, page)), 1);
+    assert_eq!(w.page_home(PageKey::data(Table::Stock, page)), 1);
 }
 
 #[test]
 fn item_pages_hash_across_the_cluster() {
     let w = world(4);
     let homes: std::collections::HashSet<u32> = (0..11u64)
-        .map(|p| w.page_home_for_test(PageKey::data(Table::Item, p)))
+        .map(|p| w.page_home(PageKey::data(Table::Item, p)))
         .collect();
     assert!(
         homes.len() >= 2,
@@ -61,11 +61,11 @@ fn index_pages_follow_their_key_range() {
     // Find the leaf for a warehouse-13 district key (node 3's range) by
     // tracing a lookup through the database's real index.
     let mut trace = Vec::new();
-    w.database_for_test()
+    w.database()
         .index(Table::District)
         .get(13 * 10 + 1, &mut trace);
     let leaf = *trace.last().unwrap();
-    let home = w.page_home_for_test(PageKey::index(Table::District, leaf));
+    let home = w.page_home(PageKey::index(Table::District, leaf));
     // The leaf's smallest key may belong to a neighbouring warehouse on
     // the same node; accept node 2 or 3 but not the far end.
     assert!(home >= 2, "district leaf for w=13 must live high: {home}");
@@ -75,7 +75,7 @@ fn index_pages_follow_their_key_range() {
 fn single_node_homes_everything_locally() {
     let w = world(1);
     for t in [Table::Warehouse, Table::Stock, Table::Item, Table::Order] {
-        assert_eq!(w.page_home_for_test(PageKey::data(t, 3)), 0);
+        assert_eq!(w.page_home(PageKey::data(t, 3)), 0);
     }
 }
 
@@ -84,13 +84,13 @@ fn lba_mapping_is_stable_and_in_range() {
     let w = world(2);
     let k1 = PageKey::data(Table::Customer, 42);
     let k2 = PageKey::data(Table::Customer, 43);
-    let a = w.lba_for_test(k1);
-    let b = w.lba_for_test(k2);
-    assert_eq!(a, w.lba_for_test(k1), "deterministic");
+    let a = w.lba_of(k1);
+    let b = w.lba_of(k2);
+    assert_eq!(a, w.lba_of(k1), "deterministic");
     assert_eq!(b, a + 1, "adjacent pages stay adjacent for the elevator");
     assert!(a < w.cfg.disk.blocks);
     // Different tables never collide on the same low LBAs region start.
-    let s = w.lba_for_test(PageKey::data(Table::Stock, 42));
+    let s = w.lba_of(PageKey::data(Table::Stock, 42));
     assert_ne!(a, s);
 }
 

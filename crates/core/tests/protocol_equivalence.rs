@@ -1,0 +1,132 @@
+//! Cross-protocol invariants: the same cluster, workload and seed run
+//! under both coherence protocols must both make progress, and the
+//! MVCC read-lease protocol must actually exercise its lease machinery
+//! while never taking read locks.
+//!
+//! "No lost updates" is enforced structurally while these runs
+//! execute: writes serialize through the exclusive lock table under
+//! both protocols (the version store debug-asserts per-row timestamp
+//! monotonicity, and `LockTable::check_consistency` is armed in debug
+//! builds, which is how the tier-1 suite runs).
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{ClusterConfig, ProtocolKind, Report, World};
+use dclue_db::tpcc::TxnProgram;
+use dclue_db::{Database, TpccScale, TxnInput, TxnKind};
+use dclue_fault::FaultPlan;
+use dclue_sim::Duration;
+
+fn base_cfg(protocol: ProtocolKind) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = 4;
+    cfg.affinity = 0.5; // coherence-heavy: plenty of remote reads
+    cfg.warmup = Duration::from_secs(5);
+    cfg.measure = Duration::from_secs(15);
+    cfg.protocol = protocol;
+    cfg.validate().expect("test config must validate");
+    cfg
+}
+
+fn run(cfg: ClusterConfig) -> Report {
+    World::new(cfg).run()
+}
+
+fn abort_rate(r: &Report) -> f64 {
+    r.aborted as f64 / (r.committed + r.aborted).max(1) as f64
+}
+
+#[test]
+fn both_protocols_commit_on_a_healthy_cluster() {
+    for kind in [ProtocolKind::CacheFusion2pl, ProtocolKind::MvccReadLease] {
+        let r = run(base_cfg(kind));
+        assert!(
+            r.committed > 100,
+            "{kind:?} committed only {} txns",
+            r.committed
+        );
+        assert!(
+            abort_rate(&r) < 0.3,
+            "{kind:?} abort rate {:.2} is out of range",
+            abort_rate(&r)
+        );
+    }
+}
+
+#[test]
+fn read_leases_replace_fusion_transfers_for_reads() {
+    let fusion = run(base_cfg(ProtocolKind::CacheFusion2pl));
+    let lease = run(base_cfg(ProtocolKind::MvccReadLease));
+    // Fusion never touches the lease machinery...
+    assert_eq!(fusion.lease_transfers_per_txn, 0.0);
+    assert_eq!(fusion.lease_renewals_per_txn, 0.0);
+    // ...while the lease protocol uses it for real at α = 0.5.
+    assert!(
+        lease.lease_transfers_per_txn > 0.0,
+        "MvccReadLease never granted a lease"
+    );
+    // Writes still ship pages over the fabric under both protocols.
+    assert!(lease.fusion_transfers_per_txn > 0.0);
+    assert!(fusion.fusion_transfers_per_txn > 0.0);
+}
+
+#[test]
+fn snapshot_reads_plan_no_locks() {
+    // The structural half of "snapshot reads never block on remote
+    // locks": walk whole transaction programs and check no planned
+    // read ever carries a lock request — there is nothing for a remote
+    // lock master to block on, under either protocol.
+    let mut db = Database::build(TpccScale {
+        warehouses: 2,
+        districts_per_wh: 10,
+        customers_per_district: 30,
+        items: 100,
+        initial_orders_per_district: 20,
+    });
+    for kind in [
+        TxnKind::OrderStatus,
+        TxnKind::StockLevel,
+        TxnKind::Payment,
+        TxnKind::Delivery,
+    ] {
+        let mut prog = TxnProgram::new(TxnInput::simple(kind, 1, 1, 1));
+        while let Some(op) = prog.plan_next(&db) {
+            assert!(
+                op.is_write() || op.locks.is_empty(),
+                "{kind:?} planned a locked read: {op:?}"
+            );
+            let ts = db.current_ts();
+            prog.apply_current(&mut db, ts);
+        }
+    }
+}
+
+#[test]
+fn both_protocols_survive_a_node_crash() {
+    for kind in [ProtocolKind::CacheFusion2pl, ProtocolKind::MvccReadLease] {
+        let mut cfg = base_cfg(kind);
+        cfg.fault_plan =
+            FaultPlan::none().node_outage(1, Duration::from_secs(12), Duration::from_secs(4));
+        cfg.validate().expect("faulted config must validate");
+        let r = run(cfg);
+        assert!(
+            r.committed > 100,
+            "{kind:?} committed only {} txns through the outage",
+            r.committed
+        );
+        assert!(r.fault_events_applied > 0);
+        let a = r.availability.expect("fault plan is non-empty");
+        assert!(
+            a.baseline_rate > 0.0,
+            "{kind:?} never reached a steady state"
+        );
+    }
+}
+
+#[test]
+fn protocol_choice_is_visible_on_the_world() {
+    for kind in [ProtocolKind::CacheFusion2pl, ProtocolKind::MvccReadLease] {
+        let w = World::new(base_cfg(kind));
+        assert_eq!(w.protocol().kind(), kind);
+    }
+}

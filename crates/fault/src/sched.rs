@@ -1,4 +1,4 @@
-//! Fault scheduler: drains a [`FaultPlan`](crate::FaultPlan) in
+//! Fault scheduler: drains a [`FaultPlan`] in
 //! simulation-clock order.
 //!
 //! The scheduler is intentionally passive — it never schedules anything

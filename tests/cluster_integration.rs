@@ -283,9 +283,9 @@ fn autonomic_qos_throttles_interfering_traffic() {
     // Under sustained pressure the controller must have cut the FTP
     // weight below its generous 0.6 start.
     assert!(
-        world.af_weight_for_test() < 0.6,
+        world.fabric().af_weight() < 0.6,
         "controller should throttle: weight={}",
-        world.af_weight_for_test()
+        world.fabric().af_weight()
     );
 }
 
