@@ -5,6 +5,17 @@
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
 //!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
 //!            protocol|baseline|all> [--quick] [--seeds N] [--jobs N] [--exact]
+//!   figures run <file.dcs>    [--seeds N] [--jobs N] [--metrics]
+//!   figures serve <file.dcs>  [--seeds N] [--listen ADDR]
+//!   figures list
+//!
+//! `run` executes a declarative scenario file (grammar in
+//! EXPERIMENTS.md, examples under `examples/scenarios/`) through the
+//! same sweep pool as the hardcoded figures — a scenario whose knobs
+//! match a figure reproduces it bit-identically (pinned by
+//! `tests/scenario_twin.rs`). `serve` runs the scenario while
+//! answering `/status`, `/metrics` and `/scenarios` as JSON on a local
+//! HTTP port. `list` enumerates everything runnable.
 //!
 //! Every figure collects its whole (config, seed) grid first and runs it
 //! through the [`dclue_cluster::sweep`] worker pool, then prints rows in
@@ -25,9 +36,7 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
-use dclue_cluster::{
-    sweep, ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, Report, TcpOffload, World,
-};
+use dclue_cluster::{sweep, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload, World};
 use dclue_sim::Duration;
 use dclue_storage::IscsiMode;
 
@@ -39,16 +48,7 @@ struct Opts {
 }
 
 fn base_cfg(opts: &Opts) -> ClusterConfig {
-    let mut cfg = ClusterConfig::default();
-    if opts.quick {
-        cfg.warmup = Duration::from_secs(10);
-        cfg.measure = Duration::from_secs(15);
-    } else {
-        cfg.warmup = Duration::from_secs(20);
-        cfg.measure = Duration::from_secs(40);
-    }
-    cfg.exact = opts.exact;
-    cfg
+    dclue_bench::grids::figures_base(opts.quick, opts.exact)
 }
 
 /// Reject a bad config before it reaches the worker pool — a
@@ -72,7 +72,7 @@ fn run_avg(cfg: &ClusterConfig, opts: &Opts) -> Report {
     run_batch(std::slice::from_ref(cfg), opts).pop().unwrap()
 }
 
-const NODE_SWEEP: [u32; 7] = [1, 2, 4, 8, 12, 16, 24];
+use dclue_bench::grids::{self, NODE_SWEEP};
 
 fn fig2_3(affinity: f64, opts: &Opts) {
     println!("# IPC messages per transaction vs cluster size (affinity {affinity})");
@@ -80,20 +80,11 @@ fn fig2_3(affinity: f64, opts: &Opts) {
         "{:<6} {:>10} {:>10} {:>12}",
         "nodes", "ctl/txn", "data/txn", "storage/txn"
     );
-    let (rows, cfgs): (Vec<u32>, Vec<ClusterConfig>) = NODE_SWEEP
-        .iter()
-        .filter(|&&n| n != 1)
-        .map(|&n| {
-            let mut cfg = base_cfg(opts);
-            cfg.nodes = n;
-            cfg.affinity = affinity;
-            (n, cfg)
-        })
-        .unzip();
-    for (n, r) in rows.iter().zip(run_batch(&cfgs, opts)) {
+    let cfgs = grids::fig2_3(&base_cfg(opts), affinity);
+    for (cfg, r) in cfgs.iter().zip(run_batch(&cfgs, opts)) {
         println!(
             "{:<6} {:>10.2} {:>10.2} {:>12.2}",
-            n, r.ctl_msgs_per_txn, r.data_msgs_per_txn, r.storage_msgs_per_txn
+            cfg.nodes, r.ctl_msgs_per_txn, r.data_msgs_per_txn, r.storage_msgs_per_txn
         );
     }
 }
@@ -158,20 +149,10 @@ fn fig6(opts: &Opts) {
 fn fig7(opts: &Opts) {
     println!("# Throughput vs affinity, cluster size as parameter");
     println!("{:<6} {:<5} {:>12}", "nodes", "α", "tpmC(scaled)");
-    let nodes = [4u32, 8, 16];
-    let affinities = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0];
-    let mut cfgs = Vec::new();
-    for &n in &nodes {
-        for &a in &affinities {
-            let mut cfg = base_cfg(opts);
-            cfg.nodes = n;
-            cfg.affinity = a;
-            cfgs.push(cfg);
-        }
-    }
+    let cfgs = grids::fig7(&base_cfg(opts));
     let mut res = run_batch(&cfgs, opts).into_iter();
-    for &n in &nodes {
-        for &a in &affinities {
+    for &n in &grids::FIG7_NODES {
+        for &a in &grids::FIG7_AFFINITIES {
             let r = res.next().unwrap();
             println!("{:<6} {:<5.2} {:>12.0}", n, a, r.tpmc_scaled);
         }
@@ -827,21 +808,10 @@ fn protocol(opts: &Opts) {
         "lease/txn",
         "renew/txn"
     );
-    let kinds = [ProtocolKind::CacheFusion2pl, ProtocolKind::MvccReadLease];
-    let nodes = [4u32, 8, 16];
-    let mut cfgs = Vec::new();
-    for &kind in &kinds {
-        for &n in &nodes {
-            let mut cfg = base_cfg(opts);
-            cfg.nodes = n;
-            cfg.affinity = 0.5;
-            cfg.protocol = kind;
-            cfgs.push(cfg);
-        }
-    }
+    let cfgs = grids::protocol(&base_cfg(opts));
     let mut res = run_batch(&cfgs, opts).into_iter();
-    for &kind in &kinds {
-        for &n in &nodes {
+    for &kind in &grids::PROTOCOL_KINDS {
+        for &n in &grids::PROTOCOL_NODES {
             let r = res.next().unwrap();
             let attempts = (r.committed + r.aborted).max(1);
             println!(
@@ -907,6 +877,181 @@ fn fault(opts: &Opts, scenario: &str) {
     }
 }
 
+/// Where `figures list` and `/scenarios` look for scenario files,
+/// relative to the working directory (i.e. the repo root).
+const SCENARIO_DIR: &str = "examples/scenarios";
+
+/// Built-in figure subcommands with one-line descriptions, for
+/// `figures list` and the `/scenarios` endpoint.
+const BUILTINS: &[(&str, &str)] = &[
+    ("baseline", "calibration: one unclustered node (α = 1.0)"),
+    ("fig2", "IPC messages per txn vs cluster size (α = 0.8)"),
+    ("fig3", "IPC messages per txn vs cluster size (α = 0.0)"),
+    ("fig4", "lock waits per txn vs cluster size and affinity"),
+    ("fig5", "lock wait time vs cluster size and affinity"),
+    (
+        "fig6",
+        "throughput scaling vs cluster size, affinity as parameter",
+    ),
+    ("fig7", "throughput vs affinity, cluster size as parameter"),
+    ("fig8", "impact of router forwarding rate (single lata)"),
+    ("fig9", "local vs centralized logging"),
+    ("fig10", "impact of sub-linear database growth"),
+    ("fig11", "TCP / iSCSI offload cases vs affinity (n = 4)"),
+    ("fig12", "added inter-lata latency, normal computation"),
+    ("fig13", "added inter-lata latency, low computation"),
+    ("fig14", "FTP cross traffic, normal computation"),
+    ("fig15", "FTP cross traffic, low computation"),
+    (
+        "fig16",
+        "cross-traffic sensitivity vs affinity (FTP priority)",
+    ),
+    ("protocol", "cache-fusion 2PL vs MVCC read leases (α = 0.5)"),
+    ("fault-flap", "availability through a link flap (n = 4)"),
+    ("fault-crash", "availability through a node outage (n = 4)"),
+    ("ablate-subpage", "subpage vs page-grain locking"),
+    ("ablate-thrash", "cache-thrash model on/off"),
+    ("ablate-elevator", "elevator (C-SCAN) vs FIFO data disks"),
+    ("ablate-mvcc", "MVCC versioning costs on/off"),
+    (
+        "ablate-wfq",
+        "QoS mechanism: priority vs WFQ vs best effort",
+    ),
+    ("ablate-red", "RED vs tail drop under FTP cross traffic"),
+    ("ablate-san", "distributed iSCSI storage vs centralized SAN"),
+    (
+        "ablate-group-commit",
+        "per-transaction logging vs group commit",
+    ),
+    ("ablate-cac", "policing / admission control on priority FTP"),
+    (
+        "ablate-autonomic",
+        "autonomic QoS (the paper's future work)",
+    ),
+    ("all", "the golden-capture figure set, in order"),
+];
+
+/// Read, parse and compile a scenario file, or die with its message
+/// (parse errors carry the line number).
+fn load_plan(path: &str) -> dclue_scenario::Plan {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("[figures] cannot read '{path}': {e}");
+        std::process::exit(2);
+    });
+    let scenario = dclue_scenario::parse(&src).unwrap_or_else(|e| {
+        eprintln!("[figures] {path}: {e}");
+        std::process::exit(2);
+    });
+    dclue_scenario::compile(&scenario).unwrap_or_else(|e| {
+        eprintln!("[figures] {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The `<file.dcs>` operand of `run` / `serve`.
+fn file_operand(args: &[String], cmd: &str) -> String {
+    match args.get(1).filter(|a| !a.starts_with('-')) {
+        Some(f) => f.clone(),
+        None => {
+            eprintln!("[figures] usage: figures {cmd} <file.dcs>  (see `figures list`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `figures run <file.dcs>`: execute a scenario and print its table.
+fn cmd_run(path: &str, seeds_flag: Option<u64>, jobs_flag: Option<usize>, metrics: bool) {
+    use dclue_scenario::runner;
+    let mut plan = load_plan(path);
+    if let Some(s) = seeds_flag {
+        plan.seeds = s.max(1);
+    }
+    // CLI --jobs wins, then the scenario's [engine] jobs, then the
+    // environment; --metrics pins the serial path as everywhere else.
+    let jobs = if metrics {
+        1
+    } else {
+        runner::resolve_plan_jobs(&plan, jobs_flag)
+    };
+    println!(
+        "# scenario: {} — {}",
+        plan.scenario.name, plan.scenario.description
+    );
+    match runner::run(&plan, jobs) {
+        runner::Outcome::Grid(rows) => print!("{}", runner::render_grid_table(&plan, &rows)),
+        runner::Outcome::Knee(out) => print!("{}", runner::render_knee_table(&out)),
+    }
+}
+
+/// Everything `/scenarios` should list: built-ins plus discovered files.
+fn scenario_infos() -> Vec<dclue_scenario::service::ScenarioInfo> {
+    use dclue_scenario::service::ScenarioInfo;
+    let mut infos: Vec<ScenarioInfo> = BUILTINS
+        .iter()
+        .map(|&(name, desc)| ScenarioInfo {
+            name: name.to_string(),
+            description: desc.to_string(),
+            source: "built-in".to_string(),
+        })
+        .collect();
+    infos.extend(
+        dclue_scenario::discover::discover_dir(std::path::Path::new(SCENARIO_DIR))
+            .into_iter()
+            .filter(|d| d.error.is_none())
+            .map(|d| ScenarioInfo {
+                name: d.name,
+                description: d.description,
+                source: d.path.display().to_string(),
+            }),
+    );
+    infos
+}
+
+/// `figures serve <file.dcs>`: run the scenario with live endpoints.
+fn cmd_serve(path: &str, seeds_flag: Option<u64>, listen_flag: Option<String>) {
+    use dclue_scenario::service;
+    let mut plan = load_plan(path);
+    if let Some(s) = seeds_flag {
+        plan.seeds = s.max(1);
+    }
+    let listen = listen_flag
+        .or_else(|| plan.scenario.listen.clone())
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let svc = service::start(&plan, &listen, scenario_infos()).unwrap_or_else(|e| {
+        eprintln!("[figures] {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "[figures] serving scenario '{}' on http://{}/  (GET /status /metrics /scenarios)",
+        plan.scenario.name,
+        svc.addr()
+    );
+    svc.run_blocking(&plan);
+    println!("[figures] run complete; endpoints stay up (Ctrl-C to stop)");
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `figures list`: built-in figures plus discovered scenario files.
+fn cmd_list() {
+    println!("built-in figures (figures <name>):");
+    for &(name, desc) in BUILTINS {
+        println!("  {name:<22} {desc}");
+    }
+    println!("\nscenario files in {SCENARIO_DIR}/ (figures run <path>):");
+    let found = dclue_scenario::discover::discover_dir(std::path::Path::new(SCENARIO_DIR));
+    if found.is_empty() {
+        println!("  (none found — run from the repo root)");
+    }
+    for d in found {
+        match &d.error {
+            None => println!("  {:<22} {}  [{}]", d.name, d.description, d.path.display()),
+            Some(e) => println!("  {:<22} parse error: {e}  [{}]", d.name, d.path.display()),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -915,16 +1060,29 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
-    let seeds = flag_val("--seeds")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let jobs = sweep::resolve_jobs(flag_val("--jobs").and_then(|s| s.parse().ok()));
+    let seeds_flag: Option<u64> = flag_val("--seeds").and_then(|s| s.parse().ok());
+    let seeds = seeds_flag.unwrap_or(1);
+    let jobs_flag: Option<usize> = flag_val("--jobs").and_then(|s| s.parse().ok());
     let exact = args.iter().any(|a| a == "--exact");
     // The metrics registry is thread-local, so `--metrics` pins the
     // serial (jobs=1) path and dumps the registry when the run ends.
     // Compiled in for debug builds or `--features dclue-trace/trace`.
     let metrics = args.iter().any(|a| a == "--metrics");
-    let jobs = if metrics { 1 } else { jobs };
+    if metrics {
+        if let Some(j) = jobs_flag {
+            if j > 1 {
+                eprintln!(
+                    "[figures] warning: --metrics reads a thread-local registry and must run \
+                     serially; ignoring --jobs {j} and using --jobs 1 (see EXPERIMENTS.md)"
+                );
+            }
+        }
+    }
+    let jobs = if metrics {
+        1
+    } else {
+        sweep::resolve_jobs(jobs_flag)
+    };
     dclue_trace::metrics::set_enabled(metrics);
     let opts = Opts {
         quick,
@@ -935,6 +1093,13 @@ fn main() {
     let which = args.first().map(String::as_str).unwrap_or("all");
     let t0 = std::time::Instant::now();
     match which {
+        "run" => cmd_run(&file_operand(&args, "run"), seeds_flag, jobs_flag, metrics),
+        "serve" => cmd_serve(
+            &file_operand(&args, "serve"),
+            seeds_flag,
+            flag_val("--listen").cloned(),
+        ),
+        "list" => cmd_list(),
         "fig2" => fig2_3(0.8, &opts),
         "fig3" => fig2_3(0.0, &opts),
         "fig4" | "fig5" => fig4_5(&opts),

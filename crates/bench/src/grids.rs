@@ -1,0 +1,89 @@
+//! Shared config grids for the figures that also ship as scenario
+//! files.
+//!
+//! The `figures` binary and `examples/scenarios/*.dcs` must build the
+//! *same* config grids — that is the whole fidelity claim of the
+//! scenario DSL. These builders are that single source of truth: the
+//! binary prints from them, and `tests/scenario_twin.rs` pins the
+//! scenario-compiled grids against them with `ClusterConfig`'s
+//! bit-exact `PartialEq`. Axis constants are public so the print loops
+//! and the builders cannot drift apart.
+
+use dclue_cluster::{ClusterConfig, ProtocolKind};
+
+/// The standard cluster-size sweep (figs 2-7).
+pub const NODE_SWEEP: [u32; 7] = [1, 2, 4, 8, 12, 16, 24];
+
+/// Fig 7 outer axis: cluster sizes.
+pub const FIG7_NODES: [u32; 3] = [4, 8, 16];
+/// Fig 7 inner axis: affinities.
+pub const FIG7_AFFINITIES: [f64; 8] = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0];
+
+/// Protocol-comparison outer axis: coherence protocols.
+pub const PROTOCOL_KINDS: [ProtocolKind; 2] =
+    [ProtocolKind::CacheFusion2pl, ProtocolKind::MvccReadLease];
+/// Protocol-comparison inner axis: cluster sizes.
+pub const PROTOCOL_NODES: [u32; 3] = [4, 8, 16];
+/// Protocol-comparison operating point: mid affinity.
+pub const PROTOCOL_AFFINITY: f64 = 0.5;
+
+/// Figs 2/3: IPC messages per txn vs cluster size at one affinity.
+/// `n = 1` is skipped — a single node exchanges no IPC.
+pub fn fig2_3(base: &ClusterConfig, affinity: f64) -> Vec<ClusterConfig> {
+    NODE_SWEEP
+        .iter()
+        .filter(|&&n| n != 1)
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.nodes = n;
+            cfg.affinity = affinity;
+            cfg
+        })
+        .collect()
+}
+
+/// Fig 7: throughput vs affinity, cluster size as parameter.
+pub fn fig7(base: &ClusterConfig) -> Vec<ClusterConfig> {
+    let mut cfgs = Vec::new();
+    for &n in &FIG7_NODES {
+        for &a in &FIG7_AFFINITIES {
+            let mut cfg = base.clone();
+            cfg.nodes = n;
+            cfg.affinity = a;
+            cfgs.push(cfg);
+        }
+    }
+    cfgs
+}
+
+/// Protocol comparison: fusion-2PL vs MVCC read leases at α = 0.5.
+pub fn protocol(base: &ClusterConfig) -> Vec<ClusterConfig> {
+    let mut cfgs = Vec::new();
+    for &kind in &PROTOCOL_KINDS {
+        for &n in &PROTOCOL_NODES {
+            let mut cfg = base.clone();
+            cfg.nodes = n;
+            cfg.affinity = PROTOCOL_AFFINITY;
+            cfg.protocol = kind;
+            cfgs.push(cfg);
+        }
+    }
+    cfgs
+}
+
+/// The figures base config: default cluster, the harness measurement
+/// windows, and the chosen engine. Shared by the binary's `base_cfg`
+/// and the twin test so the two cannot diverge.
+pub fn figures_base(quick: bool, exact: bool) -> ClusterConfig {
+    use dclue_sim::Duration;
+    let mut cfg = ClusterConfig::default();
+    if quick {
+        cfg.warmup = Duration::from_secs(10);
+        cfg.measure = Duration::from_secs(15);
+    } else {
+        cfg.warmup = Duration::from_secs(20);
+        cfg.measure = Duration::from_secs(40);
+    }
+    cfg.exact = exact;
+    cfg
+}

@@ -1,0 +1,94 @@
+//! Fidelity pin: a scenario file run through the DSL pipeline is
+//! bit-identical to its hardcoded `figures` twin.
+//!
+//! Two layers, both with `--exact --jobs 1` semantics:
+//!
+//! 1. **Config identity** — parsing + compiling the shipped twin
+//!    scenarios yields, point for point, exactly the `ClusterConfig`
+//!    grids the `figures` binary builds (`ClusterConfig: PartialEq` is
+//!    field-exact, floats included).
+//! 2. **Run identity** — executing the smoke scenario through the
+//!    scenario runner produces `Report`s bit-equal to running the same
+//!    hand-built configs straight through `dclue_cluster::sweep`.
+//!
+//! Together these mean `figures run <file>.dcs` cannot drift from the
+//! hardcoded figure it mirrors without this test failing.
+
+use dclue_bench::grids;
+use dclue_cluster::config::ClusterConfig;
+use dclue_cluster::sweep;
+use dclue_scenario::{compile, parse, runner, Plan};
+use dclue_sim::Duration;
+use std::path::PathBuf;
+
+fn load(name: &str) -> Plan {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../examples/scenarios/{name}"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let sc = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    compile(&sc).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn plan_cfgs(plan: &Plan) -> Vec<ClusterConfig> {
+    plan.points.iter().map(|p| p.cfg.clone()).collect()
+}
+
+#[test]
+fn fig2_scenario_compiles_to_the_hardcoded_grid() {
+    // `figures fig2 --exact` = fig2_3 grid at α = 0.8 on the non-quick base.
+    let plan = load("fig2_ipc.dcs");
+    let expected = grids::fig2_3(&grids::figures_base(false, true), 0.8);
+    assert_eq!(plan_cfgs(&plan), expected);
+}
+
+#[test]
+fn fig7_scenario_compiles_to_the_hardcoded_grid() {
+    let plan = load("fig7_affinity.dcs");
+    let expected = grids::fig7(&grids::figures_base(false, true));
+    assert_eq!(plan_cfgs(&plan), expected);
+}
+
+#[test]
+fn protocol_scenario_compiles_to_the_hardcoded_grid() {
+    // Axis nesting matters: the scenario file places [protocol] before
+    // [topology] so `kind` is the outer loop, exactly like the builder.
+    let plan = load("protocol.dcs");
+    let expected = grids::protocol(&grids::figures_base(false, true));
+    assert_eq!(plan_cfgs(&plan), expected);
+}
+
+#[test]
+fn smoke_scenario_run_is_bit_identical_to_the_hand_built_run() {
+    let plan = load("smoke.dcs");
+
+    // Build smoke.dcs's configs by hand, without the DSL.
+    let base = ClusterConfig {
+        exact: true,
+        warmup: Duration::from_secs(2),
+        measure: Duration::from_secs(5),
+        affinity: 0.8,
+        clients_per_node: 20,
+        think_time: Duration::from_secs(1),
+        ..ClusterConfig::default()
+    };
+    let hand_built: Vec<ClusterConfig> = [2u32, 4]
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.nodes = n;
+            cfg
+        })
+        .collect();
+    assert_eq!(plan_cfgs(&plan), hand_built, "config grids differ");
+    assert_eq!(plan.seeds, 1);
+
+    // Run both paths serially (`--jobs 1`) and compare whole Reports —
+    // PartialEq on Report is bit-exact on every float field.
+    let via_scenario: Vec<_> = runner::run_grid(&plan, 1)
+        .into_iter()
+        .map(|row| row.report)
+        .collect();
+    let via_sweep = sweep::run_avg_many(1, &hand_built, plan.seeds);
+    assert_eq!(via_scenario, via_sweep, "run paths diverge");
+}

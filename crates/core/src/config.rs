@@ -117,7 +117,7 @@ impl ProtocolKind {
 /// Full experiment configuration. Defaults reproduce the paper's
 /// baseline: P4 DP nodes, 1 Gb/s links (100x-scaled to 10 Mb/s),
 /// hardware TCP + iSCSI, distributed storage, local logging, α = 0.8.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ClusterConfig {
     /// Server nodes in the cluster.
     pub nodes: u32,

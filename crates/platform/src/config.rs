@@ -9,7 +9,7 @@
 use dclue_sim::Duration;
 
 /// Calibration of one server node's compute platform.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct PlatformConfig {
     /// Number of CPUs (the paper uses DP = 2).
     pub cores: u32,

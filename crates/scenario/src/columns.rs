@@ -1,0 +1,137 @@
+//! Report columns a scenario's `[output]` section can select.
+//!
+//! Each column has a stable name, a formatting precision and an
+//! extractor over `(config, report)` — config-side columns (`nodes`,
+//! `affinity`, `kind`, …) echo the grid point, report-side columns pull
+//! the measured series. The same table drives the `figures run` text
+//! table and the `/metrics` JSON, so the two can never disagree on
+//! spelling.
+
+use dclue_cluster::{ClusterConfig, Report};
+
+/// One extracted cell.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Cell {
+    U(u64),
+    F(f64),
+    S(&'static str),
+}
+
+impl Cell {
+    /// Text form at the column's precision.
+    pub fn text(&self, precision: usize) -> String {
+        match self {
+            Cell::U(v) => format!("{v}"),
+            Cell::F(v) => format!("{v:.precision$}"),
+            Cell::S(s) => (*s).to_string(),
+        }
+    }
+
+    /// JSON form (numbers stay numbers).
+    pub fn json(&self) -> crate::json::Json {
+        match self {
+            Cell::U(v) => crate::json::Json::Num(*v as f64),
+            Cell::F(v) => crate::json::Json::Num(*v),
+            Cell::S(s) => crate::json::Json::Str((*s).to_string()),
+        }
+    }
+}
+
+/// Column descriptor: `(name, precision, extractor)`.
+pub struct Column {
+    pub name: &'static str,
+    pub precision: usize,
+    extract: fn(&ClusterConfig, &Report) -> Cell,
+}
+
+impl Column {
+    pub fn cell(&self, cfg: &ClusterConfig, r: &Report) -> Cell {
+        (self.extract)(cfg, r)
+    }
+}
+
+macro_rules! col {
+    ($name:literal, $prec:literal, |$c:ident, $r:ident| $body:expr) => {
+        Column {
+            name: $name,
+            precision: $prec,
+            extract: |$c: &ClusterConfig, $r: &Report| $body,
+        }
+    };
+}
+
+/// Every selectable column.
+pub const COLUMNS: &[Column] = &[
+    // Grid-point echoes (from the config, so they are exact even for
+    // columns the report does not carry).
+    col!("nodes", 0, |c, _r| Cell::U(c.nodes as u64)),
+    col!("latas", 0, |c, _r| Cell::U(c.effective_latas() as u64)),
+    col!("affinity", 2, |c, _r| Cell::F(c.affinity)),
+    col!(
+        "warehouses",
+        0,
+        |c, _r| Cell::U(c.total_warehouses() as u64)
+    ),
+    col!("kind", 0, |c, _r| Cell::S(c.protocol.label())),
+    // Measured series (names match the `Report` fields).
+    col!("tpmc_scaled", 0, |_c, r| Cell::F(r.tpmc_scaled)),
+    col!("tpmc_equivalent", 0, |_c, r| Cell::F(r.tpmc_equivalent)),
+    col!("tps_scaled", 1, |_c, r| Cell::F(r.tps_scaled)),
+    col!("committed", 0, |_c, r| Cell::U(r.committed)),
+    col!("aborted", 0, |_c, r| Cell::U(r.aborted)),
+    col!("abort_pct", 2, |_c, r| {
+        let attempts = (r.committed + r.aborted).max(1);
+        Cell::F(100.0 * r.aborted as f64 / attempts as f64)
+    }),
+    col!("ctl_msgs_per_txn", 2, |_c, r| Cell::F(r.ctl_msgs_per_txn)),
+    col!("data_msgs_per_txn", 2, |_c, r| Cell::F(r.data_msgs_per_txn)),
+    col!("storage_msgs_per_txn", 2, |_c, r| Cell::F(
+        r.storage_msgs_per_txn
+    )),
+    col!("lock_waits_per_txn", 3, |_c, r| Cell::F(
+        r.lock_waits_per_txn
+    )),
+    col!("lock_busies_per_txn", 3, |_c, r| Cell::F(
+        r.lock_busies_per_txn
+    )),
+    col!("lock_wait_ms", 1, |_c, r| Cell::F(r.lock_wait_ms)),
+    col!("txn_latency_ms", 1, |_c, r| Cell::F(r.txn_latency_ms)),
+    col!("txn_latency_p95_ms", 1, |_c, r| Cell::F(
+        r.txn_latency_p95_ms
+    )),
+    col!("avg_cpi", 2, |_c, r| Cell::F(r.avg_cpi)),
+    col!("avg_cs_cycles", 0, |_c, r| Cell::F(r.avg_cs_cycles)),
+    col!("avg_live_threads", 1, |_c, r| Cell::F(r.avg_live_threads)),
+    col!("cpu_util", 2, |_c, r| Cell::F(r.cpu_util)),
+    col!("buffer_hit_ratio", 3, |_c, r| Cell::F(r.buffer_hit_ratio)),
+    col!("fusion_transfers_per_txn", 2, |_c, r| Cell::F(
+        r.fusion_transfers_per_txn
+    )),
+    col!("lease_transfers_per_txn", 2, |_c, r| Cell::F(
+        r.lease_transfers_per_txn
+    )),
+    col!("lease_renewals_per_txn", 2, |_c, r| Cell::F(
+        r.lease_renewals_per_txn
+    )),
+    col!("disk_reads_per_txn", 2, |_c, r| Cell::F(
+        r.disk_reads_per_txn
+    )),
+    col!("version_walks_per_txn", 3, |_c, r| Cell::F(
+        r.version_walks_per_txn
+    )),
+    col!("versions_created_per_txn", 2, |_c, r| Cell::F(
+        r.versions_created_per_txn
+    )),
+    col!("trunk_mbps", 2, |_c, r| Cell::F(r.trunk_mbps)),
+    col!("trunk_utilization", 3, |_c, r| Cell::F(r.trunk_utilization)),
+    col!("ftp_mbps", 2, |_c, r| Cell::F(r.ftp_mbps)),
+    col!("ftp_denied", 0, |_c, r| Cell::U(r.ftp_denied)),
+    col!("drops", 0, |_c, r| Cell::U(r.drops)),
+    col!("iscsi_retries", 0, |_c, r| Cell::U(r.iscsi_retries)),
+    col!("aborted_by_fault", 0, |_c, r| Cell::U(r.aborted_by_fault)),
+];
+
+/// Look a column up by name.
+pub fn column(name: &str) -> Option<&'static Column> {
+    COLUMNS.iter().find(|c| c.name == name)
+}

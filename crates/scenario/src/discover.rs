@@ -1,0 +1,64 @@
+//! Finding `.dcs` scenario files on disk (`figures list`, `/scenarios`).
+
+use std::path::{Path, PathBuf};
+
+use crate::parse::parse;
+
+/// One discovered scenario file. A file that fails to parse still shows
+/// up, with the error in place of a description — `figures list` is how
+/// you find out a scenario file went stale.
+#[derive(Clone, Debug)]
+pub struct Discovered {
+    pub path: PathBuf,
+    /// Scenario name (file stem when the file does not parse).
+    pub name: String,
+    pub description: String,
+    pub error: Option<String>,
+}
+
+/// Scan `dir` for `*.dcs` files, sorted by file name. A missing or
+/// unreadable directory is an empty list, not an error — the binary may
+/// run from outside the repo.
+pub fn discover_dir(dir: &Path) -> Vec<Discovered> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("dcs"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("?")
+                .to_string();
+            match std::fs::read_to_string(&path) {
+                Ok(src) => match parse(&src) {
+                    Ok(sc) => Discovered {
+                        path,
+                        name: sc.name,
+                        description: sc.description,
+                        error: None,
+                    },
+                    Err(e) => Discovered {
+                        path,
+                        name: stem,
+                        description: String::new(),
+                        error: Some(e.to_string()),
+                    },
+                },
+                Err(e) => Discovered {
+                    path,
+                    name: stem,
+                    description: String::new(),
+                    error: Some(format!("unreadable: {e}")),
+                },
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,300 @@
+//! Minimal dependency-free JSON: a value tree with a canonical writer,
+//! plus a validating scanner the tests (and smoke tooling) use to
+//! assert the service endpoints emit well-formed documents.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order so endpoint payloads
+/// are stable (and diffable) across runs.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+/// Escape a string per RFC 8259.
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            // NaN / infinity have no JSON spelling; emit null rather
+            // than an invalid token.
+            Json::Num(v) if !v.is_finite() => f.write_str("null"),
+            Json::Num(v) => write!(f, "{v}"),
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Validate that `src` is one well-formed JSON document. Returns the
+/// byte offset and a message on failure. This is a checker, not a
+/// reader — it builds nothing.
+pub fn validate(src: &str) -> Result<(), String> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at offset {i}", i = *i))
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if *i >= b.len() {
+        return Err("unexpected end of input".into());
+    }
+    match b[*i] {
+        b'n' => expect(b, i, "null"),
+        b't' => expect(b, i, "true"),
+        b'f' => expect(b, i, "false"),
+        b'"' => string(b, i),
+        b'[' => {
+            *i += 1;
+            skip_ws(b, i);
+            if *i < b.len() && b[*i] == b']' {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => {
+                        *i += 1;
+                        skip_ws(b, i);
+                    }
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
+                }
+            }
+        }
+        b'{' => {
+            *i += 1;
+            skip_ws(b, i);
+            if *i < b.len() && b[*i] == b'}' {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                expect(b, i, ":")?;
+                skip_ws(b, i);
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => number(b, i),
+        c => Err(format!(
+            "unexpected byte '{}' at offset {i}",
+            c as char,
+            i = *i
+        )),
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}", i = *i));
+    }
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at offset {i}", i = *i));
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at offset {i}", i = *i)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at offset {i}", i = *i)),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad number fraction at offset {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad number exponent at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_validates() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("smoke \"quoted\"\nline")),
+            ("n".into(), Json::Num(16.0)),
+            ("frac".into(), Json::Num(0.25)),
+            ("nan".into(), Json::Num(f64::NAN)),
+            ("ok".into(), Json::Bool(true)),
+            (
+                "rows".into(),
+                Json::Arr(vec![Json::Null, Json::Num(-1.5e6), Json::str("")]),
+            ),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+        ]);
+        let text = doc.to_string();
+        validate(&text).unwrap_or_else(|e| panic!("invalid JSON '{text}': {e}"));
+        assert!(text.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "{\"a\" 1}",
+            "[1 2]",
+            "{\"a\":1}extra",
+            "1.",
+            "1e",
+            "\"bad\\escape\"",
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_typical_documents() {
+        for good in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "[]",
+            "{}",
+            "{\"a\":[1,2,{\"b\":\"c\"}],\"d\":null}",
+            "  {\"x\" : 1}  ",
+            "\"\\u00e9\"",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+        }
+    }
+}

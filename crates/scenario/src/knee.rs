@@ -1,0 +1,238 @@
+//! Adaptive knee-finding on the `nodes` axis.
+//!
+//! The scalability knee is where adding nodes stops paying: the first
+//! candidate size `n` (on the `min, min+step, …` grid) whose marginal
+//! throughput gain per added node over `[n, n+step]` drops below
+//! `threshold` x the per-node throughput at `min`. A fixed grid scans
+//! every candidate; the bisection here evaluates `O(log)` of them and
+//! reports the same knee whenever the marginal-gain curve is monotone
+//! (saturating scaling curves are), because both answer the same
+//! predicate on the same grid.
+//!
+//! The search is deterministic: probe order is a pure function of the
+//! spec, every evaluated size is memoized so no size runs twice, and
+//! the caller's `eval` is expected to be deterministic per point (the
+//! runner evaluates each point through `dclue_cluster::sweep` with the
+//! fixed seed ladder, which parallelises across seeds without changing
+//! results).
+
+use crate::ast::KneeSpec;
+use std::collections::BTreeMap;
+
+/// Result of a knee search.
+#[derive(Clone, PartialEq, Debug)]
+pub struct KneeOutcome {
+    /// First candidate size where the marginal gain fell below the
+    /// threshold; `max` when scaling holds through the whole range.
+    pub knee: u32,
+    /// Whether a knee was found inside the range (`false` = the curve
+    /// still scales at `max`).
+    pub kneed: bool,
+    /// Every evaluated `(nodes, throughput)` point, ascending.
+    pub evaluated: Vec<(u32, f64)>,
+    /// Per-node throughput at `min` — the scaling yardstick.
+    pub per_node_ref: f64,
+}
+
+struct Memo<'a, F> {
+    eval: &'a mut F,
+    cache: BTreeMap<u32, f64>,
+}
+
+impl<F: FnMut(u32) -> f64> Memo<'_, F> {
+    fn get(&mut self, n: u32) -> f64 {
+        if let Some(v) = self.cache.get(&n) {
+            return *v;
+        }
+        let v = (self.eval)(n);
+        self.cache.insert(n, v);
+        v
+    }
+}
+
+/// The candidate sizes: `min, min+step, …` up to the last one `< max`,
+/// then `max` itself (so an uneven range still probes its far edge).
+fn candidates(spec: &KneeSpec) -> Vec<u32> {
+    let mut c: Vec<u32> = (spec.min..spec.max).step_by(spec.step as usize).collect();
+    c.push(spec.max);
+    c
+}
+
+/// `true` while scaling is still worth it at candidate index `i`:
+/// marginal gain per added node from `cand[i]` to `cand[i+1]` is at
+/// least `threshold * per_node_ref`.
+fn still_scaling<F: FnMut(u32) -> f64>(
+    cand: &[u32],
+    i: usize,
+    threshold: f64,
+    per_node_ref: f64,
+    memo: &mut Memo<'_, F>,
+) -> bool {
+    let (a, b) = (cand[i], cand[i + 1]);
+    let gain = (memo.get(b) - memo.get(a)) / (b - a) as f64;
+    gain >= threshold * per_node_ref
+}
+
+fn outcome<F: FnMut(u32) -> f64>(
+    knee: u32,
+    kneed: bool,
+    per_node_ref: f64,
+    memo: Memo<'_, F>,
+) -> KneeOutcome {
+    KneeOutcome {
+        knee,
+        kneed,
+        evaluated: memo.cache.into_iter().collect(),
+        per_node_ref,
+    }
+}
+
+/// Bisection search. `eval(n)` returns the throughput at `n` nodes.
+pub fn find_knee<F: FnMut(u32) -> f64>(spec: &KneeSpec, mut eval: F) -> KneeOutcome {
+    let cand = candidates(spec);
+    let mut memo = Memo {
+        eval: &mut eval,
+        cache: BTreeMap::new(),
+    };
+    let per_node_ref = memo.get(spec.min) / spec.min as f64;
+    let last = cand.len() - 2; // last index with a right neighbour
+    if !still_scaling(&cand, 0, spec.threshold, per_node_ref, &mut memo) {
+        // Already kneed at the range start.
+        return outcome(cand[0], true, per_node_ref, memo);
+    }
+    if still_scaling(&cand, last, spec.threshold, per_node_ref, &mut memo) {
+        // Still scaling at the far edge: no knee inside the range.
+        return outcome(spec.max, false, per_node_ref, memo);
+    }
+    // Invariant: scaling holds at lo, fails at hi.
+    let (mut lo, mut hi) = (0usize, last);
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if still_scaling(&cand, mid, spec.threshold, per_node_ref, &mut memo) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    outcome(cand[hi], true, per_node_ref, memo)
+}
+
+/// Reference implementation: scan every candidate left to right and
+/// stop at the first below-threshold marginal gain. Used by the tests
+/// to pin the bisection, and by `figures` when a full curve is wanted.
+pub fn find_knee_grid<F: FnMut(u32) -> f64>(spec: &KneeSpec, mut eval: F) -> KneeOutcome {
+    let cand = candidates(spec);
+    let mut memo = Memo {
+        eval: &mut eval,
+        cache: BTreeMap::new(),
+    };
+    let per_node_ref = memo.get(spec.min) / spec.min as f64;
+    for i in 0..cand.len() - 1 {
+        if !still_scaling(&cand, i, spec.threshold, per_node_ref, &mut memo) {
+            return outcome(cand[i], true, per_node_ref, memo);
+        }
+    }
+    outcome(spec.max, false, per_node_ref, memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(min: u32, max: u32, step: u32, threshold: f64) -> KneeSpec {
+        KneeSpec {
+            axis: "nodes",
+            min,
+            max,
+            step,
+            threshold,
+        }
+    }
+
+    /// A saturating curve: linear to `knee`, flat beyond.
+    fn saturating(knee: u32) -> impl FnMut(u32) -> f64 {
+        move |n: u32| 100.0 * n.min(knee) as f64
+    }
+
+    #[test]
+    fn bisection_matches_grid_scan_on_saturating_curves() {
+        for true_knee in [3u32, 5, 9, 14, 23] {
+            for step in [1u32, 2] {
+                let s = spec(2, 24, step, 0.5);
+                let b = find_knee(&s, saturating(true_knee));
+                let g = find_knee_grid(&s, saturating(true_knee));
+                assert_eq!(b.knee, g.knee, "true_knee={true_knee} step={step}");
+                assert_eq!(b.kneed, g.kneed);
+                // Within one grid step of the true knee.
+                assert!(
+                    (b.knee as i64 - true_knee as i64).unsigned_abs() <= step as u64,
+                    "knee {} vs true {true_knee} (step {step})",
+                    b.knee
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_evaluates_fewer_points_than_the_grid() {
+        let s = spec(2, 128, 1, 0.5);
+        let b = find_knee(&s, saturating(60));
+        let g = find_knee_grid(&s, saturating(60));
+        assert_eq!(b.knee, g.knee);
+        assert!(
+            b.evaluated.len() * 2 < g.evaluated.len(),
+            "bisect {} vs grid {}",
+            b.evaluated.len(),
+            g.evaluated.len()
+        );
+    }
+
+    #[test]
+    fn no_knee_when_scaling_holds_through_the_range() {
+        let s = spec(2, 16, 2, 0.5);
+        let out = find_knee(&s, |n| 100.0 * n as f64);
+        assert!(!out.kneed);
+        assert_eq!(out.knee, 16);
+    }
+
+    #[test]
+    fn knee_at_range_start_when_already_flat() {
+        let s = spec(4, 16, 2, 0.5);
+        // Flat from the start: per-node ref is 25, marginal gain 0.
+        let out = find_knee(&s, |_| 100.0);
+        assert!(out.kneed);
+        assert_eq!(out.knee, 4);
+    }
+
+    #[test]
+    fn deterministic_and_memoized() {
+        let mut calls = Vec::new();
+        let s = spec(2, 24, 2, 0.5);
+        let out = find_knee(&s, |n| {
+            calls.push(n);
+            100.0 * n.min(10) as f64
+        });
+        // No size evaluated twice.
+        let mut sorted = calls.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), calls.len(), "duplicate evals: {calls:?}");
+        // Same spec, same curve: identical probes on a second run.
+        let mut calls2 = Vec::new();
+        let out2 = find_knee(&s, |n| {
+            calls2.push(n);
+            100.0 * n.min(10) as f64
+        });
+        assert_eq!(calls, calls2);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn uneven_far_edge_is_probed() {
+        // max not on the step grid: 2, 5, 8, 11, then 13.
+        let s = spec(2, 13, 3, 0.5);
+        let out = find_knee(&s, |n| 100.0 * n as f64);
+        assert!(!out.kneed);
+        assert_eq!(out.knee, 13);
+    }
+}

@@ -1,0 +1,51 @@
+//! # dclue-scenario — declarative experiments over the DCLUE cluster
+//!
+//! The figures harness hardcodes each paper figure as a Rust function:
+//! a config builder, a sweep loop and a print format. This crate makes
+//! that shape declarative. A `.dcs` scenario file names a topology, a
+//! protocol, a workload, optional faults and one or more sweep axes;
+//! the pipeline here turns it into the same validated
+//! [`dclue_cluster::ClusterConfig`] grid a hardcoded figure would build
+//! and runs it through the same [`dclue_cluster::sweep`] entry point —
+//! so a scenario run is bit-identical to its hardcoded twin (a
+//! committed test pins this for the shipped examples).
+//!
+//! The pipeline, one module per stage:
+//!
+//! - [`mod@parse`] — text → [`ast::Scenario`]. Line-oriented, hand-rolled,
+//!   every error carries a line number and the accepted choices.
+//! - [`plan`] — [`ast::Scenario`] → [`plan::Plan`]: scalars applied to
+//!   a base config, multi-valued keys expanded into a cartesian grid
+//!   (first axis outermost, the hardcoded loop nesting), every point
+//!   pre-validated by `ClusterConfig::validate`.
+//! - [`runner`] — executes a plan via `sweep::run_avg_many`, keeping
+//!   the determinism contract (submission order, exact serial path at
+//!   `jobs = 1`, fixed seed ladder), and renders the text tables.
+//! - [`knee`] — adaptive bisection for the scalability knee on the
+//!   `nodes` axis: where marginal tpm-C per added node drops below a
+//!   threshold. `O(log)` probes, memoized, same answer as a full grid
+//!   scan on monotone curves.
+//! - [`service`] — `figures serve`: a std-only HTTP endpoint streaming
+//!   run status, finished rows and the dclue-trace metrics registry as
+//!   JSON while the experiment is in flight.
+//! - [`columns`] — the report columns `[output]` can select, shared by
+//!   the text table and the JSON rows.
+//! - [`json`] — minimal JSON writer + validating scanner (no deps).
+//! - [`discover`] — `*.dcs` discovery for `figures list`.
+//!
+//! See `EXPERIMENTS.md` for the file format and `examples/scenarios/`
+//! for runnable examples.
+
+pub mod ast;
+pub mod columns;
+pub mod discover;
+pub mod json;
+pub mod knee;
+pub mod parse;
+pub mod plan;
+pub mod runner;
+pub mod service;
+
+pub use ast::Scenario;
+pub use parse::{parse, ParseError};
+pub use plan::{compile, Plan};

@@ -1,0 +1,79 @@
+//! Acceptance test for the adaptive sweep: on real simulator evaluations
+//! the bisection search must land within one grid step of the answer a
+//! full fixed-grid scan gives, while evaluating fewer (or equal) points.
+//!
+//! The windows are kept short so the whole test stays in CI budget; the
+//! curve shape (coherence traffic at affinity 0.4 eroding marginal
+//! per-node gain) is the same one the shipped knee.dcs exercises.
+
+use dclue_scenario::knee::{find_knee, find_knee_grid};
+use dclue_scenario::{compile, parse, runner};
+use std::collections::BTreeMap;
+
+const SRC: &str = "\
+scenario = knee-test
+[engine]
+exact = true
+seeds = 1
+warmup = 3s
+measure = 8s
+[topology]
+affinity = 0.4
+[workload]
+clients_per_node = 100
+think_time = 10s
+[sweep]
+mode = knee
+min = 2
+max = 12
+step = 2
+threshold = 0.5
+";
+
+#[test]
+fn bisection_knee_matches_grid_scan_within_one_step() {
+    let plan = compile(&parse(SRC).unwrap()).unwrap();
+    let spec = match &plan.scenario.sweep {
+        dclue_scenario::ast::SweepSpec::Knee(k) => k.clone(),
+        _ => unreachable!("scenario declares mode = knee"),
+    };
+
+    // Memoize simulator evaluations so the bisection and the reference
+    // scan see the same deterministic f(nodes) and nothing runs twice.
+    let mut cache: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut eval = |n: u32| {
+        *cache
+            .entry(n)
+            .or_insert_with(|| runner::eval_nodes(&plan, 1, n))
+    };
+
+    let adaptive = find_knee(&spec, &mut eval);
+    let reference = find_knee_grid(&spec, &mut eval);
+
+    assert_eq!(
+        adaptive.kneed, reference.kneed,
+        "bisection and grid scan disagree on whether a knee exists"
+    );
+    let diff = adaptive.knee.abs_diff(reference.knee);
+    assert!(
+        diff <= spec.step,
+        "bisection knee {} is {diff} nodes from grid knee {} (> one step of {})",
+        adaptive.knee,
+        reference.knee,
+        spec.step
+    );
+
+    // Adaptive must not evaluate more points than the exhaustive scan.
+    let grid_points = ((spec.max - spec.min) / spec.step + 2) as usize;
+    assert!(
+        adaptive.evaluated.len() <= grid_points,
+        "bisection evaluated {} points, grid needs at most {grid_points}",
+        adaptive.evaluated.len()
+    );
+
+    // Both searches are deterministic: re-running the adaptive search
+    // against the memoized curve reproduces the identical outcome.
+    let again = find_knee(&spec, &mut eval);
+    assert_eq!(again.knee, adaptive.knee);
+    assert_eq!(again.evaluated, adaptive.evaluated);
+}

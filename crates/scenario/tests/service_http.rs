@@ -1,0 +1,108 @@
+//! End-to-end HTTP test for the metrics service: bind an ephemeral
+//! port, drive a tiny scenario through `run_blocking`, and assert all
+//! three endpoints answer 200 with JSON that passes the crate's own
+//! validator — while the run is in flight and after it completes.
+
+use dclue_scenario::service::{self, ScenarioInfo};
+use dclue_scenario::{compile, json, parse};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SRC: &str = "\
+scenario = http-test
+description = service endpoint test
+[engine]
+exact = true
+seeds = 1
+warmup = 1s
+measure = 2s
+[topology]
+nodes = [2]
+affinity = 0.8
+[workload]
+clients_per_node = 10
+think_time = 1s
+";
+
+/// One raw HTTP/1.1 GET; returns (status line, body).
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+fn assert_json_200(addr: SocketAddr, path: &str) -> String {
+    let (status, body) = get(addr, path);
+    assert!(status.contains("200"), "{path}: {status}");
+    json::validate(&body).unwrap_or_else(|e| panic!("{path} body is not valid JSON: {e}\n{body}"));
+    body
+}
+
+#[test]
+fn endpoints_answer_valid_json_during_and_after_a_run() {
+    let plan = compile(&parse(SRC).unwrap()).unwrap();
+    let scenarios = vec![ScenarioInfo {
+        name: "http-test".into(),
+        description: "service endpoint test".into(),
+        source: "test".into(),
+    }];
+    // Port 0: the OS picks a free port, so parallel test runs never race.
+    let svc = service::start(&plan, "127.0.0.1:0", scenarios).expect("bind");
+    let addr = svc.addr();
+
+    // Before the run starts the endpoints are already live.
+    let body = assert_json_200(addr, "/status");
+    assert!(body.contains("\"starting\""), "{body}");
+    assert_json_200(addr, "/metrics");
+    let body = assert_json_200(addr, "/scenarios");
+    assert!(body.contains("http-test"), "{body}");
+
+    // Query /status from another thread while the run is in flight.
+    let probe = std::thread::spawn(move || {
+        let mut saw_running = false;
+        for _ in 0..200 {
+            let body = assert_json_200(addr, "/status");
+            if body.contains("\"running\"") {
+                saw_running = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        saw_running
+    });
+
+    svc.run_blocking(&plan);
+
+    assert!(
+        probe.join().unwrap(),
+        "/status never reported state \"running\" while the run was in flight"
+    );
+
+    // After completion: status is done, one point recorded, metrics
+    // registry populated by the instrumented run.
+    let body = assert_json_200(addr, "/status");
+    assert!(body.contains("\"done\""), "{body}");
+    assert!(
+        body.contains("\"points_done\": 1") || body.contains("\"points_done\":1"),
+        "{body}"
+    );
+    let body = assert_json_200(addr, "/metrics");
+    assert!(body.contains("\"rows\""), "{body}");
+
+    // Unknown paths 404 with a JSON error body; non-GET is rejected.
+    let (status, body) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    json::validate(&body).expect("404 body is JSON");
+}

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 /// Disk mechanics. Defaults are a 2004-era 15K-class SCSI drive *after*
 /// the paper's 100x scale-down (all times stretched 100x, rate cut 100x).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct DiskConfig {
     /// Seek time for a single-track hop.
     pub min_seek: Duration,
