@@ -5,8 +5,10 @@
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
 //!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
 //!            protocol|baseline|all> [--quick] [--seeds N] [--jobs N] [--exact]
-//!   figures run <file.dcs>    [--seeds N] [--jobs N] [--metrics]
-//!   figures serve <file.dcs>  [--seeds N] [--listen ADDR]
+//!            [--intra-jobs N]
+//!   figures run <file.dcs>    [--seeds N] [--jobs N] [--intra-jobs N]
+//!                             [--metrics] [output=csv:PATH] [output=json:PATH]
+//!   figures serve <file.dcs>  [--seeds N] [--intra-jobs N] [--listen ADDR]
 //!   figures list
 //!
 //! `run` executes a declarative scenario file (grammar in
@@ -29,6 +31,16 @@
 //! engine; the committed `figures_output.txt` golden capture is
 //! produced with `figures all --seeds 2 --exact`.
 //!
+//! `--intra-jobs N` splits every *single* run into N node groups on
+//! the conservative time-windowed engine (DESIGN.md §13). `N <= 1` is
+//! the untouched serial loop — `figures all --seeds 2 --exact
+//! --intra-jobs 1` stays bit-identical to the golden capture. For grid
+//! points whose cluster is smaller than N the group count is clamped
+//! to the node count (a one-node point just runs serially), so a node
+//! sweep and `--intra-jobs` compose. Windowed runs are deterministic
+//! per group count but only statistically equivalent to serial —
+//! don't mix `--intra-jobs >= 2` with golden-capture comparisons.
+//!
 //! Absolute numbers come from the 100x-scaled model (multiply tpm-C by
 //! 100 for real-system equivalents); the paper's claims are about
 //! *shapes* — who wins, by what factor, where the knees are.
@@ -36,7 +48,7 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
-use dclue_cluster::{sweep, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload, World};
+use dclue_cluster::{sweep, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload};
 use dclue_sim::Duration;
 use dclue_storage::IscsiMode;
 
@@ -45,10 +57,13 @@ struct Opts {
     seeds: u64,
     jobs: usize,
     exact: bool,
+    intra_jobs: u32,
 }
 
 fn base_cfg(opts: &Opts) -> ClusterConfig {
-    dclue_bench::grids::figures_base(opts.quick, opts.exact)
+    let mut cfg = dclue_bench::grids::figures_base(opts.quick, opts.exact);
+    cfg.intra_jobs = opts.intra_jobs;
+    cfg
 }
 
 /// Reject a bad config before it reaches the worker pool — a
@@ -61,10 +76,20 @@ fn validate_or_die(cfg: &ClusterConfig) {
 }
 
 /// Run a batch of configs through the worker pool: one seed-averaged
-/// report per config, in submission order.
+/// report per config, in submission order. `--intra-jobs` is clamped
+/// per point to the point's node count so node sweeps compose with
+/// windowed execution instead of dying on the smallest cluster.
 fn run_batch(cfgs: &[ClusterConfig], opts: &Opts) -> Vec<Report> {
+    let cfgs: Vec<ClusterConfig> = cfgs
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.intra_jobs = c.intra_jobs.min(c.nodes);
+            c
+        })
+        .collect();
     cfgs.iter().for_each(validate_or_die);
-    sweep::run_avg_many(opts.jobs, cfgs, opts.seeds)
+    sweep::run_avg_many(opts.jobs, &cfgs, opts.seeds)
 }
 
 /// Run one config across seeds and average the reported series.
@@ -851,8 +876,9 @@ fn fault(opts: &Opts, scenario: &str) {
         _ => unreachable!(),
     };
     println!("--- fault-{scenario} (n=4 α=0.8, fault at t={mid}s) ---");
+    cfg.intra_jobs = cfg.intra_jobs.min(cfg.nodes);
     validate_or_die(&cfg);
-    let r = World::new(cfg).run();
+    let r = dclue_cluster::run_one(cfg);
     println!(
         "committed={} aborted_by_fault={} fault_events={} fault_drops={} iscsi_retries={}",
         r.committed, r.aborted_by_fault, r.fault_events_applied, r.fault_drops, r.iscsi_retries
@@ -959,13 +985,47 @@ fn file_operand(args: &[String], cmd: &str) -> String {
     }
 }
 
-/// `figures run <file.dcs>`: execute a scenario and print its table.
-fn cmd_run(path: &str, seeds_flag: Option<u64>, jobs_flag: Option<usize>, metrics: bool) {
+/// Apply a CLI `--intra-jobs` override to every point of a plan,
+/// clamped per point to the node count (same composition rule as the
+/// hardcoded figures).
+fn apply_intra(plan: &mut dclue_scenario::Plan, intra_flag: Option<u32>) {
+    if let Some(n) = intra_flag {
+        plan.base.intra_jobs = n;
+        for p in &mut plan.points {
+            p.cfg.intra_jobs = n.min(p.cfg.nodes);
+        }
+    }
+}
+
+/// The `output=csv:<path>` / `output=json:<path>` operands of `run`.
+fn output_requests(args: &[String]) -> Vec<dclue_scenario::emit::OutputRequest> {
+    args.iter()
+        .filter_map(|a| a.strip_prefix("output="))
+        .map(|spec| {
+            dclue_scenario::emit::OutputRequest::parse(spec).unwrap_or_else(|e| {
+                eprintln!("[figures] {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// `figures run <file.dcs>`: execute a scenario and print its table,
+/// then write any `output=` files from the same finished rows.
+fn cmd_run(
+    path: &str,
+    seeds_flag: Option<u64>,
+    jobs_flag: Option<usize>,
+    intra_flag: Option<u32>,
+    metrics: bool,
+    outputs: &[dclue_scenario::emit::OutputRequest],
+) {
     use dclue_scenario::runner;
     let mut plan = load_plan(path);
     if let Some(s) = seeds_flag {
         plan.seeds = s.max(1);
     }
+    apply_intra(&mut plan, intra_flag);
     // CLI --jobs wins, then the scenario's [engine] jobs, then the
     // environment; --metrics pins the serial path as everywhere else.
     let jobs = if metrics {
@@ -977,9 +1037,17 @@ fn cmd_run(path: &str, seeds_flag: Option<u64>, jobs_flag: Option<usize>, metric
         "# scenario: {} — {}",
         plan.scenario.name, plan.scenario.description
     );
-    match runner::run(&plan, jobs) {
-        runner::Outcome::Grid(rows) => print!("{}", runner::render_grid_table(&plan, &rows)),
-        runner::Outcome::Knee(out) => print!("{}", runner::render_knee_table(&out)),
+    let outcome = runner::run(&plan, jobs);
+    match &outcome {
+        runner::Outcome::Grid(rows) => print!("{}", runner::render_grid_table(&plan, rows)),
+        runner::Outcome::Knee(out) => print!("{}", runner::render_knee_table(out)),
+    }
+    for req in outputs {
+        req.write(&plan, &outcome).unwrap_or_else(|e| {
+            eprintln!("[figures] {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[figures] wrote {}", req.path);
     }
 }
 
@@ -1008,12 +1076,18 @@ fn scenario_infos() -> Vec<dclue_scenario::service::ScenarioInfo> {
 }
 
 /// `figures serve <file.dcs>`: run the scenario with live endpoints.
-fn cmd_serve(path: &str, seeds_flag: Option<u64>, listen_flag: Option<String>) {
+fn cmd_serve(
+    path: &str,
+    seeds_flag: Option<u64>,
+    intra_flag: Option<u32>,
+    listen_flag: Option<String>,
+) {
     use dclue_scenario::service;
     let mut plan = load_plan(path);
     if let Some(s) = seeds_flag {
         plan.seeds = s.max(1);
     }
+    apply_intra(&mut plan, intra_flag);
     let listen = listen_flag
         .or_else(|| plan.scenario.listen.clone())
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
@@ -1063,6 +1137,7 @@ fn main() {
     let seeds_flag: Option<u64> = flag_val("--seeds").and_then(|s| s.parse().ok());
     let seeds = seeds_flag.unwrap_or(1);
     let jobs_flag: Option<usize> = flag_val("--jobs").and_then(|s| s.parse().ok());
+    let intra_flag: Option<u32> = flag_val("--intra-jobs").and_then(|s| s.parse().ok());
     let exact = args.iter().any(|a| a == "--exact");
     // The metrics registry is thread-local, so `--metrics` pins the
     // serial (jobs=1) path and dumps the registry when the run ends.
@@ -1077,6 +1152,15 @@ fn main() {
                 );
             }
         }
+        if intra_flag.unwrap_or(0) > 1 {
+            eprintln!(
+                "[figures] warning: --metrics reads a thread-local registry, but \
+                 --intra-jobs {} dispatches events on windowed group threads whose \
+                 registries are dropped at join; the dump below will be empty — use \
+                 --intra-jobs 1 with --metrics",
+                intra_flag.unwrap_or(0)
+            );
+        }
     }
     let jobs = if metrics {
         1
@@ -1089,14 +1173,23 @@ fn main() {
         seeds,
         jobs,
         exact,
+        intra_jobs: intra_flag.unwrap_or(0),
     };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let t0 = std::time::Instant::now();
     match which {
-        "run" => cmd_run(&file_operand(&args, "run"), seeds_flag, jobs_flag, metrics),
+        "run" => cmd_run(
+            &file_operand(&args, "run"),
+            seeds_flag,
+            jobs_flag,
+            intra_flag,
+            metrics,
+            &output_requests(&args),
+        ),
         "serve" => cmd_serve(
             &file_operand(&args, "serve"),
             seeds_flag,
+            intra_flag,
             flag_val("--listen").cloned(),
         ),
         "list" => cmd_list(),

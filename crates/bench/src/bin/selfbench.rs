@@ -4,11 +4,17 @@
 //! each one twice, once on the default segment-train fast path and
 //! once with `exact = true` — measures wall time and events/sec,
 //! times a small sweep through the worker pool vs. the serial path,
-//! and emits `BENCH_pr3.json` (schema `dclue-selfbench/2`, documented
-//! in EXPERIMENTS.md). The pre-optimization numbers — captured on the
-//! same scenario definitions immediately before the PR 2 hot-path
-//! work and again immediately before the PR 3 event-count surgery —
-//! are embedded below, so one file shows the whole trajectory.
+//! measures the windowed engine's single-run scaling curve
+//! (`intra_jobs ∈ {1, 2, 4, 8}` on an n=16 and an n=64 exact
+//! scenario), and emits `BENCH_pr7.json` (schema `dclue-selfbench/3`,
+//! documented in EXPERIMENTS.md). The pre-optimization numbers —
+//! captured on the same scenario definitions immediately before the
+//! PR 2 hot-path work and again immediately before the PR 3
+//! event-count surgery — are embedded below, so one file shows the
+//! whole trajectory. The intra-run speedups are host-dependent: the
+//! windowed engine runs one thread per group, so a single-core
+//! container records a slowdown there while a multi-core host records
+//! the real curve (`cores` is in the file; read the curve against it).
 //!
 //! Usage:
 //!   selfbench [--quick] [--jobs N] [--reps R] [--out PATH] [--check]
@@ -129,6 +135,13 @@ fn scenario_cfg(name: &str, quick: bool) -> ClusterConfig {
             cfg.nodes = 16;
             cfg.affinity = 0.8;
         }
+        // ROADMAP item 1 territory: a cluster far past the paper's
+        // sweep, used only for the intra-run scaling curve (64 nodes
+        // give every probed group count 8+ nodes per group).
+        "cluster_n64_a08" => {
+            cfg.nodes = 64;
+            cfg.affinity = 0.8;
+        }
         // Node crash mid-measurement: fault plumbing, remastering
         // freeze and client failover on top of the normal engine.
         "fault_crash_n4" => {
@@ -185,6 +198,65 @@ fn run_scenario(name: &'static str, quick: bool, reps: u32) -> ScenarioResult {
         committed,
         exact_wall_s,
         exact_events,
+    }
+}
+
+/// The intra-run scaling curve: group counts probed per scenario.
+const INTRA_CURVE: [u32; 4] = [1, 2, 4, 8];
+/// Scenarios the curve is measured on (both on the exact engine —
+/// the windowed engine always runs segment-exact group worlds, so
+/// exact-vs-exact is the like-for-like wall-clock comparison).
+const INTRA_SCENARIOS: [&str; 2] = ["cluster_n16_a08", "cluster_n64_a08"];
+
+/// One point of the intra-run scaling curve.
+struct IntraPoint {
+    intra_jobs: u32,
+    wall_s: f64,
+    events: u64,
+    committed: u64,
+    /// Barrier rounds and cross-group messages (0 for the serial run).
+    windows: u64,
+    xg_messages: u64,
+}
+
+/// Best-of-`reps` wall clock for one scenario at one group count.
+fn time_intra(name: &str, quick: bool, reps: u32, intra: u32) -> IntraPoint {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut committed = 0u64;
+    let mut windows = 0u64;
+    let mut xg_messages = 0u64;
+    for _ in 0..reps.max(1) {
+        let mut cfg = scenario_cfg(name, quick);
+        cfg.exact = true;
+        cfg.intra_jobs = intra;
+        if let Err(e) = cfg.validate() {
+            eprintln!("[selfbench] invalid intra config '{name}' x{intra}: {e}");
+            std::process::exit(2);
+        }
+        let t0 = Instant::now();
+        if intra >= 2 {
+            let (report, stats) = dclue_cluster::run_windowed(&cfg);
+            best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+            events = stats.events_processed;
+            committed = report.committed;
+            windows = stats.windows;
+            xg_messages = stats.xg_messages;
+        } else {
+            let mut w = World::new(cfg);
+            let report = w.run();
+            best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+            events = w.events_processed();
+            committed = report.committed;
+        }
+    }
+    IntraPoint {
+        intra_jobs: intra,
+        wall_s: best_wall,
+        events,
+        committed,
+        windows,
+        xg_messages,
     }
 }
 
@@ -261,6 +333,21 @@ fn scenario_json(r: &ScenarioResult, pre_pr3: &[(&str, f64, u64)]) -> String {
     )
 }
 
+fn intra_point_json(p: &IntraPoint, wall_serial: f64) -> String {
+    let speedup = wall_serial / p.wall_s.max(1e-9);
+    format!(
+        "        {{\"intra_jobs\": {}, \"wall_s\": {}, \"events\": {}, \"committed\": {}, \
+         \"windows\": {}, \"xg_messages\": {}, \"speedup\": {}}}",
+        p.intra_jobs,
+        json_f(p.wall_s),
+        p.events,
+        p.committed,
+        p.windows,
+        p.xg_messages,
+        json_f(speedup)
+    )
+}
+
 /// The `--check` regression gate. Wall-clock comparisons are host
 /// sensitive, hence the wide 25% fail threshold; the event-count cut
 /// checks are machine-independent and exact.
@@ -316,7 +403,7 @@ fn main() {
     let reps: u32 = get("--reps").and_then(|s| s.parse().ok()).unwrap_or(1);
     let out = get("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr3.json".into());
+        .unwrap_or_else(|| "BENCH_pr7.json".into());
 
     let mode = if quick { "quick" } else { "full" };
     eprintln!("[selfbench] mode={mode} cores={cores} jobs={jobs} reps={reps}");
@@ -361,6 +448,34 @@ fn main() {
         "[selfbench] sweep {tasks} tasks: serial {wall_serial:.3}s, pool(jobs={jobs}) {wall_pool:.3}s, speedup {speedup:.2}x"
     );
 
+    // Intra-run scaling curve: one run, split across group threads.
+    // The serial point (intra_jobs = 1) is the denominator; on a
+    // single-core host the windowed points record the barrier +
+    // ghost-delivery overhead as a slowdown, which is the honest
+    // number for that machine.
+    let mut intra_curves: Vec<(&str, Vec<IntraPoint>)> = Vec::new();
+    for name in INTRA_SCENARIOS {
+        let mut points = Vec::new();
+        for &ij in &INTRA_CURVE {
+            let p = time_intra(name, quick, reps, ij);
+            eprintln!(
+                "[selfbench] intra {:<16} x{:<2} {:>8.3}s {:>9} ev  windows={:<6} xg={:<8} speedup {:.2}x",
+                name,
+                p.intra_jobs,
+                p.wall_s,
+                p.events,
+                p.windows,
+                p.xg_messages,
+                points
+                    .first()
+                    .map(|f: &IntraPoint| f.wall_s / p.wall_s.max(1e-9))
+                    .unwrap_or(1.0)
+            );
+            points.push(p);
+        }
+        intra_curves.push((name, points));
+    }
+
     let (base_pr2, base_pr3) = if quick {
         (BASELINE_QUICK, BASELINE_PR3_QUICK)
     } else {
@@ -368,7 +483,7 @@ fn main() {
     };
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"dclue-selfbench/2\",\n");
+    j.push_str("  \"schema\": \"dclue-selfbench/3\",\n");
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     j.push_str(&format!("  \"cores\": {cores},\n"));
     j.push_str(&format!("  \"jobs_resolved\": {jobs},\n"));
@@ -397,7 +512,25 @@ fn main() {
     j.push_str(&format!("    \"wall_s_jobs1\": {},\n", json_f(wall_serial)));
     j.push_str(&format!("    \"wall_s_pool\": {},\n", json_f(wall_pool)));
     j.push_str(&format!("    \"speedup\": {}\n", json_f(speedup)));
-    j.push_str("  }\n");
+    j.push_str("  },\n");
+    j.push_str("  \"intra_scaling\": [\n");
+    let curve_lines: Vec<String> = intra_curves
+        .iter()
+        .map(|(name, points)| {
+            let serial_wall = points.first().map(|p| p.wall_s).unwrap_or(f64::NAN);
+            let pts: Vec<String> = points
+                .iter()
+                .map(|p| intra_point_json(p, serial_wall))
+                .collect();
+            format!(
+                "    {{\"scenario\": \"{name}\", \"engine\": \"exact\", \"points\": [\n{}\n    ]}}",
+                pts.join(",\n")
+            )
+        })
+        .collect();
+    j.push_str(&curve_lines.join(",\n"));
+    j.push('\n');
+    j.push_str("  ]\n");
     j.push_str("}\n");
 
     std::fs::write(&out, j).expect("write benchmark json");

@@ -76,6 +76,15 @@ impl World {
                 }
             }
         }
+        // Windowed mode note: a route that lands in a foreign group is
+        // not folded back in (that would shrink the page ping-pong set
+        // and distort coherence traffic). The connection below opens to
+        // the foreign node's local *replica* host, so the handshake and
+        // every request frame still compete for this world's fabric;
+        // delivery at the replica is intercepted in `on_message` and
+        // shipped across the window barrier to the owning group world,
+        // which executes on the authoritative node and sends the
+        // response through *its* fabric on a mirror connection.
         let cfg = self.tcp_config(false);
         let server_host = self.nodes[node as usize].host;
         let conn = self.with_net(|net, ob| {
@@ -102,9 +111,25 @@ impl World {
             });
             let s = &mut self.driver.sessions[session as usize];
             s.conn = None;
+            let node = s.node;
             let delay = self.rng.exponential(self.cfg.think_time);
             self.heap
                 .push(self.now + delay, Ev::ClientThink { session });
+            // Windowed mode: tell the executing world to tear down its
+            // mirror connection for a shipped session.
+            if self.xg_is_foreign(node) {
+                let dest = self
+                    .fabric
+                    .xg
+                    .as_ref()
+                    .map(|xg| crate::components::fabric::xg_group_of(node, xg.nodes, xg.groups))
+                    .expect("foreign node outside windowed mode");
+                self.xg_stage_now(
+                    dest,
+                    64,
+                    crate::components::fabric::XgPayload::ClientDone { session },
+                );
+            }
             return;
         };
         s.inflight = Some(input);
@@ -121,7 +146,10 @@ impl World {
     }
 
     /// Called by the engine when a transaction finished: respond to the
-    /// waiting client.
+    /// waiting client. In windowed mode the session may be foreign-homed
+    /// (a shipped transaction): `conn` is then this executing world's
+    /// mirror connection, and the response travels this world's real
+    /// fabric before being relayed across the barrier at delivery.
     pub(crate) fn reply_to_client(&mut self, node: u32, session: u32) {
         let Some(conn) = self.driver.sessions[session as usize].conn else {
             return;

@@ -145,6 +145,22 @@ pub struct ClusterConfig {
     /// train events — statistically equivalent but not bit-identical;
     /// see DESIGN.md "The hybrid train model".
     pub exact: bool,
+    /// Intra-run parallelism: partition the cluster's nodes into this
+    /// many groups and execute them concurrently in conservative time
+    /// windows (DESIGN.md §13). `0` or `1` takes the untouched serial
+    /// event loop — the bit-identical baseline. Windowed runs are
+    /// deterministic for a fixed group count but only statistically
+    /// equivalent to serial: cross-group fabric traffic is staged as
+    /// ghost messages and delivered at the next window barrier in a
+    /// canonical `(time, source group, sequence)` order, so delivery
+    /// times are quantized to the window rather than packet-simulated
+    /// edge-to-edge.
+    pub intra_jobs: u32,
+    /// Width of the windowed engine's time window. `ZERO` = automatic:
+    /// max(minimum cross-group control-message latency, 1 ms). Larger
+    /// windows amortize barrier overhead at the cost of more cross-group
+    /// delivery-time distortion.
+    pub intra_window: Duration,
     // ---- fabric ----
     /// Host and intra-lata link bandwidth, bit/s (10 Mb/s = scaled 1 Gb/s).
     pub link_bw: f64,
@@ -226,6 +242,8 @@ impl Default for ClusterConfig {
             warmup: Duration::from_secs(15),
             seed: 42,
             exact: true,
+            intra_jobs: 0,
+            intra_window: Duration::ZERO,
             link_bw: 10e6,
             trunk_bw: 10e6,
             router_rate: 10_000.0,
@@ -394,6 +412,28 @@ impl ClusterConfig {
                  coalesces the segments the reset is meant to kill mid-flight)"
                     .into(),
             );
+        }
+        if self.intra_jobs > 1 {
+            if self.intra_jobs > self.nodes {
+                return Err(format!(
+                    "intra_jobs ({}) exceeds nodes ({}); every execution group \
+                     needs at least one node — lower intra_jobs or grow the cluster",
+                    self.intra_jobs, self.nodes
+                ));
+            }
+            if self.nodes > 256 {
+                return Err(format!(
+                    "intra_jobs > 1 requires nodes <= 256 ({} given): windowed \
+                     transaction ids carry the executing node in their low 8 bits",
+                    self.nodes
+                ));
+            }
+            if self.chaos_ipc_reset_at.is_some() {
+                return Err("chaos_ipc_reset_at is a serial-engine determinism hook; \
+                     it cannot target a connection from a windowed run — set \
+                     intra_jobs = 1 (use fault_plan for windowed fault tests)"
+                    .into());
+            }
         }
         if self.protocol == ProtocolKind::MvccReadLease && !self.mvcc {
             return Err(

@@ -53,10 +53,12 @@ pub mod node;
 pub mod pathlen;
 pub mod protocol;
 pub mod sweep;
+pub mod windowed;
 pub mod world;
 
 pub use components::fabric::FabricPort;
 pub use config::{ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, TcpOffload};
 pub use metrics::Report;
 pub use protocol::{CacheFusion2pl, CoherenceProtocol, MvccReadLease};
+pub use windowed::{run_one, run_windowed, WindowedStats};
 pub use world::World;

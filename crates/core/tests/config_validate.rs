@@ -141,3 +141,51 @@ fn rejects_read_leases_without_mvcc() {
     cfg.protocol = ProtocolKind::MvccReadLease;
     assert_eq!(cfg.validate(), Ok(()));
 }
+
+#[test]
+fn rejects_intra_jobs_above_nodes() {
+    let e = err_for(|c| {
+        c.nodes = 4;
+        c.intra_jobs = 8;
+    });
+    assert!(e.contains("intra_jobs"), "{e}");
+    assert!(e.contains("nodes"), "{e}");
+}
+
+#[test]
+fn rejects_windowed_run_on_oversized_cluster() {
+    // Windowed transaction ids carry the executing node in their low
+    // 8 bits, so the windowed engine caps the cluster at 256 nodes.
+    let e = err_for(|c| {
+        c.nodes = 300;
+        c.intra_jobs = 2;
+    });
+    assert!(e.contains("256"), "{e}");
+    // The same cluster is fine serially…
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = 300;
+    assert_eq!(cfg.validate(), Ok(()));
+}
+
+#[test]
+fn accepts_windowed_group_counts() {
+    // …and any group count up to the node count is fine windowed.
+    for intra in [0u32, 1, 2, 4, 16] {
+        let mut cfg = ClusterConfig::default();
+        cfg.nodes = 16;
+        cfg.affinity = 0.8;
+        cfg.intra_jobs = intra;
+        assert_eq!(cfg.validate(), Ok(()), "intra_jobs={intra}");
+    }
+}
+
+#[test]
+fn rejects_chaos_reset_under_windowed_execution() {
+    let e = err_for(|c| {
+        c.exact = true;
+        c.nodes = 4;
+        c.intra_jobs = 2;
+        c.chaos_ipc_reset_at = Some(Duration::from_secs(5));
+    });
+    assert!(e.contains("intra_jobs"), "{e}");
+}

@@ -30,6 +30,8 @@
 //!   JSON while the experiment is in flight.
 //! - [`columns`] — the report columns `[output]` can select, shared by
 //!   the text table and the JSON rows.
+//! - [`emit`] — `figures run ... output=csv:<path>` / `output=json:<path>`
+//!   file emission, derived from the same column table.
 //! - [`json`] — minimal JSON writer + validating scanner (no deps).
 //! - [`discover`] — `*.dcs` discovery for `figures list`.
 //!
@@ -39,6 +41,7 @@
 pub mod ast;
 pub mod columns;
 pub mod discover;
+pub mod emit;
 pub mod json;
 pub mod knee;
 pub mod parse;

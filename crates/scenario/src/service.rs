@@ -8,6 +8,12 @@
 //! - `/metrics`    — finished rows plus the dclue-trace registry
 //! - `/scenarios`  — scenarios known to this binary (built-ins + files)
 //!
+//! Rows stream per point in both sweep modes: a grid run publishes
+//! each grid point as it finishes, and a `mode = knee` search
+//! publishes every probe (as a full output-column row) while the
+//! bisection is still narrowing — a client polling `/metrics` watches
+//! the curve grow instead of waiting for the verdict.
+//!
 //! The experiment runs on the caller's thread with `jobs = 1`; the
 //! dclue-trace metrics registry is thread-local, so the runner thread is
 //! the only writer and snapshots it into the shared state after every
@@ -167,11 +173,18 @@ impl Service {
         match &plan.scenario.sweep {
             SweepSpec::Grid => self.run_grid(plan),
             SweepSpec::Knee(spec) => {
+                let cols = output_columns(plan);
                 let outcome = find_knee(spec, |n| {
                     self.set_current(format!("nodes={n}"));
                     let cfg = cfg_at_nodes(&plan.base, n);
-                    let tpmc = sweep::run_avg_many(1, &[cfg], plan.seeds)[0].tpmc_scaled;
-                    self.push_knee_probe(n, tpmc);
+                    let report = sweep::run_avg_many(1, std::slice::from_ref(&cfg), plan.seeds)
+                        .pop()
+                        .expect("one config in, one report out");
+                    let tpmc = report.tpmc_scaled;
+                    // Published as soon as the probe finishes, so a
+                    // /metrics poll mid-search already sees the curve
+                    // grow point by point.
+                    self.push_knee_probe(n, &cfg, &report, &cols);
                     tpmc
                 });
                 let mut s = self.state.lock().unwrap();
@@ -227,16 +240,33 @@ impl Service {
         self.state.lock().unwrap().current = Some(label);
     }
 
-    fn push_knee_probe(&self, nodes: u32, tpmc: f64) {
+    /// Publish one finished knee probe as a full output-column row
+    /// (same shape as a grid row), keeping the guarantee that knee
+    /// rows always carry `nodes` and `tpmc_scaled` even when the
+    /// scenario's `[output] columns` omits them.
+    fn push_knee_probe(
+        &self,
+        nodes: u32,
+        cfg: &dclue_cluster::ClusterConfig,
+        report: &dclue_cluster::Report,
+        cols: &[&'static crate::columns::Column],
+    ) {
+        let mut pairs: Vec<(String, Json)> = vec![(
+            "coords".into(),
+            Json::Obj(vec![("nodes".into(), Json::str(nodes.to_string()))]),
+        )];
+        if !cols.iter().any(|c| c.name == "nodes") {
+            pairs.push(("nodes".into(), Json::Num(nodes as f64)));
+        }
+        if !cols.iter().any(|c| c.name == "tpmc_scaled") {
+            pairs.push(("tpmc_scaled".into(), Json::Num(report.tpmc_scaled)));
+        }
+        pairs.extend(
+            cols.iter()
+                .map(|c| (c.name.to_string(), c.cell(cfg, report).json())),
+        );
         let mut s = self.state.lock().unwrap();
-        s.rows.push(Json::Obj(vec![
-            (
-                "coords".into(),
-                Json::Obj(vec![("nodes".into(), Json::str(nodes.to_string()))]),
-            ),
-            ("nodes".into(), Json::Num(nodes as f64)),
-            ("tpmc_scaled".into(), Json::Num(tpmc)),
-        ]));
+        s.rows.push(Json::Obj(pairs));
         s.points_done += 1;
         s.registry = metrics::snapshot()
             .into_iter()

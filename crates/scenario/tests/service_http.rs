@@ -50,6 +50,77 @@ fn assert_json_200(addr: SocketAddr, path: &str) -> String {
     body
 }
 
+const KNEE_SRC: &str = "\
+scenario = http-knee-test
+description = knee probes stream as rows mid-search
+[engine]
+exact = true
+seeds = 1
+warmup = 1s
+measure = 2s
+[topology]
+affinity = 0.4
+[workload]
+clients_per_node = 20
+think_time = 1s
+[sweep]
+mode = knee
+min = 2
+max = 12
+step = 1
+threshold = 0.5
+";
+
+#[test]
+fn knee_probes_stream_rows_while_the_search_runs() {
+    let plan = compile(&parse(KNEE_SRC).unwrap()).unwrap();
+    let svc = service::start(&plan, "127.0.0.1:0", Vec::new()).expect("bind");
+    let addr = svc.addr();
+
+    // Watch /metrics while the bisection narrows: the rows array must
+    // gain entries before the verdict lands (state still "running").
+    let probe = std::thread::spawn(move || {
+        let mut rows_while_running = 0usize;
+        for _ in 0..2000 {
+            let status = assert_json_200(addr, "/status");
+            if !status.contains("\"running\"") {
+                if status.contains("\"done\"") {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            let metrics = assert_json_200(addr, "/metrics");
+            rows_while_running = rows_while_running.max(metrics.matches("\"coords\":").count());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        rows_while_running
+    });
+
+    svc.run_blocking(&plan);
+    let rows_while_running = probe.join().unwrap();
+    assert!(
+        rows_while_running >= 1,
+        "no probe row was visible on /metrics while the knee search was still running"
+    );
+
+    // After completion the verdict is published alongside the curve,
+    // and every probe row carries the guaranteed knee columns.
+    let body = assert_json_200(addr, "/metrics");
+    assert!(body.contains("\"knee\":{"), "verdict missing: {body}");
+    assert!(body.contains("\"kneed\":"), "{body}");
+    let rows_total = body.matches("\"coords\":").count();
+    assert!(
+        rows_total >= 3,
+        "expected at least 3 evaluated probes, saw {rows_total}: {body}"
+    );
+    assert!(body.contains("\"tpmc_scaled\":"), "{body}");
+    assert!(body.contains("\"nodes\":"), "{body}");
+
+    let status = assert_json_200(addr, "/status");
+    assert!(status.contains("\"done\""), "{status}");
+}
+
 #[test]
 fn endpoints_answer_valid_json_during_and_after_a_run() {
     let plan = compile(&parse(SRC).unwrap()).unwrap();

@@ -67,6 +67,27 @@ impl Tally {
         self.max = self.max.max(x);
     }
 
+    /// Fold another tally into this one — the parallel Welford combine.
+    /// The result holds the same moments one tally would after recording
+    /// both sample streams (up to floating-point association order).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb / (na + nb);
+        self.m2 += other.m2 + delta * delta * na * nb / (na + nb);
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Record a duration in seconds.
     pub fn record_duration(&mut self, d: Duration) {
         self.record(d.as_secs_f64());
@@ -406,6 +427,35 @@ mod tests {
         assert_eq!(t.mean(), 0.0);
         assert_eq!(t.min(), 0.0);
         assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    fn tally_merge_matches_single_stream() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, 1.5, 11.25];
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let (left, right) = xs.split_at(4);
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        left.iter().for_each(|&x| a.record(x));
+        right.iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert!((a.sum() - whole.sum()).abs() < 1e-12);
+        // Merging an empty tally is the identity in both directions.
+        let before = a.clone();
+        a.merge(&Tally::new());
+        assert_eq!(a.count(), before.count());
+        let mut empty = Tally::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), before.count());
+        assert!((empty.mean() - before.mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -12,4 +12,4 @@ pub mod ftp;
 pub mod tpcc_gen;
 
 pub use ftp::{FtpGenerator, FtpTransfer};
-pub use tpcc_gen::{route_node, BusinessTxn, TpccGenerator};
+pub use tpcc_gen::{home_node, route_node, BusinessTxn, TpccGenerator};

@@ -1,0 +1,162 @@
+//! Statistical-equivalence regression test for the windowed intra-run
+//! engine (`ClusterConfig::intra_jobs >= 2`).
+//!
+//! Windowed execution deliberately trades bit-identity with the serial
+//! engine for single-run parallelism: cross-group IPC rides an
+//! analytic latency estimate instead of packet simulation, arrival
+//! times clamp to window boundaries, and each group world's database
+//! replica sees only its own groups' version traffic (see DESIGN.md,
+//! "Windowed intra-run parallelism"). The contract is therefore
+//! *statistical*, the same ladder the segment-train fast path is held
+//! to: over the harness seed ladder, a windowed run must reproduce the
+//! serial engine's steady-state throughput, latency and abort
+//! behaviour.
+//!
+//! Tolerances (on seed-ladder means, documented in EXPERIMENTS.md):
+//!   - committed throughput (tpmc_scaled): within 10%
+//!   - mean transaction latency:           within 15%
+//!   - p95 transaction latency:            within 25%
+//!   - abort rate (aborted/committed):     within 2 percentage points
+//!
+//! Deliberately *not* checked: trunk utilization. Cross-group IPC
+//! never touches the simulated trunks in windowed mode (that is the
+//! design: the estimate replaces the packets), so `trunk_mbps` is a
+//! documented casualty, not a regression signal.
+
+#![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
+
+use dclue_cluster::{run_one, sweep, ClusterConfig};
+use dclue_fault::FaultPlan;
+use dclue_sim::Duration;
+
+/// Seeds 42, 1042, … — the same ladder the sweep harness uses.
+const SEEDS: u64 = 2;
+
+struct Summary {
+    tpmc: f64,
+    latency_ms: f64,
+    p95_ms: f64,
+    abort_rate: f64,
+}
+
+fn run_ladder(base: &ClusterConfig, intra_jobs: u32) -> Summary {
+    let mut acc = Summary {
+        tpmc: 0.0,
+        latency_ms: 0.0,
+        p95_ms: 0.0,
+        abort_rate: 0.0,
+    };
+    for s in 0..SEEDS {
+        let mut cfg = base.clone();
+        cfg.seed = sweep::seed_for(s);
+        cfg.intra_jobs = intra_jobs;
+        let r = run_one(cfg);
+        acc.tpmc += r.tpmc_scaled;
+        acc.latency_ms += r.txn_latency_ms;
+        acc.p95_ms += r.txn_latency_p95_ms;
+        acc.abort_rate += r.aborted as f64 / (r.committed + r.aborted).max(1) as f64;
+    }
+    let n = SEEDS as f64;
+    Summary {
+        tpmc: acc.tpmc / n,
+        latency_ms: acc.latency_ms / n,
+        p95_ms: acc.p95_ms / n,
+        abort_rate: acc.abort_rate / n,
+    }
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let denom = a.abs().max(b.abs()).max(1e-9);
+    (a - b).abs() / denom <= tol
+}
+
+fn assert_equivalent(name: &str, serial: &Summary, windowed: &Summary) {
+    eprintln!(
+        "[{name}] serial:   tpmc={:.0} lat={:.1}ms p95={:.1}ms abort={:.4}",
+        serial.tpmc, serial.latency_ms, serial.p95_ms, serial.abort_rate
+    );
+    eprintln!(
+        "[{name}] windowed: tpmc={:.0} lat={:.1}ms p95={:.1}ms abort={:.4}",
+        windowed.tpmc, windowed.latency_ms, windowed.p95_ms, windowed.abort_rate
+    );
+    assert!(
+        rel_close(serial.tpmc, windowed.tpmc, 0.10),
+        "{name}: throughput diverged: serial={:.0} windowed={:.0}",
+        serial.tpmc,
+        windowed.tpmc
+    );
+    assert!(
+        rel_close(serial.latency_ms, windowed.latency_ms, 0.15),
+        "{name}: mean latency diverged: serial={:.2}ms windowed={:.2}ms",
+        serial.latency_ms,
+        windowed.latency_ms
+    );
+    assert!(
+        rel_close(serial.p95_ms, windowed.p95_ms, 0.25),
+        "{name}: p95 latency diverged: serial={:.2}ms windowed={:.2}ms",
+        serial.p95_ms,
+        windowed.p95_ms
+    );
+    assert!(
+        (serial.abort_rate - windowed.abort_rate).abs() <= 0.02,
+        "{name}: abort rate diverged: serial={:.4} windowed={:.4}",
+        serial.abort_rate,
+        windowed.abort_rate
+    );
+}
+
+fn quick(base: ClusterConfig) -> ClusterConfig {
+    let mut cfg = base;
+    cfg.warmup = Duration::from_secs(10);
+    cfg.measure = Duration::from_secs(15);
+    cfg
+}
+
+#[test]
+fn windowed_matches_serial_on_affine_cluster() {
+    // cluster_n8_a08: the paper's well-partitioned regime — most
+    // traffic stays inside a group, so cross-group messages are the
+    // minority the analytic estimate has to get right.
+    let mut cfg = quick(ClusterConfig::default());
+    cfg.nodes = 8;
+    cfg.affinity = 0.8;
+    let serial = run_ladder(&cfg, 1);
+    let windowed = run_ladder(&cfg, 2);
+    assert_equivalent("cluster_n8_a08", &serial, &windowed);
+}
+
+#[test]
+fn windowed_matches_serial_on_coherence_heavy_cluster() {
+    // cluster_n8_a05: every other transaction lands off-home, so
+    // roughly half the lock/fusion IPC crosses the group boundary —
+    // the stress case for window clamping distortion.
+    let mut cfg = quick(ClusterConfig::default());
+    cfg.nodes = 8;
+    cfg.affinity = 0.5;
+    let serial = run_ladder(&cfg, 1);
+    let windowed = run_ladder(&cfg, 4);
+    assert_equivalent("cluster_n8_a05", &serial, &windowed);
+}
+
+#[test]
+fn windowed_matches_serial_under_node_crash() {
+    // A mid-run crash and restart: the fault schedule fires in every
+    // group world at the same simulated instant, so failover routing,
+    // remastering freezes and the availability timeline must all
+    // survive the windowed engine.
+    let mut cfg = quick(ClusterConfig::default());
+    cfg.nodes = 8;
+    cfg.affinity = 0.8;
+    cfg.fault_plan =
+        FaultPlan::none().node_outage(1, Duration::from_secs(14), Duration::from_secs(4));
+    let serial = run_ladder(&cfg, 1);
+    let windowed = run_ladder(&cfg, 2);
+    assert_equivalent("crash_n8", &serial, &windowed);
+    // Both engines must actually apply the fault and report an
+    // availability analysis.
+    let mut probe = cfg.clone();
+    probe.intra_jobs = 2;
+    let r = run_one(probe);
+    assert!(r.fault_events_applied >= 2, "fault plan did not fire");
+    assert!(r.availability.is_some(), "availability analysis missing");
+}
