@@ -5,7 +5,7 @@
 //!            fig13|fig14|fig15|fig16|ablate-subpage|ablate-thrash|
 //!            ablate-elevator|ablate-mvcc|fault-flap|fault-crash|
 //!            protocol|baseline|all> [--quick] [--seeds N] [--jobs N] [--exact]
-//!            [--intra-jobs N]
+//!            [--intra-jobs N] [--client-model exact|aggregate]
 //!   figures run <file.dcs>    [--seeds N] [--jobs N] [--intra-jobs N]
 //!                             [--metrics] [output=csv:PATH] [output=json:PATH]
 //!   figures serve <file.dcs>  [--seeds N] [--intra-jobs N] [--listen ADDR]
@@ -41,6 +41,14 @@
 //! per group count but only statistically equivalent to serial —
 //! don't mix `--intra-jobs >= 2` with golden-capture comparisons.
 //!
+//! `--client-model aggregate` swaps every run's driver onto the
+//! aggregate session engine (DESIGN.md §14): one arrival process and a
+//! pooled connection multiplexer per node instead of per-terminal
+//! timers and sockets. Statistically equivalent to `exact` (pinned by
+//! `tests/aggregate_equivalence.rs`) and the only way to drive
+//! million-terminal populations; like `--intra-jobs`, keep it away
+//! from golden-capture comparisons.
+//!
 //! Absolute numbers come from the 100x-scaled model (multiply tpm-C by
 //! 100 for real-system equivalents); the paper's claims are about
 //! *shapes* — who wins, by what factor, where the knees are.
@@ -48,7 +56,7 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
-use dclue_cluster::{sweep, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload};
+use dclue_cluster::{sweep, ClientModel, ClusterConfig, DbGrowth, QosPolicy, Report, TcpOffload};
 use dclue_sim::Duration;
 use dclue_storage::IscsiMode;
 
@@ -58,11 +66,13 @@ struct Opts {
     jobs: usize,
     exact: bool,
     intra_jobs: u32,
+    client_model: ClientModel,
 }
 
 fn base_cfg(opts: &Opts) -> ClusterConfig {
     let mut cfg = dclue_bench::grids::figures_base(opts.quick, opts.exact);
     cfg.intra_jobs = opts.intra_jobs;
+    cfg.client_model = opts.client_model;
     cfg
 }
 
@@ -1139,9 +1149,19 @@ fn main() {
     let jobs_flag: Option<usize> = flag_val("--jobs").and_then(|s| s.parse().ok());
     let intra_flag: Option<u32> = flag_val("--intra-jobs").and_then(|s| s.parse().ok());
     let exact = args.iter().any(|a| a == "--exact");
+    let client_model = match flag_val("--client-model").map(String::as_str) {
+        None | Some("exact") => ClientModel::Exact,
+        Some("aggregate") => ClientModel::Aggregate,
+        Some(other) => {
+            eprintln!("[figures] unknown --client-model '{other}' (choices: exact, aggregate)");
+            std::process::exit(2);
+        }
+    };
     // The metrics registry is thread-local, so `--metrics` pins the
     // serial (jobs=1) path and dumps the registry when the run ends.
-    // Compiled in for debug builds or `--features dclue-trace/trace`.
+    // (`--intra-jobs` composes fine: windowed group threads merge
+    // their registries into the parent at join.) Compiled in for
+    // debug builds or `--features dclue-trace/trace`.
     let metrics = args.iter().any(|a| a == "--metrics");
     if metrics {
         if let Some(j) = jobs_flag {
@@ -1151,15 +1171,6 @@ fn main() {
                      serially; ignoring --jobs {j} and using --jobs 1 (see EXPERIMENTS.md)"
                 );
             }
-        }
-        if intra_flag.unwrap_or(0) > 1 {
-            eprintln!(
-                "[figures] warning: --metrics reads a thread-local registry, but \
-                 --intra-jobs {} dispatches events on windowed group threads whose \
-                 registries are dropped at join; the dump below will be empty — use \
-                 --intra-jobs 1 with --metrics",
-                intra_flag.unwrap_or(0)
-            );
         }
     }
     let jobs = if metrics {
@@ -1174,6 +1185,7 @@ fn main() {
         jobs,
         exact,
         intra_jobs: intra_flag.unwrap_or(0),
+        client_model,
     };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let t0 = std::time::Instant::now();

@@ -6,7 +6,11 @@
 //! times a small sweep through the worker pool vs. the serial path,
 //! measures the windowed engine's single-run scaling curve
 //! (`intra_jobs ∈ {1, 2, 4, 8}` on an n=16 and an n=64 exact
-//! scenario), and emits `BENCH_pr7.json` (schema `dclue-selfbench/3`,
+//! scenario), measures the client-model scaling probe (exact vs
+//! aggregate driver at 200 / 10k / 1M terminals per node on the n=16
+//! scenario — exact is skipped at 1M, where its O(terminals) driver
+//! is the point being demonstrated), and emits `BENCH_pr8.json`
+//! (schema `dclue-selfbench/4`,
 //! documented in EXPERIMENTS.md). The pre-optimization numbers —
 //! captured on the same scenario definitions immediately before the
 //! PR 2 hot-path work and again immediately before the PR 3
@@ -32,10 +36,14 @@
 //! `--reps` takes the best of R wall-clock repetitions (default 1).
 //! `--check` turns the run into a regression gate: it compares the
 //! exact-engine events/sec against the embedded pre-PR3 baseline
-//! (fail above 25% regression, warn above 10%) and asserts the
-//! machine-independent train-mode event-count cuts still hold.
+//! (fail above 25% regression, warn above 10%), asserts the
+//! machine-independent train-mode event-count cuts still hold, and
+//! asserts the aggregate client model's machine-independent claims
+//! (>=10x events-per-committed-txn cut vs exact at the matched 10k
+//! population, where exact's per-terminal driver collapses the
+//! server; driver slot table bounded by the connection pool at 1M).
 
-use dclue_cluster::{sweep, ClusterConfig, QosPolicy, World};
+use dclue_cluster::{sweep, ClientModel, ClusterConfig, QosPolicy, World};
 use dclue_fault::FaultPlan;
 use dclue_sim::Duration;
 use std::time::Instant;
@@ -260,6 +268,120 @@ fn time_intra(name: &str, quick: bool, reps: u32, intra: u32) -> IntraPoint {
     }
 }
 
+/// Client-model scaling probe: terminal populations (per node)
+/// measured on the n=16 scenario under both client models. Exact mode
+/// stops at 10k — at a million terminals per node the exact driver is
+/// the negative result this PR exists to remove (16M sessions, 16M
+/// connections, tens of millions of think-timer events), so the JSON
+/// records `null` for it and the aggregate point stands alone as the
+/// headline.
+const CLIENT_POPULATIONS: [u64; 3] = [200, 10_000, 1_000_000];
+const CLIENT_EXACT_CAP: u64 = 10_000;
+/// The matched population at which `--check` asserts the aggregate
+/// engine processes >=10x fewer events per run than exact.
+const CLIENT_CUT_POPULATION: u64 = 10_000;
+
+/// One (population, model) measurement of the client-model probe.
+struct ClientModePoint {
+    wall_s: f64,
+    events: u64,
+    committed: u64,
+    /// Peak session-slot table size: O(terminals) exact,
+    /// O(active txns) aggregate — the driver-memory headline.
+    driver_slots: usize,
+}
+
+struct ClientScalePoint {
+    clients_per_node: u64,
+    exact: Option<ClientModePoint>,
+    aggregate: ClientModePoint,
+}
+
+fn time_client_model(quick: bool, reps: u32, clients: u64, model: ClientModel) -> ClientModePoint {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut committed = 0u64;
+    let mut driver_slots = 0usize;
+    for _ in 0..reps.max(1) {
+        let mut cfg = scenario_cfg("cluster_n16_a08", quick);
+        cfg.clients_per_node = clients as u32;
+        cfg.client_model = model;
+        if let Err(e) = cfg.validate() {
+            eprintln!("[selfbench] invalid client-model config ({clients} clients): {e}");
+            std::process::exit(2);
+        }
+        let mut w = World::new(cfg);
+        let t0 = Instant::now();
+        let report = w.run();
+        best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+        events = w.events_processed();
+        committed = report.committed;
+        driver_slots = w.driver_slots();
+    }
+    ClientModePoint {
+        wall_s: best_wall,
+        events,
+        committed,
+        driver_slots,
+    }
+}
+
+impl ClientModePoint {
+    /// Events per committed transaction — the cost of one unit of
+    /// useful work. At matched saturating populations the *total*
+    /// event counts are close (both engines spend the window working),
+    /// but exact burns its events on per-terminal timers, handshakes
+    /// and a thrash-collapsed server while aggregate spends them on
+    /// committed transactions; this ratio is where the O(terminals) →
+    /// O(active) collapse shows, and it is deterministic per config.
+    fn events_per_committed(&self) -> f64 {
+        self.events as f64 / self.committed.max(1) as f64
+    }
+}
+
+impl ClientScalePoint {
+    fn efficiency_ratio(&self) -> Option<f64> {
+        self.exact
+            .as_ref()
+            .map(|e| e.events_per_committed() / self.aggregate.events_per_committed())
+    }
+}
+
+fn client_mode_json(p: &ClientModePoint) -> String {
+    format!(
+        "{{\"wall_s\": {}, \"events\": {}, \"committed\": {}, \"events_per_committed\": {}, \
+         \"driver_slots\": {}}}",
+        json_f(p.wall_s),
+        p.events,
+        p.committed,
+        json_f(p.events_per_committed()),
+        p.driver_slots
+    )
+}
+
+fn client_point_json(p: &ClientScalePoint) -> String {
+    let exact = p
+        .exact
+        .as_ref()
+        .map(client_mode_json)
+        .unwrap_or_else(|| "null".into());
+    let ratio = p
+        .exact
+        .as_ref()
+        .map(|e| json_f(e.events as f64 / p.aggregate.events.max(1) as f64))
+        .unwrap_or_else(|| "null".into());
+    let eff = p
+        .efficiency_ratio()
+        .map(json_f)
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "    {{\"clients_per_node\": {}, \"exact\": {exact}, \"aggregate\": {}, \
+         \"events_ratio\": {ratio}, \"events_per_committed_ratio\": {eff}}}",
+        p.clients_per_node,
+        client_mode_json(&p.aggregate)
+    )
+}
+
 /// The pool-speedup probe: a small scalability sweep (one seed per
 /// point), timed once serially and once through the pool. Runs the
 /// default (train) engine, like the figures harness.
@@ -351,7 +473,11 @@ fn intra_point_json(p: &IntraPoint, wall_serial: f64) -> String {
 /// The `--check` regression gate. Wall-clock comparisons are host
 /// sensitive, hence the wide 25% fail threshold; the event-count cut
 /// checks are machine-independent and exact.
-fn check(results: &[ScenarioResult], pre_pr3: &[(&str, f64, u64)]) -> bool {
+fn check(
+    results: &[ScenarioResult],
+    pre_pr3: &[(&str, f64, u64)],
+    client_points: &[ClientScalePoint],
+) -> bool {
     let mut ok = true;
     for r in results {
         let Some(&(_, base_wall, base_events)) = pre_pr3.iter().find(|(n, _, _)| *n == r.name)
@@ -385,6 +511,35 @@ fn check(results: &[ScenarioResult], pre_pr3: &[(&str, f64, u64)]) -> bool {
             ok = false;
         }
     }
+    // Client-model gates, both machine-independent: at the matched
+    // 10k population the aggregate engine must spend >=10x fewer
+    // events per committed transaction than exact (whose per-terminal
+    // driver collapses the server there), and its slot table must
+    // stay O(active txns) (bounded by the connection pool) even at a
+    // million terminals.
+    for p in client_points {
+        if p.clients_per_node == CLIENT_CUT_POPULATION {
+            if let Some(ratio) = p.efficiency_ratio() {
+                if ratio < 10.0 {
+                    eprintln!(
+                        "[selfbench] FAIL client-model events/committed cut below 10x at {} \
+                         clients/node ({ratio:.1}x)",
+                        p.clients_per_node
+                    );
+                    ok = false;
+                }
+            }
+        }
+        let slot_cap = 16 * 32; // nodes x client_conns_per_node of the probe scenario
+        if p.aggregate.driver_slots > slot_cap {
+            eprintln!(
+                "[selfbench] FAIL aggregate driver_slots {} exceeds the pool bound {slot_cap} \
+                 at {} clients/node (state is no longer O(active txns))",
+                p.aggregate.driver_slots, p.clients_per_node
+            );
+            ok = false;
+        }
+    }
     ok
 }
 
@@ -403,7 +558,7 @@ fn main() {
     let reps: u32 = get("--reps").and_then(|s| s.parse().ok()).unwrap_or(1);
     let out = get("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr7.json".into());
+        .unwrap_or_else(|| "BENCH_pr8.json".into());
 
     let mode = if quick { "quick" } else { "full" };
     eprintln!("[selfbench] mode={mode} cores={cores} jobs={jobs} reps={reps}");
@@ -448,6 +603,40 @@ fn main() {
         "[selfbench] sweep {tasks} tasks: serial {wall_serial:.3}s, pool(jobs={jobs}) {wall_pool:.3}s, speedup {speedup:.2}x"
     );
 
+    // Client-model scaling probe: exact vs aggregate at growing
+    // terminal populations on the n=16 scenario. This is the PR 8
+    // headline — events/run collapse from O(terminals) to O(active
+    // txns) while committed throughput stays pool-limited-identical.
+    let mut client_points: Vec<ClientScalePoint> = Vec::new();
+    for &clients in &CLIENT_POPULATIONS {
+        let exact = (clients <= CLIENT_EXACT_CAP)
+            .then(|| time_client_model(quick, reps, clients, ClientModel::Exact));
+        let aggregate = time_client_model(quick, reps, clients, ClientModel::Aggregate);
+        match &exact {
+            Some(e) => eprintln!(
+                "[selfbench] clients {clients:>8}/node  exact {:>8.3}s {:>10} ev slots={:<8} \
+                 agg {:>8.3}s {:>9} ev slots={:<4} ev/txn cut {:.1}x",
+                e.wall_s,
+                e.events,
+                e.driver_slots,
+                aggregate.wall_s,
+                aggregate.events,
+                aggregate.driver_slots,
+                e.events_per_committed() / aggregate.events_per_committed()
+            ),
+            None => eprintln!(
+                "[selfbench] clients {clients:>8}/node  exact   (skipped)                        \
+                 agg {:>8.3}s {:>9} ev slots={:<4}",
+                aggregate.wall_s, aggregate.events, aggregate.driver_slots
+            ),
+        }
+        client_points.push(ClientScalePoint {
+            clients_per_node: clients,
+            exact,
+            aggregate,
+        });
+    }
+
     // Intra-run scaling curve: one run, split across group threads.
     // The serial point (intra_jobs = 1) is the denominator; on a
     // single-core host the windowed points record the barrier +
@@ -483,7 +672,7 @@ fn main() {
     };
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"dclue-selfbench/3\",\n");
+    j.push_str("  \"schema\": \"dclue-selfbench/4\",\n");
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     j.push_str(&format!("  \"cores\": {cores},\n"));
     j.push_str(&format!("  \"jobs_resolved\": {jobs},\n"));
@@ -513,6 +702,15 @@ fn main() {
     j.push_str(&format!("    \"wall_s_pool\": {},\n", json_f(wall_pool)));
     j.push_str(&format!("    \"speedup\": {}\n", json_f(speedup)));
     j.push_str("  },\n");
+    j.push_str("  \"client_model_scaling\": {\n");
+    j.push_str("    \"scenario\": \"cluster_n16_a08\",\n");
+    j.push_str("    \"client_conns_per_node\": 32,\n");
+    j.push_str("    \"points\": [\n");
+    let client_lines: Vec<String> = client_points.iter().map(client_point_json).collect();
+    j.push_str(&client_lines.join(",\n"));
+    j.push('\n');
+    j.push_str("    ]\n");
+    j.push_str("  },\n");
     j.push_str("  \"intra_scaling\": [\n");
     let curve_lines: Vec<String> = intra_curves
         .iter()
@@ -537,7 +735,7 @@ fn main() {
     eprintln!("[selfbench] wrote {out}");
 
     if check_mode {
-        if check(&results, base_pr3) {
+        if check(&results, base_pr3, &client_points) {
             eprintln!("[selfbench] regression check passed");
         } else {
             eprintln!("[selfbench] regression check FAILED");

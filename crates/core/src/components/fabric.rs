@@ -27,6 +27,14 @@ pub(crate) enum ConnKind {
     Client {
         session: u32,
     },
+    /// An *idle* pooled client connection of the aggregate client
+    /// model, owned by node population `home` and anchored at node
+    /// `target`. While a session slot is bound to it, the connection is
+    /// re-tagged `Client { session }`; it reverts here on release.
+    ClientPool {
+        home: u32,
+        target: u32,
+    },
     Ftp {
         #[allow(dead_code)]
         pair: u32,
@@ -184,6 +192,9 @@ pub enum XgPayload {
         session: u32,
         node: u32,
         input: dclue_db::tpcc::TxnInput,
+        /// Connection-pool queueing delay to fold into the measured
+        /// response time (aggregate client model; zero under exact).
+        queued: dclue_sim::Duration,
     },
     /// The response back to the session's driving (home-group) world.
     /// `ok = false` is the connection-reset equivalent: the business
@@ -315,8 +326,9 @@ impl World {
             NetNote::Reset { conn } => self.on_reset(conn),
             NetNote::Closed { conn } => {
                 // Client/FTP connection ids are transient; reap them.
-                if let Some(ConnKind::Client { .. } | ConnKind::Ftp { .. }) =
-                    self.fabric.conn_info.get(conn)
+                if let Some(
+                    ConnKind::Client { .. } | ConnKind::ClientPool { .. } | ConnKind::Ftp { .. },
+                ) = self.fabric.conn_info.get(conn)
                 {
                     self.fabric.conn_info.remove(conn);
                 }
@@ -338,7 +350,29 @@ impl World {
                 if self.xg_is_foreign_session(s) {
                     return;
                 }
+                // Aggregate model: remember the pooled connection's
+                // handshake completed so later binds send immediately.
+                if let Some(k) = self.driver.sessions[s as usize].agg_home {
+                    let target = self.driver.sessions[s as usize].node;
+                    if let Some(c) = self.driver.pools[k as usize][target as usize]
+                        .iter_mut()
+                        .find(|c| c.conn == conn)
+                    {
+                        c.established = true;
+                    }
+                }
                 self.client_send_next(s);
+            }
+            Some(ConnKind::ClientPool { home, target }) => {
+                // Released before the handshake finished (reset races);
+                // just record establishment for the next bind.
+                let (k, t) = (*home, *target);
+                if let Some(c) = self.driver.pools[k as usize][t as usize]
+                    .iter_mut()
+                    .find(|c| c.conn == conn)
+                {
+                    c.established = true;
+                }
             }
             Some(ConnKind::Ftp { pair: _ }) => {
                 // The transfer payload was queued at open time; nothing
@@ -413,6 +447,10 @@ impl World {
                     else {
                         return;
                     };
+                    let queued = {
+                        let s = &mut self.driver.sessions[session as usize];
+                        std::mem::replace(&mut s.queue_delay, Duration::ZERO)
+                    };
                     let dest = self
                         .fabric
                         .xg
@@ -426,6 +464,7 @@ impl World {
                             session,
                             node,
                             input,
+                            queued,
                         },
                     );
                     return;
@@ -502,6 +541,19 @@ impl World {
                 p.active = p.active.saturating_sub(1);
             }
             Some(ConnKind::Client { session }) => {
+                if let Some(k) = self.driver.sessions[session as usize].agg_home {
+                    // Aggregate model: a pooled connection died with a
+                    // business transaction bound to it. Drop the dead
+                    // connection from the pool, abandon the business
+                    // transaction, and return the terminal to its
+                    // population's think pool (its next wake retries).
+                    let target = self.driver.sessions[session as usize].node;
+                    let home_w = self.driver.sessions[session as usize].home_w;
+                    self.driver.pools[k as usize][target as usize].retain(|c| c.conn != conn);
+                    self.agg_free_slot(session);
+                    self.agg_return_terminal(k, home_w);
+                    return;
+                }
                 if self.xg_is_foreign_session(session) {
                     // Windowed mode: this is the executing world's mirror
                     // connection of a shipped session (torn down by a
@@ -524,6 +576,12 @@ impl World {
                 let delay = self.rng.exponential(think);
                 self.heap
                     .push(self.now + delay, Ev::ClientThink { session });
+            }
+            Some(ConnKind::ClientPool { home, target }) => {
+                // An *idle* pooled connection died (target crash or
+                // fault injection): drop it from the pool; a fresh one
+                // opens on demand at the next bind.
+                self.driver.pools[home as usize][target as usize].retain(|c| c.conn != conn);
             }
             _ => {}
         }
@@ -680,9 +738,15 @@ impl World {
     }
 
     /// The home group of a client session: the group owning the node
-    /// its home warehouse block lives on (windowed mode only).
+    /// its home warehouse block lives on (windowed mode only). Under
+    /// the aggregate client model, slot ids are minted per group as
+    /// `counter * groups + my_group`, so the home group is recoverable
+    /// from the id alone — mirror slots never learn the real `home_w`.
     pub(crate) fn xg_session_group(&self, session: u32) -> Option<u32> {
         let xg = self.fabric.xg.as_ref()?;
+        if self.cfg.client_model == crate::config::ClientModel::Aggregate {
+            return Some(session % xg.groups);
+        }
         let home = dclue_workload::home_node(
             self.driver.sessions[session as usize].home_w,
             self.warehouses,

@@ -38,6 +38,39 @@ pub enum QosPolicy {
     Autonomic { tolerance: f64 },
 }
 
+/// How client terminals are simulated (DESIGN.md §14).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClientModel {
+    /// One [`crate::components::driver::ClientSession`] per terminal,
+    /// each with its own think timer and per-business-transaction TCP
+    /// connection — the literal closed-loop model, bit-identical to
+    /// every golden capture.
+    #[default]
+    Exact,
+    /// Aggregate terminal populations: per node, the N exponential
+    /// think timers collapse into one arrival process (only the *next*
+    /// wake-up is sampled, order-statistics style, re-armed on every
+    /// dispatch and completion), and requests multiplex over a pooled
+    /// connection tier capped at
+    /// [`ClusterConfig::client_conns_per_node`] concurrent business
+    /// transactions per population. Driver state is O(active
+    /// transactions), not O(terminals), so million-terminal
+    /// populations are a scenario, not an OOM. Statistically
+    /// equivalent to `Exact` at matched populations (the same ladder
+    /// the windowed and train engines are held to), not bit-identical.
+    Aggregate,
+}
+
+impl ClientModel {
+    /// Short stable label for tables and scenario files.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientModel::Exact => "exact",
+            ClientModel::Aggregate => "aggregate",
+        }
+    }
+}
+
 /// How the database grows with cluster size (Fig 10).
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum DbGrowth {
@@ -136,6 +169,16 @@ pub struct ClusterConfig {
     pub clients_per_node: u32,
     /// Terminal think time between business transactions (scaled).
     pub think_time: Duration,
+    /// Terminal simulation model: literal per-terminal sessions
+    /// (`Exact`, the default and the bit-identical baseline) or the
+    /// aggregate arrival-process engine (`Aggregate`, DESIGN.md §14).
+    pub client_model: ClientModel,
+    /// Aggregate model only: concurrent business transactions each
+    /// node's terminal population may have in flight — the size of its
+    /// pooled client-connection tier. Terminals that wake while the
+    /// pool is saturated wait in FIFO order and their queueing delay
+    /// is folded into the measured response time. Ignored by `Exact`.
+    pub client_conns_per_node: u32,
     /// Measured simulation time after warm-up (scaled seconds).
     pub measure: Duration,
     pub warmup: Duration,
@@ -238,6 +281,8 @@ impl Default for ClusterConfig {
             db_growth: DbGrowth::Linear,
             clients_per_node: 200,
             think_time: Duration::from_secs(30),
+            client_model: ClientModel::Exact,
+            client_conns_per_node: 32,
             measure: Duration::from_secs(30),
             warmup: Duration::from_secs(15),
             seed: 42,
@@ -421,10 +466,10 @@ impl ClusterConfig {
                     self.intra_jobs, self.nodes
                 ));
             }
-            if self.nodes > 256 {
+            if self.nodes > 65536 {
                 return Err(format!(
-                    "intra_jobs > 1 requires nodes <= 256 ({} given): windowed \
-                     transaction ids carry the executing node in their low 8 bits",
+                    "intra_jobs > 1 requires nodes <= 65536 ({} given): windowed \
+                     transaction ids carry the executing node in their low 16 bits",
                     self.nodes
                 ));
             }
@@ -434,6 +479,22 @@ impl ClusterConfig {
                      intra_jobs = 1 (use fault_plan for windowed fault tests)"
                     .into());
             }
+        }
+        if self.client_conns_per_node == 0 {
+            return Err(
+                "client_conns_per_node must be >= 1: the aggregate client model \
+                 dispatches every business transaction through the pooled \
+                 connection tier, and a zero-sized pool would admit nothing"
+                    .into(),
+            );
+        }
+        if self.client_model == ClientModel::Aggregate && self.chaos_ipc_reset_at.is_some() {
+            return Err(
+                "chaos_ipc_reset_at is a per-terminal determinism hook; the \
+                 aggregate client model has no stable terminal connections to \
+                 target — set client_model = exact (or use fault_plan)"
+                    .into(),
+            );
         }
         if self.protocol == ProtocolKind::MvccReadLease && !self.mvcc {
             return Err(

@@ -130,12 +130,12 @@ impl World {
             return;
         };
         let id = if self.fabric.xg.is_some() {
-            // Windowed mode: carry the executing node in the low byte so
-            // a foreign group world — which has no `Txn` entry for this
-            // transaction — can still resolve where lock replies and
-            // grants must travel. Config validation caps windowed runs
-            // at 256 nodes for exactly this reason.
-            let id = (self.next_txn << 8) | node as u64;
+            // Windowed mode: carry the executing node in the low 16
+            // bits so a foreign group world — which has no `Txn` entry
+            // for this transaction — can still resolve where lock
+            // replies and grants must travel. Config validation caps
+            // windowed runs at 65536 nodes for exactly this reason.
+            let id = (self.next_txn << 16) | node as u64;
             self.next_txn += 1;
             id
         } else {
@@ -144,6 +144,10 @@ impl World {
             id
         };
         dclue_trace::trace_span!(Db, Begin, self.now.0, "txn", id);
+        let queued = {
+            let s = &mut self.driver.sessions[session as usize];
+            std::mem::replace(&mut s.queue_delay, Duration::ZERO)
+        };
         let read_ts = self.db.next_ts();
         let thread = self.nodes[node as usize].cpu.spawn(id, self.now);
         self.nodes[node as usize].resident_txns += 1;
@@ -174,6 +178,7 @@ impl World {
                 retries: 0,
                 log_bytes: 0,
                 started: self.now,
+                queued,
             },
         );
         self.advance(id);
@@ -655,6 +660,7 @@ impl World {
     /// Release everything and retry the current operation after a
     /// backoff (the paper's "lock release followed by a delayed retry").
     fn fail_and_retry(&mut self, txn: u64) {
+        dclue_trace::metric_add!("db.txn_retries", 1);
         self.release_locks(txn, true);
         let Some(t) = self.txns.get_mut(&txn) else {
             return;
@@ -728,7 +734,7 @@ impl World {
     /// a missing local entry means the transaction genuinely ended.
     fn xg_foreign_node(&self, txn: u64) -> Option<u32> {
         let xg = self.fabric.xg.as_ref()?;
-        let node = (txn & 0xFF) as u32;
+        let node = (txn & 0xFFFF) as u32;
         if node < xg.nodes
             && crate::components::fabric::xg_group_of(node, xg.nodes, xg.groups) != xg.my_group
         {
@@ -768,7 +774,9 @@ impl World {
         let node = t.node;
         self.nodes[node as usize].resident_txns -= 1;
         self.nodes[node as usize].cpu.exit(t.thread, self.now);
-        self.qos_latency_sample(self.now.since(t.started).as_secs_f64());
+        // Response time as the terminal saw it: pool queueing delay
+        // (aggregate client model; zero under exact) plus execution.
+        self.qos_latency_sample((self.now.since(t.started) + t.queued).as_secs_f64());
         if self.measuring {
             if aborted {
                 self.collect.aborted += 1;
@@ -778,7 +786,7 @@ impl World {
                     self.collect.committed_new_orders += 1;
                 }
             }
-            let lat = self.now.since(t.started);
+            let lat = self.now.since(t.started) + t.queued;
             self.collect.txn_latency.record_duration(lat);
             self.collect.latency_hist.record(lat.as_secs_f64());
         }

@@ -57,7 +57,7 @@ pub mod windowed;
 pub mod world;
 
 pub use components::fabric::FabricPort;
-pub use config::{ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, TcpOffload};
+pub use config::{ClientModel, ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, TcpOffload};
 pub use metrics::Report;
 pub use protocol::{CacheFusion2pl, CoherenceProtocol, MvccReadLease};
 pub use windowed::{run_one, run_windowed, WindowedStats};

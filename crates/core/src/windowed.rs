@@ -104,11 +104,19 @@ pub fn run_windowed(cfg: &ClusterConfig) -> (Report, WindowedStats) {
         rounds: AtomicU64::new(0),
         xg_messages: AtomicU64::new(0),
     };
+    // The metrics registry is thread-local: when the caller enabled it
+    // (`--metrics`), each worker collects into its own registry and the
+    // join below folds every worker's snapshot back into this thread's,
+    // so windowed runs report real counters instead of nothing.
+    let metrics_on = dclue_trace::ENABLED && dclue_trace::metrics::enabled();
     let mut worlds: Vec<World> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..groups)
             .map(|g| {
                 let shared = &shared;
                 s.spawn(move || {
+                    if metrics_on {
+                        dclue_trace::metrics::set_enabled(true);
+                    }
                     // Constructed on this thread so the thread-local
                     // invariant checks arm where the events dispatch.
                     let mut w = World::new_group(cfg.clone(), g, groups);
@@ -160,13 +168,22 @@ pub fn run_windowed(cfg: &ClusterConfig) -> (Report, WindowedStats) {
                         }
                         limit += window;
                     }
-                    w
+                    let snap = if metrics_on {
+                        dclue_trace::metrics::snapshot()
+                    } else {
+                        Vec::new()
+                    };
+                    (w, snap)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("windowed group worker panicked"))
+            .map(|h| {
+                let (w, snap) = h.join().expect("windowed group worker panicked");
+                dclue_trace::metrics::absorb(snap);
+                w
+            })
             .collect()
     });
 
@@ -213,5 +230,32 @@ pub fn run_one(cfg: ClusterConfig) -> Report {
         run_windowed(&cfg).0
     } else {
         World::new(cfg).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClientModel;
+
+    /// The windowed cap was lifted from 256 to 65536 nodes (txn ids now
+    /// carry a 16-bit node field): a 512-node group world must validate
+    /// and construct cleanly, with the aggregate populations splitting
+    /// to exactly the configured terminal count.
+    #[test]
+    fn group_world_constructs_at_512_nodes() {
+        let cfg = ClusterConfig {
+            nodes: 512,
+            warehouses_per_node: 1,
+            clients_per_node: 10,
+            client_model: ClientModel::Aggregate,
+            intra_jobs: 2,
+            ..Default::default()
+        };
+        cfg.validate().expect("512-node windowed config");
+        let w = World::new_group(cfg, 1, 2);
+        let pops: u64 = w.agg_counters().iter().map(|&(p, ..)| p).sum();
+        assert_eq!(pops, 512 * 10);
+        assert_eq!(w.driver_slots(), 0);
     }
 }

@@ -6,7 +6,7 @@ use crate::components::driver::{ClientSession, FtpPair, WorkloadDriver};
 use crate::components::fabric::{ConnInfoTable, ConnKind, ConnTable, FabricPort};
 use crate::components::platform::PlatformPort;
 use crate::components::storage::{LogBatch, StoragePort};
-use crate::config::{ClusterConfig, ProtocolKind, QosPolicy, StorageMode};
+use crate::config::{ClientModel, ClusterConfig, ProtocolKind, QosPolicy, StorageMode};
 use crate::fusion::Directory;
 use crate::ipc::{ConnClass, IpcMsg};
 use crate::metrics::{Collector, Report};
@@ -75,6 +75,20 @@ pub enum Ev {
     },
     ClientThink {
         session: u32,
+    },
+    /// Aggregate client model: the next terminal of node `node`'s
+    /// population finished thinking (keyed timer, one per node). `gen`
+    /// guards against stale fires of superseded arms (see
+    /// `AggPopulation::wake_gen`).
+    AggWake {
+        node: u32,
+        gen: u64,
+    },
+    /// Aggregate client model ramp-up: `count` terminals of node
+    /// `node`'s population join the closed loop (dormant → thinking).
+    AggActivate {
+        node: u32,
+        count: u64,
     },
     FtpNext {
         pair: u32,
@@ -178,6 +192,10 @@ pub(crate) struct Txn {
     pub retries: u32,
     pub log_bytes: u64,
     pub started: SimTime,
+    /// Connection-pool queueing delay accrued before the request was
+    /// sent (aggregate client model): folded into the measured response
+    /// time at finish. Always zero under the exact model.
+    pub queued: Duration,
 }
 
 // ---------------------------------------------------------------------
@@ -216,6 +234,7 @@ pub struct World {
     pub(crate) next_txn: u64,
     pub(crate) collect: Collector,
     pub(crate) measuring: bool,
+
     versions_at_warmup: u64,
     /// Sampled (time_s, committed-so-far, mean live threads) triples.
     pub(crate) timeline: Vec<(f64, u64, f64)>,
@@ -388,17 +407,65 @@ impl World {
         }];
 
         // ---- sessions ----
-        let n_sessions = cfg.nodes * cfg.clients_per_node;
-        let sessions = (0..n_sessions)
-            .map(|i| ClientSession {
-                home_w: (i as u64 * warehouses as u64 / n_sessions as u64) as u32 + 1,
-                client_host: client_hosts[(i as usize) % client_hosts.len()],
-                node: 0,
-                conn: None,
-                queue: VecDeque::new(),
-                inflight: None,
-            })
-            .collect();
+        let (sessions, agg, pools) = match cfg.client_model {
+            ClientModel::Exact => {
+                let n_sessions = cfg.nodes as u64 * cfg.clients_per_node as u64;
+                let sessions = (0..n_sessions)
+                    .map(|i| ClientSession {
+                        home_w: (i * warehouses as u64 / n_sessions) as u32 + 1,
+                        client_host: client_hosts[(i % client_hosts.len() as u64) as usize],
+                        node: 0,
+                        conn: None,
+                        queue: VecDeque::new(),
+                        inflight: None,
+                        agg_home: None,
+                        queue_delay: Duration::ZERO,
+                    })
+                    .collect();
+                (sessions, Vec::new(), Vec::new())
+            }
+            ClientModel::Aggregate => {
+                // No per-terminal state: each node carries its exact
+                // share of the population (the closed form counts the
+                // terminals the exact layout would home there, so
+                // windowed group worlds agree without enumerating).
+                let total = cfg.nodes as u64 * cfg.clients_per_node as u64;
+                let agg: Vec<crate::components::driver::AggPopulation> = (0..cfg.nodes)
+                    .map(|k| {
+                        let population =
+                            dclue_workload::node_population(k, cfg.nodes, warehouses, total);
+                        let (w_lo, w_hi) =
+                            dclue_workload::node_warehouse_span(k, cfg.nodes, warehouses);
+                        // Per-warehouse terminal counts of the exact
+                        // layout, so dispatch sampling preserves its
+                        // warehouse stratification (driver::free_w).
+                        let free_w: Vec<u64> = if w_lo > w_hi {
+                            Vec::new()
+                        } else {
+                            (w_lo..=w_hi)
+                                .map(|w| dclue_workload::warehouse_population(w, warehouses, total))
+                                .collect()
+                        };
+                        debug_assert_eq!(free_w.iter().sum::<u64>(), population);
+                        crate::components::driver::AggPopulation {
+                            population,
+                            dormant: population,
+                            thinking: 0,
+                            head: None,
+                            inflight: 0,
+                            wake_gen: 0,
+                            w_lo,
+                            w_hi,
+                            free_w,
+                        }
+                    })
+                    .collect();
+                let pools = (0..cfg.nodes)
+                    .map(|_| (0..cfg.nodes).map(|_| Vec::new()).collect())
+                    .collect();
+                (Vec::new(), agg, pools)
+            }
+        };
 
         let mut world = World {
             paths,
@@ -455,6 +522,10 @@ impl World {
                 sessions,
                 gen,
                 ftp_pairs,
+                agg,
+                pools,
+                free_slots: Vec::new(),
+                next_local_slot: 0,
             },
             txns: FxHashMap::default(),
             next_txn: 0,
@@ -705,6 +776,37 @@ impl World {
                 Ev::ClientThink { session: s as u32 },
             );
         }
+        // Aggregate client model: reproduce the exact driver's ramp —
+        // per-terminal first arrivals are Uniform[0, warmup] + Exp(think)
+        // above, so the population joins the closed loop linearly over
+        // the warm-up span. A bounded number of activation ticks per
+        // node (dormant → thinking) reproduces that transient in O(1)
+        // events regardless of population; the Exp(think) component is
+        // the superposed process's own first arrival. A group world
+        // activates only the populations of its own node block.
+        if self.cfg.client_model == ClientModel::Aggregate {
+            let ramp = self.cfg.warmup.nanos().max(1);
+            for k in 0..self.cfg.nodes {
+                if self.xg_is_foreign(k) {
+                    continue;
+                }
+                let pop = self.driver.agg[k as usize].population;
+                let ticks = pop.min(64);
+                let mut activated = 0u64;
+                for i in 1..=ticks {
+                    let upto = pop * i / ticks;
+                    let count = upto - activated;
+                    activated = upto;
+                    if count == 0 {
+                        continue;
+                    }
+                    self.heap.push(
+                        SimTime::ZERO + Duration::from_nanos(ramp * i / ticks),
+                        Ev::AggActivate { node: k, count },
+                    );
+                }
+            }
+        }
         // FTP starts halfway through warm-up. Group 0 owns the single
         // FTP pair in windowed mode (its endpoints are client hosts,
         // not nodes, so any one group can drive it).
@@ -921,6 +1023,33 @@ impl World {
         self.fabric.net.train_stats
     }
 
+    /// Peak size of the session-slot table: O(terminals) under the
+    /// exact client model, O(active transactions) under aggregate
+    /// (slots are recycled, the table never shrinks — this is the
+    /// driver-memory headline the self-benchmark records).
+    pub fn driver_slots(&self) -> usize {
+        self.driver.sessions.len()
+    }
+
+    /// Aggregate client model: per-node `(population, thinking,
+    /// queued-head, inflight)` counters (empty under exact). The
+    /// closed-loop invariant `population == thinking + head + inflight`
+    /// holds at every dispatch edge.
+    pub fn agg_counters(&self) -> Vec<(u64, u64, u64, u64)> {
+        self.driver
+            .agg
+            .iter()
+            .map(|a| {
+                (
+                    a.population,
+                    a.thinking,
+                    a.head.is_some() as u64,
+                    a.inflight,
+                )
+            })
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Component accessors
     // ------------------------------------------------------------------
@@ -994,6 +1123,8 @@ impl World {
                 attempt,
             } => self.ipc_reconnect(a, b, class, attempt),
             Ev::ClientThink { session } => self.client_begin(session),
+            Ev::AggWake { node, gen } => self.agg_wake(node, gen),
+            Ev::AggActivate { node, count } => self.agg_activate(node, count),
             Ev::FtpNext { pair } => self.ftp_next(pair),
             Ev::TxnRetry { txn } => self.txn_retry(txn),
             Ev::LockWaitTimeout { txn, gen } => self.lock_wait_timeout(txn, gen),
@@ -1044,7 +1175,11 @@ impl World {
                 session,
                 node,
                 input,
+                queued,
             } => {
+                // Aggregate model: mirror slots materialize on first
+                // contact (the home world mints slot ids dynamically).
+                self.ensure_slot(session);
                 if !self.alive[node as usize] {
                     // Landed on a crashed node: the serial engine
                     // resets the client connection; the reset rides
@@ -1090,6 +1225,7 @@ impl World {
                 let s = &mut self.driver.sessions[session as usize];
                 s.node = node;
                 s.inflight = Some(input);
+                s.queue_delay = queued;
                 let instr = self.paths.recv_instr(crate::ipc::CLIENT_REQ_BYTES)
                     + self.paths.client_req_parse;
                 self.charge_then(
@@ -1488,6 +1624,22 @@ impl World {
             .filter_map(|s| s.conn)
             .collect();
         for c in stranded {
+            self.with_net(|net, ob| net.abort_connection(c, ob));
+        }
+        // Aggregate model: *idle* pooled connections anchored at the
+        // crashed node die too (busy ones were just caught above via
+        // their bound session). The reset handler drops them from the
+        // pools; replacements open on demand against live nodes.
+        let idle: Vec<ConnId> = self
+            .driver
+            .pools
+            .iter()
+            .filter_map(|per_home| per_home.get(k))
+            .flat_map(|pool| pool.iter())
+            .filter(|c| c.busy.is_none())
+            .map(|c| c.conn)
+            .collect();
+        for c in idle {
             self.with_net(|net, ob| net.abort_connection(c, ob));
         }
         // Windowed mode: shipped-in foreign clients whose request charge

@@ -155,15 +155,40 @@ fn rejects_intra_jobs_above_nodes() {
 #[test]
 fn rejects_windowed_run_on_oversized_cluster() {
     // Windowed transaction ids carry the executing node in their low
-    // 8 bits, so the windowed engine caps the cluster at 256 nodes.
+    // 16 bits, so the windowed engine caps the cluster at 65536 nodes.
     let e = err_for(|c| {
-        c.nodes = 300;
+        c.nodes = 70_000;
         c.intra_jobs = 2;
     });
-    assert!(e.contains("256"), "{e}");
-    // The same cluster is fine serially…
+    assert!(e.contains("65536"), "{e}");
+    // A formerly-oversized cluster now validates windowed…
     let mut cfg = ClusterConfig::default();
     cfg.nodes = 300;
+    cfg.intra_jobs = 2;
+    assert_eq!(cfg.validate(), Ok(()));
+    // …and any node count is fine serially.
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = 70_000;
+    assert_eq!(cfg.validate(), Ok(()));
+}
+
+#[test]
+fn rejects_zero_client_pool() {
+    let e = err_for(|c| c.client_conns_per_node = 0);
+    assert!(e.contains("client_conns_per_node"), "{e}");
+}
+
+#[test]
+fn rejects_chaos_reset_under_aggregate_clients() {
+    use dclue_cluster::config::ClientModel;
+    let e = err_for(|c| {
+        c.client_model = ClientModel::Aggregate;
+        c.chaos_ipc_reset_at = Some(Duration::from_secs(5));
+    });
+    assert!(e.contains("client_model"), "{e}");
+    // Aggregate without the chaos hook is fine.
+    let mut cfg = ClusterConfig::default();
+    cfg.client_model = ClientModel::Aggregate;
     assert_eq!(cfg.validate(), Ok(()));
 }
 

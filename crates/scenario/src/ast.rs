@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use dclue_cluster::config::{LogPlacement, Policer, StorageMode};
+use dclue_cluster::config::{ClientModel, LogPlacement, Policer, StorageMode};
 use dclue_cluster::{ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, TcpOffload};
 use dclue_fault::LinkRef;
 use dclue_sim::Duration;
@@ -78,6 +78,7 @@ pub enum Value {
     Tcp(TcpOffload),
     Iscsi(IscsiMode),
     Policer(Policer),
+    Client(ClientModel),
 }
 
 /// Canonical duration text: the coarsest unit that divides evenly.
@@ -134,6 +135,10 @@ impl fmt::Display for Value {
                 IscsiMode::Software => write!(f, "software"),
             },
             Value::Policer(p) => write!(f, "rate:{},burst:{}", p.rate_bps, p.burst_bytes),
+            Value::Client(m) => match m {
+                ClientModel::Exact => write!(f, "exact"),
+                ClientModel::Aggregate => write!(f, "aggregate"),
+            },
         }
     }
 }
@@ -154,6 +159,7 @@ pub enum Ty {
     Tcp,
     Iscsi,
     Policer,
+    Client,
 }
 
 /// Grammar entry for one `key = value` knob: which section owns it,
@@ -204,6 +210,11 @@ pub const KEYS: &[KeySpec] = &[
     k(Section::Protocol, "iscsi", Ty::Iscsi, true),
     // [workload] — offered load and computation mix.
     k(Section::Workload, "clients_per_node", Ty::U32, true),
+    // Not sweepable: the client model changes the *driver engine*, not
+    // an experiment variable — comparing the two belongs in dedicated
+    // equivalence runs, not inside one sweep grid.
+    k(Section::Workload, "client_model", Ty::Client, false),
+    k(Section::Workload, "client_conns_per_node", Ty::U32, true),
     k(Section::Workload, "think_time", Ty::Dur, true),
     k(Section::Workload, "computation_factor", Ty::F64, true),
     k(Section::Workload, "thrash_model", Ty::Bool, true),
@@ -251,6 +262,8 @@ pub fn apply(cfg: &mut ClusterConfig, key: &str, v: &Value) {
         ("tcp", Value::Tcp(t)) => cfg.tcp_offload = *t,
         ("iscsi", Value::Iscsi(m)) => cfg.iscsi_mode = *m,
         ("clients_per_node", Value::U32(n)) => cfg.clients_per_node = *n,
+        ("client_model", Value::Client(m)) => cfg.client_model = *m,
+        ("client_conns_per_node", Value::U32(n)) => cfg.client_conns_per_node = *n,
         ("think_time", Value::Dur(d)) => cfg.think_time = *d,
         ("computation_factor", Value::F64(c)) => cfg.computation_factor = *c,
         ("thrash_model", Value::Bool(b)) => cfg.thrash_model = *b,

@@ -198,6 +198,13 @@ fn parse_scalar(ty: Ty, raw: &str) -> Result<Value, String> {
                 "unknown iscsi '{raw}' (choices: hardware, software)"
             )),
         },
+        Ty::Client => match raw {
+            "exact" => Ok(Value::Client(dclue_cluster::config::ClientModel::Exact)),
+            "aggregate" => Ok(Value::Client(dclue_cluster::config::ClientModel::Aggregate)),
+            _ => Err(format!(
+                "unknown client_model '{raw}' (choices: exact, aggregate)"
+            )),
+        },
         Ty::Policer => {
             // rate:<bit/s>,burst:<bytes>
             let mut rate = None;

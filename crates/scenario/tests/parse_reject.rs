@@ -92,6 +92,17 @@ fn rejects_unknown_key_listing_section_choices() {
 }
 
 #[test]
+fn unknown_workload_key_lists_the_client_knobs() {
+    // The suggestion list is derived from the KEYS table, so new knobs
+    // must show up without anyone editing a hand-maintained string.
+    let (_, m) = err(&with_header("[workload]\nclients = 200\n"));
+    assert!(
+        m.contains("client_model") && m.contains("client_conns_per_node"),
+        "{m}"
+    );
+}
+
+#[test]
 fn rejects_key_in_wrong_section_naming_the_right_one() {
     let (l, m) = err(&with_header("[engine]\nnodes = 4\n"));
     assert_eq!(l, 3);
@@ -160,6 +171,25 @@ fn rejects_unknown_qos_listing_choices() {
 fn rejects_unclosed_parenthesis() {
     let (_, m) = err(&with_header("[workload]\nqos = wfq(0.3\n"));
     assert!(m.contains("')'"), "{m}");
+}
+
+#[test]
+fn rejects_unknown_client_model_listing_choices() {
+    let (l, m) = err(&with_header("[workload]\nclient_model = pooled\n"));
+    assert_eq!(l, 3);
+    assert!(
+        m.contains("client_model") && m.contains("exact") && m.contains("aggregate"),
+        "{m}"
+    );
+}
+
+#[test]
+fn rejects_client_model_as_sweep_axis() {
+    let (l, m) = err(&with_header(
+        "[workload]\nclient_model = [exact, aggregate]\n",
+    ));
+    assert_eq!(l, 3);
+    assert!(m.contains("cannot be a sweep axis"), "{m}");
 }
 
 #[test]

@@ -54,6 +54,8 @@ iscsi = hardware
 
 [workload]
 clients_per_node = 200
+client_model = aggregate
+client_conns_per_node = 64
 think_time = 30s
 computation_factor = 0.25
 thrash_model = true

@@ -12,4 +12,7 @@ pub mod ftp;
 pub mod tpcc_gen;
 
 pub use ftp::{FtpGenerator, FtpTransfer};
-pub use tpcc_gen::{home_node, route_node, BusinessTxn, TpccGenerator};
+pub use tpcc_gen::{
+    home_node, node_population, node_warehouse_span, route_node, warehouse_population, BusinessTxn,
+    TpccGenerator,
+};

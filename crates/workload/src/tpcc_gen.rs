@@ -229,6 +229,59 @@ pub fn home_node(w: u32, warehouses: u32, nodes: u32) -> u32 {
     ((w - 1) / per_node).min(nodes - 1)
 }
 
+/// The contiguous warehouse block `[w_lo, w_hi]` homed on `node` under
+/// block partitioning (the inverse image of [`home_node`]). The last
+/// node absorbs the clamped tail. Returns `(1, 0)` — an empty span —
+/// for nodes beyond the warehouse count.
+pub fn node_warehouse_span(node: u32, nodes: u32, warehouses: u32) -> (u32, u32) {
+    let per_node = warehouses.div_ceil(nodes).max(1);
+    let w_lo = node * per_node + 1;
+    let w_hi = if node == nodes - 1 {
+        warehouses
+    } else {
+        ((node + 1) * per_node).min(warehouses)
+    };
+    if w_lo > warehouses {
+        (1, 0)
+    } else {
+        (w_lo, w_hi)
+    }
+}
+
+/// How many of `total_sessions` closed-loop terminals are homed on
+/// `node`: the exact count of sessions `i` whose evenly-spread home
+/// warehouse `floor(i*W/S) + 1` falls in `node`'s block. Closed form,
+/// so a million-terminal population costs nothing to place and every
+/// windowed group world agrees without enumerating sessions. The
+/// per-node counts telescope to exactly `total_sessions`.
+pub fn node_population(node: u32, nodes: u32, warehouses: u32, total_sessions: u64) -> u64 {
+    let (w_lo, w_hi) = node_warehouse_span(node, nodes, warehouses);
+    if w_lo > w_hi {
+        return 0;
+    }
+    // home_w(i) >= w ⟺ i >= ceil((w-1)*S/W); count the half-open
+    // session-index interval for the block (u128: W, S can each be
+    // large enough for the product to clear u64).
+    let bound = |w: u32| -> u64 {
+        let lo = (w as u128 - 1) * total_sessions as u128;
+        (lo.div_ceil(warehouses as u128) as u64).min(total_sessions)
+    };
+    bound(w_hi + 1) - bound(w_lo)
+}
+
+/// How many of `total_sessions` terminals are homed on warehouse `w`
+/// (1-based) under the same evenly-spread layout as `node_population`.
+/// The per-warehouse counts telescope to exactly `total_sessions`, so
+/// the aggregate client model can reproduce the exact driver's fixed
+/// terminal→warehouse stratification without enumerating sessions.
+pub fn warehouse_population(w: u32, warehouses: u32, total_sessions: u64) -> u64 {
+    let bound = |w: u32| -> u64 {
+        let lo = (w as u128 - 1) * total_sessions as u128;
+        (lo.div_ceil(warehouses as u128) as u64).min(total_sessions)
+    };
+    bound(w + 1) - bound(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,5 +414,95 @@ mod tests {
             per[home_node(w, 40, nodes) as usize] += 1;
         }
         assert_eq!(per, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn warehouse_span_inverts_home_node() {
+        for &(nodes, warehouses) in &[(4u32, 40u32), (8, 40), (3, 10), (8, 10), (16, 7), (1, 5)] {
+            for k in 0..nodes {
+                let (lo, hi) = node_warehouse_span(k, nodes, warehouses);
+                for w in 1..=warehouses {
+                    let inside = lo <= hi && (lo..=hi).contains(&w);
+                    assert_eq!(
+                        home_node(w, warehouses, nodes) == k,
+                        inside,
+                        "n={nodes} W={warehouses} k={k} w={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_population_matches_exact_session_layout() {
+        // The closed form must count exactly the sessions the exact
+        // client model homes on each node (home_w(i) = i*W/S + 1).
+        for &(nodes, warehouses, sessions) in &[
+            (4u32, 40u32, 800u64),
+            (8, 40, 801),
+            (3, 10, 17),
+            (8, 10, 1000),
+            (16, 7, 64),
+            (1, 5, 9),
+        ] {
+            let mut counted = vec![0u64; nodes as usize];
+            for i in 0..sessions {
+                let w = (i * warehouses as u64 / sessions) as u32 + 1;
+                counted[home_node(w, warehouses, nodes) as usize] += 1;
+            }
+            let mut total = 0;
+            for k in 0..nodes {
+                let pop = node_population(k, nodes, warehouses, sessions);
+                assert_eq!(pop, counted[k as usize], "n={nodes} W={warehouses} k={k}");
+                total += pop;
+            }
+            assert_eq!(total, sessions);
+        }
+    }
+
+    #[test]
+    fn warehouse_population_matches_exact_session_layout() {
+        // The per-warehouse closed form must count exactly the sessions
+        // the exact client model homes on each warehouse, and telescope
+        // to each node's population.
+        for &(nodes, warehouses, sessions) in &[
+            (4u32, 40u32, 800u64),
+            (8, 40, 801),
+            (3, 10, 17),
+            (8, 10, 1000),
+            (16, 7, 64),
+            (1, 5, 9),
+        ] {
+            let mut counted = vec![0u64; warehouses as usize + 1];
+            for i in 0..sessions {
+                let w = (i * warehouses as u64 / sessions) as u32 + 1;
+                counted[w as usize] += 1;
+            }
+            for w in 1..=warehouses {
+                assert_eq!(
+                    warehouse_population(w, warehouses, sessions),
+                    counted[w as usize],
+                    "W={warehouses} S={sessions} w={w}"
+                );
+            }
+            for k in 0..nodes {
+                let (lo, hi) = node_warehouse_span(k, nodes, warehouses);
+                let by_wh: u64 = (lo..=hi)
+                    .map(|w| warehouse_population(w, warehouses, sessions))
+                    .sum();
+                assert_eq!(by_wh, node_population(k, nodes, warehouses, sessions));
+            }
+        }
+    }
+
+    #[test]
+    fn node_population_handles_million_scale_without_overflow() {
+        let nodes = 512;
+        let warehouses = 1024;
+        let sessions = 512u64 * 1_000_000;
+        let total: u64 = (0..nodes)
+            .map(|k| node_population(k, nodes, warehouses, sessions))
+            .sum();
+        assert_eq!(total, sessions);
     }
 }
