@@ -865,6 +865,46 @@ fn protocol(opts: &Opts) {
     }
 }
 
+/// Hierarchical fabric scale sweep (ROADMAP item 1's second half):
+/// n ∈ {16, 32, 64, 128} on the edge/aggregation shape under the
+/// aggregate client model, reporting trunk load per tier so the
+/// saturation knee is attributable to the tier that hits it.
+fn scale(opts: &Opts) {
+    println!(
+        "# Hierarchical fabric scale sweep (8 nodes/edge, 2 agg switches, α = {}, aggregate clients)",
+        grids::SCALE_AFFINITY
+    );
+    println!(
+        "{:<6} {:>5} {:>4} {:>12} {:>11} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "nodes",
+        "racks",
+        "hops",
+        "tpmC(scaled)",
+        "latency(ms)",
+        "edge-Mb/s",
+        "edge-util",
+        "agg-Mb/s",
+        "agg-util",
+        "ctl-msgs/txn"
+    );
+    let cfgs = grids::scale(&base_cfg(opts));
+    for (cfg, r) in cfgs.iter().zip(run_batch(&cfgs, opts)) {
+        println!(
+            "{:<6} {:>5} {:>4} {:>12.0} {:>11.1} {:>10.2} {:>10.3} {:>10.2} {:>10.3} {:>12.2}",
+            cfg.nodes,
+            cfg.effective_edge_switches(),
+            r.max_path_hops,
+            r.tpmc_scaled,
+            r.txn_latency_ms,
+            r.trunk_mbps_edge,
+            r.trunk_utilization_edge,
+            r.trunk_mbps_agg,
+            r.trunk_utilization_agg,
+            r.ctl_msgs_per_txn
+        );
+    }
+}
+
 /// Degraded-mode scenarios (EXPERIMENTS.md "Fault scenarios"): drive a
 /// 4-node cluster through a fault plan and print the availability
 /// analysis. Single-seeded — the point is the deterministic transient,
@@ -943,6 +983,10 @@ const BUILTINS: &[(&str, &str)] = &[
         "cross-traffic sensitivity vs affinity (FTP priority)",
     ),
     ("protocol", "cache-fusion 2PL vs MVCC read leases (α = 0.5)"),
+    (
+        "scale",
+        "hierarchical fabric scale sweep to n = 128 (per-tier trunks)",
+    ),
     ("fault-flap", "availability through a link flap (n = 4)"),
     ("fault-crash", "availability through a node outage (n = 4)"),
     ("ablate-subpage", "subpage vs page-grain locking"),
@@ -1233,6 +1277,9 @@ fn main() {
         "fault-flap" => fault(&opts, "flap"),
         "fault-crash" => fault(&opts, "crash"),
         "protocol" => protocol(&opts),
+        // Not part of "all": the golden capture predates the
+        // hierarchical shape and must stay bit-identical.
+        "scale" => scale(&opts),
         "all" => {
             baseline(&opts);
             fig2_3(0.8, &opts);

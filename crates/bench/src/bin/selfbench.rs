@@ -9,8 +9,11 @@
 //! scenario), measures the client-model scaling probe (exact vs
 //! aggregate driver at 200 / 10k / 1M terminals per node on the n=16
 //! scenario — exact is skipped at 1M, where its O(terminals) driver
-//! is the point being demonstrated), and emits `BENCH_pr8.json`
-//! (schema `dclue-selfbench/4`,
+//! is the point being demonstrated), measures the hierarchical-fabric
+//! probe (the n=64 edge/aggregation scenario under aggregate clients,
+//! serial and windowed across 2 rack-aligned groups, recording the
+//! per-tier trunk counters from the report), and emits
+//! `BENCH_pr10.json` (schema `dclue-selfbench/5`,
 //! documented in EXPERIMENTS.md). The pre-optimization numbers —
 //! captured on the same scenario definitions immediately before the
 //! PR 2 hot-path work and again immediately before the PR 3
@@ -43,7 +46,7 @@
 //! population, where exact's per-terminal driver collapses the
 //! server; driver slot table bounded by the connection pool at 1M).
 
-use dclue_cluster::{sweep, ClientModel, ClusterConfig, QosPolicy, World};
+use dclue_cluster::{sweep, ClientModel, ClusterConfig, FabricShape, QosPolicy, Report, World};
 use dclue_fault::FaultPlan;
 use dclue_sim::Duration;
 use std::time::Instant;
@@ -149,6 +152,21 @@ fn scenario_cfg(name: &str, quick: bool) -> ClusterConfig {
         "cluster_n64_a08" => {
             cfg.nodes = 64;
             cfg.affinity = 0.8;
+        }
+        // The hierarchical-fabric probe: 8 racks of 8 behind two
+        // aggregation switches with doubled uplinks (worst path 6
+        // links), aggregate clients so the driver stays O(active
+        // txns) at n=64. The per-tier trunk counters land in the
+        // report and in the `hierarchical_fabric` JSON block.
+        "hier_n64_a05" => {
+            cfg.topology = FabricShape::Hierarchical;
+            cfg.nodes = 64;
+            cfg.nodes_per_edge = 8;
+            cfg.agg_switches = 2;
+            cfg.uplinks = 2;
+            cfg.affinity = 0.5;
+            cfg.client_model = ClientModel::Aggregate;
+            cfg.client_conns_per_node = 8;
         }
         // Node crash mid-measurement: fault plumbing, remastering
         // freeze and client failover on top of the normal engine.
@@ -382,6 +400,85 @@ fn client_point_json(p: &ClientScalePoint) -> String {
     )
 }
 
+/// Group counts probed by the hierarchical-fabric probe: serial, then
+/// windowed with the 8 racks split 4-per-group across 2 threads.
+const HIER_CURVE: [u32; 2] = [1, 2];
+
+/// One point of the hierarchical-fabric probe: wall clock plus the
+/// per-tier trunk counters the topology layer reports.
+struct HierPoint {
+    intra_jobs: u32,
+    wall_s: f64,
+    events: u64,
+    windows: u64,
+    rack_aligned: bool,
+    report: Report,
+}
+
+/// Best-of-`reps` wall clock for the n=64 edge/aggregation scenario
+/// at one group count (exact engine, aggregate clients).
+fn time_hier(quick: bool, reps: u32, intra: u32) -> HierPoint {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut windows = 0u64;
+    let mut rack_aligned = false;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let mut cfg = scenario_cfg("hier_n64_a05", quick);
+        cfg.exact = true;
+        cfg.intra_jobs = intra;
+        if let Err(e) = cfg.validate() {
+            eprintln!("[selfbench] invalid hierarchical config x{intra}: {e}");
+            std::process::exit(2);
+        }
+        let t0 = Instant::now();
+        if intra >= 2 {
+            let (r, stats) = dclue_cluster::run_windowed(&cfg);
+            best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+            events = stats.events_processed;
+            windows = stats.windows;
+            rack_aligned = stats.rack_aligned;
+            report = Some(r);
+        } else {
+            let mut w = World::new(cfg);
+            let r = w.run();
+            best_wall = best_wall.min(t0.elapsed().as_secs_f64());
+            events = w.events_processed();
+            report = Some(r);
+        }
+    }
+    HierPoint {
+        intra_jobs: intra,
+        wall_s: best_wall,
+        events,
+        windows,
+        rack_aligned,
+        report: report.expect("reps >= 1"),
+    }
+}
+
+fn hier_point_json(p: &HierPoint, wall_serial: f64) -> String {
+    let r = &p.report;
+    format!(
+        "    {{\"intra_jobs\": {}, \"wall_s\": {}, \"events\": {}, \"committed\": {}, \
+         \"windows\": {}, \"rack_aligned\": {}, \"speedup\": {}, \
+         \"trunk_mbps_edge\": {}, \"trunk_util_edge\": {}, \
+         \"trunk_mbps_agg\": {}, \"trunk_util_agg\": {}, \"max_path_hops\": {}}}",
+        p.intra_jobs,
+        json_f(p.wall_s),
+        p.events,
+        r.committed,
+        p.windows,
+        p.rack_aligned,
+        json_f(wall_serial / p.wall_s.max(1e-9)),
+        json_f(r.trunk_mbps_edge),
+        json_f(r.trunk_utilization_edge),
+        json_f(r.trunk_mbps_agg),
+        json_f(r.trunk_utilization_agg),
+        r.max_path_hops
+    )
+}
+
 /// The pool-speedup probe: a small scalability sweep (one seed per
 /// point), timed once serially and once through the pool. Runs the
 /// default (train) engine, like the figures harness.
@@ -558,7 +655,7 @@ fn main() {
     let reps: u32 = get("--reps").and_then(|s| s.parse().ok()).unwrap_or(1);
     let out = get("--out")
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr8.json".into());
+        .unwrap_or_else(|| "BENCH_pr10.json".into());
 
     let mode = if quick { "quick" } else { "full" };
     eprintln!("[selfbench] mode={mode} cores={cores} jobs={jobs} reps={reps}");
@@ -665,6 +762,29 @@ fn main() {
         intra_curves.push((name, points));
     }
 
+    // Hierarchical-fabric probe: the n=64 edge/aggregation scenario,
+    // serial then windowed across 2 rack-aligned groups. The trunk
+    // counters are per tier — the knee the scale sweep looks for
+    // lives in whichever tier saturates first.
+    let mut hier_points = Vec::new();
+    for &ij in &HIER_CURVE {
+        let p = time_hier(quick, reps, ij);
+        eprintln!(
+            "[selfbench] hier  {:<16} x{:<2} {:>8.3}s {:>9} ev  edge {:>6.1} Mb/s ({:.0}%)  agg {:>6.1} Mb/s ({:.0}%)  hops={} aligned={}",
+            "hier_n64_a05",
+            p.intra_jobs,
+            p.wall_s,
+            p.events,
+            p.report.trunk_mbps_edge,
+            100.0 * p.report.trunk_utilization_edge,
+            p.report.trunk_mbps_agg,
+            100.0 * p.report.trunk_utilization_agg,
+            p.report.max_path_hops,
+            p.rack_aligned
+        );
+        hier_points.push(p);
+    }
+
     let (base_pr2, base_pr3) = if quick {
         (BASELINE_QUICK, BASELINE_PR3_QUICK)
     } else {
@@ -672,7 +792,7 @@ fn main() {
     };
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"dclue-selfbench/4\",\n");
+    j.push_str("  \"schema\": \"dclue-selfbench/5\",\n");
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     j.push_str(&format!("  \"cores\": {cores},\n"));
     j.push_str(&format!("  \"jobs_resolved\": {jobs},\n"));
@@ -708,6 +828,20 @@ fn main() {
     j.push_str("    \"points\": [\n");
     let client_lines: Vec<String> = client_points.iter().map(client_point_json).collect();
     j.push_str(&client_lines.join(",\n"));
+    j.push('\n');
+    j.push_str("    ]\n");
+    j.push_str("  },\n");
+    j.push_str("  \"hierarchical_fabric\": {\n");
+    j.push_str("    \"scenario\": \"hier_n64_a05\",\n");
+    j.push_str("    \"engine\": \"exact\",\n");
+    j.push_str("    \"client_model\": \"aggregate\",\n");
+    j.push_str("    \"points\": [\n");
+    let hier_serial = hier_points.first().map(|p| p.wall_s).unwrap_or(f64::NAN);
+    let hier_lines: Vec<String> = hier_points
+        .iter()
+        .map(|p| format!("    {}", hier_point_json(p, hier_serial)))
+        .collect();
+    j.push_str(&hier_lines.join(",\n"));
     j.push('\n');
     j.push_str("    ]\n");
     j.push_str("  },\n");

@@ -9,7 +9,7 @@
 //! bit-exact `PartialEq`. Axis constants are public so the print loops
 //! and the builders cannot drift apart.
 
-use dclue_cluster::{ClusterConfig, ProtocolKind};
+use dclue_cluster::{ClientModel, ClusterConfig, FabricShape, ProtocolKind};
 
 /// The standard cluster-size sweep (figs 2-7).
 pub const NODE_SWEEP: [u32; 7] = [1, 2, 4, 8, 12, 16, 24];
@@ -69,6 +69,42 @@ pub fn protocol(base: &ClusterConfig) -> Vec<ClusterConfig> {
         }
     }
     cfgs
+}
+
+/// Hierarchical scale sweep: cluster sizes past the paper's 24-node
+/// ceiling, on the edge/aggregation fabric.
+pub const SCALE_NODES: [u32; 4] = [16, 32, 64, 128];
+/// Scale sweep rack size: 8 nodes per edge switch, so the sweep grows
+/// the edge tier (2 → 16 switches) while per-rack load stays fixed.
+pub const SCALE_NODES_PER_EDGE: u32 = 8;
+/// Scale sweep aggregation tier: 2 switches joined by a core router,
+/// so every size exercises both trunk tiers.
+pub const SCALE_AGG: u32 = 2;
+/// Scale sweep operating point: mid affinity — enough cross-rack IPC
+/// to load the uplinks without drowning the signal in lock waits.
+pub const SCALE_AFFINITY: f64 = 0.5;
+
+/// Trunk-saturation scale sweep: n ∈ {16, 32, 64, 128} on the
+/// hierarchical shape under the aggregate client model (the exact
+/// model's per-terminal state is pointless ballast at 25k terminals).
+/// Edge uplinks keep the default `trunk_bw`, so per-tier utilization
+/// climbs with the node count and the knee is measurable.
+pub fn scale(base: &ClusterConfig) -> Vec<ClusterConfig> {
+    SCALE_NODES
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.nodes = n;
+            cfg.affinity = SCALE_AFFINITY;
+            cfg.topology = FabricShape::Hierarchical;
+            cfg.nodes_per_edge = SCALE_NODES_PER_EDGE;
+            cfg.edge_switches = 0; // derive from the swept node count
+            cfg.agg_switches = SCALE_AGG;
+            cfg.uplinks = 1;
+            cfg.client_model = ClientModel::Aggregate;
+            cfg
+        })
+        .collect()
 }
 
 /// The figures base config: default cluster, the harness measurement

@@ -59,6 +59,18 @@ fn protocol_scenario_compiles_to_the_hardcoded_grid() {
 }
 
 #[test]
+fn scale_scenario_compiles_to_the_hardcoded_grid() {
+    // `figures scale --exact` = the hierarchical n ∈ {16..128} sweep
+    // on the non-quick base (aggregate clients, per-tier trunks).
+    let plan = load("scale.dcs");
+    let expected = grids::scale(&grids::figures_base(false, true));
+    assert_eq!(plan_cfgs(&plan), expected);
+    for cfg in plan_cfgs(&plan) {
+        cfg.validate().expect("scale grid point validates");
+    }
+}
+
+#[test]
 fn smoke_scenario_run_is_bit_identical_to_the_hand_built_run() {
     let plan = load("smoke.dcs");
 

@@ -148,7 +148,12 @@ pub struct FabricPort {
     pub(crate) msg_tags: FxHashMap<MsgId, (ConnId, MsgTag)>,
     pub(crate) next_msg: u64,
     pub(crate) trunks: Vec<LinkId>,
-    pub(crate) trunk_bytes_at_warmup: u64,
+    /// Tier per trunk, parallel to `trunks` (0 = edge, 1 = agg; see
+    /// [`crate::topology::BuiltTopology`]).
+    pub(crate) trunk_tiers: Vec<u8>,
+    /// Per-tier trunk byte snapshot at the end of warm-up, so the
+    /// report covers the measurement window only.
+    pub(crate) trunk_bytes_at_warmup: [u64; 2],
     /// Client host ids, for resolving `LinkRef::ClientUplink`.
     pub(crate) client_hosts: Vec<HostId>,
     /// Autonomic QoS controller state: (baseline latency EWMA,
@@ -228,6 +233,9 @@ pub(crate) struct XgCtx {
     pub my_group: u32,
     pub groups: u32,
     pub nodes: u32,
+    /// Fabric racks (contiguous equal-size node blocks — edge switches
+    /// or LATAs), for rack-aligned group assignment.
+    pub racks: u32,
     /// Messages for foreign-group nodes staged during this window.
     pub outbox: Vec<XgMsg>,
     pub next_seq: u64,
@@ -245,10 +253,90 @@ pub(crate) struct XgCtx {
     pub downlink_free: Vec<SimTime>,
 }
 
-/// Which group a node belongs to under the contiguous block
-/// partition: group `g` owns `[ceil(g*N/G), ceil((g+1)*N/G))`.
-pub(crate) fn xg_group_of(node: u32, nodes: u32, groups: u32) -> u32 {
-    (node as u64 * groups as u64 / nodes as u64) as u32
+/// Which group a node belongs to.
+///
+/// **Rack-aligned branch** — when the fabric has at least as many
+/// racks as groups and racks are equal-size blocks (`racks >= groups`
+/// and `nodes % racks == 0`): whole racks map to groups by the
+/// contiguous block rule over *rack* indices, so no group boundary
+/// splits a rack. Every cross-group node pair is then also cross-rack,
+/// and the conservative lookahead in `World::min_xg_latency` derives
+/// from the larger inter-rack (trunked) latency instead of the global
+/// intra-switch minimum — wider windows, fewer barriers.
+///
+/// **Contiguous fallback** — otherwise (fewer racks than groups, e.g.
+/// the paper's single-switch star, or a rack count that does not
+/// divide the nodes): the plain block partition over node indices,
+/// group `g` owning `[ceil(g*N/G), ceil((g+1)*N/G))`. Lookahead then
+/// degrades to the intra-rack latency, which is correct (groups share
+/// a switch) but narrow. The fallback is deliberate and pinned by
+/// `xg_fallback_is_contiguous`: a group count that does not divide the
+/// edge-switch count still runs, it just windows conservatively.
+pub(crate) fn xg_group_of(node: u32, nodes: u32, groups: u32, racks: u32) -> u32 {
+    if xg_rack_aligned(nodes, groups, racks) {
+        let rack = node / (nodes / racks);
+        (rack as u64 * groups as u64 / racks as u64) as u32
+    } else {
+        (node as u64 * groups as u64 / nodes as u64) as u32
+    }
+}
+
+/// Whether the rack-aligned branch of [`xg_group_of`] applies: enough
+/// racks to hand every group at least one whole rack, and racks that
+/// are exact equal-size node blocks.
+pub(crate) fn xg_rack_aligned(nodes: u32, groups: u32, racks: u32) -> bool {
+    racks >= groups && nodes % racks == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rack-aligned: 8 racks of 8 nodes across 4 groups — whole racks
+    /// map to groups, no group boundary splits a rack.
+    #[test]
+    fn xg_groups_align_to_racks() {
+        let (nodes, groups, racks) = (64, 4, 8);
+        assert!(xg_rack_aligned(nodes, groups, racks));
+        for node in 0..nodes {
+            let rack = node / 8;
+            assert_eq!(xg_group_of(node, nodes, groups, racks), rack / 2);
+        }
+    }
+
+    /// Racks that do not divide groups evenly still align: groups just
+    /// own unequal rack counts (here 2/1 racks over 3 racks, 2 groups).
+    #[test]
+    fn xg_uneven_rack_split_still_aligned() {
+        let (nodes, groups, racks) = (12, 2, 3);
+        assert!(xg_rack_aligned(nodes, groups, racks));
+        // Rack 0, 1 → group 0; rack 2 → group 1. Boundary at node 8.
+        for node in 0..8 {
+            assert_eq!(xg_group_of(node, nodes, groups, racks), 0);
+        }
+        for node in 8..12 {
+            assert_eq!(xg_group_of(node, nodes, groups, racks), 1);
+        }
+    }
+
+    /// Fewer racks than groups (the paper's one-switch star, or more
+    /// jobs than edge switches): the documented contiguous fallback —
+    /// the plain block partition over node indices, identical to the
+    /// pre-rack behaviour. Lookahead degrades to intra-rack latency
+    /// but the run stays correct.
+    #[test]
+    fn xg_fallback_is_contiguous() {
+        let (nodes, groups, racks) = (16, 4, 2);
+        assert!(!xg_rack_aligned(nodes, groups, racks));
+        for node in 0..nodes {
+            assert_eq!(
+                xg_group_of(node, nodes, groups, racks),
+                (node as u64 * groups as u64 / nodes as u64) as u32,
+            );
+        }
+        // Unequal rack blocks (nodes % racks != 0) also fall back.
+        assert!(!xg_rack_aligned(10, 2, 3));
+    }
 }
 
 impl FabricPort {
@@ -406,7 +494,7 @@ impl World {
                         .fabric
                         .xg
                         .as_ref()
-                        .map(|xg| xg_group_of(node, xg.nodes, xg.groups))
+                        .map(|xg| xg_group_of(node, xg.nodes, xg.groups, xg.racks))
                         .expect("foreign node outside windowed mode");
                     self.xg_stage_now(dest, bytes, XgPayload::Ipc { to: node, msg: m });
                     return;
@@ -455,7 +543,7 @@ impl World {
                         .fabric
                         .xg
                         .as_ref()
-                        .map(|xg| xg_group_of(node, xg.nodes, xg.groups))
+                        .map(|xg| xg_group_of(node, xg.nodes, xg.groups, xg.racks))
                         .expect("foreign node outside windowed mode");
                     self.xg_stage_now(
                         dest,
@@ -724,7 +812,7 @@ impl World {
         self.fabric
             .xg
             .as_ref()
-            .is_some_and(|xg| xg_group_of(node, xg.nodes, xg.groups) != xg.my_group)
+            .is_some_and(|xg| xg_group_of(node, xg.nodes, xg.groups, xg.racks) != xg.my_group)
     }
 
     /// Whether `session` is driven by a *different* group world (its
@@ -752,7 +840,7 @@ impl World {
             self.warehouses,
             self.cfg.nodes,
         );
-        Some(xg_group_of(home, xg.nodes, xg.groups))
+        Some(xg_group_of(home, xg.nodes, xg.groups, xg.racks))
     }
 
     /// Send a client-bound or server-bound message on a client conn.
@@ -849,14 +937,24 @@ impl World {
         }
     }
 
-    pub(crate) fn trunk_bytes(&self) -> u64 {
-        self.fabric
-            .trunks
-            .iter()
-            .map(|&l| {
-                let link = self.fabric.net.link(l);
-                link.ports[0].stats.bytes_tx + link.ports[1].stats.bytes_tx
-            })
-            .sum()
+    /// Trunk bytes carried so far, split by tier (0 = edge, 1 = agg).
+    /// The paper star has only tier-0 trunks, so its total is slot 0.
+    pub(crate) fn trunk_tier_bytes(&self) -> [u64; 2] {
+        let mut by_tier = [0u64; 2];
+        for (&l, &tier) in self.fabric.trunks.iter().zip(&self.fabric.trunk_tiers) {
+            let link = self.fabric.net.link(l);
+            by_tier[tier as usize] += link.ports[0].stats.bytes_tx + link.ports[1].stats.bytes_tx;
+        }
+        by_tier
+    }
+
+    /// Per-tier trunk capacity, bit/s, from the actual link bandwidths
+    /// (tiers can be provisioned differently; see `agg_trunk_bw`).
+    pub(crate) fn trunk_tier_capacity(&self) -> [f64; 2] {
+        let mut by_tier = [0.0f64; 2];
+        for (&l, &tier) in self.fabric.trunks.iter().zip(&self.fabric.trunk_tiers) {
+            by_tier[tier as usize] += self.fabric.net.link(l).bandwidth_bps;
+        }
+        by_tier
     }
 }

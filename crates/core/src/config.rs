@@ -71,6 +71,34 @@ impl ClientModel {
     }
 }
 
+/// Which fabric shape [`crate::topology::Topology`] compiles for the
+/// cluster (see DESIGN.md §15).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FabricShape {
+    /// The paper's Fig 1 star: one router per lata (plus an outer
+    /// router when there are several), every node hanging off its
+    /// lata's router. Bit-identical to the golden captures.
+    #[default]
+    Paper,
+    /// Two-tier edge/aggregation tree: `nodes_per_edge` nodes per edge
+    /// switch, edge switches divided across `agg_switches` aggregation
+    /// switches, aggregation switches joined by a core router when
+    /// there are several. Trunk multiplicity per uplink comes from
+    /// `uplinks`. This is the shape that reaches n = 128 — the paper's
+    /// single-switch star stops at its port count.
+    Hierarchical,
+}
+
+impl FabricShape {
+    /// Short stable label for tables and scenario files.
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricShape::Paper => "paper",
+            FabricShape::Hierarchical => "hierarchical",
+        }
+    }
+}
+
 /// How the database grows with cluster size (Fig 10).
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum DbGrowth {
@@ -205,9 +233,33 @@ pub struct ClusterConfig {
     /// delivery-time distortion.
     pub intra_window: Duration,
     // ---- fabric ----
+    /// Fabric shape the topology layer compiles (DESIGN.md §15).
+    pub topology: FabricShape,
+    /// Hierarchical shape: edge switches in the fabric. `0` = derive
+    /// `nodes / nodes_per_edge` (the common case, so a `nodes` sweep
+    /// can grow the edge tier without a second co-varied axis).
+    /// Ignored by [`FabricShape::Paper`].
+    pub edge_switches: u32,
+    /// Hierarchical shape: nodes (hosts) attached to each edge switch —
+    /// the rack size. Ignored by [`FabricShape::Paper`].
+    pub nodes_per_edge: u32,
+    /// Hierarchical shape: aggregation switches above the edge tier
+    /// (edge switches are divided contiguously across them; a core
+    /// router joins them when there are several). Ignored by
+    /// [`FabricShape::Paper`].
+    pub agg_switches: u32,
+    /// Hierarchical shape: parallel trunks per uplink (edge → agg and
+    /// agg → core); BFS picks one, so multiplicity adds capacity only
+    /// when faults or QoS split flows — but it is first-class in the
+    /// description so fault plans can target individual members.
+    pub uplinks: u32,
+    /// Hierarchical shape: agg → core trunk bandwidth, bit/s. `0` =
+    /// same as `trunk_bw` (which sizes the edge → agg tier).
+    pub agg_trunk_bw: f64,
     /// Host and intra-lata link bandwidth, bit/s (10 Mb/s = scaled 1 Gb/s).
     pub link_bw: f64,
     /// Inter-lata trunk bandwidth (the paper sometimes needs 10x here).
+    /// Hierarchical shape: edge → agg trunk bandwidth.
     pub trunk_bw: f64,
     /// Router forwarding rate, packets/s (Fig 8 drops this to 4000).
     pub router_rate: f64,
@@ -289,6 +341,12 @@ impl Default for ClusterConfig {
             exact: true,
             intra_jobs: 0,
             intra_window: Duration::ZERO,
+            topology: FabricShape::Paper,
+            edge_switches: 0,
+            nodes_per_edge: 0,
+            agg_switches: 1,
+            uplinks: 1,
+            agg_trunk_bw: 0.0,
             link_bw: 10e6,
             trunk_bw: 10e6,
             router_rate: 10_000.0,
@@ -368,6 +426,31 @@ impl ClusterConfig {
     /// Which lata a node lives in.
     pub fn lata_of(&self, node: u32) -> u32 {
         node / self.nodes_per_lata()
+    }
+
+    /// Effective edge-switch count for the hierarchical shape:
+    /// `edge_switches` when set, else derived as
+    /// `nodes / nodes_per_edge` so a `nodes` sweep grows the edge tier
+    /// without a second co-varied axis. Meaningless under
+    /// [`FabricShape::Paper`].
+    pub fn effective_edge_switches(&self) -> u32 {
+        if self.edge_switches > 0 {
+            self.edge_switches
+        } else if self.nodes_per_edge > 0 {
+            self.nodes / self.nodes_per_edge
+        } else {
+            0
+        }
+    }
+
+    /// Agg → core trunk bandwidth: `agg_trunk_bw` when set, else the
+    /// edge-tier `trunk_bw`.
+    pub fn effective_agg_trunk_bw(&self) -> f64 {
+        if self.agg_trunk_bw > 0.0 {
+            self.agg_trunk_bw
+        } else {
+            self.trunk_bw
+        }
     }
 
     /// Reject configurations that would silently misbehave. Call this
@@ -495,6 +578,58 @@ impl ClusterConfig {
                  target — set client_model = exact (or use fault_plan)"
                     .into(),
             );
+        }
+        if self.topology == FabricShape::Hierarchical {
+            if self.latas > 0 {
+                return Err(format!(
+                    "latas ({}) is a paper-topology knob; the hierarchical shape \
+                     places nodes by edge switch — set latas = 0 (racks come from \
+                     nodes_per_edge)",
+                    self.latas
+                ));
+            }
+            if self.nodes_per_edge == 0 {
+                return Err("topology = hierarchical requires nodes_per_edge >= 1: \
+                     it is the rack size (nodes attached to each edge switch)"
+                    .into());
+            }
+            if self.edge_switches > 0 {
+                if self.edge_switches * self.nodes_per_edge != self.nodes {
+                    return Err(format!(
+                        "edge_switches ({}) x nodes_per_edge ({}) must equal nodes \
+                         ({}); set edge_switches = 0 to derive it from the node count",
+                        self.edge_switches, self.nodes_per_edge, self.nodes
+                    ));
+                }
+            } else if self.nodes % self.nodes_per_edge != 0 {
+                return Err(format!(
+                    "nodes ({}) must divide evenly across edge switches of \
+                     nodes_per_edge ({}) each; partial racks would skew placement — \
+                     use {} or {} nodes",
+                    self.nodes,
+                    self.nodes_per_edge,
+                    (self.nodes / self.nodes_per_edge) * self.nodes_per_edge,
+                    (self.nodes / self.nodes_per_edge + 1) * self.nodes_per_edge,
+                ));
+            }
+            let edge = self.effective_edge_switches();
+            if self.agg_switches == 0 {
+                return Err("agg_switches must be >= 1: the edge tier needs at \
+                     least one aggregation switch above it"
+                    .into());
+            }
+            if self.agg_switches > edge {
+                return Err(format!(
+                    "agg_switches ({}) exceeds edge switches ({}); every \
+                     aggregation switch needs at least one edge switch below it",
+                    self.agg_switches, edge
+                ));
+            }
+            if self.uplinks == 0 {
+                return Err("uplinks must be >= 1: every switch needs at least one \
+                     trunk toward the tier above"
+                    .into());
+            }
         }
         if self.protocol == ProtocolKind::MvccReadLease && !self.mvcc {
             return Err(

@@ -166,9 +166,23 @@ pub struct Report {
     pub versions_created_per_txn: f64,
     /// 95th percentile transaction residence time, scaled milliseconds.
     pub txn_latency_p95_ms: f64,
-    /// DBMS traffic crossing the inter-lata trunks, scaled Mb/s.
+    /// DBMS traffic crossing the inter-switch trunks, scaled Mb/s
+    /// (all tiers combined).
     pub trunk_mbps: f64,
+    /// Combined trunk utilization against the actual per-link
+    /// capacities (not a single assumed `cfg.trunk_bw`).
     pub trunk_utilization: f64,
+    /// Edge-tier trunk traffic (edge→agg uplinks; the paper star's
+    /// outer↔LATA trunks land here), scaled Mb/s.
+    pub trunk_mbps_edge: f64,
+    pub trunk_utilization_edge: f64,
+    /// Aggregation-tier trunk traffic (agg→core), scaled Mb/s; zero
+    /// for single-tier fabrics.
+    pub trunk_mbps_agg: f64,
+    pub trunk_utilization_agg: f64,
+    /// Worst-case node→node path depth in links over the built BFS
+    /// routes (2 one-switch, up to 6 across aggregation tiers).
+    pub max_path_hops: u32,
     /// FTP goodput delivered during the window, scaled Mb/s.
     pub ftp_mbps: f64,
     /// FTP transfers refused by admission control / policing.

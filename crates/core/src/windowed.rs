@@ -45,6 +45,17 @@
 //! well inside the statistical-equivalence ladder that windowed runs
 //! are held to (serial runs with `intra_jobs <= 1` take the untouched
 //! exact path and stay bit-identical to the golden captures).
+//!
+//! Group assignment is *rack-aligned* when the topology allows it
+//! (`racks >= groups` with equal-size racks — see
+//! [`crate::components::fabric::xg_group_of`]): each group owns whole
+//! racks, every cross-group pair is also cross-rack, and the derived
+//! window stretches to the larger trunked inter-rack latency. When
+//! `intra_jobs` exceeds the rack count (e.g. the paper's one-switch
+//! star), assignment falls back to the plain contiguous block
+//! partition; the run is still correct, just windowed at the
+//! intra-switch latency ([`WindowedStats::rack_aligned`] reports which
+//! branch applied).
 
 use crate::components::fabric::XgMsg;
 use crate::config::ClusterConfig;
@@ -71,6 +82,11 @@ pub struct WindowedStats {
     pub events_processed: u64,
     /// Events scheduled, summed over every group world.
     pub events_scheduled: u64,
+    /// Whether groups were rack-aligned (each group owns whole racks,
+    /// so the window derives from the inter-rack trunk latency). False
+    /// means the contiguous fallback: more groups than racks — correct
+    /// but windowed at the narrower intra-switch latency.
+    pub rack_aligned: bool,
 }
 
 struct Shared {
@@ -198,6 +214,11 @@ pub fn run_windowed(cfg: &ClusterConfig) -> (Report, WindowedStats) {
         w0.absorb_group(w);
     }
     let window = window_width(cfg, &w0, groups);
+    let rack_aligned = crate::components::fabric::xg_rack_aligned(
+        cfg.nodes,
+        groups,
+        w0.placement().racks,
+    );
     let report = w0.into_report();
     let stats = WindowedStats {
         groups,
@@ -206,6 +227,7 @@ pub fn run_windowed(cfg: &ClusterConfig) -> (Report, WindowedStats) {
         xg_messages: shared.xg_messages.load(Ordering::Relaxed),
         events_processed,
         events_scheduled,
+        rack_aligned,
     };
     (report, stats)
 }
@@ -236,7 +258,7 @@ pub fn run_one(cfg: ClusterConfig) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ClientModel;
+    use crate::config::{ClientModel, FabricShape};
 
     /// The windowed cap was lifted from 256 to 65536 nodes (txn ids now
     /// carry a 16-bit node field): a 512-node group world must validate
@@ -257,5 +279,38 @@ mod tests {
         let pops: u64 = w.agg_counters().iter().map(|&(p, ..)| p).sum();
         assert_eq!(pops, 512 * 10);
         assert_eq!(w.driver_slots(), 0);
+    }
+
+    /// Rack-aligned partitioning is what it is *for*: on a fabric with
+    /// slow trunks, aligning groups to racks makes every cross-group
+    /// pair cross-rack, so the conservative lookahead derives from the
+    /// trunked inter-rack latency. With more groups than racks the
+    /// contiguous fallback splits racks across groups and the bound
+    /// collapses to the intra-switch latency.
+    #[test]
+    fn rack_alignment_widens_the_conservative_window() {
+        let mut cfg = ClusterConfig {
+            nodes: 8,
+            clients_per_node: 1,
+            warehouses_per_node: 1,
+            ..Default::default()
+        };
+        cfg.topology = FabricShape::Hierarchical;
+        cfg.nodes_per_edge = 2; // 4 racks
+        cfg.agg_switches = 2;
+        cfg.extra_trunk_latency = Duration::from_millis(2);
+        cfg.validate().expect("valid hierarchical config");
+        let w = World::new(cfg.clone());
+
+        // 2 groups over 4 racks: aligned, every cross-group path is
+        // trunked and carries the extra 2 ms (twice: up and down).
+        let aligned = w.min_xg_latency(2);
+        // 8 groups over 4 racks: fallback splits each rack, so some
+        // cross-group pair shares an edge switch — no trunk, no 2 ms.
+        let fallback = w.min_xg_latency(8);
+        assert!(
+            aligned >= fallback + Duration::from_millis(2),
+            "aligned {aligned:?} vs fallback {fallback:?}"
+        );
     }
 }

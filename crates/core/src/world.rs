@@ -16,7 +16,7 @@ use crate::protocol::CoherenceProtocol;
 use dclue_db::{BufferCache, Database, LockTable, PageKey, Table};
 use dclue_fault::{FaultKind, FaultScheduler, LinkRef};
 use dclue_net::packet::Dscp;
-use dclue_net::{ConnId, LinkId, NetEvent, NetworkBuilder};
+use dclue_net::{ConnId, LinkId, NetEvent};
 use dclue_platform::{Cpu, CpuEvent};
 use dclue_sim::{Duration, EventHeap, FxHashMap, Outbox, SimRng, SimTime};
 use dclue_storage::{Disk, DiskEvent, RetryPolicy, StallGate};
@@ -224,6 +224,9 @@ pub struct World {
     pub(crate) leases: Vec<FxHashMap<PageKey, SimTime>>,
     /// Network fabric: TCP state, conn tables, QoS controller.
     pub(crate) fabric: FabricPort,
+    /// Node → rack map from the topology layer (drives rack-aligned
+    /// windowed partitioning and the report's path stats).
+    pub(crate) placement: crate::topology::Placement,
     /// Platform/CPU: the deferred-action table.
     pub(crate) platform: PlatformPort,
     /// Storage: SAN array, iSCSI initiator state, commit logs.
@@ -276,9 +279,6 @@ impl World {
         let paths = PathLengths::for_config(&cfg);
 
         // ---- topology ----
-        let latas = cfg.effective_latas();
-        let npl = cfg.nodes_per_lata();
-        let mut b = NetworkBuilder::new();
         let discipline = match cfg.qos {
             QosPolicy::AllBestEffort => dclue_net::device::Discipline::Fifo,
             QosPolicy::FtpPriority => dclue_net::device::Discipline::Priority,
@@ -296,55 +296,16 @@ impl World {
             dclue_net::device::DropPolicy::TailDrop
         };
         let policy = dclue_net::device::PortPolicy { discipline, drop };
-        let prop = Duration::from_micros(5);
-        let mut trunks_pending = Vec::new();
-        let (lata_routers, client_router) = if latas == 1 {
-            let r = b.router_with_policy(cfg.router_rate, policy);
-            (vec![r], r)
-        } else {
-            let outer = b.router_with_policy(cfg.router_rate, policy);
-            let mut rs = Vec::new();
-            for _ in 0..latas {
-                let r = b.router_with_policy(cfg.router_rate, policy);
-                trunks_pending.push((outer, r));
-                rs.push(r);
-            }
-            (rs, outer)
-        };
-        for (outer, r) in &trunks_pending {
-            b.trunk(*outer, *r, cfg.trunk_bw, prop + cfg.extra_trunk_latency);
-        }
-        // Server hosts.
-        let mut node_hosts = Vec::new();
-        for n in 0..cfg.nodes {
-            let lata = (n / npl) as usize;
-            node_hosts.push(b.host(lata_routers[lata], cfg.link_bw, prop));
-        }
-        // Client hosts (4 per lata, at the clients' homing router).
-        let mut client_hosts = Vec::new();
-        for _ in 0..(4 * latas) {
-            client_hosts.push(b.host(client_router, cfg.link_bw, prop));
-        }
-        // FTP extra client/server (cross the trunks when there are two
-        // latas, as in the paper's Fig 1).
-        let ftp_client = b.host(lata_routers[0], cfg.link_bw, prop);
-        let ftp_server = b.host(*lata_routers.last().unwrap(), cfg.link_bw, prop);
-        let mut net = b.build();
-        net.set_train_mode(!cfg.exact);
-        let trunks: Vec<LinkId> = net
-            .links()
-            .iter()
-            .filter(|l| {
-                matches!(
-                    (l.a, l.b),
-                    (
-                        dclue_net::DeviceId::Router(_),
-                        dclue_net::DeviceId::Router(_)
-                    )
-                )
-            })
-            .map(|l| l.id)
-            .collect();
+        let crate::topology::BuiltTopology {
+            net,
+            node_hosts,
+            client_hosts,
+            ftp_client,
+            ftp_server,
+            trunks,
+            trunk_tiers,
+            placement,
+        } = crate::topology::Topology::from_config(&cfg).build(&cfg, policy);
 
         // ---- nodes ----
         let total_pages = db.total_pages();
@@ -491,19 +452,22 @@ impl World {
                 msg_tags: FxHashMap::default(),
                 next_msg: 0,
                 trunks,
-                trunk_bytes_at_warmup: 0,
+                trunk_tiers,
+                trunk_bytes_at_warmup: [0, 0],
                 client_hosts,
                 qos_ctl: (0.0, 0.0, 0.6),
                 xg: xg.map(|(g, gs)| crate::components::fabric::XgCtx {
                     my_group: g,
                     groups: gs,
                     nodes: cfg.nodes,
+                    racks: placement.racks,
                     outbox: Vec::new(),
                     next_seq: 0,
                     uplink_free: vec![SimTime::ZERO; cfg.nodes as usize],
                     downlink_free: vec![SimTime::ZERO; cfg.nodes as usize],
                 }),
             },
+            placement,
             platform: PlatformPort {
                 actions: FxHashMap::default(),
                 next_action: 0,
@@ -766,7 +730,7 @@ impl World {
                     self.warehouses,
                     self.cfg.nodes,
                 );
-                if crate::components::fabric::xg_group_of(home, xg.nodes, xg.groups) != xg.my_group
+                if crate::components::fabric::xg_group_of(home, xg.nodes, xg.groups, xg.racks) != xg.my_group
                 {
                     continue;
                 }
@@ -949,13 +913,14 @@ impl World {
     /// value independently.
     pub(crate) fn min_xg_latency(&self, groups: u32) -> Duration {
         let n = self.cfg.nodes;
+        let racks = self.placement.racks;
         let ctl = crate::ipc::CTL_BYTES;
         let mut min: Option<Duration> = None;
         for a in 0..n {
             for b in 0..n {
                 if a == b
-                    || crate::components::fabric::xg_group_of(a, n, groups)
-                        == crate::components::fabric::xg_group_of(b, n, groups)
+                    || crate::components::fabric::xg_group_of(a, n, groups, racks)
+                        == crate::components::fabric::xg_group_of(b, n, groups, racks)
                 {
                     continue;
                 }
@@ -982,7 +947,7 @@ impl World {
         let Some(oxg) = other.fabric.xg.as_ref() else {
             return;
         };
-        let (g, gs, n) = (oxg.my_group, oxg.groups, oxg.nodes);
+        let (g, gs, n, racks) = (oxg.my_group, oxg.groups, oxg.nodes, oxg.racks);
         self.collect.merge(&other.collect);
         for (mine, theirs) in self.timeline.iter_mut().zip(other.timeline.iter()) {
             debug_assert_eq!(mine.0, theirs.0, "misaligned timeline ticks");
@@ -990,7 +955,7 @@ impl World {
             mine.2 += theirs.2;
         }
         for node in 0..n {
-            if crate::components::fabric::xg_group_of(node, n, gs) == g {
+            if crate::components::fabric::xg_group_of(node, n, gs, racks) == g {
                 std::mem::swap(
                     &mut self.nodes[node as usize],
                     &mut other.nodes[node as usize],
@@ -1005,6 +970,11 @@ impl World {
     /// theirs from `run`).
     pub(crate) fn into_report(mut self) -> Report {
         self.build_report()
+    }
+
+    /// The node → rack placement the topology layer compiled.
+    pub fn placement(&self) -> &crate::topology::Placement {
+        &self.placement
     }
 
     /// Events dispatched by the engine so far — the DES throughput
@@ -1711,7 +1681,7 @@ impl World {
             n.cpu.stats.interrupts.reset();
             n.buffer.stats = Default::default();
         }
-        self.fabric.trunk_bytes_at_warmup = self.trunk_bytes();
+        self.fabric.trunk_bytes_at_warmup = self.trunk_tier_bytes();
         self.versions_at_warmup = self.db.versions.stats.versions_created;
     }
 
@@ -1759,11 +1729,23 @@ impl World {
         } else {
             hits as f64 / (hits + misses) as f64
         };
-        let trunk_delta = self
-            .trunk_bytes()
-            .saturating_sub(self.fabric.trunk_bytes_at_warmup);
-        let trunk_mbps = trunk_delta as f64 * 8.0 / wsecs / 1e6;
-        let trunk_capacity = (self.fabric.trunks.len() as f64).max(1.0) * self.cfg.trunk_bw;
+        // Per-tier trunk deltas over the measurement window; capacity
+        // comes from the actual link bandwidths, not a single assumed
+        // `cfg.trunk_bw`, so mixed-tier fabrics report honestly.
+        let tier_bytes = self.trunk_tier_bytes();
+        let tier_delta: Vec<u64> = tier_bytes
+            .iter()
+            .zip(&self.fabric.trunk_bytes_at_warmup)
+            .map(|(now, warm)| now.saturating_sub(*warm))
+            .collect();
+        let tier_capacity = self.trunk_tier_capacity();
+        let tier_mbps: Vec<f64> = tier_delta
+            .iter()
+            .map(|&d| d as f64 * 8.0 / wsecs / 1e6)
+            .collect();
+        let tier_util = |t: usize| (tier_mbps[t] * 1e6 / tier_capacity[t].max(1.0)).min(1.0);
+        let trunk_mbps = tier_mbps[0] + tier_mbps[1];
+        let trunk_capacity = (tier_capacity[0] + tier_capacity[1]).max(1.0);
         let drops: u64 = self
             .fabric
             .net
@@ -1831,6 +1813,11 @@ impl World {
                 / committed as f64,
             trunk_mbps,
             trunk_utilization: (trunk_mbps * 1e6 / trunk_capacity).min(1.0),
+            trunk_mbps_edge: tier_mbps[0],
+            trunk_utilization_edge: tier_util(0),
+            trunk_mbps_agg: tier_mbps[1],
+            trunk_utilization_agg: tier_util(1),
+            max_path_hops: self.placement.max_hops,
             ftp_mbps: c.ftp_bytes_delivered * 8.0 / wsecs / 1e6,
             ftp_denied: self.driver.ftp_pairs.iter().map(|p| p.denied).sum(),
             timeline: std::mem::take(&mut self.timeline),

@@ -6,7 +6,7 @@
 #![allow(clippy::field_reassign_with_default)] // config-mutation is the intended API pattern
 
 use dclue_cluster::config::LogPlacement;
-use dclue_cluster::{ClusterConfig, ProtocolKind, QosPolicy};
+use dclue_cluster::{ClusterConfig, FabricShape, ProtocolKind, QosPolicy};
 use dclue_sim::Duration;
 
 fn err_for(mutate: impl FnOnce(&mut ClusterConfig)) -> String {
@@ -202,6 +202,88 @@ fn accepts_windowed_group_counts() {
         cfg.intra_jobs = intra;
         assert_eq!(cfg.validate(), Ok(()), "intra_jobs={intra}");
     }
+}
+
+fn hier(nodes: u32, nodes_per_edge: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.topology = FabricShape::Hierarchical;
+    cfg.nodes = nodes;
+    cfg.nodes_per_edge = nodes_per_edge;
+    cfg
+}
+
+#[test]
+fn hierarchical_happy_path_validates() {
+    let mut cfg = hier(64, 8);
+    cfg.agg_switches = 2;
+    cfg.uplinks = 2;
+    assert_eq!(cfg.validate(), Ok(()));
+    // Explicit edge count that matches the product is also fine.
+    cfg.edge_switches = 8;
+    assert_eq!(cfg.validate(), Ok(()));
+}
+
+#[test]
+fn hierarchical_rejects_latas() {
+    let e = err_for(|c| {
+        *c = hier(16, 4);
+        c.latas = 2;
+    });
+    assert!(e.contains("latas"), "{e}");
+}
+
+#[test]
+fn hierarchical_rejects_missing_rack_size() {
+    let e = err_for(|c| *c = hier(16, 0));
+    assert!(e.contains("nodes_per_edge"), "{e}");
+}
+
+#[test]
+fn hierarchical_rejects_mismatched_edge_product() {
+    // edge_switches × nodes_per_edge must equal nodes exactly.
+    let e = err_for(|c| {
+        *c = hier(16, 4);
+        c.edge_switches = 3;
+    });
+    assert!(e.contains("edge_switches"), "{e}");
+    assert!(e.contains("nodes_per_edge"), "{e}");
+}
+
+#[test]
+fn hierarchical_rejects_partial_racks() {
+    let e = err_for(|c| *c = hier(10, 4));
+    assert!(e.contains("evenly"), "{e}");
+    // The message suggests the two nearest valid node counts.
+    assert!(e.contains('8') && e.contains("12"), "{e}");
+}
+
+#[test]
+fn hierarchical_rejects_degenerate_tiers() {
+    let e = err_for(|c| {
+        *c = hier(16, 4);
+        c.agg_switches = 0;
+    });
+    assert!(e.contains("agg_switches"), "{e}");
+    let e = err_for(|c| {
+        *c = hier(16, 4);
+        c.agg_switches = 8; // more agg switches than edge switches
+    });
+    assert!(e.contains("agg_switches"), "{e}");
+    let e = err_for(|c| {
+        *c = hier(16, 4);
+        c.uplinks = 0;
+    });
+    assert!(e.contains("uplinks"), "{e}");
+}
+
+#[test]
+fn paper_shape_ignores_hierarchical_knobs() {
+    // The hierarchical knobs are inert under the paper shape — a
+    // sweep can leave them set while flipping the shape off.
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes_per_edge = 7; // would be a partial rack if it counted
+    cfg.uplinks = 0;
+    assert_eq!(cfg.validate(), Ok(()));
 }
 
 #[test]

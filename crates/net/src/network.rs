@@ -724,6 +724,32 @@ impl Network {
         None
     }
 
+    /// Number of links a frame from `from` traverses to reach `to`,
+    /// following the same static BFS routes the packet engine uses.
+    /// `Some(0)` when `from == to`; `None` when the fabric has no
+    /// route. Hierarchical fabrics use this to pin the worst-case path
+    /// depth (edge → aggregation → edge) independently of timing.
+    pub fn hop_count(&self, from: HostId, to: HostId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let hp = self.host_ports[from.0 as usize];
+        let first = &self.links[hp.link.0 as usize];
+        let mut hops = 1u32;
+        let mut device = first.far(hp.forward);
+        for _ in 0..32 {
+            match device {
+                DeviceId::Host(h) => return (h == to).then_some(hops),
+                DeviceId::Router(r) => {
+                    let (link, forward) = self.routers[r as usize].routes.get(to)?;
+                    hops += 1;
+                    device = self.links[link.0 as usize].far(forward);
+                }
+            }
+        }
+        None
+    }
+
     /// Update the AF-class weight of every WFQ port in the fabric
     /// (autonomic QoS control). Ports with other disciplines ignore it.
     pub fn set_af_weight(&mut self, w: f64) {

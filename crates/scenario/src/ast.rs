@@ -10,7 +10,7 @@
 use std::fmt;
 
 use dclue_cluster::config::{ClientModel, LogPlacement, Policer, StorageMode};
-use dclue_cluster::{ClusterConfig, DbGrowth, ProtocolKind, QosPolicy, TcpOffload};
+use dclue_cluster::{ClusterConfig, DbGrowth, FabricShape, ProtocolKind, QosPolicy, TcpOffload};
 use dclue_fault::LinkRef;
 use dclue_sim::Duration;
 use dclue_storage::IscsiMode;
@@ -79,6 +79,7 @@ pub enum Value {
     Iscsi(IscsiMode),
     Policer(Policer),
     Client(ClientModel),
+    Shape(FabricShape),
 }
 
 /// Canonical duration text: the coarsest unit that divides evenly.
@@ -139,6 +140,7 @@ impl fmt::Display for Value {
                 ClientModel::Exact => write!(f, "exact"),
                 ClientModel::Aggregate => write!(f, "aggregate"),
             },
+            Value::Shape(s) => write!(f, "{}", s.label()),
         }
     }
 }
@@ -160,6 +162,7 @@ pub enum Ty {
     Iscsi,
     Policer,
     Client,
+    Shape,
 }
 
 /// Grammar entry for one `key = value` knob: which section owns it,
@@ -194,6 +197,15 @@ pub const KEYS: &[KeySpec] = &[
     // [topology] — cluster shape, fabric and data scale.
     k(Section::Topology, "nodes", Ty::U32, true),
     k(Section::Topology, "latas", Ty::U32, true),
+    // Not sweepable: the fabric shape changes what the other topology
+    // knobs *mean* (latas vs racks) — compare shapes across scenarios,
+    // not inside one grid.
+    k(Section::Topology, "topology", Ty::Shape, false),
+    k(Section::Topology, "edge_switches", Ty::U32, true),
+    k(Section::Topology, "nodes_per_edge", Ty::U32, true),
+    k(Section::Topology, "agg_switches", Ty::U32, true),
+    k(Section::Topology, "uplinks", Ty::U32, true),
+    k(Section::Topology, "agg_trunk_bw", Ty::F64, true),
     k(Section::Topology, "affinity", Ty::F64, true),
     k(Section::Topology, "warehouses_per_node", Ty::U32, true),
     k(Section::Topology, "db_growth", Ty::Growth, true),
@@ -248,6 +260,12 @@ pub fn apply(cfg: &mut ClusterConfig, key: &str, v: &Value) {
         ("measure", Value::Dur(d)) => cfg.measure = *d,
         ("nodes", Value::U32(n)) => cfg.nodes = *n,
         ("latas", Value::U32(n)) => cfg.latas = *n,
+        ("topology", Value::Shape(s)) => cfg.topology = *s,
+        ("edge_switches", Value::U32(n)) => cfg.edge_switches = *n,
+        ("nodes_per_edge", Value::U32(n)) => cfg.nodes_per_edge = *n,
+        ("agg_switches", Value::U32(n)) => cfg.agg_switches = *n,
+        ("uplinks", Value::U32(n)) => cfg.uplinks = *n,
+        ("agg_trunk_bw", Value::F64(b)) => cfg.agg_trunk_bw = *b,
         ("affinity", Value::F64(a)) => cfg.affinity = *a,
         ("warehouses_per_node", Value::U32(n)) => cfg.warehouses_per_node = *n,
         ("db_growth", Value::Growth(g)) => cfg.db_growth = *g,

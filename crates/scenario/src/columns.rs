@@ -124,6 +124,15 @@ pub const COLUMNS: &[Column] = &[
     )),
     col!("trunk_mbps", 2, |_c, r| Cell::F(r.trunk_mbps)),
     col!("trunk_utilization", 3, |_c, r| Cell::F(r.trunk_utilization)),
+    col!("trunk_mbps_edge", 2, |_c, r| Cell::F(r.trunk_mbps_edge)),
+    col!("trunk_util_edge", 3, |_c, r| Cell::F(
+        r.trunk_utilization_edge
+    )),
+    col!("trunk_mbps_agg", 2, |_c, r| Cell::F(r.trunk_mbps_agg)),
+    col!("trunk_util_agg", 3, |_c, r| Cell::F(
+        r.trunk_utilization_agg
+    )),
+    col!("max_path_hops", 0, |_c, r| Cell::U(r.max_path_hops as u64)),
     col!("ftp_mbps", 2, |_c, r| Cell::F(r.ftp_mbps)),
     col!("ftp_denied", 0, |_c, r| Cell::U(r.ftp_denied)),
     col!("drops", 0, |_c, r| Cell::U(r.drops)),

@@ -205,6 +205,13 @@ fn parse_scalar(ty: Ty, raw: &str) -> Result<Value, String> {
                 "unknown client_model '{raw}' (choices: exact, aggregate)"
             )),
         },
+        Ty::Shape => match raw {
+            "paper" => Ok(Value::Shape(dclue_cluster::FabricShape::Paper)),
+            "hierarchical" => Ok(Value::Shape(dclue_cluster::FabricShape::Hierarchical)),
+            _ => Err(format!(
+                "unknown topology '{raw}' (choices: paper, hierarchical)"
+            )),
+        },
         Ty::Policer => {
             // rate:<bit/s>,burst:<bytes>
             let mut rate = None;

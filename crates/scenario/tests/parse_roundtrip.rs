@@ -120,6 +120,53 @@ affinity = 0.8
 }
 
 #[test]
+fn hierarchical_topology_keys_roundtrip() {
+    // Every hierarchical-fabric knob, with one swept axis. The shape
+    // key itself is deliberately not sweepable (it changes what the
+    // other topology knobs mean), so it appears as a scalar.
+    let sc = roundtrip(
+        r#"
+scenario = hier-keys
+description = edge/aggregation fabric knobs
+
+[topology]
+topology = hierarchical
+nodes = 64
+nodes_per_edge = 8
+edge_switches = 8
+agg_switches = [1, 2, 4]
+uplinks = 2
+agg_trunk_bw = 12000000
+affinity = 0.5
+"#,
+    );
+    let plan = dclue_scenario::compile(&sc).expect("compiles");
+    assert_eq!(plan.points.len(), 3);
+    for p in &plan.points {
+        assert_eq!(p.cfg.topology, dclue_cluster::FabricShape::Hierarchical);
+        assert_eq!(p.cfg.nodes_per_edge, 8);
+        assert_eq!(p.cfg.uplinks, 2);
+        assert_eq!(p.cfg.agg_trunk_bw, 12_000_000.0);
+        p.cfg.validate().expect("hierarchical grid point validates");
+    }
+    assert_eq!(
+        plan.points
+            .iter()
+            .map(|p| p.cfg.agg_switches)
+            .collect::<Vec<_>>(),
+        vec![1, 2, 4]
+    );
+}
+
+#[test]
+fn unknown_topology_shape_is_rejected() {
+    let e = parse("scenario = bad\n\n[topology]\ntopology = fat-tree\n")
+        .expect_err("unknown shape must not parse");
+    assert!(e.msg.contains("fat-tree"), "{}", e.msg);
+    assert!(e.msg.contains("hierarchical"), "{}", e.msg);
+}
+
+#[test]
 fn knee_sweep_roundtrips() {
     let sc = roundtrip(
         r#"
